@@ -1,0 +1,83 @@
+// Ablation of the majority rule (the S3.1 "Remarks" trade-off):
+//
+//   "This protocol can tolerate |Memb(Mgr)|-1 failures.  We will see that
+//    fault-tolerance decreases appreciably when Mgr can fail; only a
+//    minority of failures can be tolerated between successive system
+//    views."
+//
+// We sweep simultaneous failure bursts of size k against an n=7 group,
+// with the final algorithm's majority gating ON (Mgr commits need mu(n)
+// responders) and OFF (the basic S3.1 algorithm: Mgr assumed immortal).
+// Expected frontier: without gating the immortal Mgr excludes any k <= 6;
+// with gating the group converges only while the burst leaves a majority,
+// and *stalls or self-destructs — but never diverges — beyond it.*
+#include <cstdio>
+
+#include "harness/cluster.hpp"
+
+using namespace gmpx;
+using harness::Cluster;
+using harness::ClusterOptions;
+
+namespace {
+
+struct Outcome {
+  bool converged;  // survivors agree on exactly the survivor set
+  bool safe;       // GMP-0..4 clean
+};
+
+Outcome run(size_t n, size_t burst, bool majority_gate, uint64_t seed) {
+  ClusterOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.require_majority = majority_gate;
+  Cluster c(o);
+  c.start();
+  for (size_t k = 0; k < burst; ++k) {
+    c.crash_at(100 + k, static_cast<ProcessId>(n - 1 - k));  // never the Mgr
+  }
+  c.run_to_quiescence();
+  trace::CheckOptions co;
+  co.check_liveness = false;
+  Outcome out;
+  out.safe = c.check(co).ok();
+  out.converged = true;
+  std::vector<ProcessId> expect;
+  for (ProcessId p = 0; p < n - burst; ++p) expect.push_back(p);
+  for (ProcessId p = 0; p < n - burst; ++p) {
+    if (c.world().crashed(p) || c.node(p).view().sorted_members() != expect) {
+      out.converged = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kN = 7;
+  std::printf("Ablation: majority gating of Mgr commits (n=%zu, mu=%zu)\n", kN, kN / 2 + 1);
+  std::printf("burst = simultaneous outer-process crashes (Mgr survives)\n\n");
+  std::printf("%6s | %-26s | %-26s\n", "burst", "basic (gating OFF)", "final (gating ON)");
+  std::printf("-------+----------------------------+---------------------------\n");
+  bool pattern_ok = true;
+  for (size_t burst = 1; burst <= kN - 1; ++burst) {
+    Outcome basic = run(kN, burst, false, 7000 + burst);
+    Outcome final_ = run(kN, burst, true, 7100 + burst);
+    auto cell = [](Outcome o) {
+      return !o.safe ? "UNSAFE" : (o.converged ? "converged" : "stalled (safe)");
+    };
+    std::printf("%6zu | %-26s | %-26s\n", burst, cell(basic), cell(final_));
+    // Paper-predicted pattern: basic always converges; final converges only
+    // while a majority of the 7-view survives the burst (burst <= 3).
+    pattern_ok = pattern_ok && basic.safe && final_.safe && basic.converged &&
+                 (final_.converged == (burst <= kN / 2));
+  }
+  std::printf("\n%s\n",
+              pattern_ok
+                  ? "Trade-off reproduced: the immortal-Mgr algorithm tolerates n-1\n"
+                    "failures; the Mgr-fault-tolerant algorithm trades that for the\n"
+                    "majority rule (minority bursts only), never sacrificing safety."
+                  : "UNEXPECTED pattern — investigate.");
+  return pattern_ok ? 0 : 1;
+}

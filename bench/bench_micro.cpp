@@ -1,0 +1,105 @@
+// Micro-benchmarks (extension; not in the paper): wall-clock cost of the
+// protocol machinery itself under simulation — view-change latency in
+// simulated ticks is reported as a counter, host CPU time by the framework.
+#include <benchmark/benchmark.h>
+
+#include "harness/cluster.hpp"
+
+using namespace gmpx;
+using harness::Cluster;
+using harness::ClusterOptions;
+
+namespace {
+
+ClusterOptions opts(size_t n, uint64_t seed) {
+  ClusterOptions o;
+  o.n = n;
+  o.seed = seed;
+  return o;
+}
+
+}  // namespace
+
+/// Full simulated run of a single exclusion (crash -> converged views).
+static void BM_Exclusion(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t seed = 1;
+  Tick total_ticks = 0;
+  for (auto _ : state) {
+    Cluster c(opts(n, seed++));
+    c.start();
+    c.crash_at(100, static_cast<ProcessId>(n - 1));
+    c.run_to_quiescence();
+    total_ticks += c.world().now();
+    benchmark::DoNotOptimize(c.node(0).view().version());
+  }
+  state.counters["sim_ticks"] =
+      benchmark::Counter(static_cast<double>(total_ticks) / state.iterations());
+}
+BENCHMARK(BM_Exclusion)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+/// Full simulated run of a Mgr crash (reconfiguration + takeover).
+static void BM_Reconfiguration(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t seed = 1;
+  Tick total_ticks = 0;
+  for (auto _ : state) {
+    Cluster c(opts(n, seed++));
+    c.start();
+    c.crash_at(100, 0);
+    c.run_to_quiescence();
+    total_ticks += c.world().now();
+    benchmark::DoNotOptimize(c.node(1).is_mgr());
+  }
+  state.counters["sim_ticks"] =
+      benchmark::Counter(static_cast<double>(total_ticks) / state.iterations());
+}
+BENCHMARK(BM_Reconfiguration)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+/// Sustained churn: half the group leaves one by one, then rejoins (fresh
+/// ids), with the Mgr surviving — measures steady-state view throughput.
+static void BM_ChurnStream(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Cluster c(opts(n, seed++));
+    for (size_t j = 0; j < n / 2; ++j) {
+      c.add_joiner(static_cast<ProcessId>(100 + j), {0});
+    }
+    c.start();
+    Tick t = 100;
+    for (size_t k = 0; k < n / 2; ++k) {
+      c.crash_at(t, static_cast<ProcessId>(n - 1 - k));
+      t += 2500;
+    }
+    c.run_to_quiescence();
+    benchmark::DoNotOptimize(c.node(0).view().version());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));  // view changes
+}
+BENCHMARK(BM_ChurnStream)->Arg(8)->Arg(16);
+
+/// Raw simulator overhead: ping-pong message delivery rate.
+static void BM_SimMessageDelivery(benchmark::State& state) {
+  struct Echo : Actor {
+    int remaining = 0;
+    void on_packet(Context& ctx, const Packet& p) override {
+      if (remaining-- > 0) ctx.send(Packet{ctx.self(), p.from, 9, {}});
+    }
+  };
+  for (auto _ : state) {
+    sim::SimWorld w(7);
+    Echo a, b;
+    a.remaining = b.remaining = 5000;
+    w.add_actor(0, &a);
+    w.add_actor(1, &b);
+    w.start();
+    w.at(0, [&] { w.context_of(0)->send(Packet{0, 1, 9, {}}); });
+    w.run_until_idle();
+    benchmark::DoNotOptimize(w.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimMessageDelivery);
+
+BENCHMARK_MAIN();

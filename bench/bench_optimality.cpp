@@ -1,0 +1,108 @@
+// Regenerates the S7.3 optimality results (Claims 7.1 and 7.2, Fig 11):
+// one-phase updates and two-phase reconfigurations cannot solve GMP when
+// the coordinator can fail — while the full protocol survives the same
+// adversarial schedules.
+//
+// Output: per protocol, the number of runs (over seeds x schedules) in
+// which the trace checker found a GMP-2/3 agreement violation.  The paper
+// predicts >0 for each baseline and exactly 0 for the full protocol.
+#include <cstdio>
+
+#include "baseline/onephase.hpp"
+#include "baseline/twophase_reconfig.hpp"
+#include "harness/baseline_cluster.hpp"
+#include "harness/cluster.hpp"
+
+using namespace gmpx;
+
+namespace {
+
+constexpr int kSeeds = 40;
+
+/// Claim 7.1 schedule: concurrent mutual suspicion between the coordinator
+/// and its successor (the proof's R/S partition race).
+template <typename C>
+void claim71_schedule(C& c) {
+  c.start();
+  c.suspect_at(100, 1, 0);
+  c.suspect_at(100, 0, 1);
+}
+
+/// Claim 7.2 / Fig 11 schedule: invisible commit — the coordinator's commit
+/// toward part of the group is arbitrarily delayed (partition-held) and the
+/// coordinator dies.
+template <typename C>
+void claim72_schedule(C& c) {
+  c.start();
+  c.crash_at(100, 5);
+  c.world().at(158, [&c] { c.world().partition({0}, {1, 2, 3}); });
+  c.crash_at(162, 0);
+}
+
+template <typename NodeT, typename Schedule>
+int violations_baseline(Schedule&& schedule, bool deterministic_net) {
+  int v = 0;
+  for (int s = 0; s < kSeeds; ++s) {
+    typename harness::BaselineCluster<NodeT>::Options o;
+    o.n = 6;
+    o.seed = 1200 + s;
+    if (deterministic_net) {
+      o.delays = sim::DelayModel{5, 5};
+      o.oracle_min_delay = o.oracle_max_delay = 50;
+    }
+    harness::BaselineCluster<NodeT> c(o);
+    schedule(c);
+    c.run_to_quiescence();
+    if (!trace::check_gmp23(c.recorder()).ok()) ++v;
+  }
+  return v;
+}
+
+template <typename Schedule>
+int violations_full(Schedule&& schedule, bool deterministic_net) {
+  int v = 0;
+  for (int s = 0; s < kSeeds; ++s) {
+    harness::ClusterOptions o;
+    o.n = 6;
+    o.seed = 1200 + s;
+    if (deterministic_net) {
+      o.delays = sim::DelayModel{5, 5};
+      o.oracle_min_delay = o.oracle_max_delay = 50;
+    }
+    harness::Cluster c(o);
+    schedule(c);
+    c.run_to_quiescence();
+    trace::CheckOptions co;
+    co.check_liveness = false;
+    if (!c.check(co).ok()) ++v;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("S7.3 optimality: GMP-2/3 violations over %d seeded runs, n=6\n\n", kSeeds);
+  std::printf("%-34s | %-22s | %s\n", "schedule", "protocol", "violations");
+  std::printf("-----------------------------------+------------------------+-----------\n");
+
+  int v1 = violations_baseline<baseline::OnePhaseNode>(
+      [](auto& c) { claim71_schedule(c); }, false);
+  int f1 = violations_full([](auto& c) { claim71_schedule(c); }, false);
+  std::printf("%-34s | %-22s | %d\n", "Claim 7.1: concurrent coordinators",
+              "one-phase baseline", v1);
+  std::printf("%-34s | %-22s | %d\n", "", "full GMP protocol", f1);
+
+  int v2 = violations_baseline<baseline::TwoPhaseReconfigNode>(
+      [](auto& c) { claim72_schedule(c); }, true);
+  int f2 = violations_full([](auto& c) { claim72_schedule(c); }, true);
+  std::printf("%-34s | %-22s | %d\n", "Claim 7.2: invisible commit",
+              "two-phase reconfig", v2);
+  std::printf("%-34s | %-22s | %d\n", "", "full GMP protocol", f2);
+
+  bool ok = v1 > 0 && v2 > 0 && f1 == 0 && f2 == 0;
+  std::printf("\n%s\n", ok ? "Paper's optimality claims reproduced: baselines violate "
+                             "GMP-3, the three-phase protocol never does."
+                           : "UNEXPECTED: pattern does not match the paper's claims.");
+  return ok ? 0 : 1;
+}

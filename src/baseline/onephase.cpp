@@ -1,0 +1,82 @@
+#include "baseline/onephase.hpp"
+
+#include <algorithm>
+
+#include "common/codec.hpp"
+
+namespace gmpx::baseline {
+
+namespace {
+Packet make(ProcessId to, ProcessId target, ViewVersion v) {
+  Writer w;
+  w.u32(target);
+  w.u32(v);
+  return Packet{kNilId, to, kind::kOnePhaseRemove, std::move(w).take()};
+}
+}  // namespace
+
+OnePhaseNode::OnePhaseNode(ProcessId self, std::vector<ProcessId> members,
+                           trace::Recorder* recorder)
+    : self_(self), members_(std::move(members)), rec_(recorder) {}
+
+bool OnePhaseNode::i_am_coordinator() const {
+  for (ProcessId q : members_) {
+    if (q == self_) return true;
+    if (!suspected_.count(q)) return false;  // a live senior outranks us
+  }
+  return false;
+}
+
+void OnePhaseNode::suspect(Context& ctx, ProcessId q) {
+  if (q == self_ || suspected_.count(q)) return;
+  if (std::find(members_.begin(), members_.end(), q) == members_.end()) return;
+  suspected_.insert(q);
+  if (rec_) rec_->faulty(self_, q, ctx.now());
+  if (i_am_coordinator()) {
+    // One phase: no invitation, no OKs, no interrogation — just commit.
+    // Every suspicion this coordinator holds is flushed in arrival order.
+    for (ProcessId t : std::vector<ProcessId>(suspected_.begin(), suspected_.end())) {
+      if (std::find(members_.begin(), members_.end(), t) != members_.end()) {
+        commit_removal(ctx, t);
+      }
+    }
+  }
+}
+
+void OnePhaseNode::commit_removal(Context& ctx, ProcessId target) {
+  const ViewVersion v = version_ + 1;
+  for (ProcessId q : members_) {
+    if (q == self_ || q == target) continue;
+    ctx.send(make(q, target, v));
+  }
+  apply(ctx, target);
+}
+
+void OnePhaseNode::on_packet(Context& ctx, const Packet& p) {
+  if (p.kind != kind::kOnePhaseRemove) return;
+  Reader r(p.bytes);
+  ProcessId target = r.u32();
+  ViewVersion v = r.u32();
+  r.expect_done();
+  if (target == self_) return;  // being removed; a real protocol would quit
+  if (std::find(members_.begin(), members_.end(), target) == members_.end()) return;
+  // The fatal flaw: the receiver applies whatever it is told, whenever it
+  // arrives.  Concurrent coordinators produce different version-v views.
+  (void)v;
+  if (rec_ && !suspected_.count(target)) rec_->faulty(self_, target, ctx.now());
+  suspected_.insert(target);
+  apply(ctx, target);
+}
+
+void OnePhaseNode::apply(Context& ctx, ProcessId target) {
+  members_.erase(std::remove(members_.begin(), members_.end(), target), members_.end());
+  ++version_;
+  if (rec_) {
+    rec_->remove(self_, target, ctx.now());
+    std::vector<ProcessId> sorted = members_;
+    std::sort(sorted.begin(), sorted.end());
+    rec_->install(self_, version_, sorted, ctx.now());
+  }
+}
+
+}  // namespace gmpx::baseline

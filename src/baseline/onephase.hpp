@@ -1,0 +1,54 @@
+// Claim 7.1 counterexample: a ONE-PHASE update protocol.
+//
+// "A one-phase update algorithm cannot solve GMP when the coordinator can
+// fail."  Here the coordinator (or whoever believes it has succeeded to the
+// role) simply broadcasts Remove(q) commits with no invitation round, no
+// acknowledgements, no interrogation and no majority.  Under concurrent
+// suspicions — the paper's proof scenario: r removes Mgr while Mgr removes
+// r — different processes apply different operations as the same view
+// version, violating GMP-3.  The optimality bench runs this protocol under
+// the paper's scenario and shows the checker flagging the violation; the
+// same scenario on the full protocol stays clean.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "common/runtime.hpp"
+#include "trace/recorder.hpp"
+
+namespace gmpx::baseline {
+
+namespace kind {
+inline constexpr uint32_t kOnePhaseRemove = 110;
+}
+
+/// One endpoint of the (broken) one-phase protocol.
+class OnePhaseNode final : public Actor {
+ public:
+  OnePhaseNode(ProcessId self, std::vector<ProcessId> members_in_seniority_order,
+               trace::Recorder* recorder = nullptr);
+
+  void on_start(Context& ctx) override { (void)ctx; }
+  void on_packet(Context& ctx, const Packet& p) override;
+
+  /// F1 input.  If every more-senior member is suspected, this node deems
+  /// itself coordinator and immediately commits the removal — one phase.
+  void suspect(Context& ctx, ProcessId q);
+
+  const std::vector<ProcessId>& members() const { return members_; }
+  ViewVersion version() const { return version_; }
+
+ private:
+  bool i_am_coordinator() const;
+  void commit_removal(Context& ctx, ProcessId target);
+  void apply(Context& ctx, ProcessId target);
+
+  ProcessId self_;
+  std::vector<ProcessId> members_;  ///< seniority order
+  ViewVersion version_ = 0;
+  std::set<ProcessId> suspected_;
+  trace::Recorder* rec_;
+};
+
+}  // namespace gmpx::baseline

@@ -1,0 +1,126 @@
+#include "baseline/symmetric.hpp"
+
+#include <algorithm>
+
+#include "common/codec.hpp"
+
+namespace gmpx::baseline {
+
+namespace {
+Packet make(ProcessId to, uint32_t kind, ProcessId target) {
+  Writer w;
+  w.u32(target);
+  return Packet{kNilId, to, kind, std::move(w).take()};
+}
+ProcessId target_of(const Packet& p) {
+  Reader r(p.bytes);
+  ProcessId t = r.u32();
+  r.expect_done();
+  return t;
+}
+}  // namespace
+
+SymmetricNode::SymmetricNode(ProcessId self, std::vector<ProcessId> members,
+                             trace::Recorder* recorder)
+    : self_(self), members_(std::move(members)), rec_(recorder) {
+  std::sort(members_.begin(), members_.end());
+}
+
+bool SymmetricNode::contains(ProcessId q) const {
+  return std::binary_search(members_.begin(), members_.end(), q);
+}
+
+void SymmetricNode::broadcast(Context& ctx, uint32_t kind, ProcessId target) {
+  for (ProcessId q : members_) {
+    if (q == self_) continue;
+    ctx.send(make(q, kind, target));
+  }
+}
+
+size_t SymmetricNode::quorum_size(ProcessId target) const {
+  // Everyone still believed alive must chime in (the symmetric protocol's
+  // termination set): members minus suspects, but the target never votes.
+  size_t n = 0;
+  for (ProcessId q : members_) {
+    if (q == target || suspected_.count(q)) continue;
+    ++n;
+  }
+  return n;
+}
+
+void SymmetricNode::suspect(Context& ctx, ProcessId q) {
+  if (q == self_ || !contains(q) || suspected_.count(q)) return;
+  suspected_.insert(q);
+  if (rec_) rec_->faulty(self_, q, ctx.now());
+  Round& r = rounds_[q];
+  if (!r.sent_propose) {
+    r.sent_propose = true;
+    r.proposes.insert(self_);
+    broadcast(ctx, kind::kSymPropose, q);
+  }
+  // Suspects leaving the quorum can unblock other rounds.
+  for (auto& [t, round] : rounds_) advance(ctx, t);
+}
+
+void SymmetricNode::on_packet(Context& ctx, const Packet& p) {
+  ProcessId target = target_of(p);
+  if (!contains(target) || target == self_) return;
+  Round& r = rounds_[target];
+  if (r.done) return;
+  if (p.kind == kind::kSymPropose) {
+    r.proposes.insert(p.from);
+    // Echo: gossip is this protocol's F2.  Adopt the suspicion and flood.
+    if (!suspected_.count(target)) {
+      suspected_.insert(target);
+      if (rec_) rec_->faulty(self_, target, ctx.now());
+    }
+    if (!r.sent_propose) {
+      r.sent_propose = true;
+      r.proposes.insert(self_);
+      broadcast(ctx, kind::kSymPropose, target);
+    }
+  } else if (p.kind == kind::kSymReady) {
+    r.readies.insert(p.from);
+  }
+  advance(ctx, target);
+}
+
+void SymmetricNode::advance(Context& ctx, ProcessId target) {
+  auto it = rounds_.find(target);
+  if (it == rounds_.end()) return;
+  Round& r = it->second;
+  if (r.done || !contains(target)) return;
+  const size_t quorum = quorum_size(target);
+
+  auto count_in_quorum = [&](const std::set<ProcessId>& s) {
+    size_t n = 0;
+    for (ProcessId q : s) {
+      if (contains(q) && q != target && !suspected_.count(q)) ++n;
+    }
+    // Our own vote is always in-quorum.
+    if (s.count(self_)) { /* already counted above (self not suspected) */
+    }
+    return n;
+  };
+
+  if (!r.sent_ready && count_in_quorum(r.proposes) >= quorum) {
+    r.sent_ready = true;
+    r.readies.insert(self_);
+    broadcast(ctx, kind::kSymReady, target);
+  }
+  if (r.sent_ready && count_in_quorum(r.readies) >= quorum) {
+    r.done = true;
+    members_.erase(std::remove(members_.begin(), members_.end(), target), members_.end());
+    ++version_;
+    if (rec_) {
+      rec_->remove(self_, target, ctx.now());
+      rec_->install(self_, version_, members_, ctx.now());
+    }
+    // Membership shrank: re-evaluate every other pending round.
+    for (auto& [t, round] : rounds_) {
+      if (t != target) advance(ctx, t);
+    }
+  }
+}
+
+}  // namespace gmpx::baseline

@@ -1,0 +1,70 @@
+// Symmetric membership baseline ("Bruso-style", [5] in the paper).
+//
+// The paper argues its asymmetric (coordinator-based) protocol is an order
+// of magnitude cheaper than symmetric protocols in which *every* process
+// behaves identically.  This module implements such a symmetric protocol as
+// the comparison baseline: to exclude a crashed process every member
+// all-to-all broadcasts in two phases (propose echo + ready), costing
+// Theta(n^2) messages per view change versus GMP's Theta(n).
+//
+// The protocol: on faulty_p(q), p broadcasts Propose(q).  Every process
+// echoes the first Propose(q) it sees (gossip doubles as its own failure
+// input).  Once a process holds Propose(q) from every member it still
+// believes alive, it broadcasts Ready(q); once it holds Ready(q) from every
+// such member, it removes q and installs the next view.  With reliable
+// channels and an eventually-accurate detector this agrees on benign
+// (crash) schedules — which is all the complexity benches need.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/runtime.hpp"
+#include "trace/recorder.hpp"
+
+namespace gmpx::baseline {
+
+namespace kind {
+inline constexpr uint32_t kSymPropose = 100;
+inline constexpr uint32_t kSymReady = 101;
+}  // namespace kind
+
+/// One endpoint of the symmetric membership protocol.
+class SymmetricNode final : public Actor {
+ public:
+  SymmetricNode(ProcessId self, std::vector<ProcessId> members,
+                trace::Recorder* recorder = nullptr);
+
+  void on_start(Context& ctx) override { (void)ctx; }
+  void on_packet(Context& ctx, const Packet& p) override;
+
+  /// F1 input: local suspicion of q.
+  void suspect(Context& ctx, ProcessId q);
+
+  const std::vector<ProcessId>& members() const { return members_; }
+  ViewVersion version() const { return version_; }
+  bool contains(ProcessId q) const;
+
+ private:
+  struct Round {
+    std::set<ProcessId> proposes;  ///< who we have Propose(q) from (incl self)
+    std::set<ProcessId> readies;   ///< who we have Ready(q) from (incl self)
+    bool sent_propose = false;
+    bool sent_ready = false;
+    bool done = false;
+  };
+
+  void broadcast(Context& ctx, uint32_t kind, ProcessId target);
+  void advance(Context& ctx, ProcessId target);
+  size_t quorum_size(ProcessId target) const;
+
+  ProcessId self_;
+  std::vector<ProcessId> members_;  ///< sorted; current view
+  ViewVersion version_ = 0;
+  std::set<ProcessId> suspected_;
+  std::map<ProcessId, Round> rounds_;  ///< keyed by removal target
+  trace::Recorder* rec_;
+};
+
+}  // namespace gmpx::baseline

@@ -1,0 +1,163 @@
+#include "baseline/twophase_reconfig.hpp"
+
+#include <algorithm>
+
+#include "common/codec.hpp"
+
+namespace gmpx::baseline {
+
+namespace {
+Packet make(ProcessId to, uint32_t kind, ProcessId target, ViewVersion v) {
+  Writer w;
+  w.u32(target);
+  w.u32(v);
+  return Packet{kNilId, to, kind, std::move(w).take()};
+}
+struct Body {
+  ProcessId target;
+  ViewVersion version;
+};
+Body body(const Packet& p) {
+  Reader r(p.bytes);
+  Body b{r.u32(), r.u32()};
+  r.expect_done();
+  return b;
+}
+}  // namespace
+
+TwoPhaseReconfigNode::TwoPhaseReconfigNode(ProcessId self, std::vector<ProcessId> members,
+                                           trace::Recorder* recorder)
+    : self_(self), members_(std::move(members)), rec_(recorder) {}
+
+bool TwoPhaseReconfigNode::i_am_coordinator() const {
+  for (ProcessId q : members_) {
+    if (q == self_) return true;
+    if (!suspected_.count(q)) return false;
+  }
+  return false;
+}
+
+void TwoPhaseReconfigNode::suspect(Context& ctx, ProcessId q) {
+  if (quit_ || q == self_ || suspected_.count(q)) return;
+  if (std::find(members_.begin(), members_.end(), q) == members_.end()) return;
+  suspected_.insert(q);
+  if (rec_) rec_->faulty(self_, q, ctx.now());
+  if (round_.active && round_.awaiting.erase(q) > 0) check_round(ctx);
+  if (!quit_) consider_work(ctx);
+}
+
+void TwoPhaseReconfigNode::consider_work(Context& ctx) {
+  if (quit_ || round_.active || !i_am_coordinator()) return;
+  // Pick the most senior suspect still in the view.
+  ProcessId target = kNilId;
+  for (ProcessId q : members_) {
+    if (suspected_.count(q)) {
+      target = q;
+      break;
+    }
+  }
+  if (target == kNilId) return;
+  // Seniors are removed via the (flawed) two-phase reconfiguration; juniors
+  // via the normal two-phase update.  Both look identical on the wire here;
+  // the difference vs GMP is the *absence of interrogation* before claiming
+  // a version number for the reconfiguration operation.
+  const bool is_senior = members_.front() == target && target != self_;
+  round_.active = true;
+  round_.reconfig = is_senior;
+  round_.target = target;
+  round_.installs = version_ + 1;
+  round_.oks = 0;
+  round_.awaiting.clear();
+  for (ProcessId q : members_) {
+    if (q == self_ || suspected_.count(q)) continue;
+    round_.awaiting.insert(q);
+  }
+  const uint32_t k = is_senior ? kind::kTpRProp : kind::kTpInvite;
+  for (ProcessId q : members_) {
+    if (q == self_ || q == target) continue;
+    ctx.send(make(q, k, target, round_.installs));
+  }
+  check_round(ctx);
+}
+
+void TwoPhaseReconfigNode::check_round(Context& ctx) {
+  if (!round_.active || !round_.awaiting.empty()) return;
+  if (round_.oks + 1 < members_.size() / 2 + 1) {
+    quit_ = true;
+    ctx.quit();
+    return;
+  }
+  // Phase 2 of 2: commit.  No interrogation ever happened, so for a
+  // reconfiguration this version number may collide with an invisible
+  // commit of the dead coordinator.
+  const ProcessId target = round_.target;
+  const uint32_t k = round_.reconfig ? kind::kTpRCommit : kind::kTpCommit;
+  const ViewVersion v = round_.installs;
+  round_.active = false;
+  apply(ctx, target);
+  for (ProcessId q : members_) {
+    if (q == self_) continue;
+    ctx.send(make(q, k, target, v));
+  }
+  consider_work(ctx);
+}
+
+void TwoPhaseReconfigNode::on_packet(Context& ctx, const Packet& p) {
+  if (quit_) return;
+  Body b = body(p);
+  switch (p.kind) {
+    case kind::kTpInvite:
+    case kind::kTpRProp: {
+      if (b.target == self_) {
+        quit_ = true;
+        ctx.quit();
+        return;
+      }
+      if (!suspected_.count(b.target)) {
+        suspected_.insert(b.target);
+        if (rec_) rec_->faulty(self_, b.target, ctx.now());
+      }
+      ctx.send(make(p.from, p.kind == kind::kTpInvite ? kind::kTpOk : kind::kTpROk,
+                    b.target, b.version));
+      break;
+    }
+    case kind::kTpOk:
+    case kind::kTpROk: {
+      if (!round_.active || b.version != round_.installs || b.target != round_.target) return;
+      if (round_.awaiting.erase(p.from) == 0) return;
+      ++round_.oks;
+      check_round(ctx);
+      break;
+    }
+    case kind::kTpCommit:
+    case kind::kTpRCommit: {
+      if (b.target == self_) {
+        quit_ = true;
+        ctx.quit();
+        return;
+      }
+      if (b.version != version_ + 1) return;  // stale or future: dropped
+      if (!suspected_.count(b.target)) {
+        suspected_.insert(b.target);
+        if (rec_) rec_->faulty(self_, b.target, ctx.now());
+      }
+      apply(ctx, b.target);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TwoPhaseReconfigNode::apply(Context& ctx, ProcessId target) {
+  members_.erase(std::remove(members_.begin(), members_.end(), target), members_.end());
+  ++version_;
+  if (rec_) {
+    rec_->remove(self_, target, ctx.now());
+    std::vector<ProcessId> sorted = members_;
+    std::sort(sorted.begin(), sorted.end());
+    rec_->install(self_, version_, sorted, ctx.now());
+  }
+}
+
+}  // namespace gmpx::baseline

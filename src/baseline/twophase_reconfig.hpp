@@ -1,0 +1,71 @@
+// Claim 7.2 counterexample: TWO-PHASE reconfiguration.
+//
+// "A two-phase reconfiguration algorithm cannot solve GMP when the
+// coordinator can fail."  This protocol runs the normal two-phase update
+// under a coordinator, but when the coordinator is suspected, its successor
+// reconfigures in only two phases: Propose(remove Mgr, v) -> majority OK ->
+// Commit.  Without the interrogation phase the successor cannot discover
+// commits the dead coordinator delivered to only part of the group
+// (invisible commits, Fig 11): it blindly claims version v for its own
+// operation while other processes already installed a *different* view as
+// version v — a GMP-2/3 violation the bench demonstrates and the checker
+// catches.  The three-phase algorithm is therefore minimal (S7.3).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "common/runtime.hpp"
+#include "trace/recorder.hpp"
+
+namespace gmpx::baseline {
+
+namespace kind {
+inline constexpr uint32_t kTpInvite = 120;
+inline constexpr uint32_t kTpOk = 121;
+inline constexpr uint32_t kTpCommit = 122;
+inline constexpr uint32_t kTpRProp = 123;
+inline constexpr uint32_t kTpROk = 124;
+inline constexpr uint32_t kTpRCommit = 125;
+}  // namespace kind
+
+/// One endpoint of the (broken) two-phase-reconfiguration protocol.
+class TwoPhaseReconfigNode final : public Actor {
+ public:
+  TwoPhaseReconfigNode(ProcessId self, std::vector<ProcessId> members_in_seniority_order,
+                       trace::Recorder* recorder = nullptr);
+
+  void on_start(Context& ctx) override { (void)ctx; }
+  void on_packet(Context& ctx, const Packet& p) override;
+
+  /// F1 input.
+  void suspect(Context& ctx, ProcessId q);
+
+  const std::vector<ProcessId>& members() const { return members_; }
+  ViewVersion version() const { return version_; }
+  bool has_quit() const { return quit_; }
+
+ private:
+  bool i_am_coordinator() const;
+  void consider_work(Context& ctx);
+  void check_round(Context& ctx);
+  void apply(Context& ctx, ProcessId target);
+
+  ProcessId self_;
+  std::vector<ProcessId> members_;
+  ViewVersion version_ = 0;
+  std::set<ProcessId> suspected_;
+  bool quit_ = false;
+  trace::Recorder* rec_;
+
+  struct Round {
+    bool active = false;
+    bool reconfig = false;  ///< two-phase reconfiguration (vs normal update)
+    ProcessId target = kNilId;
+    ViewVersion installs = 0;
+    std::set<ProcessId> awaiting;
+    size_t oks = 0;
+  } round_;
+};
+
+}  // namespace gmpx::baseline

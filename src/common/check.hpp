@@ -1,0 +1,17 @@
+// Always-on invariant checks.  Unlike assert(), these survive NDEBUG builds:
+// a protocol-invariant violation (e.g. a Phase I response outside the
+// Prop 5.1 version window) is a bug we want to fail loudly on in benches
+// and examples, not just in debug test runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define GMPX_CHECK(cond, msg)                                                      \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      std::fprintf(stderr, "GMPX_CHECK failed at %s:%d: %s — %s\n", __FILE__,      \
+                   __LINE__, #cond, msg);                                          \
+      std::abort();                                                                \
+    }                                                                              \
+  } while (0)

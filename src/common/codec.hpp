@@ -1,0 +1,169 @@
+// Minimal, dependency-free binary serialization used for every wire message.
+//
+// Both transports (the deterministic simulator and the real TCP transport)
+// carry opaque byte payloads, so the protocol code path — encode, ship,
+// decode — is identical in simulation and on real sockets.  Encoding is
+// little-endian, length-prefixed, and deliberately boring.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gmpx {
+
+/// Thrown when a payload cannot be decoded (truncated or corrupt frame).
+/// Both transports treat this as a fatal programming error in-process, and
+/// as a peer protocol violation over TCP.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only byte sink with fixed-width little-endian primitives.
+class Writer {
+ public:
+  /// Raw little-endian integer write.
+  template <typename T>
+  void u(T v) {
+    static_assert(std::is_integral_v<T> || std::is_enum_v<T>);
+    unsigned char tmp[sizeof(T)];
+    std::memcpy(tmp, &v, sizeof(T));
+    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+  }
+
+  void u8(uint8_t v) { u(v); }
+  void u32(uint32_t v) { u(v); }
+  void u64(uint64_t v) { u(v); }
+  void b(bool v) { u8(v ? 1 : 0); }
+
+  void str(const std::string& s) {
+    u32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void ids(const std::vector<ProcessId>& v) {
+    u32(static_cast<uint32_t>(v.size()));
+    for (ProcessId p : v) u32(p);
+  }
+
+  void seq_entry(const SeqEntry& e) {
+    u8(static_cast<uint8_t>(e.op));
+    u32(e.target);
+    u32(e.resulting_version);
+  }
+
+  void seq(const std::vector<SeqEntry>& v) {
+    u32(static_cast<uint32_t>(v.size()));
+    for (const auto& e : v) seq_entry(e);
+  }
+
+  void next_entry(const NextEntry& e) {
+    u8(static_cast<uint8_t>(e.op));
+    u32(e.target);
+    u32(e.coordinator);
+    u32(e.version);
+    b(e.pending_coordinator_only);
+  }
+
+  void next(const std::vector<NextEntry>& v) {
+    u32(static_cast<uint32_t>(v.size()));
+    for (const auto& e : v) next_entry(e);
+  }
+
+  /// Finalize and steal the buffer.
+  std::vector<uint8_t> take() && { return std::move(buf_); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential reader over an encoded payload; throws CodecError on underrun.
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  template <typename T>
+  T u() {
+    static_assert(std::is_integral_v<T> || std::is_enum_v<T>);
+    if (pos_ + sizeof(T) > buf_.size()) throw CodecError("payload underrun");
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  uint8_t u8() { return u<uint8_t>(); }
+  uint32_t u32() { return u<uint32_t>(); }
+  uint64_t u64() { return u<uint64_t>(); }
+  bool b() { return u8() != 0; }
+
+  std::string str() {
+    uint32_t n = u32();
+    if (pos_ + n > buf_.size()) throw CodecError("string underrun");
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<ProcessId> ids() {
+    uint32_t n = u32();
+    std::vector<ProcessId> v;
+    v.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) v.push_back(u32());
+    return v;
+  }
+
+  SeqEntry seq_entry() {
+    SeqEntry e;
+    e.op = static_cast<Op>(u8());
+    e.target = u32();
+    e.resulting_version = u32();
+    return e;
+  }
+
+  std::vector<SeqEntry> seq() {
+    uint32_t n = u32();
+    std::vector<SeqEntry> v;
+    v.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) v.push_back(seq_entry());
+    return v;
+  }
+
+  NextEntry next_entry() {
+    NextEntry e;
+    e.op = static_cast<Op>(u8());
+    e.target = u32();
+    e.coordinator = u32();
+    e.version = u32();
+    e.pending_coordinator_only = b();
+    return e;
+  }
+
+  std::vector<NextEntry> next() {
+    uint32_t n = u32();
+    std::vector<NextEntry> v;
+    v.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) v.push_back(next_entry());
+    return v;
+  }
+
+  /// True when the whole payload has been consumed.
+  bool done() const { return pos_ == buf_.size(); }
+
+  /// Asserts full consumption; catches messages with trailing garbage.
+  void expect_done() const {
+    if (!done()) throw CodecError("trailing bytes in payload");
+  }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace gmpx

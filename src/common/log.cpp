@@ -1,0 +1,20 @@
+#include "common/log.hpp"
+
+#include <atomic>
+
+namespace gmpx {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mu;
+}  // namespace
+
+LogLevel Log::level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void Log::set_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+void Log::write(LogLevel, const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::cerr << line << "\n";
+}
+
+}  // namespace gmpx

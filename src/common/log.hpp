@@ -1,0 +1,47 @@
+// Tiny leveled logger.  Protocol code logs through this so that examples can
+// show protocol progress while tests and benches stay silent by default.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace gmpx {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-global log configuration.
+class Log {
+ public:
+  /// Current minimum level that will be emitted (default: kWarn).
+  static LogLevel level();
+  /// Set the minimum emitted level.
+  static void set_level(LogLevel lvl);
+  /// Emit a single line (thread-safe).
+  static void write(LogLevel lvl, const std::string& line);
+};
+
+namespace detail {
+struct LogLine {
+  LogLevel lvl;
+  std::ostringstream os;
+  LogLine(LogLevel l, const char* tag) : lvl(l) { os << "[" << tag << "] "; }
+  ~LogLine() {
+    if (lvl >= Log::level()) Log::write(lvl, os.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+};
+}  // namespace detail
+
+#define GMPX_LOG_TRACE() ::gmpx::detail::LogLine(::gmpx::LogLevel::kTrace, "trc")
+#define GMPX_LOG_DEBUG() ::gmpx::detail::LogLine(::gmpx::LogLevel::kDebug, "dbg")
+#define GMPX_LOG_INFO() ::gmpx::detail::LogLine(::gmpx::LogLevel::kInfo, "inf")
+#define GMPX_LOG_WARN() ::gmpx::detail::LogLine(::gmpx::LogLevel::kWarn, "wrn")
+#define GMPX_LOG_ERROR() ::gmpx::detail::LogLine(::gmpx::LogLevel::kError, "err")
+
+}  // namespace gmpx

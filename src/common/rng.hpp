@@ -1,0 +1,50 @@
+// Deterministic, fast pseudo-random source used by the simulator.
+//
+// The simulator must be bit-for-bit reproducible from a seed: every
+// experiment in EXPERIMENTS.md names its seeds, and the property-test sweeps
+// re-run thousands of seeds.  std::mt19937_64 would work, but SplitMix64 is
+// smaller, faster to seed, and its output is fully specified (no
+// implementation-defined distribution behaviour — we implement our own
+// bounded draws).
+#pragma once
+
+#include <cstdint>
+
+namespace gmpx {
+
+/// SplitMix64 generator (Steele, Lea, Flood; public domain reference
+/// algorithm).  Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit draw.
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform draw in [0, bound).  bound == 0 returns 0.
+  uint64_t below(uint64_t bound) {
+    if (bound == 0) return 0;
+    // Debiased multiply-shift (Lemire).  Good enough for scheduling jitter.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform draw in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi) { return lo + below(hi - lo + 1); }
+
+  /// Bernoulli draw with probability num/den.
+  bool chance(uint64_t num, uint64_t den) { return below(den) < num; }
+
+  /// Derive an independent child generator (for per-channel streams).
+  Rng split() { return Rng(next() ^ 0xA5A5A5A55A5A5A5Aull); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gmpx

@@ -1,0 +1,91 @@
+// Transport-neutral runtime interface.
+//
+// Protocol code (gmp, baselines, failure detectors, the group toolkit) is
+// written against `Actor` + `Context`.  Two runtimes implement `Context`:
+//
+//   * sim::SimWorld   — deterministic discrete-event simulator (src/sim).
+//   * net::TcpRuntime — real sockets + threads (src/net).
+//
+// The interface encodes exactly the paper's model (S2.1): point-to-point
+// messages over reliable FIFO channels, plus local timers.  Timers exist
+// only to drive the F1 "observation" failure-detection heuristic and retry
+// loops; no correctness decision depends on them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gmpx {
+
+/// A wire message.  `kind` is a protocol-level discriminator: it selects the
+/// decoder and is what the simulator's message meter groups counts by.
+/// `bytes` is the codec-encoded body.
+struct Packet {
+  ProcessId from = kNilId;
+  ProcessId to = kNilId;
+  uint32_t kind = 0;
+  std::vector<uint8_t> bytes;
+};
+
+/// Opaque cancellable timer handle.  Id 0 is never issued.
+using TimerId = uint64_t;
+
+/// Runtime services available to an actor while it is being called.
+/// All calls must happen on the actor's execution context (the simulator's
+/// single thread, or the node's event-loop thread under TCP).
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// This actor's process id.
+  virtual ProcessId self() const = 0;
+
+  /// Current time in ticks.  Monotone.  Used only for heuristics/metrics.
+  virtual Tick now() const = 0;
+
+  /// Queue `p` for delivery on the FIFO channel self() -> p.to.
+  /// Reliable: delivered unless the destination has crashed (a message to a
+  /// crashed process is silently dropped — the paper's quit(p) semantics).
+  virtual void send(Packet p) = 0;
+
+  /// One-shot timer after `delay` ticks; returns a cancellable id.
+  virtual TimerId set_timer(Tick delay, std::function<void()> fn) = 0;
+
+  /// Cancel a pending timer (no-op if already fired or unknown).
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Crash the calling process: the paper's `quit_p` event.  No further
+  /// callbacks are delivered, in-flight messages *from* this process remain
+  /// deliverable, messages *to* it are dropped.
+  virtual void quit() = 0;
+};
+
+/// A protocol endpoint: one per process.  Runtimes guarantee the callbacks
+/// are serialized (never concurrent) per actor.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Called once before any message delivery, at process start.
+  virtual void on_start(Context& ctx) { (void)ctx; }
+
+  /// Called for every delivered packet, in channel-FIFO order per sender.
+  virtual void on_packet(Context& ctx, const Packet& p) = 0;
+};
+
+/// Convenience: broadcast `make(to)` to every id in `targets` except self.
+/// The paper's Bcast(p, G, m) is indivisible at the sender; both runtimes
+/// satisfy this because the actor callback runs to completion before any
+/// delivery happens.
+template <typename MakePacket>
+void broadcast(Context& ctx, const std::vector<ProcessId>& targets, MakePacket&& make) {
+  for (ProcessId q : targets) {
+    if (q == ctx.self()) continue;
+    ctx.send(make(q));
+  }
+}
+
+}  // namespace gmpx

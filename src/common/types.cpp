@@ -1,0 +1,42 @@
+#include "common/types.hpp"
+
+#include <sstream>
+
+namespace gmpx {
+
+const char* to_string(Op op) { return op == Op::kAdd ? "add" : "remove"; }
+
+std::string to_string(const SeqEntry& e) {
+  std::ostringstream os;
+  os << to_string(e.op) << "(" << e.target << ")@v" << e.resulting_version;
+  return os.str();
+}
+
+std::string to_string(const NextEntry& e) {
+  std::ostringstream os;
+  if (e.pending_coordinator_only) {
+    os << "(? : " << e.coordinator << " : ?)";
+  } else {
+    os << "(" << to_string(e.op) << "(";
+    if (e.target == kNilId) {
+      os << "nil";
+    } else {
+      os << e.target;
+    }
+    os << ") : " << e.coordinator << " : " << e.version << ")";
+  }
+  return os.str();
+}
+
+std::string to_string(const std::vector<ProcessId>& ids) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i) os << ",";
+    os << ids[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace gmpx

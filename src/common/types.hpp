@@ -1,0 +1,77 @@
+// Core identifier and protocol value types shared by every gmpx module.
+//
+// The paper's model (S2.1): a set of processes Proc communicating over
+// reliable FIFO channels.  Processes are identified here by a dense integer
+// ProcessId.  "Recovered" processes are new process instances (S1 of the
+// paper), so a ProcessId is never reused: a process that rejoins the group
+// does so under a fresh id.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gmpx {
+
+/// Identifier of a single process instance.  Never reused after a crash:
+/// the paper models recovery as the arrival of a brand-new process.
+using ProcessId = uint32_t;
+
+/// Sentinel "no process" id.  Plays the role of the paper's `nil-id` in the
+/// contingent next-operation field of commit messages.
+inline constexpr ProcessId kNilId = std::numeric_limits<ProcessId>::max();
+
+/// Version (ordinality) of a local membership view, `ver(p)` in the paper.
+/// The initial commonly-known view Memb^0 = Proc has version 0.
+using ViewVersion = uint32_t;
+
+/// Simulated / real time in abstract ticks (the simulator interprets a tick
+/// as a microsecond; the TCP transport maps ticks to steady_clock
+/// microseconds).  Time is *never* used for correctness decisions, only to
+/// drive the F1 "observation" failure-detection heuristic, exactly as the
+/// paper prescribes.
+using Tick = uint64_t;
+
+/// Membership operation kind.  The basic algorithm of S3 only removes;
+/// the final algorithm of S7 also adds ("join").
+enum class Op : uint8_t {
+  kRemove = 0,
+  kAdd = 1,
+};
+
+/// Returns "add" / "remove".
+const char* to_string(Op op);
+
+/// One entry of a process's `seq(p)`: the sequence of committed view
+/// operations it has executed, in order.  `resulting_version` is the view
+/// version that installing this operation produced; recording it makes
+/// sequence diffing during reconfiguration unambiguous.
+struct SeqEntry {
+  Op op = Op::kRemove;
+  ProcessId target = kNilId;
+  ViewVersion resulting_version = 0;
+
+  friend bool operator==(const SeqEntry&, const SeqEntry&) = default;
+};
+
+/// One entry of a process's `next(p)`: how it expects its local view to
+/// change next.  The paper writes these as triples (op(target) : coord : ver);
+/// the placeholder triple "(? : r : ?)" recorded when answering an
+/// interrogation is represented with `pending_coordinator_only = true`.
+struct NextEntry {
+  Op op = Op::kRemove;
+  ProcessId target = kNilId;       ///< process to add/remove; kNilId for "(0 : Mgr : x)"
+  ProcessId coordinator = kNilId;  ///< who we expect the commit from
+  ViewVersion version = 0;         ///< view version the commit would install
+  bool pending_coordinator_only = false;  ///< the "(? : r : ?)" placeholder
+
+  friend bool operator==(const NextEntry&, const NextEntry&) = default;
+};
+
+/// Pretty-printers used by logging, traces and test failure messages.
+std::string to_string(const SeqEntry& e);
+std::string to_string(const NextEntry& e);
+std::string to_string(const std::vector<ProcessId>& ids);
+
+}  // namespace gmpx

@@ -1,0 +1,96 @@
+// F1 "observation" failure detection (paper S2.1).
+//
+// The paper deliberately leaves the detection mechanism open ("we are not
+// concerned with the details of the mechanism") and only assumes it fires
+// in finite time after a real crash.  Two implementations are provided:
+//
+//   * HeartbeatFd (this file) — a realistic ping/timeout detector that
+//     wraps a GmpNode as a decorating Actor.  It may produce *false*
+//     suspicions under delay, which is exactly the phenomenon the protocol
+//     must (and does) tolerate.
+//   * The oracle in harness::Cluster — a scripted detector used by tests
+//     and benches: it injects faulty_p(q) a bounded delay after q really
+//     crashes, making experiments deterministic and message counts clean.
+#pragma once
+
+#include <map>
+
+#include "common/runtime.hpp"
+#include "gmp/messages.hpp"
+#include "gmp/node.hpp"
+
+namespace gmpx::fd {
+
+/// Heartbeat/timeout options.  Timeouts drive suspicion only — never
+/// correctness (the paper's "time as an approximate tool" caveat).
+struct HeartbeatOptions {
+  Tick interval = 200;  ///< ping period
+  Tick timeout = 800;   ///< silence threshold before faulty_p(q)
+};
+
+/// Decorating actor: intercepts heartbeat traffic, forwards everything else
+/// to the wrapped GmpNode, and feeds suspicions into GmpNode::suspect().
+class HeartbeatFd final : public Actor {
+ public:
+  HeartbeatFd(gmp::GmpNode* inner, HeartbeatOptions opts) : inner_(inner), opts_(opts) {}
+
+  void on_start(Context& ctx) override {
+    inner_->on_start(ctx);
+    arm(ctx);
+  }
+
+  void on_packet(Context& ctx, const Packet& p) override {
+    if (p.kind == gmp::kind::kHeartbeat) {
+      // S1: no traffic is accepted from an isolated sender, pings included.
+      if (inner_->isolated().count(p.from) || inner_->has_quit()) return;
+      note_alive(ctx, p.from);
+      ctx.send(Packet{ctx.self(), p.from, gmp::kind::kHeartbeatAck, {}});
+      return;
+    }
+    if (p.kind == gmp::kind::kHeartbeatAck) {
+      if (inner_->isolated().count(p.from) || inner_->has_quit()) return;
+      note_alive(ctx, p.from);
+      return;
+    }
+    // Any protocol message is proof of life too.
+    note_alive(ctx, p.from);
+    inner_->on_packet(ctx, p);
+  }
+
+  /// The wrapped protocol endpoint.
+  gmp::GmpNode& node() { return *inner_; }
+
+ private:
+  void note_alive(Context& ctx, ProcessId q) { last_heard_[q] = ctx.now(); }
+
+  void arm(Context& ctx) {
+    ctx.set_timer(opts_.interval, [this, &ctx] { tick(ctx); });
+  }
+
+  void tick(Context& ctx) {
+    if (inner_->has_quit()) return;  // no re-arm after quit_p
+    if (inner_->admitted()) {
+      const Tick now = ctx.now();
+      for (ProcessId q : inner_->view().members()) {
+        if (q == ctx.self() || inner_->isolated().count(q)) continue;
+        auto it = last_heard_.find(q);
+        if (it == last_heard_.end()) {
+          // First sighting of this member: start its grace period now.
+          last_heard_[q] = now;
+        } else if (now - it->second > opts_.timeout) {
+          inner_->suspect(ctx, q);
+          if (inner_->has_quit()) return;
+          continue;  // no point pinging a suspect
+        }
+        ctx.send(Packet{ctx.self(), q, gmp::kind::kHeartbeat, {}});
+      }
+    }
+    arm(ctx);
+  }
+
+  gmp::GmpNode* inner_;
+  HeartbeatOptions opts_;
+  std::map<ProcessId, Tick> last_heard_;
+};
+
+}  // namespace gmpx::fd

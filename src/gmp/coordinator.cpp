@@ -1,0 +1,119 @@
+// The Mgr (coordinator) role: the two-phase update algorithm of Fig 8,
+// including the compressed ("condensed") successive-round optimization in
+// which the commit of one operation doubles as the invitation for the next.
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "gmp/node.hpp"
+
+namespace gmpx::gmp {
+
+void GmpNode::mgr_consider_work(Context& ctx) {
+  if (quit_ || !admitted_ || round_.active || mgr_ != self_) return;
+  if (reconf_.phase != ReconfigState::Phase::kIdle) return;
+  Proposal next = get_next(pending_work(), kNilId);
+  if (!next.defined()) return;
+  mgr_begin_round(ctx, next.op, next.target, /*explicit_invite=*/true);
+}
+
+void GmpNode::mgr_begin_round(Context& ctx, Op op, ProcessId target, bool explicit_invite) {
+  GMPX_CHECK(!round_.active, "overlapping Mgr rounds");
+  if (op == Op::kRemove && !view_.contains(target)) return;  // already gone
+  if (op == Op::kAdd && view_.contains(target)) return;      // already in
+  round_.active = true;
+  round_.op = op;
+  round_.target = target;
+  round_.installs = view_.version() + 1;
+  round_.oks = 0;
+  round_.awaiting.clear();
+  // "await (OK(p) or faulty_Mgr(p))" over the whole view: members already
+  // believed faulty are excused up front.
+  for (ProcessId q : view_.members()) {
+    if (q == self_ || isolated_.count(q)) continue;
+    round_.awaiting.insert(q);
+  }
+  if (explicit_invite) {
+    // Phase I: Bcast(Mgr, Memb(Mgr), Invite(op(proc-id))) — the excluded
+    // process is invited too; it quits on receipt (Fig 9).
+    Invite inv{op, target, round_.installs};
+    for (ProcessId q : view_.members()) {
+      if (q == self_) continue;
+      ctx.send(inv.to_packet(q));
+    }
+  }
+  // (Compressed rounds were invited by the previous commit's contingency.)
+  mgr_check_round(ctx);  // degenerate views complete immediately
+}
+
+void GmpNode::handle_invite_ok(Context& ctx, const Packet& p) {
+  if (!round_.active) return;
+  InviteOk m = InviteOk::decode(p);
+  if (m.version != round_.installs || m.target != round_.target) return;  // stale round
+  if (round_.awaiting.erase(p.from) == 0) return;  // duplicate / non-member
+  ++round_.oks;
+  mgr_check_round(ctx);
+}
+
+void GmpNode::mgr_check_round(Context& ctx) {
+  if (!round_.active || !round_.awaiting.empty()) return;
+  // Every member has OKed or is believed faulty.  The final algorithm
+  // (S7.1, line FA.1) demands a majority of the view before committing:
+  // a Mgr partitioned into a minority must kill itself rather than commit.
+  size_t responders = round_.oks + 1;  // Mgr itself counts
+  if (cfg_.require_majority && responders < view_.majority()) {
+    GMPX_LOG_DEBUG() << "Mgr p" << self_ << " lost majority (" << responders << "/"
+                     << view_.size() << "), quitting";
+    do_quit(ctx);
+    return;
+  }
+  mgr_commit_round(ctx);
+}
+
+void GmpNode::mgr_commit_round(Context& ctx) {
+  const Op op = round_.op;
+  const ProcessId target = round_.target;
+  round_.active = false;
+
+  // Phase II: install locally, then broadcast the commit to the *new* view.
+  apply_op(ctx, op, target);
+  if (quit_) return;
+
+  // The contingent next operation compresses the following round (S3.1):
+  // this commit is its invitation.
+  Proposal nxt = get_next(pending_work(), kNilId);
+
+  Commit c;
+  c.op = op;
+  c.target = target;
+  c.version = view_.version();
+  c.next_op = nxt.defined() ? nxt.op : Op::kRemove;
+  c.next_target = nxt.defined() ? nxt.target : kNilId;
+  for (ProcessId q : suspected_) {
+    if (view_.contains(q)) c.faulty.push_back(q);
+  }
+  c.recovered.assign(recovered_.begin(), recovered_.end());
+
+  for (ProcessId q : view_.members()) {
+    if (q == self_) continue;
+    if (op == Op::kAdd && q == target) continue;  // the joiner is bootstrapped below
+    ctx.send(c.to_packet(q));
+  }
+  if (op == Op::kAdd) {
+    ViewTransfer vt;
+    vt.members = view_.members();
+    vt.version = view_.version();
+    vt.seq = seq_;
+    vt.next_op = c.next_op;
+    vt.next_target = c.next_target;
+    vt.faulty = c.faulty;
+    vt.recovered = c.recovered;
+    ctx.send(vt.to_packet(target));
+  }
+
+  if (nxt.defined()) {
+    mgr_begin_round(ctx, nxt.op, nxt.target, /*explicit_invite=*/false);
+  }
+}
+
+}  // namespace gmpx::gmp

@@ -1,0 +1,484 @@
+// Dispatch, outer-process role, join handling and shared helpers.
+#include "gmp/node.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace gmpx::gmp {
+
+GmpNode::GmpNode(ProcessId self, Config cfg) : self_(self), cfg_(std::move(cfg)) {
+  rec_ = cfg_.recorder;
+}
+
+void GmpNode::on_start(Context& ctx) {
+  if (cfg_.joiner) {
+    // S7: a (new) process announces its desire to join and retries until a
+    // ViewTransfer admits it (the incumbent Mgr may crash mid-join).
+    auto solicit = [this, &ctx] {
+      for (ProcessId c : cfg_.contacts) {
+        if (c == self_) continue;
+        ctx.send(JoinRequest{self_}.to_packet(c));
+      }
+    };
+    solicit();
+    join_timer_ = ctx.set_timer(cfg_.join_retry_interval, [this, &ctx, solicit] {
+      this->on_start_retry(ctx, solicit);
+    });
+    return;
+  }
+  GMPX_CHECK(!cfg_.initial_members.empty(), "initial member with empty Proc");
+  view_ = View(cfg_.initial_members);
+  GMPX_CHECK(view_.contains(self_), "process not in its own initial view");
+  mgr_ = view_.most_senior();
+  admitted_ = true;
+  if (mgr_ == self_ && rec_) rec_->became_mgr(self_, ctx.now());
+  if (listener_) listener_->on_view(view_);
+}
+
+void GmpNode::on_packet(Context& ctx, const Packet& p) {
+  if (quit_) return;
+  // S1 (isolation): once faulty_p(q) holds, p never receives from q again.
+  if (isolated_.count(p.from)) return;
+
+  if (!admitted_) {
+    // A joiner only understands its admission bootstrap.
+    if (p.kind == kind::kViewTransfer) handle_view_transfer(ctx, p);
+    return;
+  }
+
+  switch (p.kind) {
+    case kind::kSuspectReport: handle_suspect_report(ctx, p); break;
+    case kind::kJoinRequest: handle_join_request(ctx, p); break;
+    case kind::kInvite: handle_invite(ctx, p); break;
+    case kind::kInviteOk: handle_invite_ok(ctx, p); break;
+    case kind::kCommit: handle_commit(ctx, p); break;
+    case kind::kViewTransfer: break;  // already admitted; duplicate bootstrap
+    case kind::kInterrogate: handle_interrogate(ctx, p); break;
+    case kind::kInterrogateOk: handle_interrogate_ok(ctx, p); break;
+    case kind::kPropose: handle_propose(ctx, p); break;
+    case kind::kProposeOk: handle_propose_ok(ctx, p); break;
+    case kind::kReconfigCommit: handle_reconfig_commit(ctx, p); break;
+    case kind::kApp:
+      if (listener_) listener_->on_app_message(p.from, p.bytes);
+      break;
+    default:
+      // Heartbeats are consumed by the failure-detector wrapper before the
+      // packet reaches the node; anything else is a peer bug.
+      GMPX_LOG_WARN() << "p" << self_ << " dropping unknown kind " << p.kind;
+  }
+}
+
+void GmpNode::send_app(Context& ctx, ProcessId to, std::vector<uint8_t> bytes) {
+  ctx.send(Packet{self_, to, kind::kApp, std::move(bytes)});
+}
+
+void GmpNode::leave(Context& ctx) {
+  if (quit_ || !admitted_) return;
+  if (mgr_ == self_) {
+    // A departing coordinator simply stops: the group reconfigures around
+    // it exactly as it would around a crash.
+    do_quit(ctx);
+    return;
+  }
+  // Self-denunciation: request our own exclusion.  We keep answering
+  // protocol traffic until the invitation/contingency naming us arrives
+  // (the normal quit rules then fire), so the exclusion commits cleanly.
+  if (!isolated_.count(mgr_)) {
+    ctx.send(SuspectReport{self_}.to_packet(mgr_));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Beliefs (F1/F2) and the S1 isolation rule
+// ---------------------------------------------------------------------------
+
+void GmpNode::suspect(Context& ctx, ProcessId q) {
+  if (quit_ || !admitted_ || q == self_ || isolated_.count(q)) return;
+  believe_faulty(ctx, q);
+  if (quit_) return;
+  // S3: upon faulty_p(q), p asks Mgr to start the removal algorithm.
+  if (mgr_ != self_) report_to_mgr(ctx, q);
+}
+
+void GmpNode::believe_faulty(Context& ctx, ProcessId q) {
+  if (quit_ || q == self_ || isolated_.count(q)) return;
+  isolated_.insert(q);
+  if (rec_) rec_->faulty(self_, q, ctx.now());
+  if (view_.contains(q)) suspected_.insert(q);
+  recovered_.erase(q);
+  // A reconfiguration placeholder "(? : q : ?)" can never materialize.
+  next_.erase(std::remove_if(next_.begin(), next_.end(),
+                             [q](const NextEntry& n) {
+                               return n.pending_coordinator_only && n.coordinator == q;
+                             }),
+              next_.end());
+  // Role progress: q is excused from any await (the paper's
+  // "await (OK(p) or faulty(p))" disjunction).
+  if (round_.active && round_.awaiting.erase(q) > 0) mgr_check_round(ctx);
+  if (quit_) return;
+  if (reconf_.phase != ReconfigState::Phase::kIdle && reconf_.awaiting.erase(q) > 0) {
+    if (reconf_.phase == ReconfigState::Phase::kInterrogating) {
+      reconfig_check_phase1(ctx);
+    } else {
+      reconfig_check_phase2(ctx);
+    }
+  }
+  if (quit_) return;
+  if (mgr_ == self_) mgr_consider_work(ctx);
+  maybe_initiate_reconfig(ctx);
+}
+
+void GmpNode::believe_operational(Context& ctx, ProcessId q) {
+  if (quit_ || q == self_) return;
+  if (view_.contains(q) || join_handled_.count(q) || recovered_.count(q)) return;
+  if (isolated_.count(q)) return;  // a "recovered" process is a *new* instance
+  recovered_.insert(q);
+  if (rec_) rec_->operational(self_, q, ctx.now());
+}
+
+void GmpNode::report_to_mgr(Context& ctx, ProcessId q) {
+  if (mgr_ == kNilId || mgr_ == self_ || isolated_.count(mgr_)) return;
+  if (!reported_.insert(q).second) return;
+  ctx.send(SuspectReport{q}.to_packet(mgr_));
+}
+
+void GmpNode::rereport_suspicions(Context& ctx) {
+  reported_.clear();
+  for (ProcessId q : suspected_) {
+    if (view_.contains(q)) report_to_mgr(ctx, q);
+  }
+}
+
+void GmpNode::adopt_mgr(Context& ctx, ProcessId m) {
+  if (mgr_ == m) return;
+  mgr_ = m;
+  if (m == self_) {
+    if (rec_) rec_->became_mgr(self_, ctx.now());
+  } else {
+    // GMP-5 liveness: pending requests are never lost across a Mgr change.
+    rereport_suspicions(ctx);
+  }
+}
+
+void GmpNode::do_quit(Context& ctx) {
+  if (quit_) return;
+  quit_ = true;
+  GMPX_LOG_DEBUG() << "p" << self_ << " quit_p at t=" << ctx.now();
+  ctx.quit();
+}
+
+// ---------------------------------------------------------------------------
+// View installation
+// ---------------------------------------------------------------------------
+
+void GmpNode::apply_op(Context& ctx, Op op, ProcessId target) {
+  if (op == Op::kRemove) {
+    GMPX_CHECK(view_.contains(target), "remove of a non-member");
+    GMPX_CHECK(target != self_, "self-removal must quit instead");
+  } else {
+    GMPX_CHECK(!view_.contains(target), "add of an existing member");
+  }
+  view_.apply(op, target);
+  seq_.push_back(SeqEntry{op, target, view_.version()});
+  if (op == Op::kRemove) {
+    suspected_.erase(target);
+    if (rec_) rec_->remove(self_, target, ctx.now());
+  } else {
+    recovered_.erase(target);
+    join_handled_.insert(target);
+    if (rec_) rec_->add(self_, target, ctx.now());
+  }
+  if (rec_) rec_->install(self_, view_.version(), view_.sorted_members(), ctx.now());
+  if (listener_) listener_->on_view(view_);
+  maybe_initiate_reconfig(ctx);
+  if (!quit_) drain_buffered(ctx);
+}
+
+void GmpNode::drain_buffered(Context& ctx) {
+  // "No messages from future views": a commit that outran the local view is
+  // applied as soon as its predecessor has been installed.
+  for (size_t i = 0; i < buffered_commits_.size(); ++i) {
+    if (buffered_commits_[i].second.version == view_.version() + 1) {
+      auto [from, c] = buffered_commits_[i];
+      buffered_commits_.erase(buffered_commits_.begin() + static_cast<long>(i));
+      adopt_mgr(ctx, from);
+      if (!process_contingent(ctx, from, c.next_op, c.next_target, c.version + 1, c.faulty,
+                              c.recovered, /*reply_ok=*/true)) {
+        return;
+      }
+      apply_op(ctx, c.op, c.target);
+      return;  // apply_op re-drains
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Outer-process role: update algorithm (Fig 9)
+// ---------------------------------------------------------------------------
+
+void GmpNode::handle_suspect_report(Context& ctx, const Packet& p) {
+  SuspectReport m = SuspectReport::decode(p);
+  // F2: receiving the report from a process that believes `suspect` faulty.
+  if (m.suspect == self_) {
+    // Someone told the group we are faulty; the bilateral GMP-5 rule says
+    // either we go or they go — handled when a commit lists us.  Ignore.
+    return;
+  }
+  believe_faulty(ctx, m.suspect);
+}
+
+void GmpNode::handle_join_request(Context& ctx, const Packet& p) {
+  JoinRequest m = JoinRequest::decode(p);
+  if (m.joiner == self_ || isolated_.count(m.joiner)) return;
+  if (view_.contains(m.joiner)) {
+    // The join already committed but the joiner is still soliciting: the
+    // previous Mgr crashed after the commit and before the bootstrap.
+    // Re-issue the ViewTransfer (only the acting Mgr does).
+    if (mgr_ == self_) {
+      ViewTransfer vt;
+      vt.members = view_.members();
+      vt.version = view_.version();
+      vt.next_target = kNilId;
+      ctx.send(vt.to_packet(m.joiner));
+    }
+    return;
+  }
+  if (mgr_ == self_) {
+    believe_operational(ctx, m.joiner);
+    mgr_consider_work(ctx);
+  } else if (!m.forwarded && mgr_ != kNilId && !isolated_.count(mgr_)) {
+    // Relay once to whoever we currently believe coordinates; if beliefs
+    // are stale the joiner's retry loop re-drives admission.
+    ctx.send(JoinRequest{m.joiner, /*forwarded=*/true}.to_packet(mgr_));
+  }
+}
+
+void GmpNode::handle_invite(Context& ctx, const Packet& p) {
+  Invite m = Invite::decode(p);
+  // "?x" (Fig 9).  The excluded process itself quits on its invitation.
+  if (m.op == Op::kRemove && m.target == self_) {
+    do_quit(ctx);
+    return;
+  }
+  if (m.op == Op::kRemove) {
+    believe_faulty(ctx, m.target);
+    if (quit_) return;
+  } else {
+    believe_operational(ctx, m.target);
+  }
+  next_.assign(1, NextEntry{m.op, m.target, p.from, m.version, false});
+  ctx.send(InviteOk{m.version, m.target}.to_packet(p.from));
+}
+
+bool GmpNode::process_contingent(Context& ctx, ProcessId from, Op next_op,
+                                 ProcessId next_target, ViewVersion next_installs,
+                                 const std::vector<ProcessId>& faulty,
+                                 const std::vector<ProcessId>& recovered, bool reply_ok) {
+  // "if p in L then quit_p": the commit names us among the faulty.
+  for (ProcessId l : faulty) {
+    if (l == self_) {
+      do_quit(ctx);
+      return false;
+    }
+  }
+  if (next_op == Op::kRemove && next_target == self_) {
+    // "if p = next-id then quit_p": we are the contingent removal target.
+    do_quit(ctx);
+    return false;
+  }
+  for (ProcessId l : faulty) {
+    believe_faulty(ctx, l);
+    if (quit_) return false;
+  }
+  for (ProcessId r : recovered) believe_operational(ctx, r);
+  if (next_target != kNilId) {
+    if (next_op == Op::kRemove) {
+      believe_faulty(ctx, next_target);
+      if (quit_) return false;
+    } else {
+      believe_operational(ctx, next_target);
+    }
+  }
+  // Record how we expect the view to change next; the commit for it will
+  // come from `from` and install `next_installs` (= the version of the
+  // commit carrying this contingency, plus one).
+  next_.assign(1, NextEntry{next_op, next_target, from, next_installs,
+                            /*pending_coordinator_only=*/false});
+  if (reply_ok && next_target != kNilId) {
+    // The contingent invitation of the compressed algorithm is acknowledged
+    // exactly like an explicit "?x".
+    ctx.send(InviteOk{next_installs, next_target}.to_packet(from));
+  }
+  return true;
+}
+
+void GmpNode::handle_commit(Context& ctx, const Packet& p) {
+  Commit m = Commit::decode(p);
+  if (m.version <= view_.version()) {
+    // Stale duplicate (already installed via a reconfiguration commit).
+    return;
+  }
+  if (m.version > view_.version() + 1) {
+    // From a future view; buffer until the gap closes (S3).
+    buffered_commits_.emplace_back(p.from, m);
+    return;
+  }
+  adopt_mgr(ctx, p.from);
+  if (!process_contingent(ctx, p.from, m.next_op, m.next_target, m.version + 1, m.faulty,
+                          m.recovered, /*reply_ok=*/true)) {
+    return;
+  }
+  apply_op(ctx, m.op, m.target);
+}
+
+void GmpNode::handle_view_transfer(Context& ctx, const Packet& p) {
+  if (admitted_) return;
+  ViewTransfer m = ViewTransfer::decode(p);
+  GMPX_CHECK(std::find(m.members.begin(), m.members.end(), self_) != m.members.end(),
+             "ViewTransfer without the joiner in it");
+  view_ = View(m.members, m.version);
+  seq_ = m.seq;  // full committed history: lets the joiner serve Determine's
+                 // committed-op replay during later reconfigurations
+  admitted_ = true;
+  mgr_ = p.from;
+  if (join_timer_ != 0) {
+    ctx.cancel_timer(join_timer_);
+    join_timer_ = 0;
+  }
+  if (rec_) rec_->install(self_, view_.version(), view_.sorted_members(), ctx.now());
+  if (listener_) listener_->on_view(view_);
+  process_contingent(ctx, p.from, m.next_op, m.next_target, m.version + 1, m.faulty,
+                     m.recovered, /*reply_ok=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Outer-process role: reconfiguration (Fig 10, right column)
+// ---------------------------------------------------------------------------
+
+void GmpNode::handle_interrogate(Context& ctx, const Packet& p) {
+  ProcessId r = p.from;
+  if (!view_.contains(r)) return;  // stale: initiator already removed
+  // "if rank(r) < rank(p) then quit_p": the initiator believes every
+  // process senior to it faulty — including us.  Bilateral GMP-5: we go.
+  if (view_.more_senior(self_, r)) {
+    do_quit(ctx);
+    return;
+  }
+  // Respond with seq(p) and next(p) *before* recording the placeholder.
+  InterrogateOk ok;
+  ok.version = view_.version();
+  ok.seq = seq_;
+  ok.next = next_;
+  ctx.send(ok.to_packet(r));
+  // HiFaulty(r) is inferable from the commonly-known rank order (S4.5).
+  for (ProcessId q : view_.more_senior_than(r)) {
+    believe_faulty(ctx, q);
+    if (quit_) return;
+  }
+  // next(p) <- (next(p), (? : r : ?))
+  bool have = std::any_of(next_.begin(), next_.end(), [r](const NextEntry& n) {
+    return n.pending_coordinator_only && n.coordinator == r;
+  });
+  if (!have) next_.push_back(NextEntry{Op::kRemove, kNilId, r, 0, true});
+}
+
+void GmpNode::handle_propose(Context& ctx, const Packet& p) {
+  Propose m = Propose::decode(p);
+  for (ProcessId f : m.faulty) {
+    if (f == self_) {
+      do_quit(ctx);
+      return;
+    }
+  }
+  for (const SeqEntry& e : m.ops) {
+    if (e.op == Op::kRemove && e.target == self_) {
+      do_quit(ctx);
+      return;
+    }
+  }
+  for (ProcessId f : m.faulty) {
+    believe_faulty(ctx, f);
+    if (quit_) return;
+  }
+  // F2: the proposal's operations are the commitments of earlier
+  // coordinators; adopting them justifies the later removals (GMP-1).
+  for (const SeqEntry& e : m.ops) {
+    if (e.op == Op::kRemove) {
+      believe_faulty(ctx, e.target);
+      if (quit_) return;
+    } else {
+      believe_operational(ctx, e.target);
+    }
+  }
+  // next(p) <- (op(proc-id) : r : v_r), replacing the placeholder list.
+  const SeqEntry& last = m.ops.back();
+  next_.assign(1, NextEntry{last.op, last.target, p.from, m.version, false});
+  ctx.send(ProposeOk{m.version}.to_packet(p.from));
+}
+
+void GmpNode::handle_reconfig_commit(Context& ctx, const Packet& p) {
+  ReconfigCommit m = ReconfigCommit::decode(p);
+  for (ProcessId f : m.faulty) {
+    if (f == self_) {
+      do_quit(ctx);
+      return;
+    }
+  }
+  for (const SeqEntry& e : m.ops) {
+    if (e.op == Op::kRemove && e.target == self_ &&
+        e.resulting_version > view_.version()) {
+      do_quit(ctx);
+      return;
+    }
+  }
+  if (!process_contingent(ctx, p.from, m.invis_op, m.invis_target, m.version + 1, m.faulty,
+                          {}, /*reply_ok=*/false)) {
+    return;
+  }
+  adopt_mgr(ctx, p.from);
+  // Apply exactly the suffix of RL_r we are missing (Phase I respondents
+  // are within one version of the initiator, so the ops always suture the
+  // gap — no version skips).
+  for (const SeqEntry& e : m.ops) {
+    if (e.resulting_version != view_.version() + 1) continue;
+    if (e.op == Op::kRemove) {
+      believe_faulty(ctx, e.target);
+      if (quit_) return;
+    } else {
+      believe_operational(ctx, e.target);
+    }
+    apply_op(ctx, e.op, e.target);
+    if (quit_) return;
+  }
+  if (m.version > view_.version()) {
+    GMPX_LOG_WARN() << "p" << self_ << " reconfig commit left a gap: v" << m.version
+                    << " local v" << view_.version();
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+PendingWork GmpNode::pending_work() const {
+  PendingWork w;
+  w.recovered.assign(recovered_.begin(), recovered_.end());
+  for (ProcessId q : suspected_) {
+    if (view_.contains(q)) w.faulty.push_back(q);
+  }
+  return w;
+}
+
+void GmpNode::on_start_retry(Context& ctx, const std::function<void()>& solicit) {
+  if (admitted_ || quit_) return;
+  if (++join_attempts_ >= cfg_.join_max_attempts) {
+    // The group is unreachable (dead, or durably below majority): give up.
+    do_quit(ctx);
+    return;
+  }
+  solicit();
+  join_timer_ = ctx.set_timer(cfg_.join_retry_interval,
+                              [this, &ctx, solicit] { this->on_start_retry(ctx, solicit); });
+}
+
+}  // namespace gmpx::gmp

@@ -1,0 +1,235 @@
+// GmpNode: one GMP protocol endpoint (the paper's "process").
+//
+// A single class implements all three roles a process can play:
+//
+//   * outer process  — answers invitations, commits view changes, adopts
+//     gossiped faulty/recovered beliefs (Fig 2/9, Fig 5/10 right columns);
+//   * Mgr            — coordinates two-phase updates, with the compressed
+//     ("condensed") successive-round optimization (Fig 8);
+//   * reconfigurer   — runs the three-phase reconfiguration when every
+//     process more senior than itself is believed faulty (Fig 5/10 left
+//     columns; decision logic in reconfig_logic.hpp).
+//
+// System properties are enforced exactly where the paper places them:
+//   S1 (isolation)    — `isolated_` grows monotonically; any packet from an
+//                       isolated sender is dropped before dispatch.
+//   F1 (observation)  — suspect() is the input from a failure detector.
+//   F2 (gossip)       — faulty/recovered lists carried on commits,
+//                       proposals and (implicitly, via rank) interrogations
+//                       induce beliefs at the receiver.
+//
+// The implementation is split across three translation units:
+//   node.cpp        — dispatch, outer-process role, join handling, helpers
+//   coordinator.cpp — the Mgr role
+//   reconfig.cpp    — the reconfigurer role
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/runtime.hpp"
+#include "common/types.hpp"
+#include "gmp/messages.hpp"
+#include "gmp/reconfig_logic.hpp"
+#include "gmp/view.hpp"
+#include "trace/recorder.hpp"
+
+namespace gmpx::gmp {
+
+/// Static configuration of a GMP endpoint.
+struct Config {
+  /// Initial commonly-known membership Proc in seniority order (most senior
+  /// first; members_[0] is the initial Mgr).  Empty for a joiner.
+  std::vector<ProcessId> initial_members;
+
+  /// True: the final algorithm of S7 — Mgr commits require a majority of
+  /// responses (tolerates a minority of failures per view, survives Mgr
+  /// crashes).  False: the basic S3.1 algorithm (Mgr assumed immortal,
+  /// tolerates |Memb|-1 failures).  Benches use both.
+  bool require_majority = true;
+
+  /// Joiner mode: the process is not an initial member; it solicits
+  /// admission from `contacts` until a ViewTransfer arrives (S7).
+  bool joiner = false;
+  std::vector<ProcessId> contacts;
+  Tick join_retry_interval = 2000;
+  /// Give up (quit_p) after this many unanswered solicitations: a joiner
+  /// whose group has died must not retry forever.
+  size_t join_max_attempts = 200;
+
+  /// Optional trace recorder (tests/benches); may be nullptr.
+  trace::Recorder* recorder = nullptr;
+};
+
+/// Application callback surface: view installations and app payloads.
+class ViewListener {
+ public:
+  virtual ~ViewListener() = default;
+  /// A new local view was installed (GMP-3 guarantees every listener sees
+  /// the same sequence of views, up to a prefix for crashed processes).
+  virtual void on_view(const View& view) = 0;
+  /// An application payload (Packet kind kApp) arrived.
+  virtual void on_app_message(ProcessId from, const std::vector<uint8_t>& bytes) {
+    (void)from;
+    (void)bytes;
+  }
+};
+
+class GmpNode : public Actor {
+ public:
+  GmpNode(ProcessId self, Config cfg);
+
+  // ---- Actor ----
+  void on_start(Context& ctx) override;
+  void on_packet(Context& ctx, const Packet& p) override;
+
+  // ---- failure-detector input (F1) ----
+  /// Report a suspicion faulty_self(q).  Idempotent.  Called by the
+  /// heartbeat detector, by the test/bench oracle, or by applications.
+  void suspect(Context& ctx, ProcessId q);
+
+  // ---- application API ----
+  /// Voluntarily leave the group (paper S1: members "voluntarily leave").
+  /// Implemented as self-denunciation: the member asks the coordinator to
+  /// exclude it and quits on its own invitation/contingency, so departure
+  /// flows through the identical agreed view sequence as a failure.
+  void leave(Context& ctx);
+
+  /// Current local view Memb(p).
+  const View& view() const { return view_; }
+  /// The process this node currently believes coordinates updates.
+  ProcessId mgr() const { return mgr_; }
+  /// True when this node is the acting coordinator.
+  bool is_mgr() const { return mgr_ == self_; }
+  /// True once quit_p has executed (crash, exclusion, or lost majority).
+  bool has_quit() const { return quit_; }
+  /// Joiners: true once the ViewTransfer arrived and the node is a member.
+  bool admitted() const { return admitted_; }
+  /// Register the application callback (borrowed pointer).
+  void set_listener(ViewListener* l) { listener_ = l; }
+  /// Send an application payload to another member.
+  void send_app(Context& ctx, ProcessId to, std::vector<uint8_t> bytes);
+
+  // ---- introspection (tests, benches) ----
+  ProcessId id() const { return self_; }
+  const std::set<ProcessId>& suspected() const { return suspected_; }
+  const std::set<ProcessId>& isolated() const { return isolated_; }
+  const std::vector<SeqEntry>& seq() const { return seq_; }
+  const std::vector<NextEntry>& next_list() const { return next_; }
+  /// True while a reconfiguration this node initiated is in flight.
+  bool reconfiguring() const { return reconf_.phase != ReconfigState::Phase::kIdle; }
+  /// How many reconfigurations this node has initiated (Table 1 bench).
+  size_t reconfigs_initiated() const { return reconfigs_initiated_; }
+
+ private:
+  // ---- dispatch & outer role (node.cpp) ----
+  void handle_suspect_report(Context& ctx, const Packet& p);
+  void handle_join_request(Context& ctx, const Packet& p);
+  void handle_invite(Context& ctx, const Packet& p);
+  void handle_commit(Context& ctx, const Packet& p);
+  void handle_view_transfer(Context& ctx, const Packet& p);
+  void handle_interrogate(Context& ctx, const Packet& p);
+  void handle_propose(Context& ctx, const Packet& p);
+  void handle_reconfig_commit(Context& ctx, const Packet& p);
+
+  /// faulty_self(q): record, isolate (S1), update role progress, and decide
+  /// whether to initiate reconfiguration.  Does NOT report to Mgr — the F1
+  /// entry point suspect() does that; gossip-induced beliefs never re-report.
+  void believe_faulty(Context& ctx, ProcessId q);
+  /// operational_self(q): note a joiner's existence (S7 Recovered analogue).
+  void believe_operational(Context& ctx, ProcessId q);
+  /// Apply a committed operation to the local view (remove_p/add_p) and
+  /// install the resulting view.
+  void apply_op(Context& ctx, Op op, ProcessId target);
+  /// quit_p.
+  void do_quit(Context& ctx);
+  /// Send SuspectReport(q) to the current Mgr (once per Mgr incumbency).
+  void report_to_mgr(Context& ctx, ProcessId q);
+  /// Re-send all pending suspicions after a Mgr change.
+  void rereport_suspicions(Context& ctx);
+  /// Adopt `m` as coordinator (after a commit/reconfig-commit/transfer).
+  void adopt_mgr(Context& ctx, ProcessId m);
+  /// Process update commits buffered from a future view ("no messages from
+  /// future views", S3).
+  void drain_buffered(Context& ctx);
+  /// Shared contingent-field processing for Commit / ViewTransfer /
+  /// ReconfigCommit: beliefs, next(p) bookkeeping, self-targeting quits,
+  /// and the piggy-backed OK of the compressed algorithm.  `next_installs`
+  /// is the view version the contingent operation would install (commit
+  /// version + 1).  Returns false if the node quit.
+  bool process_contingent(Context& ctx, ProcessId from, Op next_op, ProcessId next_target,
+                          ViewVersion next_installs, const std::vector<ProcessId>& faulty,
+                          const std::vector<ProcessId>& recovered, bool reply_ok);
+
+  // ---- Mgr role (coordinator.cpp) ----
+  void handle_invite_ok(Context& ctx, const Packet& p);
+  /// Start a round for (op, target).  `explicit_invite` broadcasts "?x";
+  /// compressed rounds rely on the contingent invitation of the previous
+  /// commit (S3.1's condensed algorithm).
+  void mgr_begin_round(Context& ctx, Op op, ProcessId target, bool explicit_invite);
+  /// Round-completion check: every member OKed or is believed faulty.
+  void mgr_check_round(Context& ctx);
+  /// Phase II: install, broadcast the commit (+ ViewTransfer on add), chain
+  /// into the next compressed round.
+  void mgr_commit_round(Context& ctx);
+  /// If idle and pending work exists, begin a round.
+  void mgr_consider_work(Context& ctx);
+
+  // ---- reconfigurer role (reconfig.cpp) ----
+  void handle_interrogate_ok(Context& ctx, const Packet& p);
+  void handle_propose_ok(Context& ctx, const Packet& p);
+  /// Initiation rule (S4.2): every more-senior member is believed faulty.
+  void maybe_initiate_reconfig(Context& ctx);
+  void start_reconfiguration(Context& ctx);
+  void reconfig_check_phase1(Context& ctx);
+  void reconfig_check_phase2(Context& ctx);
+
+  /// Pending work queues for GetNext.
+  PendingWork pending_work() const;
+
+  /// Joiner solicitation retry (re-arms itself until admitted).
+  void on_start_retry(Context& ctx, const std::function<void()>& solicit);
+
+  // ---- state ----
+  ProcessId self_;
+  Config cfg_;
+  View view_;
+  ProcessId mgr_ = kNilId;
+  std::vector<SeqEntry> seq_;   ///< seq(p): committed ops, in order
+  std::vector<NextEntry> next_; ///< next(p): expected next view changes
+  std::set<ProcessId> suspected_;  ///< Faulty(p): believed faulty, not yet removed
+  std::set<ProcessId> isolated_;   ///< S1: senders whose messages are ignored forever
+  std::set<ProcessId> recovered_;  ///< Recovered(p): pending joiners
+  std::set<ProcessId> reported_;   ///< suspicions already reported to mgr_
+  std::set<ProcessId> join_handled_;  ///< joiners ever committed (dedupe)
+  bool quit_ = false;
+  bool admitted_ = false;
+  ViewListener* listener_ = nullptr;
+  trace::Recorder* rec_ = nullptr;
+  TimerId join_timer_ = 0;
+  size_t join_attempts_ = 0;
+  size_t reconfigs_initiated_ = 0;
+  std::vector<std::pair<ProcessId, Commit>> buffered_commits_;
+
+  struct MgrRound {
+    bool active = false;
+    Op op = Op::kRemove;
+    ProcessId target = kNilId;
+    ViewVersion installs = 0;           ///< ver the op installs (ver(Mgr)+1)
+    std::set<ProcessId> awaiting;       ///< members yet to OK or be suspected
+    size_t oks = 0;
+  } round_;
+
+  struct ReconfigState {
+    enum class Phase { kIdle, kInterrogating, kProposing };
+    Phase phase = Phase::kIdle;
+    std::set<ProcessId> awaiting;
+    std::vector<PhaseIResponse> responses;  ///< includes the initiator
+    std::set<ProcessId> phase1_resp;        ///< responders excluding self
+    std::set<ProcessId> phase2_resp;
+    DetermineResult plan;
+  } reconf_;
+};
+
+}  // namespace gmpx::gmp

@@ -1,0 +1,194 @@
+// The reconfigurer role: the three-phase reconfiguration algorithm
+// (Fig 5/10, left column) that selects a new coordinator and stabilizes the
+// system when Mgr is perceived to have failed.  The decision procedures
+// Determine / GetStable / GetNext live in reconfig_logic.cpp.
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "gmp/node.hpp"
+
+namespace gmpx::gmp {
+
+void GmpNode::maybe_initiate_reconfig(Context& ctx) {
+  if (quit_ || !admitted_ || mgr_ == self_) return;
+  if (reconf_.phase != ReconfigState::Phase::kIdle) return;
+  if (!view_.contains(self_)) return;
+  // Initiation rule (S4.2): initiate(p) <=> every member ranked higher than
+  // p is believed faulty, i.e. HiFaulty(p) is full.
+  auto seniors = view_.more_senior_than(self_);
+  if (seniors.empty()) return;  // we are most senior: Mgr role, not reconfig
+  for (ProcessId q : seniors) {
+    if (!isolated_.count(q)) return;
+  }
+  start_reconfiguration(ctx);
+}
+
+void GmpNode::start_reconfiguration(Context& ctx) {
+  GMPX_LOG_DEBUG() << "p" << self_ << " initiates reconfiguration of v"
+                   << view_.version() + 1;
+  ++reconfigs_initiated_;
+  reconf_.phase = ReconfigState::Phase::kInterrogating;
+  reconf_.responses.clear();
+  reconf_.phase1_resp.clear();
+  reconf_.phase2_resp.clear();
+  reconf_.awaiting.clear();
+  // The initiator is its own first respondent (PhaseIResp(r) includes r).
+  reconf_.responses.push_back(PhaseIResponse{self_, view_.version(), seq_, next_});
+  for (ProcessId q : view_.members()) {
+    if (q == self_ || isolated_.count(q)) continue;
+    reconf_.awaiting.insert(q);
+  }
+  // Phase I: Bcast(r, Memb(r), Interrogate).
+  for (ProcessId q : view_.members()) {
+    if (q == self_) continue;
+    ctx.send(Interrogate{}.to_packet(q));
+  }
+  reconfig_check_phase1(ctx);
+}
+
+void GmpNode::handle_interrogate_ok(Context& ctx, const Packet& p) {
+  if (reconf_.phase != ReconfigState::Phase::kInterrogating) return;
+  if (reconf_.awaiting.erase(p.from) == 0) return;  // duplicate / excused
+  InterrogateOk m = InterrogateOk::decode(p);
+  reconf_.responses.push_back(PhaseIResponse{p.from, m.version, std::move(m.seq),
+                                             std::move(m.next)});
+  reconf_.phase1_resp.insert(p.from);
+  reconfig_check_phase1(ctx);
+}
+
+void GmpNode::reconfig_check_phase1(Context& ctx) {
+  if (reconf_.phase != ReconfigState::Phase::kInterrogating || !reconf_.awaiting.empty()) {
+    return;
+  }
+  // GMP-2 requires unique system views: without a majority of Memb(r) the
+  // initiator must not proceed — it quits (S4.3).
+  if (reconf_.responses.size() < view_.majority()) {
+    GMPX_LOG_DEBUG() << "reconfigurer p" << self_ << " got only "
+                     << reconf_.responses.size() << "/" << view_.size() << ", quitting";
+    do_quit(ctx);
+    return;
+  }
+
+  // Determine(RL_r, invis, v) over the Phase I responses.
+  reconf_.plan = determine(reconf_.responses, self_, view_.version(), view_.most_senior(),
+                           view_.members(), pending_work());
+
+  // A propagated proposal may order our own removal (we were being excluded
+  // when the old Mgr died).  Bilateral GMP-5: we go.
+  for (const SeqEntry& e : reconf_.plan.rl_ops) {
+    if (e.op == Op::kRemove && e.target == self_) {
+      do_quit(ctx);
+      return;
+    }
+  }
+  // F2: adopting the plan justifies its operations (GMP-1).
+  for (const SeqEntry& e : reconf_.plan.rl_ops) {
+    if (e.op == Op::kRemove) {
+      believe_faulty(ctx, e.target);
+      if (quit_) return;
+    } else {
+      believe_operational(ctx, e.target);
+    }
+  }
+  if (reconf_.plan.invis.defined()) {
+    if (reconf_.plan.invis.op == Op::kRemove) {
+      if (reconf_.plan.invis.target != self_) {
+        believe_faulty(ctx, reconf_.plan.invis.target);
+        if (quit_) return;
+      }
+    } else {
+      believe_operational(ctx, reconf_.plan.invis.target);
+    }
+  }
+
+  // Phase II: Bcast the proposal to the Phase I respondents.
+  reconf_.phase = ReconfigState::Phase::kProposing;
+  reconf_.awaiting.clear();
+  Propose prop;
+  prop.ops = reconf_.plan.rl_ops;
+  prop.version = reconf_.plan.version;
+  prop.invis_op = reconf_.plan.invis.defined() ? reconf_.plan.invis.op : Op::kRemove;
+  prop.invis_target = reconf_.plan.invis.defined() ? reconf_.plan.invis.target : kNilId;
+  for (ProcessId q : suspected_) {
+    if (view_.contains(q)) prop.faulty.push_back(q);
+  }
+  for (ProcessId q : reconf_.phase1_resp) {
+    if (isolated_.count(q)) continue;
+    reconf_.awaiting.insert(q);
+    ctx.send(prop.to_packet(q));
+  }
+  reconfig_check_phase2(ctx);
+}
+
+void GmpNode::handle_propose_ok(Context& ctx, const Packet& p) {
+  if (reconf_.phase != ReconfigState::Phase::kProposing) return;
+  ProposeOk m = ProposeOk::decode(p);
+  if (m.version != reconf_.plan.version) return;  // stale
+  if (reconf_.awaiting.erase(p.from) == 0) return;
+  reconf_.phase2_resp.insert(p.from);
+  reconfig_check_phase2(ctx);
+}
+
+void GmpNode::reconfig_check_phase2(Context& ctx) {
+  if (reconf_.phase != ReconfigState::Phase::kProposing || !reconf_.awaiting.empty()) {
+    return;
+  }
+  if (reconf_.phase2_resp.size() + 1 < view_.majority()) {
+    GMPX_LOG_DEBUG() << "reconfigurer p" << self_ << " lost Phase II majority, quitting";
+    do_quit(ctx);
+    return;
+  }
+
+  // Phase III: install whatever suffix of RL_r we are missing, commit to
+  // the Phase II respondents, and assume the Mgr role.  The phase stays
+  // kProposing until the Mgr role is adopted: apply_op re-evaluates the
+  // initiation rule, and a premature kIdle would let it start a second,
+  // overlapping reconfiguration.
+  const DetermineResult plan = reconf_.plan;
+  for (const SeqEntry& e : plan.rl_ops) {
+    if (e.resulting_version != view_.version() + 1) continue;
+    apply_op(ctx, e.op, e.target);
+    if (quit_) return;
+  }
+  GMPX_CHECK(view_.version() == plan.version,
+             "reconfigurer failed to reach the proposed version");
+
+  ReconfigCommit rc;
+  rc.ops = plan.rl_ops;
+  rc.version = plan.version;
+  rc.invis_op = plan.invis.defined() ? plan.invis.op : Op::kRemove;
+  rc.invis_target = plan.invis.defined() ? plan.invis.target : kNilId;
+  for (ProcessId q : suspected_) {
+    if (view_.contains(q)) rc.faulty.push_back(q);
+  }
+  for (ProcessId q : reconf_.phase2_resp) {
+    if (isolated_.count(q)) continue;
+    ctx.send(rc.to_packet(q));
+  }
+
+  // seq(r) <- (seq(r), RL_r); ver(r)++ — already done by apply_op.
+  adopt_mgr(ctx, self_);
+  reconf_.phase = ReconfigState::Phase::kIdle;
+
+  // "begin Mgr role with relevant operation on invis."  A propagated invis
+  // ordering our own removal means the group was excluding us: quit.
+  if (plan.invis.defined() && plan.invis.op == Op::kRemove &&
+      plan.invis.target == self_) {
+    do_quit(ctx);
+    return;
+  }
+  if (plan.invis.defined()) {
+    // The outer processes already hold (invis : r : v+1) in next(); the
+    // explicit invitation below is idempotent with it and collects OKs.
+    bool actionable = plan.invis.op == Op::kRemove ? view_.contains(plan.invis.target)
+                                                   : !view_.contains(plan.invis.target);
+    if (actionable) {
+      mgr_begin_round(ctx, plan.invis.op, plan.invis.target, /*explicit_invite=*/true);
+      return;
+    }
+  }
+  mgr_consider_work(ctx);
+}
+
+}  // namespace gmpx::gmp

@@ -1,0 +1,160 @@
+#include "gmp/reconfig_logic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace gmpx::gmp {
+
+namespace {
+
+/// Rank key for GetStable: seniority index in `order` (larger = more
+/// junior = lower rank); unknown proposers sort as most junior.
+size_t juniority(const SeniorityOrder& order, ProcessId p) {
+  auto it = std::find(order.begin(), order.end(), p);
+  if (it == order.end()) return std::numeric_limits<size_t>::max();
+  return static_cast<size_t>(it - order.begin());
+}
+
+/// The committed operation that installed version `v`, recovered from any
+/// respondent's seq (all seqs agree on committed prefixes — Theorem 5.1).
+std::optional<SeqEntry> op_for_version(const std::vector<PhaseIResponse>& responses,
+                                       ViewVersion v) {
+  for (const auto& resp : responses) {
+    for (const auto& e : resp.seq) {
+      if (e.resulting_version == v) return e;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<Proposal> proposals_for_version(const std::vector<PhaseIResponse>& responses,
+                                            ViewVersion x) {
+  std::vector<Proposal> out;
+  for (const auto& resp : responses) {
+    for (const auto& n : resp.next) {
+      if (n.pending_coordinator_only) continue;  // "(? : r : ?)"
+      if (n.target == kNilId) continue;          // "(0 : Mgr : x)": no plan
+      if (n.version != x) continue;
+      Proposal p{n.op, n.target};
+      if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+Proposal get_stable(const std::vector<PhaseIResponse>& responses, ViewVersion x,
+                    const SeniorityOrder& order) {
+  // Collect (proposal, proposer) pairs for version x, then return the
+  // proposal of the lowest-ranked (most junior) proposer: per Prop 5.6 the
+  // senior proposer (Mgr) demonstrably failed to reach a majority, so only
+  // the junior proposal can have been committed invisibly.
+  Proposal best;
+  size_t best_juniority = 0;
+  bool found = false;
+  for (const auto& resp : responses) {
+    for (const auto& n : resp.next) {
+      if (n.pending_coordinator_only || n.target == kNilId || n.version != x) continue;
+      size_t j = juniority(order, n.coordinator);
+      if (!found || j > best_juniority) {
+        best = Proposal{n.op, n.target};
+        best_juniority = j;
+        found = true;
+      }
+    }
+  }
+  return best;  // undefined Proposal when no entries exist
+}
+
+Proposal get_next(const PendingWork& pending, ProcessId exclude) {
+  // Joins are served before removals (Fig 8 checks Recovered first);
+  // lowest id first for determinism.
+  std::vector<ProcessId> joins = pending.recovered;
+  std::sort(joins.begin(), joins.end());
+  for (ProcessId j : joins) {
+    if (j != exclude) return Proposal{Op::kAdd, j};
+  }
+  std::vector<ProcessId> removals = pending.faulty;
+  std::sort(removals.begin(), removals.end());
+  for (ProcessId f : removals) {
+    if (f != exclude) return Proposal{Op::kRemove, f};
+  }
+  return Proposal{};
+}
+
+DetermineResult determine(const std::vector<PhaseIResponse>& responses,
+                          ProcessId initiator, ViewVersion initiator_version, ProcessId mgr,
+                          const SeniorityOrder& order, const PendingWork& pending) {
+  (void)initiator;
+  DetermineResult out;
+
+  // Partition respondents by version relative to ver(r).  Prop 5.1
+  // guarantees every respondent lies within [ver(r)-1, ver(r)+1].
+  ViewVersion max_ver = initiator_version;
+  ViewVersion min_ver = initiator_version;
+  for (const auto& resp : responses) {
+    GMPX_CHECK(resp.version + 1 >= initiator_version && resp.version <= initiator_version + 1,
+               "Phase I respondent outside the Prop 5.1 version window");
+    max_ver = std::max(max_ver, resp.version);
+    min_ver = std::min(min_ver, resp.version);
+  }
+
+  if (max_ver > initiator_version || min_ver < initiator_version) {
+    // Cases L != 0 and/or S != 0 (lines D.0-D.3): the respondents are
+    // version-inconsistent.  The recovery list replays, from the agreed
+    // committed history, every operation some respondent is missing:
+    // versions min_ver+1 .. max_ver.  (The paper's footnote 11 sanctions a
+    // multi-operation RL; the Prop 5.1 window bounds it to <= 2 ops, which
+    // keeps majority subsets of neighbouring views intersecting.)
+    out.version = max_ver;
+    for (ViewVersion v = min_ver + 1; v <= max_ver; ++v) {
+      auto op = op_for_version(responses, v);
+      GMPX_CHECK(op.has_value(), "committed op missing from every respondent seq");
+      out.rl_ops.push_back(*op);
+    }
+  } else {
+    // Case L = S = 0 (lines D.4-D.6): everyone is at ver(r).  The next
+    // version v = ver(r)+1 is determined by the proposals discovered for v:
+    // none -> the crashed coordinator is removed (D.4); one -> propagate it
+    // (D.5); two -> GetStable picks the only possibly-invisibly-committed
+    // one (D.6).
+    out.version = initiator_version + 1;
+    auto props = proposals_for_version(responses, out.version);
+    GMPX_CHECK(props.size() <= 2, "Prop 5.5 violated: >2 proposals for one version");
+    Proposal rl;
+    if (props.empty()) {
+      rl = Proposal{Op::kRemove, mgr};
+    } else if (props.size() == 1) {
+      rl = props[0];
+    } else {
+      rl = get_stable(responses, out.version, order);
+    }
+    out.rl_ops.push_back(SeqEntry{rl.op, rl.target, out.version});
+  }
+
+  // invis: the contingent operation for version out.version+1.  Propagate a
+  // discovered (stable) proposal if any — the freshest respondents may
+  // already hold Mgr's contingent plan — otherwise fall back to the
+  // initiator's own pending work (GetNext).
+  const ProcessId last_target = out.rl_ops.back().target;
+  auto next_props = proposals_for_version(responses, out.version + 1);
+  if (next_props.size() == 1) {
+    out.invis = next_props[0];
+  } else if (next_props.size() >= 2) {
+    out.invis = get_stable(responses, out.version + 1, order);
+  } else {
+    out.invis = get_next(pending, last_target);
+  }
+  if (out.invis.defined() && out.invis.target == last_target) {
+    // Never schedule the final RL target twice (can arise when GetStable
+    // and the pending queues both name the same process).
+    out.invis = get_next(pending, last_target);
+    if (out.invis.defined() && out.invis.target == last_target) out.invis = Proposal{};
+  }
+  return out;
+}
+
+}  // namespace gmpx::gmp

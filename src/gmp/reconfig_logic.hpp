@@ -1,0 +1,102 @@
+// Pure decision procedures of the reconfiguration algorithm:
+// Determine(RL_r, invis, v) and GetStable(r, ver) from Fig 6 of the paper.
+//
+// These are free functions over plain data so they can be unit-tested
+// exhaustively without a simulator: given the initiator's state and its
+// Phase I responses, they compute which system view to propose (`v`, `RL`)
+// and the contingent next operation (`invis`), honouring the paper's
+// invisible-commit analysis (S5):
+//
+//   * L  = respondents whose local version is ver(r)+1 (ahead of r),
+//   * S  = respondents whose local version is ver(r)-1 (behind r),
+//   * ProposalsForVer(x) = concrete next()-entries for version x found in
+//     any response,
+//   * GetStable picks, among two competing proposals for one version, the
+//     proposal of the lowest-ranked proposer — the only one that could have
+//     been committed invisibly (Prop 5.6).
+//
+// Clarification vs the paper's pseudocode (documented in DESIGN.md): in the
+// L = S = {} arm, Fig 6 consults "ProposalsForVer(v+1)" for RL_r even
+// though v was just set to ver(r)+1 and the surrounding propositions (5.2,
+// 5.5) analyse proposals *for the version being installed*.  We implement
+// the proven intent: RL_r comes from proposals for v, invis from proposals
+// for v+1.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gmpx::gmp {
+
+/// A Phase I response (the initiator includes itself as a respondent).
+struct PhaseIResponse {
+  ProcessId from = kNilId;
+  ViewVersion version = 0;
+  std::vector<SeqEntry> seq;
+  std::vector<NextEntry> next;
+};
+
+/// A concrete membership operation proposal.
+struct Proposal {
+  Op op = Op::kRemove;
+  ProcessId target = kNilId;
+  bool defined() const { return target != kNilId; }
+  friend bool operator==(const Proposal&, const Proposal&) = default;
+};
+
+/// Output of Determine (Fig 6).
+struct DetermineResult {
+  /// The version number installed once every RL operation is applied.
+  ViewVersion version = 0;
+  /// The reconfiguration proposal RL_r: committed-history catch-up ops plus
+  /// (in the L = S = {} case) the newly determined operation.  Entries are
+  /// ordered by resulting_version, ending at `version`.  Every receiver
+  /// (including the initiator) applies exactly the suffix it is missing.
+  /// The paper's footnote 11 sanctions multi-operation RLs; the Prop 5.1
+  /// version window bounds this one to at most 2 entries.
+  std::vector<SeqEntry> rl_ops;
+  /// The contingent next operation ("invis"); may be undefined.
+  Proposal invis;
+};
+
+/// The seniority order used for rank comparisons in GetStable: members of
+/// the initiator's current view, most senior first.
+using SeniorityOrder = std::vector<ProcessId>;
+
+/// ProposalsForVer(x, r): all distinct concrete proposals for version x
+/// appearing in the responses (placeholder "(? : r : ?)" and nil-target
+/// "(0 : Mgr : x)" entries are not proposals).  Order: as discovered.
+std::vector<Proposal> proposals_for_version(const std::vector<PhaseIResponse>& responses,
+                                            ViewVersion x);
+
+/// GetStable(r, ver): among competing proposals for `ver`, return the one
+/// whose proposer is lowest-ranked — the only possibly-invisibly-committed
+/// proposal (Prop 5.6).  `order` supplies the rank comparison; a proposer
+/// missing from `order` is treated as lowest-ranked (most junior).
+Proposal get_stable(const std::vector<PhaseIResponse>& responses, ViewVersion x,
+                    const SeniorityOrder& order);
+
+/// Inputs for the GetNext fallback: the initiator's pending work queues.
+struct PendingWork {
+  std::vector<ProcessId> recovered;  ///< pending joins (served first, S7)
+  std::vector<ProcessId> faulty;     ///< pending removals (members only)
+};
+
+/// GetNext: pick the next operation from the initiator's pending queues,
+/// skipping `exclude` (the RL target already being handled).  Joins first,
+/// then removals, lowest id first (deterministic).  Undefined if idle.
+Proposal get_next(const PendingWork& pending, ProcessId exclude);
+
+/// Determine(RL_r, invis, v) — Fig 6.  `responses` must include the
+/// initiator's own state; `initiator_version` is ver(r); `mgr` is the
+/// process whose removal is proposed when no proposal for the next version
+/// is discovered (line D.4: the crashed coordinator); `order` gives rank
+/// for GetStable; `pending` feeds GetNext.
+DetermineResult determine(const std::vector<PhaseIResponse>& responses,
+                          ProcessId initiator, ViewVersion initiator_version, ProcessId mgr,
+                          const SeniorityOrder& order, const PendingWork& pending);
+
+}  // namespace gmpx::gmp

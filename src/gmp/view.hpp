@@ -1,0 +1,94 @@
+// Local membership view state: Memb(p), ver(p), and the rank order.
+//
+// Rank (paper S4.2, footnote 12) is *seniority*: duration in the system
+// view.  We keep members in seniority order — index 0 is the most senior
+// process (the current default Mgr); joiners are appended at the tail.
+// rank(p) = |Memb| - index(p), so the most senior process has the highest
+// rank and ranks of survivors shift exactly as the paper prescribes when a
+// member is removed.  Only the relative order ever matters.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gmpx::gmp {
+
+/// A process's local view: ordered member list + version ordinal.
+class View {
+ public:
+  View() = default;
+
+  /// Initial view: Memb^0 = Proc, version 0, given seniority order.
+  explicit View(std::vector<ProcessId> members_in_seniority_order)
+      : members_(std::move(members_in_seniority_order)) {}
+
+  /// Adopt a transferred view (joiner bootstrap).
+  View(std::vector<ProcessId> members_in_seniority_order, ViewVersion version)
+      : members_(std::move(members_in_seniority_order)), version_(version) {}
+
+  ViewVersion version() const { return version_; }
+  size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  /// Members in seniority order (most senior first).
+  const std::vector<ProcessId>& members() const { return members_; }
+
+  /// Members sorted by id (canonical form for traces and checkers).
+  std::vector<ProcessId> sorted_members() const {
+    std::vector<ProcessId> out = members_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  bool contains(ProcessId p) const {
+    return std::find(members_.begin(), members_.end(), p) != members_.end();
+  }
+
+  /// Seniority index (0 = most senior); -1 if not a member.
+  int seniority_index(ProcessId p) const {
+    auto it = std::find(members_.begin(), members_.end(), p);
+    return it == members_.end() ? -1 : static_cast<int>(it - members_.begin());
+  }
+
+  /// rank(a) > rank(b)?  Both must be members.
+  bool more_senior(ProcessId a, ProcessId b) const {
+    return seniority_index(a) < seniority_index(b);
+  }
+
+  /// The most senior member (the default Mgr of this view).
+  ProcessId most_senior() const { return members_.empty() ? kNilId : members_.front(); }
+
+  /// All members strictly more senior than p (the domain of HiFaulty(p)).
+  std::vector<ProcessId> more_senior_than(ProcessId p) const {
+    std::vector<ProcessId> out;
+    for (ProcessId q : members_) {
+      if (q == p) break;
+      out.push_back(q);
+    }
+    return out;
+  }
+
+  /// Apply a committed operation, bumping the version: remove deletes the
+  /// target (keeping seniority order), add appends it as the most junior.
+  void apply(Op op, ProcessId target) {
+    if (op == Op::kRemove) {
+      members_.erase(std::remove(members_.begin(), members_.end(), target), members_.end());
+    } else {
+      if (!contains(target)) members_.push_back(target);
+    }
+    ++version_;
+  }
+
+  /// Majority cardinality mu(S) = floor(|S|/2) + 1 (S4.3).
+  static size_t majority(size_t n) { return n / 2 + 1; }
+  size_t majority() const { return majority(members_.size()); }
+
+ private:
+  std::vector<ProcessId> members_;
+  ViewVersion version_ = 0;
+};
+
+}  // namespace gmpx::gmp

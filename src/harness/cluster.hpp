@@ -1,0 +1,136 @@
+// Simulation cluster harness: wires SimWorld + GmpNodes + trace recorder +
+// the oracle failure detector together.  Every test and bench builds its
+// experiment on this.
+//
+// Oracle detection (the default): whenever a process really crashes —
+// whether killed by the script or by a protocol quit_p — the harness
+// schedules faulty_p(crashed) injections into every surviving process after
+// a bounded random delay.  This satisfies the paper's F1 liveness
+// assumption ("detection occurs in finite time after a real crash") while
+// keeping runs deterministic and message meters free of heartbeat noise.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fd/heartbeat.hpp"
+#include "gmp/node.hpp"
+#include "sim/world.hpp"
+#include "trace/checker.hpp"
+#include "trace/recorder.hpp"
+
+namespace gmpx::harness {
+
+struct ClusterOptions {
+  size_t n = 4;            ///< initial members, ids 0..n-1 (0 = initial Mgr)
+  uint64_t seed = 1;
+  bool require_majority = true;   ///< S7 final algorithm vs S3 basic algorithm
+  sim::DelayModel delays{};
+  bool auto_oracle = true;        ///< inject suspicions after real crashes
+  Tick oracle_min_delay = 40;     ///< detection latency bounds
+  Tick oracle_max_delay = 160;
+  bool heartbeat_fd = false;      ///< use the realistic detector instead
+  fd::HeartbeatOptions heartbeat{};
+};
+
+/// A simulated GMP deployment.
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions opts) : opts_(opts), world_(opts.seed, opts.delays) {
+    std::vector<ProcessId> initial;
+    for (size_t i = 0; i < opts_.n; ++i) initial.push_back(static_cast<ProcessId>(i));
+    recorder_.set_initial_membership(initial);
+    for (ProcessId id : initial) {
+      gmp::Config cfg;
+      cfg.initial_members = initial;
+      cfg.require_majority = opts_.require_majority;
+      cfg.recorder = &recorder_;
+      add_node(id, std::move(cfg));
+    }
+    world_.set_crash_hook([this](ProcessId p, Tick t) { on_crash(p, t); });
+  }
+
+  /// Register a joiner (new process instance) before start().
+  gmp::GmpNode& add_joiner(ProcessId id, std::vector<ProcessId> contacts) {
+    gmp::Config cfg;
+    cfg.joiner = true;
+    cfg.contacts = std::move(contacts);
+    cfg.recorder = &recorder_;
+    return add_node(id, std::move(cfg));
+  }
+
+  /// Deliver on_start everywhere.
+  void start() { world_.start(); }
+
+  sim::SimWorld& world() { return world_; }
+  trace::Recorder& recorder() { return recorder_; }
+  gmp::GmpNode& node(ProcessId id) { return *nodes_.at(id); }
+  bool has_node(ProcessId id) const { return nodes_.count(id) > 0; }
+  const std::vector<ProcessId>& ids() const { return ids_; }
+
+  /// Script a crash.
+  void crash_at(Tick t, ProcessId id) { world_.crash_at(t, id); }
+
+  /// Script a (possibly false) F1 suspicion: observer decides target faulty.
+  void suspect_at(Tick t, ProcessId observer, ProcessId target) {
+    world_.at(t, [this, observer, target] {
+      if (Context* ctx = world_.context_of(observer)) {
+        nodes_.at(observer)->suspect(*ctx, target);
+      }
+    });
+  }
+
+  /// Run until the event queue drains.  True on quiescence.
+  bool run_to_quiescence(uint64_t max_events = 50'000'000) {
+    return world_.run_until_idle(max_events);
+  }
+
+  /// Run until simulated time `t` (for heartbeat-FD runs, which never
+  /// quiesce because ping timers re-arm forever).
+  void run_until(Tick t) { world_.run_until(t); }
+
+  /// Validate the recorded run against GMP-0..5.
+  trace::CheckResult check(const trace::CheckOptions& o = {}) const {
+    return trace::check_gmp(recorder_, o);
+  }
+
+ private:
+  gmp::GmpNode& add_node(ProcessId id, gmp::Config cfg) {
+    auto node = std::make_unique<gmp::GmpNode>(id, std::move(cfg));
+    gmp::GmpNode& ref = *node;
+    nodes_.emplace(id, std::move(node));
+    ids_.push_back(id);
+    if (opts_.heartbeat_fd) {
+      auto wrap = std::make_unique<fd::HeartbeatFd>(&ref, opts_.heartbeat);
+      world_.add_actor(id, wrap.get());
+      fds_.emplace(id, std::move(wrap));
+    } else {
+      world_.add_actor(id, &ref);
+    }
+    return ref;
+  }
+
+  void on_crash(ProcessId p, Tick t) {
+    recorder_.crash(p, t);
+    if (!opts_.auto_oracle) return;
+    // F1: every surviving process detects the crash within a bounded delay.
+    for (ProcessId q : ids_) {
+      if (q == p || world_.crashed(q)) continue;
+      Tick d = opts_.oracle_min_delay +
+               world_.rng().below(opts_.oracle_max_delay - opts_.oracle_min_delay + 1);
+      world_.at(t + d, [this, q, p] {
+        if (Context* ctx = world_.context_of(q)) nodes_.at(q)->suspect(*ctx, p);
+      });
+    }
+  }
+
+  ClusterOptions opts_;
+  sim::SimWorld world_;
+  trace::Recorder recorder_;
+  std::map<ProcessId, std::unique_ptr<gmp::GmpNode>> nodes_;
+  std::map<ProcessId, std::unique_ptr<fd::HeartbeatFd>> fds_;
+  std::vector<ProcessId> ids_;
+};
+
+}  // namespace gmpx::harness

@@ -1,0 +1,352 @@
+#include "net/tcp_runtime.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "common/log.hpp"
+
+namespace gmpx::net {
+
+namespace {
+
+Tick now_us() {
+  using namespace std::chrono;
+  return static_cast<Tick>(
+      duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count());
+}
+
+void close_quietly(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_frame(const Packet& p) {
+  Writer w;
+  w.u32(static_cast<uint32_t>(12 + p.bytes.size()));
+  w.u32(p.from);
+  w.u32(p.to);
+  w.u32(p.kind);
+  std::vector<uint8_t> out = std::move(w).take();
+  out.insert(out.end(), p.bytes.begin(), p.bytes.end());
+  return out;
+}
+
+bool decode_frame(std::vector<uint8_t>& buf, Packet& out) {
+  if (buf.size() < 4) return false;
+  uint32_t len;
+  std::memcpy(&len, buf.data(), 4);
+  if (len < 12 || len > (1u << 24)) throw CodecError("bad frame length");
+  if (buf.size() < 4 + len) return false;
+  std::memcpy(&out.from, buf.data() + 4, 4);
+  std::memcpy(&out.to, buf.data() + 8, 4);
+  std::memcpy(&out.kind, buf.data() + 12, 4);
+  out.bytes.assign(buf.begin() + 16, buf.begin() + 4 + len);
+  buf.erase(buf.begin(), buf.begin() + 4 + len);
+  return true;
+}
+
+struct TcpRuntime::Impl final : Context {
+  ProcessId self_id;
+  std::map<ProcessId, PeerAddress> peers;
+  Actor* actor = nullptr;
+  trace::Recorder* rec = nullptr;
+  Options opts;
+
+  std::thread loop_thread;
+  std::atomic<bool> running{false};
+  std::atomic<bool> has_quit{false};
+  int listen_fd = -1;
+  int wake_pipe[2] = {-1, -1};
+
+  // Outgoing connection per peer; -1 = not connected.
+  std::map<ProcessId, int> out_fd;
+  std::map<ProcessId, int> connect_failures;
+  std::map<ProcessId, std::deque<std::vector<uint8_t>>> pending_out;
+  // Inbound connections (peer discovered from frame headers).
+  struct Inbound {
+    int fd;
+    std::vector<uint8_t> buf;
+  };
+  std::vector<Inbound> inbound;
+
+  // Timer heap.
+  struct Timer {
+    Tick when;
+    uint64_t id;
+    std::function<void()> fn;
+    bool operator>(const Timer& o) const {
+      return when != o.when ? when > o.when : id > o.id;
+    }
+  };
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers;
+  std::set<uint64_t> cancelled;
+  uint64_t next_timer = 1;
+  Tick epoch = 0;
+
+  // Cross-thread posted work.
+  std::mutex post_mu;
+  std::vector<std::function<void()>> posted;
+
+  // ---- Context ----
+  ProcessId self() const override { return self_id; }
+  Tick now() const override { return now_us() - epoch; }
+
+  void send(Packet p) override {
+    if (has_quit.load()) return;
+    p.from = self_id;
+    if (p.to == self_id) return;
+    auto frame = encode_frame(p);
+    enqueue(p.to, std::move(frame));
+  }
+
+  TimerId set_timer(Tick delay, std::function<void()> fn) override {
+    uint64_t id = next_timer++;
+    timers.push(Timer{now() + delay, id, std::move(fn)});
+    return id;
+  }
+
+  void cancel_timer(TimerId id) override { cancelled.insert(id); }
+
+  void quit() override {
+    if (has_quit.exchange(true)) return;
+    if (rec) rec->crash(self_id, now());
+    running.store(false);
+  }
+
+  // ---- networking ----
+
+  void enqueue(ProcessId to, std::vector<uint8_t> frame) {
+    auto it = out_fd.find(to);
+    if (it == out_fd.end() || it->second < 0) {
+      if (!try_connect(to)) {
+        // Not reachable yet: hold and retry (start-up race); give up after
+        // the retry budget — the peer is treated as crashed.
+        if (connect_failures[to] <= opts.connect_attempts) {
+          pending_out[to].push_back(std::move(frame));
+          schedule_retry(to);
+        }
+        return;
+      }
+    }
+    write_all(to, frame);
+  }
+
+  void schedule_retry(ProcessId to) {
+    set_timer(opts.connect_retry_ms * 1000, [this, to] {
+      if (has_quit.load()) return;
+      if (out_fd.count(to) && out_fd[to] >= 0) return;  // already connected
+      if (try_connect(to)) {
+        auto q = std::move(pending_out[to]);
+        pending_out.erase(to);
+        for (auto& f : q) write_all(to, f);
+      } else if (connect_failures[to] <= opts.connect_attempts &&
+                 !pending_out[to].empty()) {
+        schedule_retry(to);
+      } else {
+        pending_out.erase(to);  // peer presumed crashed; drop (quit_p rule)
+      }
+    });
+  }
+
+  bool try_connect(ProcessId to) {
+    auto it = peers.find(to);
+    if (it == peers.end()) return false;
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(it->second.port);
+    ::inet_pton(AF_INET, it->second.host.c_str(), &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      ++connect_failures[to];
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    out_fd[to] = fd;
+    connect_failures[to] = 0;
+    return true;
+  }
+
+  void write_all(ProcessId to, const std::vector<uint8_t>& frame) {
+    int fd = out_fd[to];
+    size_t off = 0;
+    while (off < frame.size()) {
+      ssize_t n = ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        // Peer gone: quit_p semantics — the message vanishes.
+        close_quietly(out_fd[to]);
+        return;
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  void loop() {
+    actor->on_start(*this);
+    std::vector<uint8_t> scratch(64 * 1024);
+    while (running.load()) {
+      // Drain posted work.
+      std::vector<std::function<void()>> work;
+      {
+        std::lock_guard lock(post_mu);
+        work.swap(posted);
+      }
+      for (auto& fn : work) {
+        if (!has_quit.load()) fn();
+      }
+      // Fire due timers.
+      while (!timers.empty() && timers.top().when <= now()) {
+        Timer t = timers.top();
+        timers.pop();
+        if (cancelled.erase(t.id) > 0) continue;
+        if (!has_quit.load()) t.fn();
+      }
+      if (!running.load()) break;
+
+      // Poll: listen + wake + inbound.
+      std::vector<pollfd> fds;
+      fds.push_back({listen_fd, POLLIN, 0});
+      fds.push_back({wake_pipe[0], POLLIN, 0});
+      for (auto& in : inbound) fds.push_back({in.fd, POLLIN, 0});
+      int timeout_ms = 20;
+      if (!timers.empty()) {
+        Tick due = timers.top().when;
+        Tick nw = now();
+        timeout_ms = due > nw ? static_cast<int>((due - nw) / 1000 + 1) : 0;
+        if (timeout_ms > 20) timeout_ms = 20;
+      }
+      ::poll(fds.data(), fds.size(), timeout_ms);
+
+      if (fds[0].revents & POLLIN) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0) {
+          int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          inbound.push_back({fd, {}});
+          continue;  // re-poll with the new fd included
+        }
+      }
+      if (fds[1].revents & POLLIN) {
+        char c[64];
+        while (::read(wake_pipe[0], c, sizeof c) > 0) {
+        }
+      }
+      for (size_t i = 0; i + 2 < fds.size() + 0; ++i) {
+        size_t fdi = i + 2;
+        if (fdi >= fds.size()) break;
+        if (!(fds[fdi].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+        Inbound& in = inbound[i];
+        ssize_t n = ::recv(in.fd, scratch.data(), scratch.size(), 0);
+        if (n <= 0) {
+          close_quietly(in.fd);
+          continue;
+        }
+        in.buf.insert(in.buf.end(), scratch.begin(), scratch.begin() + n);
+        Packet p;
+        try {
+          while (!has_quit.load() && decode_frame(in.buf, p)) {
+            if (p.to == self_id) actor->on_packet(*this, p);
+          }
+        } catch (const CodecError& e) {
+          GMPX_LOG_WARN() << "p" << self_id << " dropping corrupt peer stream: " << e.what();
+          close_quietly(in.fd);
+        }
+      }
+      // Compact closed inbound fds.
+      inbound.erase(std::remove_if(inbound.begin(), inbound.end(),
+                                   [](const Inbound& in) { return in.fd < 0; }),
+                    inbound.end());
+    }
+    // Shutdown: close everything.
+    for (auto& [pid, fd] : out_fd) close_quietly(fd);
+    for (auto& in : inbound) close_quietly(in.fd);
+  }
+};
+
+TcpRuntime::TcpRuntime(ProcessId self, std::map<ProcessId, PeerAddress> peers, Actor* actor,
+                       trace::Recorder* recorder, Options opts)
+    : impl_(std::make_unique<Impl>()), self_(self) {
+  impl_->self_id = self;
+  impl_->peers = std::move(peers);
+  impl_->actor = actor;
+  impl_->rec = recorder;
+  impl_->opts = opts;
+}
+
+TcpRuntime::~TcpRuntime() { stop(); }
+
+void TcpRuntime::start() {
+  Impl& im = *impl_;
+  im.epoch = now_us();
+  im.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int one = 1;
+  ::setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(im.peers.at(self_).port);
+  ::inet_pton(AF_INET, im.peers.at(self_).host.c_str(), &addr.sin_addr);
+  if (::bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(im.listen_fd, 64) != 0) {
+    GMPX_LOG_ERROR() << "p" << self_ << " cannot bind/listen on port "
+                     << im.peers.at(self_).port;
+    return;
+  }
+  ::fcntl(im.listen_fd, F_SETFL, O_NONBLOCK);
+  if (::pipe(im.wake_pipe) == 0) {
+    ::fcntl(im.wake_pipe[0], F_SETFL, O_NONBLOCK);
+  }
+  im.running.store(true);
+  im.loop_thread = std::thread([this] { impl_->loop(); });
+}
+
+void TcpRuntime::stop() {
+  Impl& im = *impl_;
+  im.running.store(false);
+  if (im.wake_pipe[1] >= 0) {
+    char c = 1;
+    (void)!::write(im.wake_pipe[1], &c, 1);
+  }
+  if (im.loop_thread.joinable()) im.loop_thread.join();
+  close_quietly(im.listen_fd);
+  close_quietly(im.wake_pipe[0]);
+  close_quietly(im.wake_pipe[1]);
+}
+
+void TcpRuntime::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(impl_->post_mu);
+    impl_->posted.push_back(std::move(fn));
+  }
+  if (impl_->wake_pipe[1] >= 0) {
+    char c = 1;
+    (void)!::write(impl_->wake_pipe[1], &c, 1);
+  }
+}
+
+bool TcpRuntime::stopped() const {
+  return !impl_->running.load() || impl_->has_quit.load();
+}
+
+}  // namespace gmpx::net

@@ -1,0 +1,86 @@
+// Real-network runtime: sockets + threads implementing the same Context
+// interface as the simulator, so the protocol code path is identical.
+//
+// One TcpRuntime hosts one protocol endpoint (Actor).  A background event
+// loop thread owns everything: the listening socket, per-peer connections,
+// a timer heap, and the actor — callbacks are serialized on that thread
+// exactly as the model requires.
+//
+// Channel properties vs the paper's model (S2.1):
+//   * FIFO       — each ordered pair communicates over the sender's single
+//                  outgoing TCP connection; TCP preserves order.
+//   * reliable   — TCP retransmits; a send to a crashed/closed peer is
+//                  dropped, which matches quit_p semantics (messages to a
+//                  crashed process vanish).  Connection establishment is
+//                  retried with backoff so start-up races lose no traffic.
+//   * unbounded  — no delivery deadline is ever assumed.
+//
+// Wire frame: u32 length | u32 from | u32 to | u32 kind | payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/runtime.hpp"
+#include "trace/recorder.hpp"
+
+namespace gmpx::net {
+
+/// Where to reach a peer.
+struct PeerAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// Frame encode/decode helpers (exposed for unit tests).
+std::vector<uint8_t> encode_frame(const Packet& p);
+/// Attempts to parse one frame from the front of `buf`; on success removes
+/// it from `buf` and returns true.  Throws CodecError on a corrupt header.
+bool decode_frame(std::vector<uint8_t>& buf, Packet& out);
+
+/// Connection retry budget (start-up races): attempts * interval.
+struct TcpOptions {
+  int connect_attempts = 40;
+  Tick connect_retry_ms = 50;
+};
+
+/// One protocol endpoint on a real network.
+class TcpRuntime {
+ public:
+  using Options = TcpOptions;
+
+  TcpRuntime(ProcessId self, std::map<ProcessId, PeerAddress> peers, Actor* actor,
+             trace::Recorder* recorder = nullptr, Options opts = Options{});
+  ~TcpRuntime();
+
+  TcpRuntime(const TcpRuntime&) = delete;
+  TcpRuntime& operator=(const TcpRuntime&) = delete;
+
+  /// Bind + listen on the self address, start the loop thread, and deliver
+  /// on_start to the actor on that thread.
+  void start();
+
+  /// Stop the loop and join the thread.  Idempotent.  Called automatically
+  /// by the destructor and by Context::quit().
+  void stop();
+
+  /// Run `fn` on the loop thread (thread-safe; used by tests/examples to
+  /// poke the actor, e.g. injecting suspicions).
+  void post(std::function<void()> fn);
+
+  /// True once the endpoint has quit or been stopped.
+  bool stopped() const;
+
+  ProcessId self() const { return self_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  ProcessId self_;
+};
+
+}  // namespace gmpx::net

@@ -1,0 +1,182 @@
+#include "sim/world.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace gmpx::sim {
+
+/// Per-process runtime state plus the Context implementation handed to the
+/// actor's callbacks.
+struct SimWorld::Node final : Context {
+  SimWorld* world = nullptr;
+  ProcessId id = kNilId;
+  Actor* actor = nullptr;
+  bool is_crashed = false;
+  // Timers owned by this node, so a crash can drop them wholesale.
+  std::unordered_set<uint64_t> timers;
+
+  ProcessId self() const override { return id; }
+  Tick now() const override { return world->now_; }
+
+  void send(Packet p) override {
+    p.from = id;
+    world->send_from(id, std::move(p));
+  }
+
+  TimerId set_timer(Tick delay, std::function<void()> fn) override {
+    uint64_t tid = world->next_timer_++;
+    timers.insert(tid);
+    world->schedule(world->now_ + delay, [this, tid, fn = std::move(fn)] {
+      if (is_crashed) return;
+      if (world->cancelled_timers_.erase(tid) > 0) return;
+      timers.erase(tid);
+      fn();
+    });
+    return tid;
+  }
+
+  void cancel_timer(TimerId tid) override {
+    if (timers.erase(tid) > 0) world->cancelled_timers_.insert(tid);
+  }
+
+  void quit() override { world->do_crash(id); }
+};
+
+SimWorld::SimWorld(uint64_t seed, DelayModel delays) : delays_(delays), rng_(seed) {}
+
+SimWorld::~SimWorld() = default;
+
+void SimWorld::add_actor(ProcessId id, Actor* actor) {
+  assert(!started_ && "add_actor after start()");
+  auto node = std::make_unique<Node>();
+  node->world = this;
+  node->id = id;
+  node->actor = actor;
+  auto [it, inserted] = nodes_.emplace(id, std::move(node));
+  (void)it;
+  assert(inserted && "duplicate process id");
+}
+
+void SimWorld::start() {
+  started_ = true;
+  // Deterministic start order: ascending id.
+  std::vector<ProcessId> ids;
+  ids.reserve(nodes_.size());
+  for (auto& [id, n] : nodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (ProcessId id : ids) {
+    Node& n = *nodes_.at(id);
+    if (!n.is_crashed) n.actor->on_start(n);
+  }
+}
+
+void SimWorld::crash(ProcessId id) { do_crash(id); }
+
+void SimWorld::crash_at(Tick t, ProcessId id) {
+  schedule(t, [this, id] { do_crash(id); });
+}
+
+void SimWorld::do_crash(ProcessId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || it->second->is_crashed) return;
+  it->second->is_crashed = true;
+  it->second->timers.clear();
+  GMPX_LOG_DEBUG() << "t=" << now_ << " crash(" << id << ")";
+  if (crash_hook_) crash_hook_(id, now_);
+}
+
+Context* SimWorld::context_of(ProcessId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || it->second->is_crashed) return nullptr;
+  return it->second.get();
+}
+
+bool SimWorld::crashed(ProcessId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() || it->second->is_crashed;
+}
+
+std::vector<ProcessId> SimWorld::alive() const {
+  std::vector<ProcessId> out;
+  for (const auto& [id, n] : nodes_)
+    if (!n->is_crashed) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SimWorld::at(Tick t, std::function<void()> fn) { schedule(t, std::move(fn)); }
+
+void SimWorld::partition(const std::vector<ProcessId>& a, const std::vector<ProcessId>& b) {
+  for (ProcessId x : a)
+    for (ProcessId y : b) {
+      blocked_pairs_.insert({x, y});
+      blocked_pairs_.insert({y, x});
+    }
+}
+
+void SimWorld::heal_partition() {
+  blocked_pairs_.clear();
+  // Release held traffic channel by channel, preserving FIFO.
+  auto held = std::move(held_);
+  held_.clear();
+  for (auto& [chan, q] : held) {
+    for (Packet& p : q) send_from(chan.first, std::move(p));
+  }
+}
+
+bool SimWorld::blocked(ProcessId a, ProcessId b) const {
+  return blocked_pairs_.count({a, b}) > 0;
+}
+
+void SimWorld::schedule(Tick time, std::function<void()> fn) {
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+void SimWorld::send_from(ProcessId from, Packet p) {
+  assert(p.to != kNilId && "send without destination");
+  meter_.count(p.kind);
+  if (blocked(from, p.to)) {
+    held_[{from, p.to}].push_back(std::move(p));
+    return;
+  }
+  Tick delay = delays_.min_delay + rng_.below(delays_.max_delay - delays_.min_delay + 1);
+  Tick when = now_ + delay;
+  // FIFO per channel: never deliver before a previously sent message.
+  Tick& front = channel_front_[{from, p.to}];
+  if (when <= front) when = front + 1;
+  front = when;
+  schedule(when, [this, p = std::move(p)]() mutable { deliver(std::move(p)); });
+}
+
+void SimWorld::deliver(Packet p) {
+  auto it = nodes_.find(p.to);
+  if (it == nodes_.end()) return;
+  Node& n = *it->second;
+  if (n.is_crashed) return;  // quit_p: messages to a crashed process vanish
+  n.actor->on_packet(n, p);
+}
+
+bool SimWorld::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.time >= now_ && "time went backwards");
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+bool SimWorld::run_until_idle(uint64_t max_events) {
+  for (uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return true;
+  }
+  return queue_.empty();
+}
+
+void SimWorld::run_until(Tick t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace gmpx::sim

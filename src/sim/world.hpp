@@ -1,0 +1,197 @@
+// Deterministic discrete-event simulation of the paper's system model:
+// a fully connected network of reliable, FIFO, *unboundedly delayed*
+// channels between crash-stop processes (S2.1).
+//
+// Design goals:
+//   * Bit-reproducible from a seed — every experiment names its seed.
+//   * Adversarial asynchrony — per-message random delays (FIFO preserved
+//     per channel) make "slow" indistinguishable from "crashed", which is
+//     the phenomenon the paper is about.
+//   * Faithful failure semantics — crash(p) is the paper's quit_p: p takes
+//     no further steps, messages already in flight *from* p remain
+//     deliverable, messages *to* p vanish.
+//   * Message metering — benches regenerate the S7.2 complexity rows by
+//     counting real sends, grouped by packet kind.
+//
+// Partitions: the model's channels are reliable, so a "partition" here
+// *delays* messages (holds them in the channel) rather than dropping them;
+// healing releases them in FIFO order.  This is exactly the asynchronous
+// reading of a partition: an arbitrarily long communication delay.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/runtime.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace gmpx::sim {
+
+/// Per-message latency model.  Uniform in [min_delay, max_delay] ticks;
+/// FIFO order within a channel is enforced on top of the draw.
+struct DelayModel {
+  Tick min_delay = 1;
+  Tick max_delay = 16;
+};
+
+/// Counts messages sent, grouped by Packet::kind.  Reset between
+/// experiment phases to isolate the message cost of a single view change.
+class Meter {
+ public:
+  /// Record one send of the given kind.
+  void count(uint32_t kind) {
+    ++total_;
+    ++by_kind_[kind];
+  }
+  /// Total sends since last reset.
+  uint64_t total() const { return total_; }
+  /// Sends of one kind since last reset.
+  uint64_t of_kind(uint32_t kind) const {
+    auto it = by_kind_.find(kind);
+    return it == by_kind_.end() ? 0 : it->second;
+  }
+  /// Sends of any kind in [lo, hi] (kind ranges group protocol families).
+  uint64_t in_kind_range(uint32_t lo, uint32_t hi) const {
+    uint64_t n = 0;
+    for (const auto& [k, c] : by_kind_)
+      if (k >= lo && k <= hi) n += c;
+    return n;
+  }
+  /// Zero all counters.
+  void reset() {
+    total_ = 0;
+    by_kind_.clear();
+  }
+
+ private:
+  uint64_t total_ = 0;
+  std::map<uint32_t, uint64_t> by_kind_;
+};
+
+/// Signature of a crash observer (the trace recorder subscribes to this).
+using CrashHook = std::function<void(ProcessId, Tick)>;
+
+/// The simulated world: event queue, channels, processes.
+///
+/// Usage:
+///   SimWorld w(seed);
+///   w.add_actor(0, &node0); ... w.start();
+///   w.crash_at(500, 3);
+///   w.run_until_idle();
+class SimWorld {
+ public:
+  explicit SimWorld(uint64_t seed, DelayModel delays = {});
+  ~SimWorld();
+
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  /// Register a process.  The actor is borrowed, not owned; it must outlive
+  /// the world.  Must be called before start().
+  void add_actor(ProcessId id, Actor* actor);
+
+  /// Deliver on_start to every registered actor (in id order).
+  void start();
+
+  /// Immediately crash `id` (quit_p): drops its pending timers and all
+  /// undelivered messages addressed to it.
+  void crash(ProcessId id);
+
+  /// Schedule a crash at absolute time `t`.
+  void crash_at(Tick t, ProcessId id);
+
+  /// True if `id` has executed quit (via crash or Context::quit()).
+  bool crashed(ProcessId id) const;
+
+  /// Ids of processes that have not crashed.
+  std::vector<ProcessId> alive() const;
+
+  /// Run an external script action at absolute time `t` (e.g. injecting an
+  /// oracle failure suspicion, or healing a partition).
+  void at(Tick t, std::function<void()> fn);
+
+  /// Sever communication between groups `a` and `b` (both directions):
+  /// messages are *held*, not dropped, until heal_partition().
+  void partition(const std::vector<ProcessId>& a, const std::vector<ProcessId>& b);
+
+  /// Release all held messages, preserving per-channel FIFO order.
+  void heal_partition();
+
+  /// Process a single event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `max_events` have been processed.
+  /// Returns true on a drained queue (quiescence), false on the guard.
+  bool run_until_idle(uint64_t max_events = 50'000'000);
+
+  /// Run (at most) until simulated time `t`.
+  void run_until(Tick t);
+
+  /// Current simulated time.
+  Tick now() const { return now_; }
+
+  /// Message meter (counts protocol sends).
+  Meter& meter() { return meter_; }
+  const Meter& meter() const { return meter_; }
+
+  /// Subscribe to crash events (trace recorder hook).
+  void set_crash_hook(CrashHook hook) { crash_hook_ = std::move(hook); }
+
+  /// Simulation RNG — scripts may draw from it for reproducible randomness.
+  Rng& rng() { return rng_; }
+
+  /// The runtime context of a live process (nullptr if crashed/unknown).
+  /// Lets external scripts drive actor methods that need a Context (e.g.
+  /// injecting oracle failure suspicions).
+  Context* context_of(ProcessId id);
+
+ private:
+  friend class NodeContext;
+
+  struct Event {
+    Tick time;
+    uint64_t seq;  // tie-break: deterministic FIFO among same-time events
+    std::function<void()> fn;
+  };
+  struct EventCmp {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  struct Node;
+
+  void schedule(Tick time, std::function<void()> fn);
+  void deliver(Packet p);          // called at delivery time
+  void send_from(ProcessId from, Packet p);
+  bool blocked(ProcessId a, ProcessId b) const;
+  void do_crash(ProcessId id);
+
+  Tick now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_timer_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
+  std::unordered_map<ProcessId, std::unique_ptr<Node>> nodes_;
+  std::unordered_set<uint64_t> cancelled_timers_;
+  // FIFO enforcement: last scheduled delivery time per ordered channel.
+  std::map<std::pair<ProcessId, ProcessId>, Tick> channel_front_;
+  // Held (partitioned) traffic per ordered channel.
+  std::map<std::pair<ProcessId, ProcessId>, std::deque<Packet>> held_;
+  std::set<std::pair<ProcessId, ProcessId>> blocked_pairs_;
+  DelayModel delays_;
+  Rng rng_;
+  Meter meter_;
+  CrashHook crash_hook_;
+  bool started_ = false;
+};
+
+}  // namespace gmpx::sim

@@ -1,0 +1,201 @@
+#include "trace/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace gmpx::trace {
+
+namespace {
+
+std::string fmt(const char* clause, const std::string& detail) {
+  return std::string(clause) + ": " + detail;
+}
+
+}  // namespace
+
+std::string CheckResult::message() const {
+  std::ostringstream os;
+  for (const auto& v : violations) os << v << "\n";
+  return os.str();
+}
+
+CheckResult check_gmp0(const Recorder& rec) {
+  CheckResult r;
+  const auto& init = rec.initial_membership();
+  if (init.empty()) {
+    r.violations.push_back(fmt("GMP-0", "no initial membership declared"));
+    return r;
+  }
+  // Every initial member's version-0 view (implicit) is Proc; we verify that
+  // the first *installed* view of any initial member has version >= 1 and
+  // that no one installs a version-0 view different from Proc.
+  for (const auto& [p, vs] : rec.views()) {
+    for (const auto& v : vs) {
+      if (v.version == 0 && v.members != init) {
+        r.violations.push_back(
+            fmt("GMP-0", "p" + std::to_string(p) + " installed a version-0 view != Proc"));
+      }
+    }
+  }
+  return r;
+}
+
+CheckResult check_gmp1(const Recorder& rec) {
+  CheckResult r;
+  // remove_p(q) must be preceded (in p's local order) by faulty_p(q).
+  // Similarly add_p(q) must be preceded by operational_p(q).
+  std::map<ProcessId, std::set<ProcessId>> believed_faulty, believed_operational;
+  for (const Event& e : rec.events()) {
+    switch (e.kind) {
+      case EventKind::kFaulty:
+        believed_faulty[e.actor].insert(e.target);
+        break;
+      case EventKind::kOperational:
+        believed_operational[e.actor].insert(e.target);
+        break;
+      case EventKind::kRemove:
+        if (!believed_faulty[e.actor].count(e.target)) {
+          r.violations.push_back(fmt(
+              "GMP-1", "p" + std::to_string(e.actor) + " removed " + std::to_string(e.target) +
+                           " without a prior faulty event"));
+        }
+        break;
+      case EventKind::kAdd:
+        if (!believed_operational[e.actor].count(e.target)) {
+          r.violations.push_back(fmt(
+              "GMP-1", "p" + std::to_string(e.actor) + " added " + std::to_string(e.target) +
+                           " without a prior operational event"));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return r;
+}
+
+CheckResult check_gmp23(const Recorder& rec) {
+  CheckResult r;
+  const auto& init = rec.initial_membership();
+  auto is_initial = [&](ProcessId p) {
+    return std::binary_search(init.begin(), init.end(), p);
+  };
+  // Agreement per version: all installs of version x carry identical sets.
+  std::map<ViewVersion, std::vector<ProcessId>> canonical;
+  for (const auto& [p, vs] : rec.views()) {
+    ViewVersion prev = 0;
+    bool first = true;
+    for (const auto& v : vs) {
+      auto [it, inserted] = canonical.emplace(v.version, v.members);
+      if (!inserted && it->second != v.members) {
+        r.violations.push_back(fmt(
+            "GMP-2/3", "version " + std::to_string(v.version) + " installed as " +
+                           to_string(v.members) + " by p" + std::to_string(p) + " but as " +
+                           to_string(it->second) + " by an earlier process"));
+      }
+      // Per-process versions ascend by exactly 1 (local views are a
+      // contiguous prefix of the system-view sequence).  Initial members
+      // start from the implicit version 0, so their first install must be
+      // version 1; a joiner's first install is its ViewTransfer version.
+      if (first) {
+        first = false;
+        if (is_initial(p) && v.version != 1) {
+          r.violations.push_back(fmt(
+              "GMP-2/3", "initial member p" + std::to_string(p) +
+                             " first installed version " + std::to_string(v.version)));
+        } else if (!is_initial(p) && v.version == 0) {
+          r.violations.push_back(
+              fmt("GMP-2/3", "p" + std::to_string(p) + " re-installed version 0"));
+        }
+      } else if (v.version != prev + 1) {
+        r.violations.push_back(fmt(
+            "GMP-2/3", "p" + std::to_string(p) + " jumped from version " + std::to_string(prev) +
+                           " to " + std::to_string(v.version)));
+      }
+      prev = v.version;
+    }
+  }
+  return r;
+}
+
+CheckResult check_gmp4(const Recorder& rec) {
+  CheckResult r;
+  // Once q leaves p's view sequence it never returns.
+  for (const auto& [p, vs] : rec.views()) {
+    std::set<ProcessId> ever_removed;
+    std::vector<ProcessId> prev = rec.initial_membership();
+    for (const auto& v : vs) {
+      for (ProcessId q : prev) {
+        if (!std::binary_search(v.members.begin(), v.members.end(), q)) ever_removed.insert(q);
+      }
+      for (ProcessId q : v.members) {
+        if (ever_removed.count(q)) {
+          r.violations.push_back(fmt(
+              "GMP-4", "p" + std::to_string(p) + " re-instated " + std::to_string(q) +
+                           " in view v" + std::to_string(v.version)));
+        }
+      }
+      prev = v.members;
+    }
+  }
+  return r;
+}
+
+CheckResult check_gmp5(const Recorder& rec, const CheckOptions& opts) {
+  CheckResult r;
+  auto crashes = rec.crashes();
+  auto views = rec.views();
+  std::set<ProcessId> ignore(opts.ignore_for_liveness.begin(), opts.ignore_for_liveness.end());
+
+  // Survivors: initial members (plus successfully joined processes — anyone
+  // who installed a view) that did not crash.
+  std::set<ProcessId> participants(rec.initial_membership().begin(),
+                                   rec.initial_membership().end());
+  for (const auto& [p, vs] : views) participants.insert(p);
+
+  std::vector<ProcessId> survivors;
+  for (ProcessId p : participants) {
+    if (!crashes.count(p) && !ignore.count(p)) survivors.push_back(p);
+  }
+
+  // (a) Every crashed participant is excluded from every survivor's final view.
+  // (b) All survivors converge on one final view containing exactly the
+  //     survivors (quiescent run: nothing is pending).  Ignored processes
+  //     are exempt on both sides: they need not converge, and their
+  //     presence/absence in others' views is not judged.
+  std::vector<ProcessId> expect = survivors;
+  std::sort(expect.begin(), expect.end());
+  auto strip_ignored = [&](std::vector<ProcessId> v) {
+    std::erase_if(v, [&](ProcessId q) { return ignore.count(q) > 0; });
+    return v;
+  };
+  for (ProcessId p : survivors) {
+    auto it = views.find(p);
+    std::vector<ProcessId> final_view = strip_ignored(
+        (it == views.end() || it->second.empty()) ? rec.initial_membership()
+                                                  : it->second.back().members);
+    if (final_view != expect) {
+      r.violations.push_back(fmt(
+          "GMP-5", "survivor p" + std::to_string(p) + " final view " + to_string(final_view) +
+                       " != surviving set " + to_string(expect)));
+    }
+  }
+  return r;
+}
+
+CheckResult check_gmp(const Recorder& rec, const CheckOptions& opts) {
+  CheckResult all;
+  for (auto* fn : {&check_gmp0, &check_gmp1, &check_gmp23, &check_gmp4}) {
+    CheckResult r = fn(rec);
+    all.violations.insert(all.violations.end(), r.violations.begin(), r.violations.end());
+  }
+  if (opts.check_liveness) {
+    CheckResult r = check_gmp5(rec, opts);
+    all.violations.insert(all.violations.end(), r.violations.begin(), r.violations.end());
+  }
+  return all;
+}
+
+}  // namespace gmpx::trace

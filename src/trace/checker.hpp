@@ -1,0 +1,60 @@
+// GMP specification checkers (paper S2.3).
+//
+// Given a recorded run, validate:
+//   GMP-0  the initial system view exists (every process starts from the
+//          commonly-known membership Proc);
+//   GMP-1  no capricious removal: remove_p(q) only after faulty_p(q);
+//   GMP-2/3 a unique sequence of system views / identical local views:
+//          all processes that install version x install the *same* member
+//          set, and each process's version numbers ascend by exactly 1
+//          ("1-copy" behaviour on view sequences; crashed processes see a
+//          prefix);
+//   GMP-4  no re-instatement: once removed from p's local view, an id never
+//          reappears in a later view of p;
+//   GMP-5  (liveness, optional) every real crash of a group member is
+//          eventually reflected: surviving members' final views exclude it,
+//          and all surviving members converge to the same final view.
+//
+// GMP-5 is liveness, so it is only asserted when the harness says the run
+// was given the paper's preconditions (a surviving majority and a failure
+// detector that fired) and was allowed to quiesce.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace gmpx::trace {
+
+/// Result of a property check: empty `violations` means the run satisfied
+/// every checked condition.
+struct CheckResult {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+  /// All violations joined by newlines (gtest failure message helper).
+  std::string message() const;
+};
+
+/// Options controlling which conditions are asserted.
+struct CheckOptions {
+  /// Assert GMP-5 convergence (requires a quiesced run with surviving
+  /// majority).  Off for partition/stall experiments.
+  bool check_liveness = true;
+  /// Processes the harness knows never joined successfully (e.g. a joiner
+  /// crashed mid-join); excluded from convergence requirements.
+  std::vector<ProcessId> ignore_for_liveness;
+};
+
+/// Run every safety check (and optionally liveness) on a recorded run.
+CheckResult check_gmp(const Recorder& rec, const CheckOptions& opts = {});
+
+/// Individual checkers (used by targeted unit tests and by the optimality
+/// benches, which *expect* specific baselines to violate specific clauses).
+CheckResult check_gmp0(const Recorder& rec);
+CheckResult check_gmp1(const Recorder& rec);
+CheckResult check_gmp23(const Recorder& rec);
+CheckResult check_gmp4(const Recorder& rec);
+CheckResult check_gmp5(const Recorder& rec, const CheckOptions& opts);
+
+}  // namespace gmpx::trace

@@ -1,0 +1,105 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gmpx::trace {
+
+void Recorder::set_initial_membership(std::vector<ProcessId> members) {
+  std::lock_guard lock(mu_);
+  initial_ = std::move(members);
+  std::sort(initial_.begin(), initial_.end());
+}
+
+void Recorder::push(Event e) {
+  std::lock_guard lock(mu_);
+  e.seq = next_seq_++;
+  log_.push_back(std::move(e));
+}
+
+void Recorder::faulty(ProcessId p, ProcessId q, Tick t) {
+  push(Event{.tick = t, .kind = EventKind::kFaulty, .actor = p, .target = q});
+}
+
+void Recorder::operational(ProcessId p, ProcessId q, Tick t) {
+  push(Event{.tick = t, .kind = EventKind::kOperational, .actor = p, .target = q});
+}
+
+void Recorder::remove(ProcessId p, ProcessId q, Tick t) {
+  push(Event{.tick = t, .kind = EventKind::kRemove, .actor = p, .target = q});
+}
+
+void Recorder::add(ProcessId p, ProcessId q, Tick t) {
+  push(Event{.tick = t, .kind = EventKind::kAdd, .actor = p, .target = q});
+}
+
+void Recorder::install(ProcessId p, ViewVersion v, std::vector<ProcessId> members, Tick t) {
+  std::sort(members.begin(), members.end());
+  push(Event{.tick = t,
+             .kind = EventKind::kInstall,
+             .actor = p,
+             .version = v,
+             .members = std::move(members)});
+}
+
+void Recorder::crash(ProcessId p, Tick t) {
+  push(Event{.tick = t, .kind = EventKind::kCrash, .actor = p});
+}
+
+void Recorder::became_mgr(ProcessId p, Tick t) {
+  push(Event{.tick = t, .kind = EventKind::kBecameMgr, .actor = p});
+}
+
+std::vector<Event> Recorder::events() const {
+  std::lock_guard lock(mu_);
+  return log_;
+}
+
+std::vector<Event> Recorder::events_of(ProcessId p) const {
+  std::lock_guard lock(mu_);
+  std::vector<Event> out;
+  for (const Event& e : log_)
+    if (e.actor == p) out.push_back(e);
+  return out;
+}
+
+std::map<ProcessId, std::vector<ViewRecord>> Recorder::views() const {
+  std::lock_guard lock(mu_);
+  std::map<ProcessId, std::vector<ViewRecord>> out;
+  for (const Event& e : log_) {
+    if (e.kind != EventKind::kInstall) continue;
+    out[e.actor].push_back(ViewRecord{e.version, e.members, e.tick});
+  }
+  return out;
+}
+
+std::map<ProcessId, Tick> Recorder::crashes() const {
+  std::lock_guard lock(mu_);
+  std::map<ProcessId, Tick> out;
+  for (const Event& e : log_)
+    if (e.kind == EventKind::kCrash) out.emplace(e.actor, e.tick);
+  return out;
+}
+
+std::string Recorder::dump() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  for (const Event& e : log_) {
+    os << "#" << e.seq << " t=" << e.tick << " p" << e.actor << " ";
+    switch (e.kind) {
+      case EventKind::kFaulty: os << "faulty(" << e.target << ")"; break;
+      case EventKind::kOperational: os << "operational(" << e.target << ")"; break;
+      case EventKind::kRemove: os << "remove(" << e.target << ")"; break;
+      case EventKind::kAdd: os << "add(" << e.target << ")"; break;
+      case EventKind::kInstall:
+        os << "install v" << e.version << " " << to_string(e.members);
+        break;
+      case EventKind::kCrash: os << "CRASH"; break;
+      case EventKind::kBecameMgr: os << "became-Mgr"; break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gmpx::trace

@@ -1,0 +1,94 @@
+// Run-trace recording.
+//
+// Every protocol node reports its *specification-level* events here:
+// faulty_p(q) beliefs, remove_p(q)/add_p(q) view operations, and view
+// installations.  The simulator reports real crashes (quit_p).  The
+// checkers in trace/checker.hpp then validate the recorded run against the
+// paper's GMP-0..GMP-5 conditions.
+//
+// The recorder is intentionally dumb: an append-only, globally ordered log
+// (the global order is the simulator's deterministic execution order, which
+// is a legal linearization of the run's happens-before relation — enough
+// for checking the per-process and agreement properties GMP states).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gmpx::trace {
+
+/// Kind of a recorded local event.
+enum class EventKind : uint8_t {
+  kFaulty,       ///< faulty_p(q): p began believing q faulty (F1 or F2)
+  kOperational,  ///< operational_p(q): p learned of q's join (S7 analogue)
+  kRemove,       ///< remove_p(q): p deleted q from its local view
+  kAdd,          ///< add_p(q): p added q to its local view
+  kInstall,      ///< p installed a new local view (version, members)
+  kCrash,        ///< quit_p: the real crash event (from the environment)
+  kBecameMgr,    ///< p assumed the Mgr role (initially or via reconfiguration)
+};
+
+/// One recorded event.  `members` is populated for kInstall only.
+struct Event {
+  uint64_t seq = 0;  ///< global order (execution order of the run)
+  Tick tick = 0;
+  EventKind kind = EventKind::kFaulty;
+  ProcessId actor = kNilId;   ///< the process executing the event
+  ProcessId target = kNilId;  ///< q for faulty/remove/add; kNilId otherwise
+  ViewVersion version = 0;    ///< for kInstall
+  std::vector<ProcessId> members;  ///< for kInstall (sorted)
+};
+
+/// A process's installed view at some version.
+struct ViewRecord {
+  ViewVersion version = 0;
+  std::vector<ProcessId> members;  ///< sorted
+  Tick tick = 0;
+};
+
+/// Append-only trace of one run.  Thread-safe (the TCP runtime records from
+/// several event-loop threads).
+class Recorder {
+ public:
+  /// Declare the commonly-known initial membership (paper: Memb^0 = Proc).
+  void set_initial_membership(std::vector<ProcessId> members);
+  const std::vector<ProcessId>& initial_membership() const { return initial_; }
+
+  void faulty(ProcessId p, ProcessId q, Tick t);
+  void operational(ProcessId p, ProcessId q, Tick t);
+  void remove(ProcessId p, ProcessId q, Tick t);
+  void add(ProcessId p, ProcessId q, Tick t);
+  void install(ProcessId p, ViewVersion v, std::vector<ProcessId> members, Tick t);
+  void crash(ProcessId p, Tick t);
+  void became_mgr(ProcessId p, Tick t);
+
+  /// Full event log in global order.
+  std::vector<Event> events() const;
+
+  /// Per-process event log (subsequence of events() with actor == p).
+  std::vector<Event> events_of(ProcessId p) const;
+
+  /// Per-process installed-view history, in installation order.
+  std::map<ProcessId, std::vector<ViewRecord>> views() const;
+
+  /// Processes that crashed (with crash ticks).
+  std::map<ProcessId, Tick> crashes() const;
+
+  /// Human-readable dump (for failing-test diagnostics).
+  std::string dump() const;
+
+ private:
+  void push(Event e);
+
+  mutable std::mutex mu_;
+  std::vector<Event> log_;
+  std::vector<ProcessId> initial_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace gmpx::trace

@@ -1,0 +1,125 @@
+// Additional adversarial property families beyond property_test.cpp:
+//   * extreme delay skew (per-channel latencies differing by 100x),
+//   * heartbeat-detector chaos (false suspicions from real timeouts under
+//     partitions longer than the timeout),
+//   * mid-protocol partition flaps.
+// Safety (GMP-0..4 + agreement) must hold on every schedule.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "harness/cluster.hpp"
+
+using namespace gmpx;
+using harness::Cluster;
+using harness::ClusterOptions;
+
+// ---------------------------------------------------------------------------
+// Family: extreme delay adversary.  The whole point of the asynchronous
+// model is that "slow" and "crashed" are indistinguishable; crank delay
+// variance to the maximum the event queue allows and re-run churn.
+// ---------------------------------------------------------------------------
+
+class DelayAdversary : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DelayAdversary, ChurnUnderExtremeSkew) {
+  Rng rng(GetParam() * 48271 + 3);
+  ClusterOptions o;
+  o.n = 4 + rng.below(5);
+  o.seed = GetParam() + 6'000'000;
+  o.delays.min_delay = 1;
+  o.delays.max_delay = 1 + rng.below(500);  // up to 500-tick jitter
+  o.oracle_min_delay = 10;
+  o.oracle_max_delay = 10 + rng.below(1000);
+  Cluster c(o);
+  size_t crashes = 1 + rng.below(o.n - 1);
+  for (size_t i = 0; i < crashes; ++i) {
+    c.crash_at(100 + rng.below(3000), static_cast<ProcessId>(rng.below(o.n)));
+  }
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  trace::CheckOptions co;
+  co.check_liveness = false;
+  auto res = c.check(co);
+  EXPECT_TRUE(res.ok()) << "seed=" << GetParam() << "\n"
+                        << res.message() << c.recorder().dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelayAdversary, ::testing::Range<uint64_t>(0, 150));
+
+// ---------------------------------------------------------------------------
+// Family: heartbeat chaos.  Real timeout-based detection plus partitions
+// longer than the timeout: genuine *false* suspicions on both sides of the
+// cut.  This is the paper's motivating hazard; safety must be absolute.
+// ---------------------------------------------------------------------------
+
+class HeartbeatChaos : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeartbeatChaos, FalseSuspicionsNeverBreakAgreement) {
+  Rng rng(GetParam() * 69621 + 5);
+  ClusterOptions o;
+  o.n = 4 + rng.below(4);  // 4..7
+  o.seed = GetParam() + 7'000'000;
+  o.auto_oracle = false;
+  o.heartbeat_fd = true;
+  o.heartbeat.interval = 100;
+  o.heartbeat.timeout = 400;
+  Cluster c(o);
+
+  // Random split held longer than the timeout, then healed.
+  std::vector<ProcessId> a, b;
+  for (ProcessId p = 0; p < o.n; ++p) (rng.chance(1, 2) ? a : b).push_back(p);
+  Tick split_at = 500 + rng.below(1000);
+  Tick heal_at = split_at + 600 + rng.below(3000);
+  if (!a.empty() && !b.empty()) {
+    c.world().at(split_at, [&c, a, b] { c.world().partition(a, b); });
+    c.world().at(heal_at, [&c] { c.world().heal_partition(); });
+  }
+  // Plus possibly one real crash.
+  if (rng.chance(1, 2)) {
+    c.crash_at(300 + rng.below(4000), static_cast<ProcessId>(rng.below(o.n)));
+  }
+  c.start();
+  c.run_until(25'000);
+  trace::CheckOptions co;
+  co.check_liveness = false;
+  auto res = c.check(co);
+  EXPECT_TRUE(res.ok()) << "seed=" << GetParam() << "\n"
+                        << res.message() << c.recorder().dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeartbeatChaos, ::testing::Range<uint64_t>(0, 100));
+
+// ---------------------------------------------------------------------------
+// Family: partition flaps during reconfiguration — the cut opens and heals
+// repeatedly while the Mgr is being replaced.
+// ---------------------------------------------------------------------------
+
+class FlapAdversary : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlapAdversary, FlappingCutDuringSuccession) {
+  Rng rng(GetParam() * 16807 + 9);
+  ClusterOptions o;
+  o.n = 5 + rng.below(3);
+  o.seed = GetParam() + 8'000'000;
+  Cluster c(o);
+  c.crash_at(100, 0);  // force a reconfiguration
+  ProcessId cut = static_cast<ProcessId>(1 + rng.below(o.n - 1));
+  std::vector<ProcessId> rest;
+  for (ProcessId p = 1; p < o.n; ++p)
+    if (p != cut) rest.push_back(p);
+  Tick t = 120;
+  for (int flap = 0; flap < 3; ++flap) {
+    c.world().at(t, [&c, cut, rest] { c.world().partition({cut}, rest); });
+    c.world().at(t + 60 + rng.below(200), [&c] { c.world().heal_partition(); });
+    t += 400 + rng.below(400);
+  }
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  trace::CheckOptions co;
+  co.check_liveness = false;
+  auto res = c.check(co);
+  EXPECT_TRUE(res.ok()) << "seed=" << GetParam() << "\n"
+                        << res.message() << c.recorder().dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlapAdversary, ::testing::Range<uint64_t>(0, 100));

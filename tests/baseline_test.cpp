@@ -1,0 +1,178 @@
+// Tests for the three baseline protocols:
+//   * the symmetric protocol agrees on benign schedules but costs Theta(n^2)
+//     messages per exclusion (vs GMP's Theta(n));
+//   * the one-phase protocol (Claim 7.1) violates GMP-3 under concurrent
+//     suspicions;
+//   * the two-phase-reconfiguration protocol (Claim 7.2) violates GMP-2/3
+//     under an invisible commit, while the full protocol on the *same*
+//     schedule stays clean.
+#include <gtest/gtest.h>
+
+#include "baseline/onephase.hpp"
+#include "baseline/symmetric.hpp"
+#include "baseline/twophase_reconfig.hpp"
+#include "harness/baseline_cluster.hpp"
+#include "harness/cluster.hpp"
+
+using namespace gmpx;
+using baseline::OnePhaseNode;
+using baseline::SymmetricNode;
+using baseline::TwoPhaseReconfigNode;
+
+// ---------------------------------------------------------------------------
+// Symmetric baseline
+// ---------------------------------------------------------------------------
+
+TEST(Symmetric, SingleCrashConverges) {
+  harness::BaselineCluster<SymmetricNode>::Options o;
+  o.n = 6;
+  o.seed = 21;
+  harness::BaselineCluster<SymmetricNode> c(o);
+  c.start();
+  c.crash_at(100, 5);
+  ASSERT_TRUE(c.run_to_quiescence());
+  for (ProcessId p : {0u, 1u, 2u, 3u, 4u}) {
+    EXPECT_EQ(c.node(p).members(), (std::vector<ProcessId>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(c.node(p).version(), 1u);
+  }
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message() << c.recorder().dump();
+}
+
+TEST(Symmetric, CostIsQuadratic) {
+  for (size_t n : {8u, 16u, 32u}) {
+    harness::BaselineCluster<SymmetricNode>::Options o;
+    o.n = n;
+    o.seed = 22;
+    harness::BaselineCluster<SymmetricNode> c(o);
+    c.start();
+    c.crash_at(100, static_cast<ProcessId>(n - 1));
+    ASSERT_TRUE(c.run_to_quiescence());
+    uint64_t msgs = c.world().meter().total();
+    // Two all-to-all phases among n-1 survivors: ~2(n-1)(n-2) sends.
+    EXPECT_GE(msgs, static_cast<uint64_t>((n - 1) * (n - 2)));   // at least one phase
+    EXPECT_LE(msgs, static_cast<uint64_t>(3 * (n - 1) * (n - 1)));
+    // And strictly more than the GMP two-phase bound 3n-5.
+    EXPECT_GT(msgs, 3 * n - 5);
+  }
+}
+
+TEST(Symmetric, TwoCrashesConvergeIndependently) {
+  harness::BaselineCluster<SymmetricNode>::Options o;
+  o.n = 6;
+  o.seed = 23;
+  harness::BaselineCluster<SymmetricNode> c(o);
+  c.start();
+  c.crash_at(100, 4);
+  c.crash_at(3000, 5);
+  ASSERT_TRUE(c.run_to_quiescence());
+  for (ProcessId p : {0u, 1u, 2u, 3u}) {
+    EXPECT_EQ(c.node(p).members(), (std::vector<ProcessId>{0, 1, 2, 3}));
+    EXPECT_EQ(c.node(p).version(), 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// One-phase baseline (Claim 7.1)
+// ---------------------------------------------------------------------------
+
+TEST(OnePhase, BenignCrashWorks) {
+  harness::BaselineCluster<OnePhaseNode>::Options o;
+  o.n = 5;
+  o.seed = 31;
+  harness::BaselineCluster<OnePhaseNode> c(o);
+  c.start();
+  c.crash_at(100, 4);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = trace::check_gmp23(c.recorder());
+  EXPECT_TRUE(res.ok()) << res.message();
+  EXPECT_EQ(c.node(0).members(), (std::vector<ProcessId>{0, 1, 2, 3}));
+}
+
+TEST(OnePhase, ConcurrentCoordinatorsViolateGmp3) {
+  // Claim 7.1's scenario: r believes Mgr faulty while Mgr believes r
+  // faulty.  Both "commit" in one phase; receivers apply in arrival order,
+  // so version 1 differs across the group.
+  harness::BaselineCluster<OnePhaseNode>::Options o;
+  o.n = 6;
+  o.seed = 33;
+  harness::BaselineCluster<OnePhaseNode> c(o);
+  c.start();
+  c.suspect_at(100, 1, 0);  // r := p1 suspects Mgr
+  c.suspect_at(100, 0, 1);  // Mgr suspects r, concurrently
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = trace::check_gmp23(c.recorder());
+  EXPECT_FALSE(res.ok()) << "one-phase protocol unexpectedly satisfied GMP-2/3\n"
+                         << c.recorder().dump();
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase reconfiguration baseline (Claim 7.2)
+// ---------------------------------------------------------------------------
+
+TEST(TwoPhaseReconfig, BenignCrashWorks) {
+  harness::BaselineCluster<TwoPhaseReconfigNode>::Options o;
+  o.n = 5;
+  o.seed = 41;
+  harness::BaselineCluster<TwoPhaseReconfigNode> c(o);
+  c.start();
+  c.crash_at(100, 4);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = trace::check_gmp23(c.recorder());
+  EXPECT_TRUE(res.ok()) << res.message();
+}
+
+namespace {
+
+/// The Fig 11 / Fig 3 invisible-commit schedule, deterministic: constant
+/// network delay 5, constant detection delay 50.  q := p5 crashes; the
+/// coordinator excludes it, but its commit toward {1,2,3} is held by a
+/// partition opening just before the broadcast (asynchrony: an arbitrarily
+/// slow channel); only p4 installs the old view v1.  The coordinator then
+/// dies.  Apply the schedule to any cluster type.
+template <typename C>
+void invisible_commit_schedule(C& c) {
+  c.start();
+  c.crash_at(100, 5);
+  c.world().at(158, [&c] { c.world().partition({0}, {1, 2, 3}); });
+  c.crash_at(162, 0);
+}
+
+}  // namespace
+
+TEST(TwoPhaseReconfig, InvisibleCommitViolatesAgreement) {
+  // Without an interrogation phase the reconfigurer p1 cannot learn that
+  // p4 already installed remove(5) as version 1, and claims version 1 for
+  // remove(0): two different version-1 views — the Claim 7.2 flaw.
+  harness::BaselineCluster<TwoPhaseReconfigNode>::Options o;
+  o.n = 6;
+  o.seed = 40;
+  o.delays = sim::DelayModel{5, 5};
+  o.oracle_min_delay = o.oracle_max_delay = 50;
+  harness::BaselineCluster<TwoPhaseReconfigNode> c(o);
+  invisible_commit_schedule(c);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = trace::check_gmp23(c.recorder());
+  EXPECT_FALSE(res.ok()) << "two-phase reconfiguration unexpectedly satisfied GMP-2/3\n"
+                         << c.recorder().dump();
+}
+
+TEST(TwoPhaseReconfig, FullProtocolSurvivesSameSchedule) {
+  // The exact schedule that breaks the two-phase baseline must leave the
+  // full three-phase protocol untouched: the interrogation phase discovers
+  // p4's version-1 view and the reconfigurer re-proposes remove(5) for v1.
+  harness::ClusterOptions o;
+  o.n = 6;
+  o.seed = 40;
+  o.delays = sim::DelayModel{5, 5};
+  o.oracle_min_delay = o.oracle_max_delay = 50;
+  harness::Cluster c(o);
+  invisible_commit_schedule(c);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message() << c.recorder().dump();
+  // And the partially committed operation was honoured: v1 removed p5.
+  auto views = c.recorder().views();
+  ASSERT_FALSE(views[1].empty());
+  EXPECT_EQ(views[1].front().members, (std::vector<ProcessId>{0, 1, 2, 3, 4}));
+}

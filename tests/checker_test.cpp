@@ -1,0 +1,158 @@
+// Unit tests for the GMP property checkers themselves: each clause must
+// catch the violation it is specified to catch (and pass clean traces).
+// The optimality benches rely on these checkers detecting baseline bugs,
+// so the checkers get their own adversarial tests.
+#include <gtest/gtest.h>
+
+#include "trace/checker.hpp"
+#include "trace/recorder.hpp"
+
+using namespace gmpx;
+using namespace gmpx::trace;
+
+namespace {
+
+void fill_clean_run(Recorder& r) {
+  r.set_initial_membership({0, 1, 2, 3});
+  // p3 crashes; everyone else detects, removes, installs {0,1,2} at v1.
+  r.crash(3, 100);
+  for (ProcessId p : {0u, 1u, 2u}) {
+    r.faulty(p, 3, 150 + p);
+    r.remove(p, 3, 200 + p);
+    r.install(p, 1, {0, 1, 2}, 200 + p);
+  }
+}
+
+}  // namespace
+
+TEST(Checker, CleanRunPasses) {
+  Recorder r;
+  fill_clean_run(r);
+  auto res = check_gmp(r);
+  EXPECT_TRUE(res.ok()) << res.message();
+}
+
+TEST(Checker, Gmp0RequiresInitialMembership) {
+  Recorder r;
+  EXPECT_FALSE(check_gmp0(r).ok());
+}
+
+TEST(Checker, Gmp1CatchesCapriciousRemoval) {
+  Recorder r;
+  r.set_initial_membership({0, 1});
+  r.remove(0, 1, 10);  // no faulty event first
+  r.install(0, 1, {0}, 10);
+  EXPECT_FALSE(check_gmp1(r).ok());
+}
+
+TEST(Checker, Gmp1CatchesAddWithoutOperational) {
+  Recorder r;
+  r.set_initial_membership({0, 1});
+  r.add(0, 9, 10);
+  EXPECT_FALSE(check_gmp1(r).ok());
+}
+
+TEST(Checker, Gmp1AcceptsJustifiedOps) {
+  Recorder r;
+  r.set_initial_membership({0, 1});
+  r.faulty(0, 1, 5);
+  r.remove(0, 1, 10);
+  r.operational(0, 9, 15);
+  r.add(0, 9, 20);
+  EXPECT_TRUE(check_gmp1(r).ok());
+}
+
+TEST(Checker, Gmp23CatchesDivergentViewsAtSameVersion) {
+  Recorder r;
+  r.set_initial_membership({0, 1, 2});
+  r.faulty(0, 2, 5);
+  r.remove(0, 2, 10);
+  r.install(0, 1, {0, 1}, 10);
+  r.faulty(1, 0, 5);
+  r.remove(1, 0, 10);
+  r.install(1, 1, {1, 2}, 11);  // same version, different membership!
+  EXPECT_FALSE(check_gmp23(r).ok());
+}
+
+TEST(Checker, Gmp23CatchesVersionSkips) {
+  Recorder r;
+  r.set_initial_membership({0, 1, 2});
+  r.faulty(0, 1, 5);
+  r.remove(0, 1, 10);
+  r.install(0, 2, {0, 2}, 10);  // jumped from v0 to v2
+  EXPECT_FALSE(check_gmp23(r).ok());
+}
+
+TEST(Checker, Gmp23AllowsPrefixesForCrashedProcesses) {
+  Recorder r;
+  fill_clean_run(r);
+  // p2 saw only v1 and then crashed; others moved on to v2.
+  r.crash(2, 300);
+  for (ProcessId p : {0u, 1u}) {
+    r.faulty(p, 2, 350);
+    r.remove(p, 2, 400);
+    r.install(p, 2, {0, 1}, 400);
+  }
+  EXPECT_TRUE(check_gmp23(r).ok()) << check_gmp23(r).message();
+}
+
+TEST(Checker, Gmp4CatchesReinstatement) {
+  Recorder r;
+  r.set_initial_membership({0, 1, 2});
+  r.faulty(0, 2, 5);
+  r.remove(0, 2, 10);
+  r.install(0, 1, {0, 1}, 10);
+  r.operational(0, 2, 20);
+  r.add(0, 2, 30);
+  r.install(0, 2, {0, 1, 2}, 30);  // 2 came back under the same id!
+  EXPECT_FALSE(check_gmp4(r).ok());
+}
+
+TEST(Checker, Gmp4AllowsFreshInstanceIds) {
+  Recorder r;
+  fill_clean_run(r);
+  // The "recovered" process rejoins under a new id 9 — legal.
+  for (ProcessId p : {0u, 1u, 2u}) {
+    r.operational(p, 9, 300);
+    r.add(p, 9, 310);
+    r.install(p, 2, {0, 1, 2, 9}, 310);
+  }
+  r.install(9, 2, {0, 1, 2, 9}, 315);
+  EXPECT_TRUE(check_gmp4(r).ok()) << check_gmp4(r).message();
+}
+
+TEST(Checker, Gmp5CatchesUnexcludedCrash) {
+  Recorder r;
+  r.set_initial_membership({0, 1, 2});
+  r.crash(2, 100);
+  // Nobody ever removes 2: survivors' final views still contain it.
+  EXPECT_FALSE(check_gmp5(r, CheckOptions{}).ok());
+}
+
+TEST(Checker, Gmp5RespectsIgnoreList) {
+  Recorder r;
+  fill_clean_run(r);
+  CheckOptions o;
+  o.ignore_for_liveness = {1};  // pretend p1 is exempt (e.g. doomed joiner)
+  EXPECT_TRUE(check_gmp5(r, o).ok());
+}
+
+TEST(Checker, Gmp5CatchesDivergentFinalViews) {
+  Recorder r;
+  r.set_initial_membership({0, 1, 2, 3});
+  r.crash(3, 100);
+  r.faulty(0, 3, 150);
+  r.remove(0, 3, 160);
+  r.install(0, 1, {0, 1, 2}, 160);
+  // p1 and p2 never install v1.
+  EXPECT_FALSE(check_gmp5(r, CheckOptions{}).ok());
+}
+
+TEST(Checker, DumpIsHumanReadable) {
+  Recorder r;
+  fill_clean_run(r);
+  std::string d = r.dump();
+  EXPECT_NE(d.find("CRASH"), std::string::npos);
+  EXPECT_NE(d.find("install v1"), std::string::npos);
+  EXPECT_NE(d.find("faulty(3)"), std::string::npos);
+}

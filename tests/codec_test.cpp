@@ -1,0 +1,207 @@
+// Unit tests for the binary codec and every protocol message round-trip.
+#include <gtest/gtest.h>
+
+#include "common/codec.hpp"
+#include "gmp/messages.hpp"
+
+using namespace gmpx;
+using namespace gmpx::gmp;
+
+TEST(Codec, PrimitivesRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.b(true);
+  w.b(false);
+  w.str("hello");
+  std::vector<uint8_t> buf = std::move(w).take();
+  Reader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, UnderrunThrows) {
+  Writer w;
+  w.u8(1);
+  std::vector<uint8_t> buf = std::move(w).take();
+  Reader r(buf);
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_THROW(r.u32(), CodecError);
+}
+
+TEST(Codec, TrailingBytesDetected) {
+  Writer w;
+  w.u32(7);
+  w.u32(8);
+  std::vector<uint8_t> buf = std::move(w).take();
+  Reader r(buf);
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW(r.expect_done(), CodecError);
+}
+
+TEST(Codec, IdVectorRoundTrip) {
+  Writer w;
+  w.ids({1, 2, 3, kNilId});
+  std::vector<uint8_t> buf = std::move(w).take();
+  Reader r(buf);
+  EXPECT_EQ(r.ids(), (std::vector<ProcessId>{1, 2, 3, kNilId}));
+}
+
+TEST(Codec, EmptyVectorsRoundTrip) {
+  Writer w;
+  w.ids({});
+  w.seq({});
+  w.next({});
+  std::vector<uint8_t> buf = std::move(w).take();
+  Reader r(buf);
+  EXPECT_TRUE(r.ids().empty());
+  EXPECT_TRUE(r.seq().empty());
+  EXPECT_TRUE(r.next().empty());
+  r.expect_done();
+}
+
+TEST(Codec, SeqEntryRoundTrip) {
+  SeqEntry e{Op::kAdd, 42, 7};
+  Writer w;
+  w.seq({e});
+  std::vector<uint8_t> buf = std::move(w).take();
+  Reader r(buf);
+  auto out = r.seq();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], e);
+}
+
+TEST(Codec, NextEntryRoundTrip) {
+  NextEntry placeholder{Op::kRemove, kNilId, 3, 0, true};
+  NextEntry concrete{Op::kAdd, 9, 1, 5, false};
+  Writer w;
+  w.next({placeholder, concrete});
+  std::vector<uint8_t> buf = std::move(w).take();
+  Reader r(buf);
+  auto out = r.next();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], placeholder);
+  EXPECT_EQ(out[1], concrete);
+}
+
+// ---- full message round-trips ----
+
+TEST(Messages, SuspectReportRoundTrip) {
+  Packet p = SuspectReport{17}.to_packet(3);
+  EXPECT_EQ(p.kind, kind::kSuspectReport);
+  EXPECT_EQ(p.to, 3u);
+  EXPECT_EQ(SuspectReport::decode(p).suspect, 17u);
+}
+
+TEST(Messages, JoinRequestRoundTrip) {
+  Packet p = JoinRequest{99, true}.to_packet(0);
+  auto m = JoinRequest::decode(p);
+  EXPECT_EQ(m.joiner, 99u);
+  EXPECT_TRUE(m.forwarded);
+}
+
+TEST(Messages, InviteRoundTrip) {
+  Packet p = Invite{Op::kAdd, 5, 12}.to_packet(1);
+  auto m = Invite::decode(p);
+  EXPECT_EQ(m.op, Op::kAdd);
+  EXPECT_EQ(m.target, 5u);
+  EXPECT_EQ(m.version, 12u);
+}
+
+TEST(Messages, InviteOkRoundTrip) {
+  Packet p = InviteOk{4, 2}.to_packet(0);
+  auto m = InviteOk::decode(p);
+  EXPECT_EQ(m.version, 4u);
+  EXPECT_EQ(m.target, 2u);
+}
+
+TEST(Messages, CommitRoundTrip) {
+  Commit c;
+  c.op = Op::kRemove;
+  c.target = 3;
+  c.version = 9;
+  c.next_op = Op::kAdd;
+  c.next_target = 7;
+  c.faulty = {1, 2};
+  c.recovered = {7, 8};
+  auto m = Commit::decode(c.to_packet(4));
+  EXPECT_EQ(m.op, Op::kRemove);
+  EXPECT_EQ(m.target, 3u);
+  EXPECT_EQ(m.version, 9u);
+  EXPECT_EQ(m.next_op, Op::kAdd);
+  EXPECT_EQ(m.next_target, 7u);
+  EXPECT_EQ(m.faulty, (std::vector<ProcessId>{1, 2}));
+  EXPECT_EQ(m.recovered, (std::vector<ProcessId>{7, 8}));
+}
+
+TEST(Messages, ViewTransferRoundTrip) {
+  ViewTransfer vt;
+  vt.members = {0, 1, 9};
+  vt.version = 3;
+  vt.seq = {{Op::kRemove, 2, 1}, {Op::kAdd, 9, 3}};
+  vt.next_target = kNilId;
+  auto m = ViewTransfer::decode(vt.to_packet(9));
+  EXPECT_EQ(m.members, (std::vector<ProcessId>{0, 1, 9}));
+  EXPECT_EQ(m.version, 3u);
+  ASSERT_EQ(m.seq.size(), 2u);
+  EXPECT_EQ(m.seq[1].target, 9u);
+  EXPECT_EQ(m.next_target, kNilId);
+}
+
+TEST(Messages, InterrogateIsEmpty) {
+  Packet p = Interrogate{}.to_packet(2);
+  EXPECT_TRUE(p.bytes.empty());
+  (void)Interrogate::decode(p);
+}
+
+TEST(Messages, InterrogateOkRoundTrip) {
+  InterrogateOk ok;
+  ok.version = 6;
+  ok.seq = {{Op::kRemove, 4, 1}};
+  ok.next = {{Op::kRemove, kNilId, 2, 0, true}};
+  auto m = InterrogateOk::decode(ok.to_packet(1));
+  EXPECT_EQ(m.version, 6u);
+  ASSERT_EQ(m.seq.size(), 1u);
+  EXPECT_EQ(m.seq[0].target, 4u);
+  ASSERT_EQ(m.next.size(), 1u);
+  EXPECT_TRUE(m.next[0].pending_coordinator_only);
+}
+
+TEST(Messages, ProposeRoundTrip) {
+  Propose pr;
+  pr.ops = {{Op::kRemove, 0, 4}, {Op::kRemove, 1, 5}};
+  pr.version = 5;
+  pr.invis_op = Op::kRemove;
+  pr.invis_target = 2;
+  pr.faulty = {0, 1, 2};
+  auto m = Propose::decode(pr.to_packet(3));
+  ASSERT_EQ(m.ops.size(), 2u);
+  EXPECT_EQ(m.ops[1].resulting_version, 5u);
+  EXPECT_EQ(m.version, 5u);
+  EXPECT_EQ(m.invis_target, 2u);
+  EXPECT_EQ(m.faulty.size(), 3u);
+}
+
+TEST(Messages, ReconfigCommitRoundTrip) {
+  ReconfigCommit rc;
+  rc.ops = {{Op::kAdd, 30, 8}};
+  rc.version = 8;
+  rc.invis_target = kNilId;
+  auto m = ReconfigCommit::decode(rc.to_packet(6));
+  ASSERT_EQ(m.ops.size(), 1u);
+  EXPECT_EQ(m.ops[0].op, Op::kAdd);
+  EXPECT_EQ(m.version, 8u);
+  EXPECT_EQ(m.invis_target, kNilId);
+}
+
+TEST(Messages, CorruptPayloadThrows) {
+  Packet p = Invite{Op::kRemove, 1, 2}.to_packet(0);
+  p.bytes.pop_back();
+  EXPECT_THROW(Invite::decode(p), CodecError);
+}

@@ -1,0 +1,117 @@
+// Integration tests for the two-phase update (exclusion) algorithm of S3,
+// driven through the simulated cluster with the oracle failure detector.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+
+using namespace gmpx;
+using harness::Cluster;
+using harness::ClusterOptions;
+
+namespace {
+
+ClusterOptions opts(size_t n, uint64_t seed) {
+  ClusterOptions o;
+  o.n = n;
+  o.seed = seed;
+  return o;
+}
+
+}  // namespace
+
+TEST(Exclusion, SingleCrashIsExcludedEverywhere) {
+  Cluster c(opts(5, 42));
+  c.start();
+  c.crash_at(100, 3);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto result = c.check();
+  EXPECT_TRUE(result.ok()) << result.message() << c.recorder().dump();
+  // Survivors converge on {0,1,2,4} at version 1.
+  for (ProcessId p : {0u, 1u, 2u, 4u}) {
+    EXPECT_EQ(c.node(p).view().version(), 1u) << "p" << p;
+    EXPECT_EQ(c.node(p).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2, 4}));
+    EXPECT_FALSE(c.node(p).has_quit());
+  }
+}
+
+TEST(Exclusion, MgrRemainsCoordinatorAfterOuterCrash) {
+  Cluster c(opts(4, 7));
+  c.start();
+  c.crash_at(50, 2);
+  ASSERT_TRUE(c.run_to_quiescence());
+  EXPECT_TRUE(c.node(0).is_mgr());
+  EXPECT_EQ(c.node(1).mgr(), 0u);
+  EXPECT_EQ(c.node(3).mgr(), 0u);
+}
+
+TEST(Exclusion, TwoSequentialCrashes) {
+  Cluster c(opts(6, 9));
+  c.start();
+  c.crash_at(100, 4);
+  c.crash_at(3000, 5);  // well after the first exclusion settles
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto result = c.check();
+  EXPECT_TRUE(result.ok()) << result.message() << c.recorder().dump();
+  EXPECT_EQ(c.node(0).view().version(), 2u);
+  EXPECT_EQ(c.node(0).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2, 3}));
+}
+
+TEST(Exclusion, ConcurrentCrashesCompressedRounds) {
+  // Two near-simultaneous crashes: the second exclusion piggy-backs on the
+  // first commit (the condensed algorithm).
+  Cluster c(opts(6, 11));
+  c.start();
+  c.crash_at(100, 4);
+  c.crash_at(110, 5);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto result = c.check();
+  EXPECT_TRUE(result.ok()) << result.message() << c.recorder().dump();
+  for (ProcessId p : {0u, 1u, 2u, 3u}) {
+    EXPECT_EQ(c.node(p).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2, 3}));
+  }
+}
+
+TEST(Exclusion, FalseSuspicionResolvesBilaterally) {
+  // p1 spuriously suspects p3 (GMP-5: eventually p1 or p3 leaves the view).
+  Cluster c(opts(5, 13));
+  c.start();
+  c.suspect_at(100, 1, 3);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto views = c.recorder().views();
+  // Safety must hold regardless of which process lost.
+  auto result = c.check();
+  EXPECT_TRUE(result.ok()) << result.message() << c.recorder().dump();
+  // The suspected process was excluded (the suspicion reached Mgr first),
+  // and possibly the suspector too if it was listed faulty meanwhile.
+  bool p3_out = c.world().crashed(3) || !c.node(0).view().contains(3);
+  bool p1_out = c.world().crashed(1) || !c.node(0).view().contains(1);
+  EXPECT_TRUE(p3_out || p1_out);
+}
+
+TEST(Exclusion, CrashOfEveryOuterProcess) {
+  // Basic algorithm claim: with an immortal Mgr, |Memb|-1 failures are
+  // tolerated (majority checks off).
+  ClusterOptions o = opts(5, 17);
+  o.require_majority = false;
+  Cluster c(o);
+  c.start();
+  c.crash_at(100, 1);
+  c.crash_at(200, 2);
+  c.crash_at(300, 3);
+  c.crash_at(400, 4);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto result = c.check();
+  EXPECT_TRUE(result.ok()) << result.message() << c.recorder().dump();
+  EXPECT_EQ(c.node(0).view().sorted_members(), (std::vector<ProcessId>{0}));
+  EXPECT_EQ(c.node(0).view().version(), 4u);
+}
+
+TEST(Exclusion, QuiescentGroupExchangesNoProtocolMessages) {
+  Cluster c(opts(8, 23));
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  EXPECT_EQ(c.world().meter().total(), 0u);
+  for (ProcessId p : c.ids()) {
+    EXPECT_EQ(c.node(p).view().version(), 0u);
+  }
+}

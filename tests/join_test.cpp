@@ -1,0 +1,128 @@
+// Integration tests for the join procedure (S7): admission, bootstrap
+// (ViewTransfer), joiner retry across Mgr crashes, add/remove interleaving.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+
+using namespace gmpx;
+using harness::Cluster;
+using harness::ClusterOptions;
+
+namespace {
+ClusterOptions opts(size_t n, uint64_t seed) {
+  ClusterOptions o;
+  o.n = n;
+  o.seed = seed;
+  return o;
+}
+}  // namespace
+
+TEST(Join, SingleJoinerIsAdmitted) {
+  Cluster c(opts(4, 301));
+  c.add_joiner(10, {0, 1});
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto result = c.check();
+  EXPECT_TRUE(result.ok()) << result.message() << c.recorder().dump();
+  EXPECT_TRUE(c.node(10).admitted());
+  for (ProcessId p : {0u, 1u, 2u, 3u, 10u}) {
+    EXPECT_EQ(c.node(p).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2, 3, 10}));
+    EXPECT_EQ(c.node(p).view().version(), 1u);
+  }
+  // The joiner is the most junior member (appended to the seniority order).
+  EXPECT_EQ(c.node(0).view().members().back(), 10u);
+}
+
+TEST(Join, JoinerContactsNonMgrMemberWhichForwards) {
+  Cluster c(opts(4, 303));
+  c.add_joiner(10, {3});  // contact is the most junior member, not Mgr
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  EXPECT_TRUE(c.node(10).admitted());
+  EXPECT_EQ(c.node(10).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2, 3, 10}));
+}
+
+TEST(Join, TwoJoinersSequentialAdmission) {
+  Cluster c(opts(3, 305));
+  c.add_joiner(10, {0});
+  c.add_joiner(11, {1});
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto result = c.check();
+  EXPECT_TRUE(result.ok()) << result.message() << c.recorder().dump();
+  EXPECT_TRUE(c.node(10).admitted());
+  EXPECT_TRUE(c.node(11).admitted());
+  EXPECT_EQ(c.node(0).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2, 10, 11}));
+  EXPECT_EQ(c.node(0).view().version(), 2u);
+}
+
+TEST(Join, JoinDuringExclusion) {
+  Cluster c(opts(5, 307));
+  c.add_joiner(10, {1});
+  c.start();
+  c.crash_at(120, 4);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto result = c.check();
+  EXPECT_TRUE(result.ok()) << result.message() << c.recorder().dump();
+  EXPECT_TRUE(c.node(10).admitted());
+  EXPECT_EQ(c.node(0).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2, 3, 10}));
+}
+
+TEST(Join, MgrCrashDuringJoinIsRetried) {
+  // The joiner keeps soliciting; after reconfiguration the new Mgr admits
+  // it (or re-issues the ViewTransfer if the add already committed).
+  Cluster c(opts(5, 309));
+  c.add_joiner(10, {1, 2});
+  c.start();
+  c.crash_at(130, 0);  // Mgr dies around the join
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto result = c.check();
+  EXPECT_TRUE(result.ok()) << result.message() << c.recorder().dump();
+  EXPECT_TRUE(c.node(10).admitted()) << c.recorder().dump();
+  EXPECT_EQ(c.node(1).view().sorted_members(), (std::vector<ProcessId>{1, 2, 3, 4, 10}));
+}
+
+TEST(Join, JoinerCrashBeforeAdmissionLeavesGroupClean) {
+  Cluster c(opts(4, 311));
+  c.add_joiner(10, {0});
+  c.crash_at(5, 10);  // dies before its request lands
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  trace::CheckOptions o;
+  o.ignore_for_liveness = {10};
+  auto result = c.check(o);
+  EXPECT_TRUE(result.ok()) << result.message() << c.recorder().dump();
+  // The join may or may not have committed depending on timing; if it did,
+  // the joiner is subsequently excluded, so the final view has no 10.
+  EXPECT_FALSE(c.node(0).view().contains(10));
+}
+
+TEST(Join, JoinThenCrashIsExcludedAgain) {
+  Cluster c(opts(4, 313));
+  c.add_joiner(10, {0});
+  c.start();
+  c.crash_at(5000, 10);  // well after admission
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto result = c.check();
+  EXPECT_TRUE(result.ok()) << result.message() << c.recorder().dump();
+  EXPECT_EQ(c.node(0).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2, 3}));
+  EXPECT_EQ(c.node(0).view().version(), 2u);  // add then remove
+}
+
+TEST(Join, JoinerSeniorityGrowsWithTenure) {
+  // Two joins then kill all original members: the older joiner must end up
+  // coordinating (seniority = duration in the view, footnote 12).
+  Cluster c(opts(3, 317));
+  c.add_joiner(10, {0});
+  c.add_joiner(11, {0});
+  c.start();
+  c.crash_at(8000, 0);
+  c.crash_at(16000, 1);
+  c.crash_at(24000, 2);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto result = c.check();
+  EXPECT_TRUE(result.ok()) << result.message() << c.recorder().dump();
+  EXPECT_EQ(c.node(10).view().sorted_members(), (std::vector<ProcessId>{10, 11}));
+  EXPECT_TRUE(c.node(10).is_mgr());
+  EXPECT_EQ(c.node(11).mgr(), 10u);
+}

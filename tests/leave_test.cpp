@@ -1,0 +1,76 @@
+// Tests for voluntary departure (paper S1: membership changes when
+// "members voluntarily leave"): departure rides the same agreed view
+// sequence as a failure.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+
+using namespace gmpx;
+using harness::Cluster;
+using harness::ClusterOptions;
+
+namespace {
+ClusterOptions opts(size_t n, uint64_t seed) {
+  ClusterOptions o;
+  o.n = n;
+  o.seed = seed;
+  return o;
+}
+}  // namespace
+
+TEST(Leave, OuterMemberLeavesCleanly) {
+  Cluster c(opts(5, 3001));
+  c.start();
+  c.world().at(100, [&c] {
+    if (Context* ctx = c.world().context_of(3)) c.node(3).leave(*ctx);
+  });
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message() << c.recorder().dump();
+  EXPECT_TRUE(c.world().crashed(3));  // the leaver quit
+  for (ProcessId p : {0u, 1u, 2u, 4u}) {
+    EXPECT_EQ(c.node(p).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2, 4}));
+    EXPECT_EQ(c.node(p).view().version(), 1u);
+  }
+}
+
+TEST(Leave, CoordinatorLeavesAndSuccessionRuns) {
+  Cluster c(opts(5, 3003));
+  c.start();
+  c.world().at(100, [&c] {
+    if (Context* ctx = c.world().context_of(0)) c.node(0).leave(*ctx);
+  });
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message() << c.recorder().dump();
+  EXPECT_TRUE(c.node(1).is_mgr());
+  EXPECT_EQ(c.node(2).view().sorted_members(), (std::vector<ProcessId>{1, 2, 3, 4}));
+}
+
+TEST(Leave, LeaveDuringUnrelatedExclusion) {
+  Cluster c(opts(6, 3005));
+  c.start();
+  c.crash_at(100, 5);
+  c.world().at(130, [&c] {
+    if (Context* ctx = c.world().context_of(4)) c.node(4).leave(*ctx);
+  });
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message() << c.recorder().dump();
+  EXPECT_EQ(c.node(0).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2, 3}));
+}
+
+TEST(Leave, LeaveThenRejoinAsNewInstance) {
+  // A departed member may only come back as a *new process instance*
+  // (fresh id) — the paper's recovery model.
+  Cluster c(opts(4, 3007));
+  c.add_joiner(100, {0});  // the "reincarnation", soliciting from the start
+  c.start();
+  c.world().at(5000, [&c] {
+    if (Context* ctx = c.world().context_of(2)) c.node(2).leave(*ctx);
+  });
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message() << c.recorder().dump();
+  EXPECT_EQ(c.node(0).view().sorted_members(), (std::vector<ProcessId>{0, 1, 3, 100}));
+}

@@ -1,0 +1,175 @@
+// Tests for the TCP runtime: frame codec, point-to-point delivery and FIFO
+// over real sockets, timer behaviour, and a full GMP group over localhost.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "fd/heartbeat.hpp"
+#include "gmp/node.hpp"
+#include "net/tcp_runtime.hpp"
+
+using namespace gmpx;
+using namespace std::chrono_literals;
+
+namespace {
+
+uint16_t base_port() {
+  // Spread ports across runs to dodge TIME_WAIT collisions.
+  static std::atomic<uint16_t> next{41000};
+  return next.fetch_add(20);
+}
+
+struct Collector : Actor {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Packet> received;
+  void on_packet(Context&, const Packet& p) override {
+    std::lock_guard lock(mu);
+    received.push_back(p);
+    cv.notify_all();
+  }
+  bool wait_for(size_t n, std::chrono::milliseconds d) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, d, [&] { return received.size() >= n; });
+  }
+};
+
+}  // namespace
+
+TEST(NetFrame, RoundTrip) {
+  Packet p{3, 7, 42, {1, 2, 3, 4, 5}};
+  auto frame = net::encode_frame(p);
+  std::vector<uint8_t> buf = frame;
+  Packet out;
+  ASSERT_TRUE(net::decode_frame(buf, out));
+  EXPECT_EQ(out.from, 3u);
+  EXPECT_EQ(out.to, 7u);
+  EXPECT_EQ(out.kind, 42u);
+  EXPECT_EQ(out.bytes, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(NetFrame, PartialFrameWaits) {
+  Packet p{1, 2, 9, {7, 7}};
+  auto frame = net::encode_frame(p);
+  std::vector<uint8_t> buf(frame.begin(), frame.begin() + 6);
+  Packet out;
+  EXPECT_FALSE(net::decode_frame(buf, out));
+  buf.insert(buf.end(), frame.begin() + 6, frame.end());
+  EXPECT_TRUE(net::decode_frame(buf, out));
+  EXPECT_EQ(out.bytes.size(), 2u);
+}
+
+TEST(NetFrame, TwoFramesInOneBuffer) {
+  auto f1 = net::encode_frame(Packet{1, 2, 9, {1}});
+  auto f2 = net::encode_frame(Packet{1, 2, 9, {2}});
+  std::vector<uint8_t> buf = f1;
+  buf.insert(buf.end(), f2.begin(), f2.end());
+  Packet a, b;
+  ASSERT_TRUE(net::decode_frame(buf, a));
+  ASSERT_TRUE(net::decode_frame(buf, b));
+  EXPECT_EQ(a.bytes[0], 1);
+  EXPECT_EQ(b.bytes[0], 2);
+}
+
+TEST(NetFrame, CorruptLengthThrows) {
+  std::vector<uint8_t> buf{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0};
+  Packet out;
+  EXPECT_THROW(net::decode_frame(buf, out), CodecError);
+}
+
+TEST(Net, PointToPointDeliveryAndFifo) {
+  uint16_t bp = base_port();
+  std::map<ProcessId, net::PeerAddress> peers{
+      {0, {"127.0.0.1", bp}},
+      {1, {"127.0.0.1", static_cast<uint16_t>(bp + 1)}},
+  };
+  Collector sink;
+  struct Burst : Actor {
+    void on_start(Context& ctx) override {
+      for (uint8_t i = 0; i < 100; ++i) ctx.send(Packet{0, 1, 9, {i}});
+    }
+    void on_packet(Context&, const Packet&) override {}
+  } burst;
+  net::TcpRuntime r1(1, peers, &sink);
+  r1.start();
+  net::TcpRuntime r0(0, peers, &burst);
+  r0.start();
+  ASSERT_TRUE(sink.wait_for(100, 5000ms));
+  std::lock_guard lock(sink.mu);
+  ASSERT_EQ(sink.received.size(), 100u);
+  for (uint8_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(sink.received[i].bytes[0], i);  // FIFO preserved
+    EXPECT_EQ(sink.received[i].from, 0u);
+  }
+  r0.stop();
+  r1.stop();
+}
+
+TEST(Net, ConnectRetrySurvivesLateListener) {
+  uint16_t bp = base_port();
+  std::map<ProcessId, net::PeerAddress> peers{
+      {0, {"127.0.0.1", bp}},
+      {1, {"127.0.0.1", static_cast<uint16_t>(bp + 1)}},
+  };
+  struct Once : Actor {
+    void on_start(Context& ctx) override { ctx.send(Packet{0, 1, 9, {42}}); }
+    void on_packet(Context&, const Packet&) override {}
+  } once;
+  Collector sink;
+  net::TcpRuntime r0(0, peers, &once);
+  r0.start();  // peer 1 not listening yet: message must be retried
+  std::this_thread::sleep_for(300ms);
+  net::TcpRuntime r1(1, peers, &sink);
+  r1.start();
+  EXPECT_TRUE(sink.wait_for(1, 5000ms));
+  r0.stop();
+  r1.stop();
+}
+
+TEST(Net, FullGroupOverLocalhost) {
+  uint16_t bp = base_port();
+  constexpr size_t kN = 4;
+  std::map<ProcessId, net::PeerAddress> peers;
+  std::vector<ProcessId> everyone;
+  for (ProcessId p = 0; p < kN; ++p) {
+    peers[p] = {"127.0.0.1", static_cast<uint16_t>(bp + p)};
+    everyone.push_back(p);
+  }
+  std::vector<std::unique_ptr<gmp::GmpNode>> nodes;
+  std::vector<std::unique_ptr<fd::HeartbeatFd>> fds;
+  std::vector<std::unique_ptr<net::TcpRuntime>> rts;
+  for (ProcessId p = 0; p < kN; ++p) {
+    gmp::Config cfg;
+    cfg.initial_members = everyone;
+    nodes.push_back(std::make_unique<gmp::GmpNode>(p, cfg));
+    fd::HeartbeatOptions hb;
+    hb.interval = 20'000;   // 20ms in microsecond ticks
+    hb.timeout = 120'000;   // 120ms
+    fds.push_back(std::make_unique<fd::HeartbeatFd>(nodes.back().get(), hb));
+    rts.push_back(std::make_unique<net::TcpRuntime>(p, peers, fds.back().get()));
+  }
+  for (auto& rt : rts) rt->start();
+  std::this_thread::sleep_for(400ms);
+  rts[3]->stop();  // kill p3
+
+  // Wait (bounded) for survivors to converge on {0,1,2}.
+  bool converged = false;
+  for (int i = 0; i < 100 && !converged; ++i) {
+    std::this_thread::sleep_for(50ms);
+    converged = true;
+    for (ProcessId p = 0; p < 3; ++p) {
+      // Views are written on the loop threads; snapshot via post+flag would
+      // be strictly correct, but a read of a converged (quiescent) view is
+      // stable in practice for this test.
+      converged = converged && nodes[p]->view().sorted_members() ==
+                                   std::vector<ProcessId>({0, 1, 2});
+    }
+  }
+  EXPECT_TRUE(converged);
+  for (auto& rt : rts) rt->stop();
+}

@@ -1,0 +1,447 @@
+// Direct unit tests of the GmpNode state machine: messages are injected
+// through a fake Context, and every rule of the paper's pseudocode (quit
+// triggers, S1 isolation, next(p)/seq(p) bookkeeping, acknowledgements,
+// majority gating) is checked at the packet level.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "gmp/messages.hpp"
+#include "gmp/node.hpp"
+
+using namespace gmpx;
+using namespace gmpx::gmp;
+
+namespace {
+
+/// Records sends / timers / quit instead of a real runtime.
+struct FakeCtx : Context {
+  ProcessId id = 0;
+  Tick t = 0;
+  std::vector<Packet> sent;
+  std::vector<std::function<void()>> timers;
+  bool quit_called = false;
+  uint64_t next_timer = 1;
+
+  ProcessId self() const override { return id; }
+  Tick now() const override { return t; }
+  void send(Packet p) override {
+    p.from = id;
+    sent.push_back(std::move(p));
+  }
+  TimerId set_timer(Tick, std::function<void()> fn) override {
+    timers.push_back(std::move(fn));
+    return next_timer++;
+  }
+  void cancel_timer(TimerId) override {}
+  void quit() override { quit_called = true; }
+
+  /// Sends of a given kind, in order.
+  std::vector<Packet> of_kind(uint32_t k) const {
+    std::vector<Packet> out;
+    for (const auto& p : sent)
+      if (p.kind == k) out.push_back(p);
+    return out;
+  }
+};
+
+Config member_config(std::vector<ProcessId> members, bool majority = true) {
+  Config cfg;
+  cfg.initial_members = std::move(members);
+  cfg.require_majority = majority;
+  return cfg;
+}
+
+/// Stamp the wire-level sender onto a packet built by a message struct.
+Packet from(ProcessId sender, Packet p) {
+  p.from = sender;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Start-up and roles
+// ---------------------------------------------------------------------------
+
+TEST(Node, InitialMemberAdoptsViewAndMgr) {
+  FakeCtx ctx;
+  ctx.id = 2;
+  GmpNode n(2, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  EXPECT_TRUE(n.admitted());
+  EXPECT_EQ(n.view().version(), 0u);
+  EXPECT_EQ(n.mgr(), 0u);
+  EXPECT_FALSE(n.is_mgr());
+  EXPECT_TRUE(ctx.sent.empty());
+}
+
+TEST(Node, OuterSuspicionIsReportedToMgr) {
+  FakeCtx ctx;
+  ctx.id = 2;
+  GmpNode n(2, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  n.suspect(ctx, 3);
+  auto reports = ctx.of_kind(kind::kSuspectReport);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].to, 0u);
+  EXPECT_EQ(SuspectReport::decode(reports[0]).suspect, 3u);
+  // Idempotent: a second identical suspicion sends nothing new.
+  n.suspect(ctx, 3);
+  EXPECT_EQ(ctx.of_kind(kind::kSuspectReport).size(), 1u);
+}
+
+TEST(Node, MgrSuspicionBroadcastsInvite) {
+  FakeCtx ctx;
+  ctx.id = 0;
+  GmpNode n(0, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  n.suspect(ctx, 2);
+  auto invites = ctx.of_kind(kind::kInvite);
+  ASSERT_EQ(invites.size(), 3u);  // to 1, 2, 3 — the target is invited too
+  auto m = Invite::decode(invites[0]);
+  EXPECT_EQ(m.op, Op::kRemove);
+  EXPECT_EQ(m.target, 2u);
+  EXPECT_EQ(m.version, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Outer-process update rules (Fig 9)
+// ---------------------------------------------------------------------------
+
+TEST(Node, InviteNamingSelfQuits) {
+  FakeCtx ctx;
+  ctx.id = 2;
+  GmpNode n(2, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  n.on_packet(ctx, from(0, Invite{Op::kRemove, 2, 1}.to_packet(2)));
+  EXPECT_TRUE(ctx.quit_called);
+  EXPECT_TRUE(n.has_quit());
+}
+
+TEST(Node, InviteIsAcknowledgedAndRecorded) {
+  FakeCtx ctx;
+  ctx.id = 1;
+  GmpNode n(1, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  n.on_packet(ctx, from(0, Invite{Op::kRemove, 3, 1}.to_packet(1)));
+  EXPECT_TRUE(n.isolated().count(3));  // S1: channel from 3 disconnected
+  auto oks = ctx.of_kind(kind::kInviteOk);
+  ASSERT_EQ(oks.size(), 1u);
+  EXPECT_EQ(oks[0].to, 0u);
+  EXPECT_EQ(InviteOk::decode(oks[0]).version, 1u);
+  ASSERT_EQ(n.next_list().size(), 1u);
+  EXPECT_EQ(n.next_list()[0].target, 3u);
+  EXPECT_EQ(n.next_list()[0].coordinator, 0u);
+  EXPECT_EQ(n.next_list()[0].version, 1u);
+}
+
+TEST(Node, IsolationDropsAllTrafficFromSuspects) {
+  FakeCtx ctx;
+  ctx.id = 1;
+  GmpNode n(1, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  n.suspect(ctx, 0);  // believe the Mgr faulty
+  size_t sends_before = ctx.sent.size();
+  n.on_packet(ctx, from(0, Invite{Op::kRemove, 3, 1}.to_packet(1)));
+  EXPECT_EQ(ctx.sent.size(), sends_before);  // no OK: message never "received"
+  EXPECT_TRUE(n.next_list().empty());
+}
+
+TEST(Node, CommitInstallsAndAcksContingentInvitation) {
+  FakeCtx ctx;
+  ctx.id = 1;
+  GmpNode n(1, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  n.on_packet(ctx, from(0, Invite{Op::kRemove, 3, 1}.to_packet(1)));
+  Commit c;
+  c.op = Op::kRemove;
+  c.target = 3;
+  c.version = 1;
+  c.next_op = Op::kRemove;
+  c.next_target = 2;  // compressed: this commit invites remove(2)
+  n.on_packet(ctx, from(0, c.to_packet(1)));
+  EXPECT_EQ(n.view().version(), 1u);
+  EXPECT_FALSE(n.view().contains(3));
+  EXPECT_TRUE(n.isolated().count(2));  // contingent target believed faulty
+  auto oks = ctx.of_kind(kind::kInviteOk);
+  ASSERT_EQ(oks.size(), 2u);  // one for the invite, one for the contingency
+  EXPECT_EQ(InviteOk::decode(oks[1]).version, 2u);
+  EXPECT_EQ(InviteOk::decode(oks[1]).target, 2u);
+  ASSERT_EQ(n.seq().size(), 1u);
+  EXPECT_EQ(n.seq()[0], (SeqEntry{Op::kRemove, 3, 1}));
+}
+
+TEST(Node, CommitListingSelfFaultyQuits) {
+  FakeCtx ctx;
+  ctx.id = 1;
+  GmpNode n(1, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  Commit c;
+  c.op = Op::kRemove;
+  c.target = 3;
+  c.version = 1;
+  c.next_target = kNilId;
+  c.faulty = {1};  // the Mgr believes us faulty — bilateral GMP-5
+  n.on_packet(ctx, from(0, c.to_packet(1)));
+  EXPECT_TRUE(n.has_quit());
+}
+
+TEST(Node, CommitContingentNamingSelfQuits) {
+  FakeCtx ctx;
+  ctx.id = 2;
+  GmpNode n(2, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  Commit c;
+  c.op = Op::kRemove;
+  c.target = 3;
+  c.version = 1;
+  c.next_op = Op::kRemove;
+  c.next_target = 2;  // we are next
+  n.on_packet(ctx, from(0, c.to_packet(2)));
+  EXPECT_TRUE(n.has_quit());
+}
+
+TEST(Node, FutureCommitIsBufferedUntilGapCloses) {
+  FakeCtx ctx;
+  ctx.id = 1;
+  GmpNode n(1, member_config({0, 1, 2, 3, 4}));
+  n.on_start(ctx);
+  Commit c2;  // commit for v2 arrives before v1's
+  c2.op = Op::kRemove;
+  c2.target = 4;
+  c2.version = 2;
+  c2.next_target = kNilId;
+  n.on_packet(ctx, from(0, c2.to_packet(1)));
+  EXPECT_EQ(n.view().version(), 0u);  // held
+  Commit c1;
+  c1.op = Op::kRemove;
+  c1.target = 3;
+  c1.version = 1;
+  c1.next_target = kNilId;
+  n.on_packet(ctx, from(0, c1.to_packet(1)));
+  EXPECT_EQ(n.view().version(), 2u);  // both applied, in order
+  EXPECT_EQ(n.view().sorted_members(), (std::vector<ProcessId>{0, 1, 2}));
+}
+
+TEST(Node, StaleCommitIgnored) {
+  FakeCtx ctx;
+  ctx.id = 1;
+  GmpNode n(1, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  Commit c;
+  c.op = Op::kRemove;
+  c.target = 3;
+  c.version = 1;
+  c.next_target = kNilId;
+  n.on_packet(ctx, from(0, c.to_packet(1)));
+  EXPECT_EQ(n.view().version(), 1u);
+  n.on_packet(ctx, from(0, c.to_packet(1)));  // duplicate
+  EXPECT_EQ(n.view().version(), 1u);
+  EXPECT_EQ(n.seq().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Mgr majority gating (S7.1, line FA.1)
+// ---------------------------------------------------------------------------
+
+TEST(Node, MgrQuitsWhenMajorityUnreachable) {
+  FakeCtx ctx;
+  ctx.id = 0;
+  GmpNode n(0, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  // All three others believed faulty: the round completes with 0 OKs and
+  // 1 < mu(4) = 3 responders; the final algorithm demands quit_Mgr.
+  n.suspect(ctx, 1);
+  n.suspect(ctx, 2);
+  n.suspect(ctx, 3);
+  EXPECT_TRUE(n.has_quit());
+}
+
+TEST(Node, BasicAlgorithmToleratesAllOuterFailures) {
+  FakeCtx ctx;
+  ctx.id = 0;
+  GmpNode n(0, member_config({0, 1, 2, 3}, /*majority=*/false));
+  n.on_start(ctx);
+  n.suspect(ctx, 1);
+  n.suspect(ctx, 2);
+  n.suspect(ctx, 3);
+  EXPECT_FALSE(n.has_quit());
+  EXPECT_EQ(n.view().sorted_members(), (std::vector<ProcessId>{0}));
+  EXPECT_EQ(n.view().version(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Reconfiguration outer rules (Fig 10)
+// ---------------------------------------------------------------------------
+
+TEST(Node, InterrogationFromJuniorKillsSenior) {
+  FakeCtx ctx;
+  ctx.id = 1;
+  GmpNode n(1, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  // p2 (junior to us) interrogates: it believes every senior — including
+  // us — faulty.  Bilateral GMP-5: we quit.
+  n.on_packet(ctx, from(2, Interrogate{}.to_packet(1)));
+  EXPECT_TRUE(n.has_quit());
+}
+
+TEST(Node, InterrogationResponseCarriesStateAndAdoptsHiFaulty) {
+  FakeCtx ctx;
+  ctx.id = 3;
+  GmpNode n(3, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  n.on_packet(ctx, from(2, Interrogate{}.to_packet(3)));
+  EXPECT_FALSE(n.has_quit());
+  auto oks = ctx.of_kind(kind::kInterrogateOk);
+  ASSERT_EQ(oks.size(), 1u);
+  EXPECT_EQ(oks[0].to, 2u);
+  auto m = InterrogateOk::decode(oks[0]);
+  EXPECT_EQ(m.version, 0u);
+  EXPECT_TRUE(m.seq.empty());
+  // HiFaulty(r) inferred from rank: 0 and 1 are senior to the initiator 2.
+  EXPECT_TRUE(n.isolated().count(0));
+  EXPECT_TRUE(n.isolated().count(1));
+  // Placeholder "(? : 2 : ?)" appended after responding.
+  ASSERT_FALSE(n.next_list().empty());
+  EXPECT_TRUE(n.next_list().back().pending_coordinator_only);
+  EXPECT_EQ(n.next_list().back().coordinator, 2u);
+}
+
+TEST(Node, ProposeListingSelfQuitsElseAcks) {
+  FakeCtx ctx;
+  ctx.id = 3;
+  GmpNode n(3, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  n.on_packet(ctx, from(2, Interrogate{}.to_packet(3)));
+  Propose pr;
+  pr.ops = {{Op::kRemove, 0, 1}};
+  pr.version = 1;
+  pr.invis_target = kNilId;
+  n.on_packet(ctx, from(2, pr.to_packet(3)));
+  EXPECT_FALSE(n.has_quit());
+  auto oks = ctx.of_kind(kind::kProposeOk);
+  ASSERT_EQ(oks.size(), 1u);
+  EXPECT_EQ(ProposeOk::decode(oks[0]).version, 1u);
+  ASSERT_EQ(n.next_list().size(), 1u);  // placeholder replaced
+  EXPECT_EQ(n.next_list()[0].target, 0u);
+  EXPECT_EQ(n.next_list()[0].version, 1u);
+
+  Propose bad;
+  bad.ops = {{Op::kRemove, 3, 2}};
+  bad.version = 2;
+  bad.invis_target = kNilId;
+  n.on_packet(ctx, from(2, bad.to_packet(3)));
+  EXPECT_TRUE(n.has_quit());
+}
+
+TEST(Node, ReconfigCommitAppliesOpsAndAdoptsNewMgr) {
+  FakeCtx ctx;
+  ctx.id = 3;
+  GmpNode n(3, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  n.on_packet(ctx, from(2, Interrogate{}.to_packet(3)));
+  ReconfigCommit rc;
+  rc.ops = {{Op::kRemove, 0, 1}};
+  rc.version = 1;
+  rc.invis_op = Op::kRemove;
+  rc.invis_target = 1;
+  n.on_packet(ctx, from(2, rc.to_packet(3)));
+  EXPECT_EQ(n.view().version(), 1u);
+  EXPECT_FALSE(n.view().contains(0));
+  EXPECT_EQ(n.mgr(), 2u);
+  // The invis contingency is recorded for the next version.
+  ASSERT_EQ(n.next_list().size(), 1u);
+  EXPECT_EQ(n.next_list()[0].target, 1u);
+  EXPECT_EQ(n.next_list()[0].version, 2u);
+}
+
+TEST(Node, ReconfigCommitCatchesUpLaggards) {
+  FakeCtx ctx;
+  ctx.id = 3;
+  GmpNode n(3, member_config({0, 1, 2, 3, 4}));
+  n.on_start(ctx);
+  n.on_packet(ctx, from(2, Interrogate{}.to_packet(3)));
+  // We are at v0; the commit carries both the op we missed (v1) and the
+  // reconfiguration op (v2) — the multi-op RL of footnote 11.
+  ReconfigCommit rc;
+  rc.ops = {{Op::kRemove, 4, 1}, {Op::kRemove, 0, 2}};
+  rc.version = 2;
+  rc.invis_target = kNilId;
+  n.on_packet(ctx, from(2, rc.to_packet(3)));
+  EXPECT_EQ(n.view().version(), 2u);
+  EXPECT_EQ(n.view().sorted_members(), (std::vector<ProcessId>{1, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Join plumbing
+// ---------------------------------------------------------------------------
+
+TEST(Node, JoinRequestForwardedOnceToMgr) {
+  FakeCtx ctx;
+  ctx.id = 2;
+  GmpNode n(2, member_config({0, 1, 2, 3}));
+  n.on_start(ctx);
+  n.on_packet(ctx, from(9, JoinRequest{9, false}.to_packet(2)));
+  auto fwd = ctx.of_kind(kind::kJoinRequest);
+  ASSERT_EQ(fwd.size(), 1u);
+  EXPECT_EQ(fwd[0].to, 0u);
+  EXPECT_TRUE(JoinRequest::decode(fwd[0]).forwarded);
+  // An already-forwarded request is not relayed again (no cycles).
+  n.on_packet(ctx, from(9, JoinRequest{9, true}.to_packet(2)));
+  EXPECT_EQ(ctx.of_kind(kind::kJoinRequest).size(), 1u);
+}
+
+TEST(Node, MgrAdmitsJoinerWithInviteAdd) {
+  FakeCtx ctx;
+  ctx.id = 0;
+  GmpNode n(0, member_config({0, 1}));
+  n.on_start(ctx);
+  n.on_packet(ctx, from(9, JoinRequest{9, false}.to_packet(0)));
+  auto invites = ctx.of_kind(kind::kInvite);
+  ASSERT_EQ(invites.size(), 1u);  // to p1 only; the joiner is not a member
+  auto m = Invite::decode(invites[0]);
+  EXPECT_EQ(m.op, Op::kAdd);
+  EXPECT_EQ(m.target, 9u);
+}
+
+TEST(Node, JoinerSolicitsAndGivesUpEventually) {
+  FakeCtx ctx;
+  ctx.id = 9;
+  Config cfg;
+  cfg.joiner = true;
+  cfg.contacts = {0, 1};
+  cfg.join_max_attempts = 3;
+  GmpNode n(9, cfg);
+  n.on_start(ctx);
+  EXPECT_EQ(ctx.of_kind(kind::kJoinRequest).size(), 2u);  // both contacts
+  // Fire the retry timer until the budget runs out.
+  for (int i = 0; i < 5 && !ctx.timers.empty(); ++i) {
+    auto fns = std::move(ctx.timers);
+    ctx.timers.clear();
+    for (auto& fn : fns) fn();
+  }
+  EXPECT_TRUE(n.has_quit());
+}
+
+TEST(Node, ViewTransferAdmitsJoiner) {
+  FakeCtx ctx;
+  ctx.id = 9;
+  Config cfg;
+  cfg.joiner = true;
+  cfg.contacts = {0};
+  GmpNode n(9, cfg);
+  n.on_start(ctx);
+  EXPECT_FALSE(n.admitted());
+  ViewTransfer vt;
+  vt.members = {0, 1, 9};
+  vt.version = 3;
+  vt.seq = {{Op::kRemove, 2, 1}, {Op::kRemove, 3, 2}, {Op::kAdd, 9, 3}};
+  vt.next_target = kNilId;
+  n.on_packet(ctx, from(0, vt.to_packet(9)));
+  EXPECT_TRUE(n.admitted());
+  EXPECT_EQ(n.view().version(), 3u);
+  EXPECT_EQ(n.mgr(), 0u);
+  EXPECT_EQ(n.seq().size(), 3u);  // full history adopted
+}

@@ -1,0 +1,149 @@
+// Partition behaviour of the full protocol.  The model's channels are
+// reliable, so a partition is an arbitrarily long delay; the majority rule
+// decides what survives it.  Safety must hold across every split/heal
+// pattern; progress resumes only on the majority side.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+
+using namespace gmpx;
+using harness::Cluster;
+using harness::ClusterOptions;
+
+namespace {
+ClusterOptions opts(size_t n, uint64_t seed) {
+  ClusterOptions o;
+  o.n = n;
+  o.seed = seed;
+  return o;
+}
+}  // namespace
+
+TEST(Partition, MinoritySideCannotInstallViews) {
+  Cluster c(opts(5, 4001));
+  c.start();
+  // {3,4} cut off; each side suspects the other.
+  c.world().at(100, [&c] { c.world().partition({0, 1, 2}, {3, 4}); });
+  for (ProcessId a : {0u, 1u, 2u})
+    for (ProcessId b : {3u, 4u}) {
+      c.suspect_at(200, a, b);
+      c.suspect_at(200, b, a);
+    }
+  ASSERT_TRUE(c.run_to_quiescence());
+  trace::CheckOptions o;
+  o.check_liveness = false;
+  auto res = c.check(o);
+  EXPECT_TRUE(res.ok()) << res.message() << c.recorder().dump();
+  // Majority side excluded the minority.
+  for (ProcessId p : {0u, 1u, 2u}) {
+    if (c.world().crashed(p)) continue;
+    EXPECT_EQ(c.node(p).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2}));
+  }
+  // Minority members either quit or installed nothing beyond v0: they can
+  // never assemble mu(5)=3 responses.
+  for (ProcessId p : {3u, 4u}) {
+    if (c.world().crashed(p)) continue;
+    EXPECT_EQ(c.node(p).view().version(), 0u) << c.recorder().dump();
+  }
+}
+
+TEST(Partition, HealedMinorityMembersAreAlreadyExcluded) {
+  Cluster c(opts(5, 4003));
+  c.start();
+  c.world().at(100, [&c] { c.world().partition({0, 1, 2}, {3, 4}); });
+  for (ProcessId a : {0u, 1u, 2u})
+    for (ProcessId b : {3u, 4u}) {
+      c.suspect_at(200, a, b);
+      c.suspect_at(200, b, a);
+    }
+  // Heal long after the majority finished excluding {3,4}.
+  c.world().at(5000, [&c] { c.world().heal_partition(); });
+  ASSERT_TRUE(c.run_to_quiescence());
+  trace::CheckOptions o;
+  o.check_liveness = false;
+  auto res = c.check(o);
+  EXPECT_TRUE(res.ok()) << res.message() << c.recorder().dump();
+  // After healing, S1 isolation keeps the old members out: their messages
+  // are ignored, and (as new instances) they would have to rejoin with
+  // fresh ids.  GMP-4: 3 and 4 never reappear.
+  for (ProcessId p : {0u, 1u, 2u}) {
+    if (c.world().crashed(p)) continue;
+    EXPECT_EQ(c.node(p).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2}));
+  }
+}
+
+TEST(Partition, MgrOnMinoritySideLosesToMajority) {
+  // The coordinator lands in the minority: the majority side reconfigures
+  // around it; the old Mgr cannot commit anything (mu unreachable).
+  Cluster c(opts(5, 4005));
+  c.start();
+  c.world().at(100, [&c] { c.world().partition({0, 4}, {1, 2, 3}); });
+  for (ProcessId a : {0u, 4u})
+    for (ProcessId b : {1u, 2u, 3u}) {
+      c.suspect_at(200, a, b);
+      c.suspect_at(200, b, a);
+    }
+  ASSERT_TRUE(c.run_to_quiescence());
+  trace::CheckOptions o;
+  o.check_liveness = false;
+  auto res = c.check(o);
+  EXPECT_TRUE(res.ok()) << res.message() << c.recorder().dump();
+  for (ProcessId p : {1u, 2u, 3u}) {
+    if (c.world().crashed(p)) continue;
+    EXPECT_EQ(c.node(p).view().sorted_members(), (std::vector<ProcessId>{1, 2, 3}));
+    EXPECT_EQ(c.node(p).mgr(), 1u);
+  }
+  // Old Mgr side: no view beyond v0 (it needed 3 of 5 responses).
+  for (ProcessId p : {0u, 4u}) {
+    if (c.world().crashed(p)) continue;
+    EXPECT_EQ(c.node(p).view().version(), 0u);
+  }
+}
+
+TEST(Partition, TransientHoldWithoutSuspicionIsHarmless) {
+  // A short partition that heals before any timeout fires: held messages
+  // are released in FIFO order and the run is indistinguishable from slow
+  // links (no suspicion, no view change).
+  Cluster c(opts(4, 4007));
+  c.start();
+  c.crash_at(100, 3);  // an exclusion is in flight...
+  c.world().at(120, [&c] { c.world().partition({0}, {1, 2}); });
+  c.world().at(400, [&c] { c.world().heal_partition(); });  // before oracle hits
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message() << c.recorder().dump();
+  for (ProcessId p : {0u, 1u, 2u}) {
+    EXPECT_EQ(c.node(p).view().sorted_members(), (std::vector<ProcessId>{0, 1, 2}));
+  }
+}
+
+// Sweep split points and heal times: safety must hold for every pattern.
+class PartitionSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionSweep, SplitHealSafety) {
+  Rng rng(GetParam() * 31337 + 1);
+  size_t n = 4 + rng.below(5);  // 4..8
+  Cluster c(opts(n, 5000 + GetParam()));
+  c.start();
+  // Random split.
+  std::vector<ProcessId> a, b;
+  for (ProcessId p = 0; p < n; ++p) (rng.chance(1, 2) ? a : b).push_back(p);
+  if (a.empty() || b.empty()) return;  // degenerate: nothing to test
+  Tick split_at = 100 + rng.below(300);
+  Tick heal_at = split_at + 200 + rng.below(6000);
+  c.world().at(split_at, [&c, a, b] { c.world().partition(a, b); });
+  for (ProcessId x : a)
+    for (ProcessId y : b) {
+      c.suspect_at(split_at + 100, x, y);
+      c.suspect_at(split_at + 100, y, x);
+    }
+  c.world().at(heal_at, [&c] { c.world().heal_partition(); });
+  ASSERT_TRUE(c.run_to_quiescence());
+  trace::CheckOptions o;
+  o.check_liveness = false;
+  auto res = c.check(o);
+  EXPECT_TRUE(res.ok()) << "seed=" << GetParam() << " n=" << n << "\n"
+                        << res.message() << c.recorder().dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSweep, ::testing::Range<uint64_t>(0, 80));

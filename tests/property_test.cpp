@@ -1,0 +1,226 @@
+// Property-based validation: for thousands of seeded random schedules
+// (random message delays, random crash subsets and times, random joins,
+// random false suspicions) the recorded run must satisfy the GMP
+// specification.  Safety (GMP-0..4) is asserted unconditionally; liveness
+// (GMP-5 convergence) only when the schedule provably preserved the
+// majority precondition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "harness/cluster.hpp"
+
+using namespace gmpx;
+using harness::Cluster;
+using harness::ClusterOptions;
+
+namespace {
+
+/// Predicts whether a schedule of crash times keeps every exclusion /
+/// reconfiguration above the majority threshold, assuming generously spaced
+/// crashes get excluded before the next one hits.  Conservative: used only
+/// to decide whether to assert GMP-5 convergence.
+bool liveness_expected(size_t n, std::vector<Tick> crash_times, Tick spacing) {
+  std::sort(crash_times.begin(), crash_times.end());
+  size_t view = n;
+  for (size_t i = 0; i < crash_times.size(); ++i) {
+    // Crashes closer together than `spacing` are treated as a burst hitting
+    // one view.
+    size_t burst = 1;
+    while (i + 1 < crash_times.size() && crash_times[i + 1] - crash_times[i] < spacing) {
+      ++burst;
+      ++i;
+    }
+    size_t alive = view - burst;
+    if (alive + 0 < view / 2 + 1) return false;  // below mu(view)
+    view = alive;
+    if (view == 0) return false;
+  }
+  return view >= 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Family 1: spaced churn — liveness and safety must both hold.
+// ---------------------------------------------------------------------------
+
+class SpacedChurn : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpacedChurn, ConvergesAndStaysSafe) {
+  Rng rng(GetParam() * 7919 + 13);
+  const size_t n = 3 + rng.below(8);  // 3..10
+  ClusterOptions o;
+  o.n = n;
+  o.seed = GetParam();
+  Cluster c(o);
+
+  // Crash a strict-minority-per-view sequence with generous spacing.
+  size_t max_crashes = (n - 1) / 2 + (n > 4 ? 1 : 0);
+  size_t crashes = rng.below(max_crashes + 1);
+  std::vector<ProcessId> order;
+  for (ProcessId p = 0; p < n; ++p) order.push_back(p);
+  // Deterministic shuffle.
+  for (size_t i = order.size(); i > 1; --i) std::swap(order[i - 1], order[rng.below(i)]);
+  std::vector<Tick> times;
+  Tick t = 200;
+  for (size_t i = 0; i < crashes; ++i) {
+    times.push_back(t);
+    t += 4000;
+  }
+  if (!liveness_expected(n, times, 3000)) crashes = 0;  // keep family green
+  for (size_t i = 0; i < crashes; ++i) c.crash_at(times[i], order[i]);
+
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto result = c.check();
+  EXPECT_TRUE(result.ok()) << "seed=" << GetParam() << " n=" << n << "\n"
+                           << result.message() << c.recorder().dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpacedChurn, ::testing::Range<uint64_t>(0, 250));
+
+// ---------------------------------------------------------------------------
+// Family 2: crash bursts at arbitrary times — safety only.
+// ---------------------------------------------------------------------------
+
+class BurstSafety : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BurstSafety, NeverDiverges) {
+  Rng rng(GetParam() * 104729 + 7);
+  const size_t n = 3 + rng.below(8);
+  ClusterOptions o;
+  o.n = n;
+  o.seed = GetParam() + 1'000'000;
+  Cluster c(o);
+
+  size_t crashes = 1 + rng.below(n - 1);  // 1 .. n-1, may destroy majority
+  std::vector<ProcessId> order;
+  for (ProcessId p = 0; p < n; ++p) order.push_back(p);
+  for (size_t i = order.size(); i > 1; --i) std::swap(order[i - 1], order[rng.below(i)]);
+  for (size_t i = 0; i < crashes; ++i) {
+    c.crash_at(100 + rng.below(1500), order[i]);
+  }
+
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  trace::CheckOptions co;
+  co.check_liveness = false;
+  auto result = c.check(co);
+  EXPECT_TRUE(result.ok()) << "seed=" << GetParam() << " n=" << n << "\n"
+                           << result.message() << c.recorder().dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BurstSafety, ::testing::Range<uint64_t>(0, 300));
+
+// ---------------------------------------------------------------------------
+// Family 3: joins interleaved with crashes — safety always, liveness when
+// the majority precondition holds.
+// ---------------------------------------------------------------------------
+
+class JoinChurn : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinChurn, SafeUnderAdmissionChurn) {
+  Rng rng(GetParam() * 65537 + 3);
+  const size_t n = 3 + rng.below(5);  // 3..7 initial
+  ClusterOptions o;
+  o.n = n;
+  o.seed = GetParam() + 2'000'000;
+  Cluster c(o);
+
+  const size_t joiners = 1 + rng.below(3);
+  for (size_t j = 0; j < joiners; ++j) {
+    ProcessId contact = static_cast<ProcessId>(rng.below(n));
+    c.add_joiner(static_cast<ProcessId>(100 + j), {contact});
+  }
+  // One or two crashes, possibly including the Mgr, spaced into the joins.
+  size_t crashes = rng.below(2) + 1;
+  for (size_t i = 0; i < crashes && i + 1 < n; ++i) {
+    c.crash_at(150 + rng.below(2500), static_cast<ProcessId>(rng.below(n)));
+  }
+
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  trace::CheckOptions co;
+  co.check_liveness = false;  // crash subsets may repeat / hit majority
+  auto result = c.check(co);
+  EXPECT_TRUE(result.ok()) << "seed=" << GetParam() << " n=" << n << "\n"
+                           << result.message() << c.recorder().dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinChurn, ::testing::Range<uint64_t>(0, 250));
+
+// ---------------------------------------------------------------------------
+// Family 4: false suspicions (no real crash) — GMP-5's bilateral rule must
+// resolve every suspicion without ever breaking agreement.
+// ---------------------------------------------------------------------------
+
+class FalseSuspicion : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FalseSuspicion, BilateralResolutionStaysSafe) {
+  Rng rng(GetParam() * 2654435761 + 11);
+  const size_t n = 4 + rng.below(6);  // 4..9
+  ClusterOptions o;
+  o.n = n;
+  o.seed = GetParam() + 3'000'000;
+  Cluster c(o);
+
+  const size_t accusations = 1 + rng.below(3);
+  for (size_t i = 0; i < accusations; ++i) {
+    ProcessId a = static_cast<ProcessId>(rng.below(n));
+    ProcessId b = static_cast<ProcessId>(rng.below(n));
+    if (a == b) continue;
+    c.suspect_at(100 + rng.below(800), a, b);
+  }
+
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  trace::CheckOptions co;
+  co.check_liveness = false;
+  auto result = c.check(co);
+  EXPECT_TRUE(result.ok()) << "seed=" << GetParam() << " n=" << n << "\n"
+                           << result.message() << c.recorder().dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FalseSuspicion, ::testing::Range<uint64_t>(0, 250));
+
+// ---------------------------------------------------------------------------
+// Family 5: everything at once — crashes, joins, and false suspicions on
+// random schedules.  The broadest adversary; safety only.
+// ---------------------------------------------------------------------------
+
+class ChaosMonkey : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosMonkey, FullChurnNeverDiverges) {
+  Rng rng(GetParam() * 40503 + 19);
+  const size_t n = 4 + rng.below(6);
+  ClusterOptions o;
+  o.n = n;
+  o.seed = GetParam() + 4'000'000;
+  o.delays.max_delay = 1 + rng.below(64);  // vary network adversity too
+  Cluster c(o);
+
+  for (size_t j = 0; j < 1 + rng.below(2); ++j) {
+    c.add_joiner(static_cast<ProcessId>(100 + j),
+                 {static_cast<ProcessId>(rng.below(n))});
+  }
+  for (size_t i = 0; i < rng.below(n); ++i) {
+    c.crash_at(100 + rng.below(4000), static_cast<ProcessId>(rng.below(n)));
+  }
+  for (size_t i = 0; i < rng.below(3); ++i) {
+    ProcessId a = static_cast<ProcessId>(rng.below(n));
+    ProcessId b = static_cast<ProcessId>(rng.below(n));
+    if (a != b) c.suspect_at(100 + rng.below(4000), a, b);
+  }
+
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  trace::CheckOptions co;
+  co.check_liveness = false;
+  auto result = c.check(co);
+  EXPECT_TRUE(result.ok()) << "seed=" << GetParam() << " n=" << n << "\n"
+                           << result.message() << c.recorder().dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosMonkey, ::testing::Range<uint64_t>(0, 400));

@@ -1,0 +1,236 @@
+// Unit tests for the pure reconfiguration decision procedures
+// Determine / GetStable / GetNext / ProposalsForVer (Fig 6), exercised
+// directly on hand-built Phase I response sets — including the paper's own
+// scenarios: invisible commits (S4.4), competing proposals and the
+// stably-defined choice (Prop 5.5/5.6), and version-window cases L/S.
+#include <gtest/gtest.h>
+
+#include "gmp/reconfig_logic.hpp"
+
+using namespace gmpx;
+using namespace gmpx::gmp;
+
+namespace {
+
+PhaseIResponse resp(ProcessId from, ViewVersion ver, std::vector<SeqEntry> seq = {},
+                    std::vector<NextEntry> next = {}) {
+  return PhaseIResponse{from, ver, std::move(seq), std::move(next)};
+}
+
+NextEntry plan(Op op, ProcessId target, ProcessId coord, ViewVersion v) {
+  return NextEntry{op, target, coord, v, false};
+}
+
+NextEntry placeholder(ProcessId coord) { return NextEntry{Op::kRemove, kNilId, coord, 0, true}; }
+
+NextEntry nil_plan(ProcessId coord, ViewVersion v) {
+  return NextEntry{Op::kRemove, kNilId, coord, v, false};
+}
+
+const SeniorityOrder kOrder{0, 1, 2, 3, 4};  // 0 most senior (Mgr)
+
+}  // namespace
+
+TEST(ProposalsForVer, IgnoresPlaceholdersAndNilPlans) {
+  std::vector<PhaseIResponse> rs{
+      resp(1, 3, {}, {placeholder(2), nil_plan(0, 4)}),
+      resp(2, 3, {}, {plan(Op::kRemove, 4, 0, 4)}),
+  };
+  auto props = proposals_for_version(rs, 4);
+  ASSERT_EQ(props.size(), 1u);
+  EXPECT_EQ(props[0], (Proposal{Op::kRemove, 4}));
+}
+
+TEST(ProposalsForVer, DeduplicatesIdenticalProposals) {
+  std::vector<PhaseIResponse> rs{
+      resp(1, 3, {}, {plan(Op::kRemove, 4, 0, 4)}),
+      resp(2, 3, {}, {plan(Op::kRemove, 4, 0, 4)}),
+  };
+  EXPECT_EQ(proposals_for_version(rs, 4).size(), 1u);
+}
+
+TEST(ProposalsForVer, DistinguishesVersions) {
+  std::vector<PhaseIResponse> rs{
+      resp(1, 3, {}, {plan(Op::kRemove, 4, 0, 4), plan(Op::kRemove, 0, 1, 5)}),
+  };
+  EXPECT_EQ(proposals_for_version(rs, 4).size(), 1u);
+  EXPECT_EQ(proposals_for_version(rs, 5).size(), 1u);
+  EXPECT_TRUE(proposals_for_version(rs, 6).empty());
+}
+
+TEST(GetStable, PicksLowestRankedProposer) {
+  // Mgr 0 proposed removing 4; reconfigurer 1 proposed removing 0 — for the
+  // same version.  Prop 5.6: only the junior proposer's plan can have been
+  // committed invisibly; GetStable must return it.
+  std::vector<PhaseIResponse> rs{
+      resp(2, 3, {}, {plan(Op::kRemove, 4, 0, 4)}),
+      resp(3, 3, {}, {plan(Op::kRemove, 0, 1, 4)}),
+  };
+  EXPECT_EQ(get_stable(rs, 4, kOrder), (Proposal{Op::kRemove, 0}));
+}
+
+TEST(GetStable, UnknownProposerTreatedAsMostJunior) {
+  std::vector<PhaseIResponse> rs{
+      resp(2, 3, {}, {plan(Op::kRemove, 4, 0, 4)}),
+      resp(3, 3, {}, {plan(Op::kRemove, 0, 99, 4)}),  // 99 not in the order
+  };
+  EXPECT_EQ(get_stable(rs, 4, kOrder), (Proposal{Op::kRemove, 0}));
+}
+
+TEST(GetNext, JoinsServedBeforeRemovals) {
+  PendingWork w;
+  w.recovered = {30};
+  w.faulty = {2};
+  EXPECT_EQ(get_next(w, kNilId), (Proposal{Op::kAdd, 30}));
+}
+
+TEST(GetNext, LowestIdFirstAndExclusion) {
+  PendingWork w;
+  w.faulty = {4, 2, 3};
+  EXPECT_EQ(get_next(w, kNilId), (Proposal{Op::kRemove, 2}));
+  EXPECT_EQ(get_next(w, 2), (Proposal{Op::kRemove, 3}));
+}
+
+TEST(GetNext, EmptyWhenIdle) {
+  EXPECT_FALSE(get_next(PendingWork{}, kNilId).defined());
+}
+
+// ---- Determine: the three arms of Fig 6 ----
+
+TEST(Determine, AllSameVersionNoProposals_RemovesMgr) {
+  // L = S = 0, no plans discovered: propose the crashed coordinator's
+  // removal (line D.4).
+  std::vector<PhaseIResponse> rs{resp(1, 0), resp(2, 0), resp(3, 0)};
+  PendingWork w;
+  w.faulty = {0};
+  auto d = determine(rs, 1, 0, /*mgr=*/0, kOrder, w);
+  EXPECT_EQ(d.version, 1u);
+  ASSERT_EQ(d.rl_ops.size(), 1u);
+  EXPECT_EQ(d.rl_ops[0], (SeqEntry{Op::kRemove, 0, 1}));
+  EXPECT_FALSE(d.invis.defined());  // nothing else pending
+}
+
+TEST(Determine, AllSameVersionOneProposal_PropagatesIt) {
+  // The old Mgr had invited remove(4) ("?1") before dying: respondents hold
+  // (remove(4) : 0 : 1) in next() — the invisible-commit candidate.
+  std::vector<PhaseIResponse> rs{
+      resp(1, 0),
+      resp(2, 0, {}, {plan(Op::kRemove, 4, 0, 1)}),
+      resp(3, 0),
+  };
+  PendingWork w;
+  w.faulty = {0, 4};
+  auto d = determine(rs, 1, 0, 0, kOrder, w);
+  EXPECT_EQ(d.version, 1u);
+  ASSERT_EQ(d.rl_ops.size(), 1u);
+  EXPECT_EQ(d.rl_ops[0], (SeqEntry{Op::kRemove, 4, 1}));
+  // invis falls back to GetNext excluding the RL target: remove(0).
+  EXPECT_EQ(d.invis, (Proposal{Op::kRemove, 0}));
+}
+
+TEST(Determine, TwoProposals_GetStableChoosesJuniorPlan) {
+  // Both the Mgr's plan (remove 4) and a dead reconfigurer p1's plan
+  // (remove 0) survive in respondents' next() — line D.6.
+  std::vector<PhaseIResponse> rs{
+      resp(2, 0, {}, {plan(Op::kRemove, 4, 0, 1)}),
+      resp(3, 0, {}, {plan(Op::kRemove, 0, 1, 1)}),
+      resp(4, 0),
+  };
+  PendingWork w;
+  w.faulty = {0, 1};
+  auto d = determine(rs, 2, 0, 0, kOrder, w);
+  EXPECT_EQ(d.version, 1u);
+  ASSERT_EQ(d.rl_ops.size(), 1u);
+  EXPECT_EQ(d.rl_ops[0], (SeqEntry{Op::kRemove, 0, 1}));  // junior plan wins
+}
+
+TEST(Determine, RespondentAhead_CatchUpOp) {
+  // L != 0: p2 already installed v1 = remove(4); the initiator (at v0)
+  // must re-propose exactly that op (D.0).
+  std::vector<PhaseIResponse> rs{
+      resp(1, 0),
+      resp(2, 1, {{Op::kRemove, 4, 1}}, {nil_plan(0, 2)}),
+      resp(3, 0),
+  };
+  PendingWork w;
+  w.faulty = {0};
+  auto d = determine(rs, 1, 0, 0, kOrder, w);
+  EXPECT_EQ(d.version, 1u);
+  ASSERT_EQ(d.rl_ops.size(), 1u);
+  EXPECT_EQ(d.rl_ops[0], (SeqEntry{Op::kRemove, 4, 1}));
+  EXPECT_EQ(d.invis, (Proposal{Op::kRemove, 0}));
+}
+
+TEST(Determine, RespondentBehind_ReplaysInitiatorsLastOp) {
+  // S != 0: the initiator (v1) holds the freshest view; the laggard (v0)
+  // missed remove(4).  RL replays it; the initiator must not re-apply.
+  std::vector<PhaseIResponse> rs{
+      resp(1, 1, {{Op::kRemove, 4, 1}}),
+      resp(2, 0),
+      resp(3, 1, {{Op::kRemove, 4, 1}}),
+  };
+  PendingWork w;
+  w.faulty = {0};
+  auto d = determine(rs, 1, 1, 0, kOrder, w);
+  EXPECT_EQ(d.version, 1u);
+  ASSERT_EQ(d.rl_ops.size(), 1u);
+  EXPECT_EQ(d.rl_ops[0], (SeqEntry{Op::kRemove, 4, 1}));
+}
+
+TEST(Determine, SpreadOfTwoVersions_TwoCatchUpOps) {
+  // Both L and S nonempty: the RL must suture versions min+1..max.
+  std::vector<PhaseIResponse> rs{
+      resp(1, 1, {{Op::kRemove, 4, 1}}),
+      resp(2, 0),
+      resp(3, 2, {{Op::kRemove, 4, 1}, {Op::kRemove, 3, 2}}),
+  };
+  auto d = determine(rs, 1, 1, 0, kOrder, PendingWork{});
+  EXPECT_EQ(d.version, 2u);
+  ASSERT_EQ(d.rl_ops.size(), 2u);
+  EXPECT_EQ(d.rl_ops[0], (SeqEntry{Op::kRemove, 4, 1}));
+  EXPECT_EQ(d.rl_ops[1], (SeqEntry{Op::kRemove, 3, 2}));
+}
+
+TEST(Determine, PropagatesContingentPlanForNextVersion) {
+  // The freshest respondent already knows Mgr's contingent plan for v+1:
+  // invis must propagate it rather than inventing new work.
+  std::vector<PhaseIResponse> rs{
+      resp(1, 1, {{Op::kRemove, 4, 1}}, {plan(Op::kRemove, 3, 0, 2)}),
+      resp(2, 1, {{Op::kRemove, 4, 1}}, {plan(Op::kRemove, 3, 0, 2)}),
+  };
+  PendingWork w;
+  w.faulty = {0};
+  auto d = determine(rs, 1, 1, 0, kOrder, w);
+  EXPECT_EQ(d.version, 2u);
+  ASSERT_EQ(d.rl_ops.size(), 1u);
+  EXPECT_EQ(d.rl_ops[0].target, 3u);
+  // invis: proposals for v3 are empty -> GetNext -> remove(0).
+  EXPECT_EQ(d.invis, (Proposal{Op::kRemove, 0}));
+}
+
+TEST(Determine, JoinProposalPropagates) {
+  // A half-committed add must survive reconfiguration identically.
+  std::vector<PhaseIResponse> rs{
+      resp(1, 0, {}, {plan(Op::kAdd, 30, 0, 1)}),
+      resp(2, 0),
+  };
+  PendingWork w;
+  w.faulty = {0};
+  auto d = determine(rs, 1, 0, 0, kOrder, w);
+  ASSERT_EQ(d.rl_ops.size(), 1u);
+  EXPECT_EQ(d.rl_ops[0], (SeqEntry{Op::kAdd, 30, 1}));
+  EXPECT_EQ(d.invis, (Proposal{Op::kRemove, 0}));
+}
+
+TEST(Determine, InvisNeverDuplicatesRlTarget) {
+  std::vector<PhaseIResponse> rs{
+      resp(1, 0, {}, {plan(Op::kRemove, 0, 1, 1)}),
+      resp(2, 0),
+  };
+  PendingWork w;
+  w.faulty = {0};  // pending work names the RL target only
+  auto d = determine(rs, 1, 0, 0, kOrder, w);
+  ASSERT_EQ(d.rl_ops.size(), 1u);
+  EXPECT_EQ(d.rl_ops[0].target, 0u);
+  EXPECT_FALSE(d.invis.defined());
+}

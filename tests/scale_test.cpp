@@ -1,0 +1,105 @@
+// Scale tests: the protocol at group sizes well beyond the paper's era —
+// correctness and convergence with n up to 64, mass bursts, long exclusion
+// streams, and many concurrent joiners.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+
+using namespace gmpx;
+using harness::Cluster;
+using harness::ClusterOptions;
+
+namespace {
+ClusterOptions opts(size_t n, uint64_t seed) {
+  ClusterOptions o;
+  o.n = n;
+  o.seed = seed;
+  return o;
+}
+}  // namespace
+
+TEST(Scale, SingleExclusionAt64) {
+  Cluster c(opts(64, 9001));
+  c.start();
+  c.crash_at(100, 63);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message();
+  EXPECT_EQ(c.node(0).view().size(), 63u);
+  EXPECT_EQ(c.node(0).view().version(), 1u);
+}
+
+TEST(Scale, ReconfigurationAt64) {
+  Cluster c(opts(64, 9003));
+  c.start();
+  c.crash_at(100, 0);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message();
+  EXPECT_TRUE(c.node(1).is_mgr());
+  EXPECT_EQ(c.node(1).view().size(), 63u);
+}
+
+TEST(Scale, MinorityBurstAt48) {
+  // 23 of 48 crash at once: one short of the majority threshold; the
+  // survivors must converge (every intermediate view keeps mu).
+  Cluster c(opts(48, 9005));
+  c.start();
+  for (ProcessId p = 25; p < 48; ++p) c.crash_at(100 + p, p);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message();
+  std::vector<ProcessId> expect;
+  for (ProcessId p = 0; p < 25; ++p) expect.push_back(p);
+  EXPECT_EQ(c.node(0).view().sorted_members(), expect);
+  EXPECT_EQ(c.node(0).view().version(), 23u);
+}
+
+TEST(Scale, LongExclusionStreamWithSuccessions) {
+  // 16 processes die one by one, including every sitting coordinator in
+  // turn: exclusions and reconfigurations interleave down to a quorum-able
+  // core.
+  Cluster c(opts(24, 9007));
+  c.start();
+  Tick t = 200;
+  for (ProcessId p = 0; p < 11; ++p) {  // kill coordinators first: 0,1,2,...
+    c.crash_at(t, p);
+    t += 3000;
+  }
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message();
+  EXPECT_TRUE(c.node(11).is_mgr());
+  EXPECT_EQ(c.node(11).view().size(), 13u);
+}
+
+TEST(Scale, TenConcurrentJoiners) {
+  Cluster c(opts(5, 9009));
+  for (ProcessId j = 0; j < 10; ++j) {
+    c.add_joiner(100 + j, {static_cast<ProcessId>(j % 5)});
+  }
+  c.start();
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message();
+  EXPECT_EQ(c.node(0).view().size(), 15u);
+  EXPECT_EQ(c.node(0).view().version(), 10u);
+  for (ProcessId j = 0; j < 10; ++j) EXPECT_TRUE(c.node(100 + j).admitted());
+}
+
+TEST(Scale, JoinersAndDeathsInterleavedAt32) {
+  Cluster c(opts(32, 9011));
+  for (ProcessId j = 0; j < 6; ++j) c.add_joiner(100 + j, {1, 2});
+  c.start();
+  Tick t = 150;
+  for (ProcessId p = 26; p < 32; ++p) {
+    c.crash_at(t, p);
+    t += 2500;
+  }
+  c.crash_at(t, 0);  // and finally the coordinator
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message();
+  EXPECT_TRUE(c.node(1).is_mgr());
+  EXPECT_EQ(c.node(1).view().size(), 32u - 7u + 6u);
+}

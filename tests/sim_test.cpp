@@ -1,0 +1,211 @@
+// Unit tests for the discrete-event simulator: determinism, FIFO channels,
+// crash semantics, timers, partitions, metering.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/world.hpp"
+
+using namespace gmpx;
+using sim::DelayModel;
+using sim::SimWorld;
+
+namespace {
+
+/// Records every packet it receives; optionally echoes.
+struct Probe : Actor {
+  std::vector<Packet> received;
+  std::vector<Tick> recv_times;
+  std::function<void(Context&, const Packet&)> on_recv;
+
+  void on_packet(Context& ctx, const Packet& p) override {
+    received.push_back(p);
+    recv_times.push_back(ctx.now());
+    if (on_recv) on_recv(ctx, p);
+  }
+};
+
+Packet make(ProcessId to, uint32_t kind, uint8_t tag = 0) {
+  return Packet{kNilId, to, kind, {tag}};
+}
+
+}  // namespace
+
+TEST(Sim, FifoPerChannel) {
+  SimWorld w(7, DelayModel{1, 64});  // big jitter to stress FIFO enforcement
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.at(1, [&] {
+    Context* c = w.context_of(0);
+    for (uint8_t i = 0; i < 50; ++i) c->send(make(1, 9, i));
+  });
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(b.received.size(), 50u);
+  for (uint8_t i = 0; i < 50; ++i) EXPECT_EQ(b.received[i].bytes[0], i);
+}
+
+TEST(Sim, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    SimWorld w(seed, DelayModel{1, 32});
+    Probe a, b;
+    w.add_actor(0, &a);
+    w.add_actor(1, &b);
+    b.on_recv = [](Context& ctx, const Packet& p) {
+      if (p.bytes[0] < 10) ctx.send(Packet{0, 0, 9, {uint8_t(p.bytes[0] + 1)}});
+    };
+    a.on_recv = [](Context& ctx, const Packet& p) {
+      if (p.bytes[0] < 10) ctx.send(Packet{0, 1, 9, {uint8_t(p.bytes[0] + 1)}});
+    };
+    w.start();
+    w.at(0, [&] { w.context_of(0)->send(Packet{0, 1, 9, {0}}); });
+    w.run_until_idle();
+    return std::make_pair(w.now(), a.recv_times);
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // different seed, different schedule
+}
+
+TEST(Sim, MessagesToCrashedProcessVanish) {
+  SimWorld w(1);
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.crash_at(5, 1);
+  w.at(10, [&] { w.context_of(0)->send(make(1, 9)); });
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_TRUE(w.crashed(1));
+}
+
+TEST(Sim, InFlightMessagesFromCrashedProcessStillDeliver) {
+  // quit_p semantics: p's past sends are not retracted by its crash.
+  SimWorld w(1, DelayModel{10, 10});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.at(1, [&] { w.context_of(0)->send(make(1, 9)); });
+  w.crash_at(2, 0);  // crashes while the message is in flight
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Sim, CrashedProcessTimersNeverFire) {
+  SimWorld w(1);
+  Probe a;
+  int fired = 0;
+  a.on_recv = [&](Context& ctx, const Packet&) {
+    ctx.set_timer(100, [&] { ++fired; });
+  };
+  w.add_actor(0, &a);
+  w.add_actor(1, &a);  // sender
+  w.start();
+  w.at(1, [&] { w.context_of(1)->send(make(0, 9)); });
+  w.crash_at(50, 0);
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Sim, TimerCancellation) {
+  SimWorld w(1);
+  Probe a;
+  w.add_actor(0, &a);
+  w.start();
+  int fired = 0;
+  w.at(1, [&] {
+    Context* c = w.context_of(0);
+    TimerId t1 = c->set_timer(10, [&] { ++fired; });
+    c->set_timer(20, [&] { ++fired; });
+    c->cancel_timer(t1);
+  });
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Sim, PartitionHoldsThenHealReleasesInOrder) {
+  SimWorld w(3, DelayModel{1, 8});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.partition({0}, {1});
+  w.at(1, [&] {
+    Context* c = w.context_of(0);
+    for (uint8_t i = 0; i < 5; ++i) c->send(make(1, 9, i));
+  });
+  w.run_until(1000);
+  EXPECT_TRUE(b.received.empty());  // held, not dropped (asynchrony model)
+  w.at(1001, [&] { w.heal_partition(); });
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(b.received.size(), 5u);
+  for (uint8_t i = 0; i < 5; ++i) EXPECT_EQ(b.received[i].bytes[0], i);
+}
+
+TEST(Sim, MeterCountsByKindAndRange) {
+  SimWorld w(1);
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.at(1, [&] {
+    Context* c = w.context_of(0);
+    c->send(make(1, 12));
+    c->send(make(1, 12));
+    c->send(make(1, 20));
+  });
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_EQ(w.meter().total(), 3u);
+  EXPECT_EQ(w.meter().of_kind(12), 2u);
+  EXPECT_EQ(w.meter().of_kind(20), 1u);
+  EXPECT_EQ(w.meter().in_kind_range(12, 15), 2u);
+  EXPECT_EQ(w.meter().in_kind_range(20, 24), 1u);
+  w.meter().reset();
+  EXPECT_EQ(w.meter().total(), 0u);
+}
+
+TEST(Sim, RunUntilAdvancesTimeWithoutEvents) {
+  SimWorld w(1);
+  Probe a;
+  w.add_actor(0, &a);
+  w.start();
+  w.run_until(12345);
+  EXPECT_EQ(w.now(), 12345u);
+}
+
+TEST(Sim, ContextQuitStopsDeliveryAndFiresHook) {
+  SimWorld w(1);
+  Probe a, b;
+  ProcessId crashed = kNilId;
+  Tick when = 0;
+  w.set_crash_hook([&](ProcessId p, Tick t) {
+    crashed = p;
+    when = t;
+  });
+  a.on_recv = [](Context& ctx, const Packet&) { ctx.quit(); };
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.at(7, [&] { w.context_of(1)->send(make(0, 9)); });
+  w.at(50, [&] {
+    if (Context* c = w.context_of(1)) c->send(make(0, 9));
+  });
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_EQ(a.received.size(), 1u);  // second message dropped after quit
+  EXPECT_EQ(crashed, 0u);
+  EXPECT_GE(when, 7u);
+}
+
+TEST(Sim, AliveListsSurvivors) {
+  SimWorld w(1);
+  Probe a, b, c;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.add_actor(2, &c);
+  w.start();
+  w.crash_at(10, 1);
+  w.run_until_idle();
+  EXPECT_EQ(w.alive(), (std::vector<ProcessId>{0, 2}));
+}

@@ -1,0 +1,95 @@
+// Unit tests for View: seniority order, rank relations, apply semantics,
+// majority cardinalities (the S7 facts 7.1-7.3 and Prop 7.1).
+#include <gtest/gtest.h>
+
+#include "gmp/view.hpp"
+
+using namespace gmpx;
+using gmp::View;
+
+TEST(View, InitialState) {
+  View v({3, 1, 2});
+  EXPECT_EQ(v.version(), 0u);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_TRUE(v.contains(1));
+  EXPECT_FALSE(v.contains(9));
+  EXPECT_EQ(v.most_senior(), 3u);  // seniority order as given, not by id
+  EXPECT_EQ(v.sorted_members(), (std::vector<ProcessId>{1, 2, 3}));
+}
+
+TEST(View, SeniorityRelations) {
+  View v({0, 1, 2, 3});
+  EXPECT_TRUE(v.more_senior(0, 3));
+  EXPECT_TRUE(v.more_senior(1, 2));
+  EXPECT_FALSE(v.more_senior(2, 1));
+  EXPECT_EQ(v.more_senior_than(0), (std::vector<ProcessId>{}));
+  EXPECT_EQ(v.more_senior_than(2), (std::vector<ProcessId>{0, 1}));
+  EXPECT_EQ(v.more_senior_than(3), (std::vector<ProcessId>{0, 1, 2}));
+}
+
+TEST(View, RemovePreservesRelativeOrderAndBumpsVersion) {
+  View v({0, 1, 2, 3});
+  v.apply(Op::kRemove, 1);
+  EXPECT_EQ(v.version(), 1u);
+  EXPECT_EQ(v.members(), (std::vector<ProcessId>{0, 2, 3}));
+  // "While p and q are in the same system views, their relative ranking
+  // will not change" (S4.2).
+  EXPECT_TRUE(v.more_senior(0, 2));
+  EXPECT_TRUE(v.more_senior(2, 3));
+}
+
+TEST(View, AddAppendsAsMostJunior) {
+  View v({0, 1});
+  v.apply(Op::kAdd, 9);
+  EXPECT_EQ(v.version(), 1u);
+  EXPECT_EQ(v.members(), (std::vector<ProcessId>{0, 1, 9}));
+  EXPECT_EQ(v.more_senior_than(9), (std::vector<ProcessId>{0, 1}));
+}
+
+TEST(View, AddIsIdempotentOnMembership) {
+  View v({0});
+  v.apply(Op::kAdd, 0);  // degenerate; must not duplicate
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(View, SeniorityIndex) {
+  View v({5, 6, 7});
+  EXPECT_EQ(v.seniority_index(5), 0);
+  EXPECT_EQ(v.seniority_index(7), 2);
+  EXPECT_EQ(v.seniority_index(99), -1);
+}
+
+// Majority facts from S7 used by the correctness argument.
+TEST(View, MajorityCardinalities) {
+  EXPECT_EQ(View::majority(1), 1u);
+  EXPECT_EQ(View::majority(2), 2u);
+  EXPECT_EQ(View::majority(3), 2u);
+  EXPECT_EQ(View::majority(4), 3u);
+  EXPECT_EQ(View::majority(5), 3u);
+  EXPECT_EQ(View::majority(6), 4u);
+  EXPECT_EQ(View::majority(7), 4u);
+}
+
+TEST(View, Fact71EvenSets) {
+  // |S| even => 2*mu(S) = |S| + 2.
+  for (size_t s = 2; s <= 64; s += 2) EXPECT_EQ(2 * View::majority(s), s + 2);
+}
+
+TEST(View, Fact72OddSets) {
+  // |S| odd => 2*mu(S) = |S| + 1.
+  for (size_t s = 1; s <= 63; s += 2) EXPECT_EQ(2 * View::majority(s), s + 1);
+}
+
+TEST(View, Prop71NeighbouringMajoritiesIntersect) {
+  // |S'| = |S|+1 => mu(S) + mu(S') > |S'|: majority subsets of neighbouring
+  // views must share a process — the keystone of GMP-2/GMP-3 (S7).
+  for (size_t s = 1; s <= 64; ++s) {
+    EXPECT_GT(View::majority(s) + View::majority(s + 1), s + 1) << "s=" << s;
+  }
+}
+
+TEST(View, EmptyView) {
+  View v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.most_senior(), kNilId);
+}

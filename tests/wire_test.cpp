@@ -1,0 +1,321 @@
+// Wire-level round tests: drive complete coordinator and reconfigurer
+// rounds through a fake context and assert the exact message sequence the
+// paper's figures prescribe — including the compressed chain (Fig 1/8) and
+// the three reconfiguration phases (Fig 5/10).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "gmp/messages.hpp"
+#include "gmp/node.hpp"
+
+using namespace gmpx;
+using namespace gmpx::gmp;
+
+namespace {
+
+struct FakeCtx : Context {
+  ProcessId id = 0;
+  Tick t = 0;
+  std::vector<Packet> sent;
+  bool quit_called = false;
+  uint64_t next_timer = 1;
+
+  ProcessId self() const override { return id; }
+  Tick now() const override { return t; }
+  void send(Packet p) override {
+    p.from = id;
+    sent.push_back(std::move(p));
+  }
+  TimerId set_timer(Tick, std::function<void()>) override { return next_timer++; }
+  void cancel_timer(TimerId) override {}
+  void quit() override { quit_called = true; }
+
+  std::vector<Packet> of_kind(uint32_t k) const {
+    std::vector<Packet> out;
+    for (const auto& p : sent)
+      if (p.kind == k) out.push_back(p);
+    return out;
+  }
+  void clear() { sent.clear(); }
+};
+
+Packet from(ProcessId sender, Packet p) {
+  p.from = sender;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Coordinator wire sequences
+// ---------------------------------------------------------------------------
+
+TEST(Wire, FullTwoPhaseExclusionSequence) {
+  // n=5 exclusion of p4: invite to 4 others, commit to the 3 survivors,
+  // 3n-5 = 10 protocol messages from the Mgr's side plus 3 incoming OKs.
+  FakeCtx ctx;
+  ctx.id = 0;
+  GmpNode n(0, [] {
+    Config c;
+    c.initial_members = {0, 1, 2, 3, 4};
+    return c;
+  }());
+  n.on_start(ctx);
+  n.suspect(ctx, 4);
+  ASSERT_EQ(ctx.of_kind(kind::kInvite).size(), 4u);  // "?1" to 1,2,3,4
+  // OKs from the three live outers.
+  for (ProcessId p : {1u, 2u, 3u}) {
+    n.on_packet(ctx, from(p, InviteOk{1, 4}.to_packet(0)));
+  }
+  auto commits = ctx.of_kind(kind::kCommit);
+  ASSERT_EQ(commits.size(), 3u);  // "!1" to 1,2,3 (the new view minus Mgr)
+  auto c = Commit::decode(commits[0]);
+  EXPECT_EQ(c.op, Op::kRemove);
+  EXPECT_EQ(c.target, 4u);
+  EXPECT_EQ(c.version, 1u);
+  EXPECT_EQ(c.next_target, kNilId);  // nothing pending: no contingency
+  EXPECT_TRUE(c.faulty.empty());
+  EXPECT_EQ(n.view().version(), 1u);
+  EXPECT_EQ(ctx.sent.size(), 7u);  // 4 invites + 3 commits = 3n-5 - OKs
+}
+
+TEST(Wire, CompressedChainSkipsSecondInvite) {
+  // Two pending suspicions: the second round must be invited by the first
+  // commit's contingency, with NO second Invite broadcast (Fig 1).
+  FakeCtx ctx;
+  ctx.id = 0;
+  GmpNode n(0, [] {
+    Config c;
+    c.initial_members = {0, 1, 2, 3, 4};
+    return c;
+  }());
+  n.on_start(ctx);
+  n.suspect(ctx, 3);
+  n.suspect(ctx, 4);  // arrives while round 1 is collecting OKs
+  ASSERT_EQ(ctx.of_kind(kind::kInvite).size(), 4u);  // round 1 only
+  for (ProcessId p : {1u, 2u}) {
+    n.on_packet(ctx, from(p, InviteOk{1, 3}.to_packet(0)));
+  }
+  // Round 1 committed; its commit carries Contingent(remove(4)).
+  auto commits = ctx.of_kind(kind::kCommit);
+  ASSERT_EQ(commits.size(), 3u);
+  auto c1 = Commit::decode(commits[0]);
+  EXPECT_EQ(c1.target, 3u);
+  EXPECT_EQ(c1.next_op, Op::kRemove);
+  EXPECT_EQ(c1.next_target, 4u);
+  EXPECT_EQ(ctx.of_kind(kind::kInvite).size(), 4u);  // STILL only round 1's
+  // OKs for the contingent invitation complete round 2.
+  for (ProcessId p : {1u, 2u}) {
+    n.on_packet(ctx, from(p, InviteOk{2, 4}.to_packet(0)));
+  }
+  commits = ctx.of_kind(kind::kCommit);
+  ASSERT_EQ(commits.size(), 5u);  // + commit of v2 to {1,2}
+  auto c2 = Commit::decode(commits[3]);
+  EXPECT_EQ(c2.target, 4u);
+  EXPECT_EQ(c2.version, 2u);
+  EXPECT_EQ(c2.next_target, kNilId);
+  EXPECT_EQ(n.view().sorted_members(), (std::vector<ProcessId>{0, 1, 2}));
+}
+
+TEST(Wire, AddRoundSendsViewTransferNotCommitToJoiner) {
+  FakeCtx ctx;
+  ctx.id = 0;
+  GmpNode n(0, [] {
+    Config c;
+    c.initial_members = {0, 1, 2};
+    return c;
+  }());
+  n.on_start(ctx);
+  n.on_packet(ctx, from(9, JoinRequest{9, false}.to_packet(0)));
+  ASSERT_EQ(ctx.of_kind(kind::kInvite).size(), 2u);  // to 1 and 2
+  for (ProcessId p : {1u, 2u}) {
+    n.on_packet(ctx, from(p, InviteOk{1, 9}.to_packet(0)));
+  }
+  auto commits = ctx.of_kind(kind::kCommit);
+  auto transfers = ctx.of_kind(kind::kViewTransfer);
+  ASSERT_EQ(commits.size(), 2u);  // members only
+  ASSERT_EQ(transfers.size(), 1u);
+  EXPECT_EQ(transfers[0].to, 9u);
+  auto vt = ViewTransfer::decode(transfers[0]);
+  EXPECT_EQ(vt.members, (std::vector<ProcessId>{0, 1, 2, 9}));  // appended junior
+  EXPECT_EQ(vt.version, 1u);
+  ASSERT_EQ(vt.seq.size(), 1u);  // full history travels with the bootstrap
+  EXPECT_EQ(vt.seq[0], (SeqEntry{Op::kAdd, 9, 1}));
+}
+
+TEST(Wire, MgrRoundExcusesMembersSuspectedMidRound) {
+  FakeCtx ctx;
+  ctx.id = 0;
+  GmpNode n(0, [] {
+    Config c;
+    c.initial_members = {0, 1, 2, 3, 4};
+    return c;
+  }());
+  n.on_start(ctx);
+  n.suspect(ctx, 4);
+  n.on_packet(ctx, from(1, InviteOk{1, 4}.to_packet(0)));
+  n.on_packet(ctx, from(2, InviteOk{1, 4}.to_packet(0)));
+  EXPECT_TRUE(ctx.of_kind(kind::kCommit).empty());  // still awaiting p3
+  n.suspect(ctx, 3);  // p3 excused by faulty_Mgr(3): round completes
+  EXPECT_EQ(ctx.of_kind(kind::kCommit).size(), 3u);
+  // The commit gossips the still-pending suspicion of 3.
+  auto c = Commit::decode(ctx.of_kind(kind::kCommit)[0]);
+  EXPECT_EQ(c.faulty, (std::vector<ProcessId>{3}));
+  EXPECT_EQ(c.next_target, 3u);  // and compresses its removal
+}
+
+// ---------------------------------------------------------------------------
+// Reconfigurer wire sequences (three phases, Fig 5/10)
+// ---------------------------------------------------------------------------
+
+TEST(Wire, FullReconfigurationSequence) {
+  // p1 in a 5-view where Mgr p0 is suspected: interrogate (Phase I) to all
+  // 4 others, propose (Phase II) to the 3 respondents, commit (Phase III)
+  // to the 3 Phase-II respondents: 5n-9 = 16 total with the 3+3 OKs... 10
+  // outbound from the initiator.
+  FakeCtx ctx;
+  ctx.id = 1;
+  GmpNode n(1, [] {
+    Config c;
+    c.initial_members = {0, 1, 2, 3, 4};
+    return c;
+  }());
+  n.on_start(ctx);
+  n.suspect(ctx, 0);  // HiFaulty(1) full -> initiate
+  EXPECT_EQ(n.reconfigs_initiated(), 1u);
+  ASSERT_EQ(ctx.of_kind(kind::kInterrogate).size(), 4u);  // to 0,2,3,4
+
+  for (ProcessId p : {2u, 3u, 4u}) {
+    InterrogateOk ok;
+    ok.version = 0;
+    n.on_packet(ctx, from(p, ok.to_packet(1)));
+  }
+  auto proposes = ctx.of_kind(kind::kPropose);
+  ASSERT_EQ(proposes.size(), 3u);  // to the Phase I respondents only
+  auto pr = Propose::decode(proposes[0]);
+  ASSERT_EQ(pr.ops.size(), 1u);
+  EXPECT_EQ(pr.ops[0], (SeqEntry{Op::kRemove, 0, 1}));  // D.4: remove Mgr
+  EXPECT_EQ(pr.version, 1u);
+  EXPECT_EQ(pr.invis_target, kNilId);
+
+  for (ProcessId p : {2u, 3u, 4u}) {
+    n.on_packet(ctx, from(p, ProposeOk{1}.to_packet(1)));
+  }
+  auto commits = ctx.of_kind(kind::kReconfigCommit);
+  ASSERT_EQ(commits.size(), 3u);
+  auto rc = ReconfigCommit::decode(commits[0]);
+  EXPECT_EQ(rc.version, 1u);
+  ASSERT_EQ(rc.ops.size(), 1u);
+  EXPECT_EQ(rc.ops[0].target, 0u);
+  EXPECT_TRUE(n.is_mgr());
+  EXPECT_EQ(n.view().version(), 1u);
+  EXPECT_FALSE(n.view().contains(0));
+}
+
+TEST(Wire, ReconfigurationPropagatesDiscoveredProposalAndInvis) {
+  // A respondent reports the dead Mgr's plan (remove(4) : 0 : 1) plus its
+  // contingency (remove(3) : 0 : 2): the initiator must propose remove(4)
+  // for v1 and chase remove(3) as invis (Fig 6 lines D.2/D.5).
+  FakeCtx ctx;
+  ctx.id = 1;
+  GmpNode n(1, [] {
+    Config c;
+    c.initial_members = {0, 1, 2, 3, 4};
+    return c;
+  }());
+  n.on_start(ctx);
+  n.suspect(ctx, 0);
+  InterrogateOk rich;
+  rich.version = 0;
+  rich.next = {NextEntry{Op::kRemove, 4, 0, 1, false}};
+  n.on_packet(ctx, from(2, rich.to_packet(1)));
+  InterrogateOk plain;
+  plain.version = 0;
+  n.on_packet(ctx, from(3, plain.to_packet(1)));
+  InterrogateOk richer;
+  richer.version = 0;
+  richer.next = {NextEntry{Op::kRemove, 4, 0, 1, false}};
+  n.on_packet(ctx, from(4, richer.to_packet(1)));
+
+  auto pr = Propose::decode(ctx.of_kind(kind::kPropose)[0]);
+  ASSERT_EQ(pr.ops.size(), 1u);
+  EXPECT_EQ(pr.ops[0].target, 4u);  // the invisible-commit candidate
+  EXPECT_EQ(pr.version, 1u);
+  // invis falls back to GetNext over Faulty(1) = {0}: remove(0).
+  EXPECT_EQ(pr.invis_op, Op::kRemove);
+  EXPECT_EQ(pr.invis_target, 0u);
+
+  for (ProcessId p : {2u, 3u, 4u}) {
+    n.on_packet(ctx, from(p, ProposeOk{1}.to_packet(1)));
+  }
+  // After committing remove(4)@v1, the new Mgr immediately invites the
+  // invis operation remove(0) for v2.
+  EXPECT_EQ(n.view().sorted_members(), (std::vector<ProcessId>{0, 1, 2, 3}));
+  auto invites = ctx.of_kind(kind::kInvite);
+  ASSERT_FALSE(invites.empty());
+  auto inv = Invite::decode(invites.back());
+  EXPECT_EQ(inv.target, 0u);
+  EXPECT_EQ(inv.version, 2u);
+}
+
+TEST(Wire, ReconfigurerQuitsBelowMajority) {
+  // n=5, mu=3: only one respondent answers (the rest are excused as
+  // faulty) -> 2 responders < 3 -> quit_r.
+  FakeCtx ctx;
+  ctx.id = 1;
+  GmpNode n(1, [] {
+    Config c;
+    c.initial_members = {0, 1, 2, 3, 4};
+    return c;
+  }());
+  n.on_start(ctx);
+  n.suspect(ctx, 0);
+  InterrogateOk ok;
+  ok.version = 0;
+  n.on_packet(ctx, from(2, ok.to_packet(1)));
+  EXPECT_FALSE(ctx.quit_called);
+  n.suspect(ctx, 3);
+  n.suspect(ctx, 4);  // everyone else excused: Phase I ends with 2 < mu(5)
+  EXPECT_TRUE(ctx.quit_called);
+}
+
+TEST(Wire, ReconfigurerAbandonsSelfRemovalPlan) {
+  // The discovered proposal orders the initiator's own removal: the old
+  // Mgr was excluding *us* when it died.  Bilateral GMP-5: quit.
+  FakeCtx ctx;
+  ctx.id = 1;
+  GmpNode n(1, [] {
+    Config c;
+    c.initial_members = {0, 1, 2, 3};
+    return c;
+  }());
+  n.on_start(ctx);
+  n.suspect(ctx, 0);
+  InterrogateOk ok;
+  ok.version = 0;
+  ok.next = {NextEntry{Op::kRemove, 1, 0, 1, false}};
+  n.on_packet(ctx, from(2, ok.to_packet(1)));
+  InterrogateOk ok2 = ok;
+  n.on_packet(ctx, from(3, ok2.to_packet(1)));
+  EXPECT_TRUE(ctx.quit_called);
+}
+
+TEST(Wire, InitiationWaitsForEverySenior) {
+  // p2 must NOT initiate while p1 (senior, unsuspected) might act.
+  FakeCtx ctx;
+  ctx.id = 2;
+  GmpNode n(2, [] {
+    Config c;
+    c.initial_members = {0, 1, 2, 3};
+    return c;
+  }());
+  n.on_start(ctx);
+  n.suspect(ctx, 0);
+  EXPECT_EQ(n.reconfigs_initiated(), 0u);
+  EXPECT_TRUE(ctx.of_kind(kind::kInterrogate).empty());
+  n.suspect(ctx, 1);  // now HiFaulty(2) is full
+  EXPECT_EQ(n.reconfigs_initiated(), 1u);
+  EXPECT_EQ(ctx.of_kind(kind::kInterrogate).size(), 3u);
+}
