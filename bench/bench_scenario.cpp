@@ -1,0 +1,77 @@
+// Scenario-engine throughput: schedules generated + executed + checked per
+// second, per adversary profile.  This is the metric that bounds how much
+// coverage a fixed CI budget buys; future performance PRs use it to prove
+// the fuzzing substrate itself kept up.
+#include <benchmark/benchmark.h>
+
+#include "scenario/executor.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/minimizer.hpp"
+
+using namespace gmpx;
+using namespace gmpx::scenario;
+
+namespace {
+
+void run_profile(benchmark::State& state, Profile profile) {
+  GeneratorOptions gen;
+  gen.profile = profile;
+  gen.n = static_cast<size_t>(state.range(0));
+  uint64_t seed = 0;
+  uint64_t ticks = 0, messages = 0, violations = 0;
+  for (auto _ : state) {
+    Schedule s = generate(seed++, gen);
+    ExecResult r = execute(s);
+    ticks += r.end_tick;
+    messages += r.messages;
+    violations += r.check.violations.size();
+    benchmark::DoNotOptimize(r.final_view_size);
+  }
+  state.counters["sim_ticks/run"] =
+      benchmark::Counter(static_cast<double>(ticks) / state.iterations());
+  state.counters["msgs/run"] =
+      benchmark::Counter(static_cast<double>(messages) / state.iterations());
+  state.counters["schedules/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  if (violations != 0) state.SkipWithError("GMP violation during benchmark");
+}
+
+}  // namespace
+
+static void BM_Scenario_Mixed(benchmark::State& s) { run_profile(s, Profile::kMixed); }
+static void BM_Scenario_Churn(benchmark::State& s) { run_profile(s, Profile::kChurnHeavy); }
+static void BM_Scenario_Partition(benchmark::State& s) {
+  run_profile(s, Profile::kPartitionHeavy);
+}
+static void BM_Scenario_Burst(benchmark::State& s) { run_profile(s, Profile::kBurstCrash); }
+BENCHMARK(BM_Scenario_Mixed)->Arg(5)->Arg(9);
+BENCHMARK(BM_Scenario_Churn)->Arg(5)->Arg(9);
+BENCHMARK(BM_Scenario_Partition)->Arg(5)->Arg(9);
+BENCHMARK(BM_Scenario_Burst)->Arg(5)->Arg(9);
+
+/// Minimization cost on a guaranteed failure (the injected GMP-1 bug).
+static void BM_Scenario_Minimize(benchmark::State& state) {
+  ExecOptions bug;
+  bug.inject_bug_unrecorded_suspicion = true;
+  GeneratorOptions gen;
+  gen.profile = Profile::kChurnHeavy;
+  gen.max_events = 12;
+  // Pick one failing schedule up front so iterations are comparable.
+  Schedule failing;
+  for (uint64_t seed = 0;; ++seed) {
+    failing = generate(seed, gen);
+    if (!execute(failing, bug).check.ok()) break;
+  }
+  auto fails = [&bug](const Schedule& c) { return !execute(c, bug).check.ok(); };
+  size_t events_after = 0, probes = 0;
+  for (auto _ : state) {
+    MinimizeStats stats;
+    Schedule m = minimize(failing, fails, {}, &stats);
+    events_after = stats.events_after;
+    probes = stats.probes;
+    benchmark::DoNotOptimize(m.events.size());
+  }
+  state.counters["events_after"] = benchmark::Counter(static_cast<double>(events_after));
+  state.counters["probes"] = benchmark::Counter(static_cast<double>(probes));
+}
+BENCHMARK(BM_Scenario_Minimize);

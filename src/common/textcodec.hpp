@@ -1,0 +1,118 @@
+// Minimal line-oriented text serialization, the human-readable sibling of
+// the binary codec in codec.hpp.  Used for artifacts people edit and diff —
+// most prominently scenario schedule files (`gmpx_fuzz --replay`).
+//
+// Format rules, deliberately boring:
+//   * one record per line: a keyword followed by whitespace-separated fields;
+//   * '#' starts a comment (whole line or trailing); blank lines are skipped;
+//   * numbers are decimal u64; id lists are a count followed by that many ids.
+//
+// Like the binary Reader, TextReader throws CodecError on malformed input so
+// callers get one uniform failure type for "this artifact is corrupt".
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "common/types.hpp"
+
+namespace gmpx {
+
+/// Append-only text sink: one record per line.
+class TextWriter {
+ public:
+  /// Begin a record with `keyword`.  Fields follow via field()/ids().
+  TextWriter& rec(const std::string& keyword) {
+    end_rec();
+    os_ << keyword;
+    in_rec_ = true;
+    return *this;
+  }
+
+  TextWriter& field(uint64_t v) {
+    os_ << ' ' << v;
+    return *this;
+  }
+
+  /// Length-prefixed id list (mirrors codec.hpp Writer::ids).
+  TextWriter& ids(const std::vector<ProcessId>& v) {
+    os_ << ' ' << v.size();
+    for (ProcessId p : v) os_ << ' ' << p;
+    return *this;
+  }
+
+  TextWriter& comment(const std::string& text) {
+    end_rec();
+    os_ << "# " << text << '\n';
+    return *this;
+  }
+
+  std::string take() {
+    end_rec();
+    return os_.str();
+  }
+
+ private:
+  void end_rec() {
+    if (in_rec_) os_ << '\n';
+    in_rec_ = false;
+  }
+
+  std::ostringstream os_;
+  bool in_rec_ = false;
+};
+
+/// Tokenizing reader over the same format; throws CodecError on underrun or
+/// malformed numbers, mirroring the binary Reader's contract.
+class TextReader {
+ public:
+  explicit TextReader(const std::string& text) {
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+      std::istringstream fields(line);
+      std::string tok;
+      while (fields >> tok) tokens_.push_back(tok);
+    }
+  }
+
+  bool done() const { return pos_ >= tokens_.size(); }
+
+  /// Next token as a keyword (any string).
+  std::string keyword() {
+    if (done()) throw CodecError("schedule text underrun (keyword)");
+    return tokens_[pos_++];
+  }
+
+  /// Peek the next token without consuming it ("" at end).
+  std::string peek() const { return done() ? std::string() : tokens_[pos_]; }
+
+  uint64_t num() {
+    if (done()) throw CodecError("schedule text underrun (number)");
+    const std::string& t = tokens_[pos_++];
+    uint64_t v = 0;
+    for (char c : t) {
+      if (c < '0' || c > '9') throw CodecError("malformed number '" + t + "'");
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return v;
+  }
+
+  std::vector<ProcessId> ids() {
+    uint64_t n = num();
+    std::vector<ProcessId> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) v.push_back(static_cast<ProcessId>(num()));
+    return v;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace gmpx

@@ -100,14 +100,9 @@ void GmpNode::mgr_commit_round(Context& ctx) {
     ctx.send(c.to_packet(q));
   }
   if (op == Op::kAdd) {
-    ViewTransfer vt;
-    vt.members = view_.members();
-    vt.version = view_.version();
-    vt.seq = seq_;
+    ViewTransfer vt = make_view_transfer();
     vt.next_op = c.next_op;
     vt.next_target = c.next_target;
-    vt.faulty = c.faulty;
-    vt.recovered = c.recovered;
     ctx.send(vt.to_packet(target));
   }
 

@@ -22,10 +22,17 @@ void GmpNode::on_start(Context& ctx) {
         ctx.send(JoinRequest{self_}.to_packet(c));
       }
     };
-    solicit();
-    join_timer_ = ctx.set_timer(cfg_.join_retry_interval, [this, &ctx, solicit] {
-      this->on_start_retry(ctx, solicit);
-    });
+    auto begin = [this, &ctx, solicit] {
+      solicit();
+      join_timer_ = ctx.set_timer(cfg_.join_retry_interval, [this, &ctx, solicit] {
+        this->on_start_retry(ctx, solicit);
+      });
+    };
+    if (cfg_.join_start_delay > 0) {
+      join_timer_ = ctx.set_timer(cfg_.join_start_delay, begin);
+    } else {
+      begin();
+    }
     return;
   }
   GMPX_CHECK(!cfg_.initial_members.empty(), "initial member with empty Proc");
@@ -43,8 +50,18 @@ void GmpNode::on_packet(Context& ctx, const Packet& p) {
   if (isolated_.count(p.from)) return;
 
   if (!admitted_) {
-    // A joiner only understands its admission bootstrap.
-    if (p.kind == kind::kViewTransfer) handle_view_transfer(ctx, p);
+    // A joiner acts only on its admission bootstrap — but its add may have
+    // already *committed*, making it a member other processes legitimately
+    // await answers from (invitations, interrogations).  Those packets can
+    // race ahead of the ViewTransfer on other channels (FIFO holds per
+    // channel, not between channels), so they are buffered and replayed
+    // after admission rather than dropped; dropping one would wedge its
+    // sender's round forever.
+    if (p.kind == kind::kViewTransfer) {
+      handle_view_transfer(ctx, p);
+    } else if (p.kind != kind::kApp && p.kind != kind::kJoinRequest) {
+      pre_admission_.push_back(p);
+    }
     return;
   }
 
@@ -70,6 +87,18 @@ void GmpNode::on_packet(Context& ctx, const Packet& p) {
   }
 }
 
+ViewTransfer GmpNode::make_view_transfer() const {
+  ViewTransfer vt;
+  vt.members = view_.members();
+  vt.version = view_.version();
+  vt.seq = seq_;  // the joiner must be able to serve Determine's replay
+  for (ProcessId q : suspected_) {
+    if (view_.contains(q)) vt.faulty.push_back(q);
+  }
+  vt.recovered.assign(recovered_.begin(), recovered_.end());
+  return vt;
+}
+
 void GmpNode::send_app(Context& ctx, ProcessId to, std::vector<uint8_t> bytes) {
   ctx.send(Packet{self_, to, kind::kApp, std::move(bytes)});
 }
@@ -85,9 +114,35 @@ void GmpNode::leave(Context& ctx) {
   // Self-denunciation: request our own exclusion.  We keep answering
   // protocol traffic until the invitation/contingency naming us arrives
   // (the normal quit rules then fire), so the exclusion commits cleanly.
+  // The request is re-sent on a timer until the exclusion lands: a single
+  // denunciation can die with its addressee (Mgr crash) or be overtaken by
+  // a reconfiguration, which would leave the group waiting on a member
+  // that wants out.
+  leaving_ = true;
   if (!isolated_.count(mgr_)) {
     ctx.send(SuspectReport{self_}.to_packet(mgr_));
   }
+  ctx.set_timer(cfg_.join_retry_interval, [this, &ctx] { leave_retry(ctx); });
+}
+
+void GmpNode::leave_retry(Context& ctx) {
+  if (quit_ || !leaving_) return;
+  if (++leave_attempts_ >= cfg_.join_max_attempts) {
+    // Nobody is committing our exclusion (group dead or unreachable).  A
+    // leaver's endgame is termination either way: stop waiting and quit;
+    // survivors will exclude us through the ordinary failure path.
+    do_quit(ctx);
+    return;
+  }
+  if (mgr_ != self_ && mgr_ != kNilId && !isolated_.count(mgr_)) {
+    ctx.send(SuspectReport{self_}.to_packet(mgr_));
+  } else if (mgr_ == self_) {
+    // We became coordinator while trying to leave: step down by crashing,
+    // exactly as an original-Mgr departure does.
+    do_quit(ctx);
+    return;
+  }
+  ctx.set_timer(cfg_.join_retry_interval, [this, &ctx] { leave_retry(ctx); });
 }
 
 // ---------------------------------------------------------------------------
@@ -105,7 +160,7 @@ void GmpNode::suspect(Context& ctx, ProcessId q) {
 void GmpNode::believe_faulty(Context& ctx, ProcessId q) {
   if (quit_ || q == self_ || isolated_.count(q)) return;
   isolated_.insert(q);
-  if (rec_) rec_->faulty(self_, q, ctx.now());
+  if (rec_ && !cfg_.bug_skip_faulty_record) rec_->faulty(self_, q, ctx.now());
   if (view_.contains(q)) suspected_.insert(q);
   recovered_.erase(q);
   // A reconfiguration placeholder "(? : q : ?)" can never materialize.
@@ -135,7 +190,10 @@ void GmpNode::believe_operational(Context& ctx, ProcessId q) {
   if (view_.contains(q) || join_handled_.count(q) || recovered_.count(q)) return;
   if (isolated_.count(q)) return;  // a "recovered" process is a *new* instance
   recovered_.insert(q);
-  if (rec_) rec_->operational(self_, q, ctx.now());
+  if (rec_) {
+    rec_->operational(self_, q, ctx.now());
+    operational_logged_.insert(q);
+  }
 }
 
 void GmpNode::report_to_mgr(Context& ctx, ProcessId q) {
@@ -188,7 +246,18 @@ void GmpNode::apply_op(Context& ctx, Op op, ProcessId target) {
   } else {
     recovered_.erase(target);
     join_handled_.insert(target);
-    if (rec_) rec_->add(self_, target, ctx.now());
+    if (rec_) {
+      // GMP-1 evidence: an *agreed* add is itself proof of the joiner's
+      // existence (operational_p).  The gossip gate in believe_operational
+      // refuses hearsay about processes we already isolated — stale faulty
+      // gossip can outrun the add commit across channels — but committed
+      // history is not hearsay, so log the belief here if it never was.
+      if (!operational_logged_.count(target)) {
+        rec_->operational(self_, target, ctx.now());
+        operational_logged_.insert(target);
+      }
+      rec_->add(self_, target, ctx.now());
+    }
   }
   if (rec_) rec_->install(self_, view_.version(), view_.sorted_members(), ctx.now());
   if (listener_) listener_->on_view(view_);
@@ -237,11 +306,7 @@ void GmpNode::handle_join_request(Context& ctx, const Packet& p) {
     // previous Mgr crashed after the commit and before the bootstrap.
     // Re-issue the ViewTransfer (only the acting Mgr does).
     if (mgr_ == self_) {
-      ViewTransfer vt;
-      vt.members = view_.members();
-      vt.version = view_.version();
-      vt.next_target = kNilId;
-      ctx.send(vt.to_packet(m.joiner));
+      ctx.send(make_view_transfer().to_packet(m.joiner));
     }
     return;
   }
@@ -351,6 +416,15 @@ void GmpNode::handle_view_transfer(Context& ctx, const Packet& p) {
   if (listener_) listener_->on_view(view_);
   process_contingent(ctx, p.from, m.next_op, m.next_target, m.version + 1, m.faulty,
                      m.recovered, /*reply_ok=*/true);
+  // Replay protocol traffic that arrived before the bootstrap, in arrival
+  // order.  Stale packets (old coordinators, superseded rounds) are
+  // filtered by the normal handlers.
+  auto buffered = std::move(pre_admission_);
+  pre_admission_.clear();
+  for (const Packet& bp : buffered) {
+    if (quit_) return;
+    on_packet(ctx, bp);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -53,6 +53,9 @@ struct Config {
   /// admission from `contacts` until a ViewTransfer arrives (S7).
   bool joiner = false;
   std::vector<ProcessId> contacts;
+  /// Delay before the first solicitation (scenario scripts schedule joins
+  /// at arbitrary ticks; 0 = solicit immediately on start).
+  Tick join_start_delay = 0;
   Tick join_retry_interval = 2000;
   /// Give up (quit_p) after this many unanswered solicitations: a joiner
   /// whose group has died must not retry forever.
@@ -60,6 +63,13 @@ struct Config {
 
   /// Optional trace recorder (tests/benches); may be nullptr.
   trace::Recorder* recorder = nullptr;
+
+  /// Fault injection (scenario-minimizer tests ONLY): suppress the
+  /// faulty_p(q) trace record so every subsequent removal violates GMP-1.
+  /// The protocol itself is untouched — this breaks the *evidence chain*
+  /// the checker audits, which is exactly what a capricious-removal bug
+  /// would look like in a trace.
+  bool bug_skip_faulty_record = false;
 };
 
 /// Application callback surface: view installations and app payloads.
@@ -119,6 +129,16 @@ class GmpNode : public Actor {
   const std::vector<NextEntry>& next_list() const { return next_; }
   /// True while a reconfiguration this node initiated is in flight.
   bool reconfiguring() const { return reconf_.phase != ReconfigState::Phase::kIdle; }
+  /// Processes whose answer this node is currently awaiting ("await (OK(p)
+  /// or faulty(p))" — Mgr round and reconfiguration phases).  Harnesses use
+  /// this to detect standoffs a timeout detector would resolve.
+  std::vector<ProcessId> awaiting() const {
+    std::vector<ProcessId> out;
+    if (round_.active) out.assign(round_.awaiting.begin(), round_.awaiting.end());
+    if (reconf_.phase != ReconfigState::Phase::kIdle)
+      out.insert(out.end(), reconf_.awaiting.begin(), reconf_.awaiting.end());
+    return out;
+  }
   /// How many reconfigurations this node has initiated (Table 1 bench).
   size_t reconfigs_initiated() const { return reconfigs_initiated_; }
 
@@ -144,6 +164,11 @@ class GmpNode : public Actor {
   void apply_op(Context& ctx, Op op, ProcessId target);
   /// quit_p.
   void do_quit(Context& ctx);
+  /// Re-send the leave() self-denunciation until the exclusion commits.
+  void leave_retry(Context& ctx);
+  /// Bootstrap transfer carrying the current view, committed history and
+  /// beliefs (no contingent next op — callers set one if they have it).
+  ViewTransfer make_view_transfer() const;
   /// Send SuspectReport(q) to the current Mgr (once per Mgr incumbency).
   void report_to_mgr(Context& ctx, ProcessId q);
   /// Re-send all pending suspicions after a Mgr change.
@@ -203,14 +228,20 @@ class GmpNode : public Actor {
   std::set<ProcessId> recovered_;  ///< Recovered(p): pending joiners
   std::set<ProcessId> reported_;   ///< suspicions already reported to mgr_
   std::set<ProcessId> join_handled_;  ///< joiners ever committed (dedupe)
+  std::set<ProcessId> operational_logged_;  ///< operational_p(q) already traced
   bool quit_ = false;
   bool admitted_ = false;
+  bool leaving_ = false;  ///< leave() requested, exclusion not yet committed
   ViewListener* listener_ = nullptr;
   trace::Recorder* rec_ = nullptr;
   TimerId join_timer_ = 0;
   size_t join_attempts_ = 0;
+  size_t leave_attempts_ = 0;
   size_t reconfigs_initiated_ = 0;
   std::vector<std::pair<ProcessId, Commit>> buffered_commits_;
+  /// Protocol packets that reached this (committed-but-unbootstrapped)
+  /// joiner before its ViewTransfer; replayed right after admission.
+  std::vector<Packet> pre_admission_;
 
   struct MgrRound {
     bool active = false;

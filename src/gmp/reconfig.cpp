@@ -171,6 +171,18 @@ void GmpNode::reconfig_check_phase2(Context& ctx) {
   adopt_mgr(ctx, self_);
   reconf_.phase = ReconfigState::Phase::kIdle;
 
+  // Bootstrap any joiner whose add committed invisibly (Fig 7): the dead
+  // Mgr may have committed add(q) without q ever receiving its
+  // ViewTransfer.  Re-issue it *before* any further invitation — channel
+  // FIFO then delivers admission first.  A not-yet-admitted process drops
+  // every non-transfer packet, so an invite sent ahead of the bootstrap
+  // would wedge the next round awaiting an OK that can never come.  An
+  // already-admitted target ignores the duplicate transfer.
+  for (const SeqEntry& e : plan.rl_ops) {
+    if (e.op != Op::kAdd || e.target == self_ || !view_.contains(e.target)) continue;
+    ctx.send(make_view_transfer().to_packet(e.target));
+  }
+
   // "begin Mgr role with relevant operation on invis."  A propagated invis
   // ordering our own removal means the group was excluding us: quit.
   if (plan.invis.defined() && plan.invis.op == Op::kRemove &&

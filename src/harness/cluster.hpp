@@ -32,6 +32,8 @@ struct ClusterOptions {
   Tick oracle_max_delay = 160;
   bool heartbeat_fd = false;      ///< use the realistic detector instead
   fd::HeartbeatOptions heartbeat{};
+  /// Fault injection for minimizer tests (see gmp::Config).
+  bool bug_skip_faulty_record = false;
 };
 
 /// A simulated GMP deployment.
@@ -46,17 +48,22 @@ class Cluster {
       cfg.initial_members = initial;
       cfg.require_majority = opts_.require_majority;
       cfg.recorder = &recorder_;
+      cfg.bug_skip_faulty_record = opts_.bug_skip_faulty_record;
       add_node(id, std::move(cfg));
     }
     world_.set_crash_hook([this](ProcessId p, Tick t) { on_crash(p, t); });
   }
 
-  /// Register a joiner (new process instance) before start().
-  gmp::GmpNode& add_joiner(ProcessId id, std::vector<ProcessId> contacts) {
+  /// Register a joiner (new process instance) before start().  `start_at`
+  /// delays the first solicitation, so scenario scripts can schedule joins
+  /// at arbitrary ticks.
+  gmp::GmpNode& add_joiner(ProcessId id, std::vector<ProcessId> contacts, Tick start_at = 0) {
     gmp::Config cfg;
     cfg.joiner = true;
     cfg.contacts = std::move(contacts);
+    cfg.join_start_delay = start_at;
     cfg.recorder = &recorder_;
+    cfg.bug_skip_faulty_record = opts_.bug_skip_faulty_record;
     return add_node(id, std::move(cfg));
   }
 

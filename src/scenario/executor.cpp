@@ -1,0 +1,214 @@
+#include "scenario/executor.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "harness/cluster.hpp"
+
+namespace gmpx::scenario {
+
+std::string ExecResult::message() const {
+  std::ostringstream os;
+  if (!quiesced) os << "run did not quiesce within the event budget\n";
+  os << check.message();
+  return os.str();
+}
+
+ExecResult execute(const Schedule& s, const ExecOptions& opts) {
+  harness::ClusterOptions co;
+  co.n = s.n;
+  co.seed = s.seed;
+  co.require_majority = opts.require_majority;
+  co.bug_skip_faulty_record = opts.inject_bug_unrecorded_suspicion;
+  harness::Cluster cluster(co);
+  sim::SimWorld& world = cluster.world();
+  const sim::DelayModel base_delays = world.delays();
+
+  // Delay storms can overlap; at any boundary the model in force is the
+  // storm with the latest start covering that tick (later-listed wins
+  // ties), else the baseline.  Computing this from the full schedule keeps
+  // each boundary idempotent — a storm ending inside another storm must
+  // not silently restore the baseline.
+  struct Storm {
+    Tick start, end;
+    sim::DelayModel model;
+  };
+  std::vector<Storm> storms;
+  for (const ScheduleEvent& e : s.events) {
+    if (e.type == EventType::kDelayStorm) {
+      storms.push_back({e.at, e.at + e.duration, {e.min_delay, e.max_delay}});
+    }
+  }
+  auto model_at = [storms, base_delays](Tick t) {
+    sim::DelayModel m = base_delays;
+    Tick best_start = 0;
+    bool found = false;
+    for (const Storm& st : storms) {
+      if (st.start <= t && t < st.end && (!found || st.start >= best_start)) {
+        best_start = st.start;
+        m = st.model;
+        found = true;
+      }
+    }
+    return m;
+  };
+
+  std::vector<ProcessId> joiners;
+  for (const ScheduleEvent& e : s.events) {
+    switch (e.type) {
+      case EventType::kCrash:
+        cluster.crash_at(e.at, e.target);
+        break;
+      case EventType::kLeave:
+        world.at(e.at, [&cluster, &world, p = e.target] {
+          if (Context* ctx = world.context_of(p)) {
+            if (cluster.has_node(p)) cluster.node(p).leave(*ctx);
+          }
+        });
+        break;
+      case EventType::kSuspect:
+        cluster.suspect_at(e.at, e.observer, e.target);
+        // Bilateral resolution (paper's GMP-5 rule: "either p goes or q
+        // goes").  The falsely suspected process stops hearing from its
+        // accuser — S1 isolation makes the accuser ignore it — so any
+        // timeout detector at the target eventually suspects the accuser
+        // back.  The oracle only fires on real crashes, so the executor
+        // injects that counter-suspicion explicitly; without it a false
+        // suspicion of the Mgr wedges the group forever (the Mgr awaits an
+        // OK the isolating accuser will never send).
+        cluster.suspect_at(e.at + 200, e.target, e.observer);
+        break;
+      case EventType::kPartition: {
+        // Side B is every registered process not named in the event (the
+        // cut follows joiners too).
+        world.at(e.at, [&cluster, &world, side = e.group] {
+          std::vector<ProcessId> rest;
+          for (ProcessId p : cluster.ids()) {
+            if (!std::count(side.begin(), side.end(), p)) rest.push_back(p);
+          }
+          if (!side.empty() && !rest.empty()) world.partition(side, rest);
+        });
+        if (e.duration > 0) {
+          world.at(e.at + e.duration, [&world] { world.heal_partition(); });
+        }
+        break;
+      }
+      case EventType::kHeal:
+        world.at(e.at, [&world] { world.heal_partition(); });
+        break;
+      case EventType::kJoin:
+        cluster.add_joiner(e.target, e.group, e.at);
+        joiners.push_back(e.target);
+        break;
+      case EventType::kDelayStorm:
+        world.at(e.at, [&world, model_at, t = e.at] { world.set_delays(model_at(t)); });
+        world.at(e.at + e.duration,
+                 [&world, model_at, t = e.at + e.duration] { world.set_delays(model_at(t)); });
+        break;
+    }
+  }
+
+  cluster.start();
+  ExecResult r;
+  r.quiesced = cluster.run_to_quiescence(opts.max_sim_events);
+  // Timeout-detector emulation.  The oracle only reports *real* crashes, but
+  // the protocol's "await (OK(p) or faulty(p))" also relies on detecting
+  // non-cooperation: a process that (falsely, possibly via F2 gossip)
+  // believes the awaiter faulty isolates it and will never answer.  With
+  // real clocks the awaiter's detector times such a peer out; in the
+  // simulation, quiescence with a live awaited-but-isolating peer *is* that
+  // timeout.  Inject the suspicion and resume until no standoff remains.
+  for (int pass = 0; r.quiesced && pass < 64; ++pass) {
+    std::vector<std::pair<ProcessId, ProcessId>> timeouts;  // (awaiter, peer)
+    for (ProcessId p : cluster.ids()) {
+      if (world.crashed(p) || !cluster.node(p).admitted()) continue;
+      for (ProcessId q : cluster.node(p).awaiting()) {
+        if (!world.crashed(q) && cluster.has_node(q) &&
+            cluster.node(q).isolated().count(p)) {
+          timeouts.emplace_back(p, q);
+        }
+      }
+    }
+    if (timeouts.empty()) break;
+    for (auto [p, q] : timeouts) {
+      if (Context* ctx = world.context_of(p)) cluster.node(p).suspect(*ctx, q);
+    }
+    r.quiesced = cluster.run_to_quiescence(opts.max_sim_events);
+  }
+  r.end_tick = world.now();
+  r.messages = world.meter().total();
+
+  // The paper's GMP-5 precondition: progress is only promised while a
+  // majority of the *current* view survives.  Exclusions (false suspicions,
+  // leaves) shrink the view, so a schedule-level crash budget cannot prove
+  // this — judge the recorded frontier view instead: the highest-version
+  // view ever installed must retain a strict majority of live members.
+  // Frontier view: the highest-version view anyone installed (all installs
+  // of a version agree by GMP-2/3; violations of that are reported anyway).
+  ViewVersion frontier_version = 0;
+  std::vector<ProcessId> frontier = cluster.recorder().initial_membership();
+  for (const auto& [p, vs] : cluster.recorder().views()) {
+    if (!vs.empty() && vs.back().version >= frontier_version) {
+      frontier_version = vs.back().version;
+      frontier = vs.back().members;
+    }
+  }
+
+  bool majority_survives = true;
+  if (opts.require_majority) {
+    size_t live = 0;
+    for (ProcessId p : frontier) {
+      if (!world.crashed(p)) ++live;
+    }
+    majority_survives = 2 * live > frontier.size();
+  }
+
+  trace::CheckOptions check_opts;
+  check_opts.check_liveness =
+      opts.check_liveness && r.quiesced && majority_survives && liveness_eligible(s);
+  // A joiner that never made it into the group (dead contacts, crashed
+  // mid-join, gave up) is exempt from convergence: the paper only promises
+  // admission is *attempted*, not that it succeeds under faults.
+  for (ProcessId j : joiners) {
+    if (!cluster.node(j).admitted()) check_opts.ignore_for_liveness.push_back(j);
+  }
+  // Zombie exemption.  A process that *falsely* suspects a peer (faulty_p(q)
+  // recorded before q's real crash, or q never crashed) isolates it forever
+  // (S1).  The bilateral rule then excludes the suspector from the group —
+  // but its self-inflicted deafness can keep it from ever learning that, so
+  // it survives with a stale view.  The paper's liveness is conditional on
+  // eventually-accurate detection, so such a process is exempt from GMP-5
+  // convergence — but only when the group really did move on without it
+  // (it is absent from the frontier view).  Frontier members are always
+  // held to convergence, so "the Mgr never told the excludee" bugs remain
+  // visible.  Safety is fully checked for everyone regardless.
+  {
+    auto crash_ticks = cluster.recorder().crashes();
+    std::set<ProcessId> false_suspectors;
+    for (const trace::Event& e : cluster.recorder().events()) {
+      if (e.kind != trace::EventKind::kFaulty) continue;
+      auto it = crash_ticks.find(e.target);
+      if (it == crash_ticks.end() || e.tick < it->second) false_suspectors.insert(e.actor);
+    }
+    for (ProcessId p : cluster.ids()) {
+      if (world.crashed(p) || !cluster.node(p).admitted()) continue;
+      bool in_frontier = std::count(frontier.begin(), frontier.end(), p) > 0;
+      if (!in_frontier && false_suspectors.count(p)) {
+        check_opts.ignore_for_liveness.push_back(p);
+      }
+    }
+  }
+  r.liveness_checked = check_opts.check_liveness;
+  r.check = cluster.check(check_opts);
+
+  for (ProcessId p : world.alive()) {
+    if (cluster.has_node(p) && cluster.node(p).admitted()) {
+      r.final_view_size = cluster.node(p).view().members().size();
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace gmpx::scenario

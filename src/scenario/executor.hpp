@@ -1,0 +1,47 @@
+// Schedule executor: replays a Schedule against a harness::Cluster and
+// validates the recorded run with trace::check_gmp.
+//
+// The executor is the single code path behind the fuzzer sweep, the
+// `--replay` CLI mode, the minimizer's probe runs, and the scenario test
+// suite — one Schedule always means one behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/schedule.hpp"
+#include "trace/checker.hpp"
+
+namespace gmpx::scenario {
+
+struct ExecOptions {
+  /// Assert GMP-5 convergence when the run quiesces and the schedule is
+  /// liveness_eligible().  Safety (GMP-0..4) is always checked.
+  bool check_liveness = true;
+  /// S7 final algorithm (majority commits) vs S3 basic algorithm.
+  bool require_majority = true;
+  /// Event budget for run_to_quiescence.
+  uint64_t max_sim_events = 5'000'000;
+  /// Fault injection: suppress faulty_p(q) trace records so every removal
+  /// trips GMP-1 (exercises the minimizer on a guaranteed "bug").
+  bool inject_bug_unrecorded_suspicion = false;
+};
+
+struct ExecResult {
+  bool quiesced = false;          ///< event queue drained within budget
+  bool liveness_checked = false;  ///< GMP-5 was asserted on this run
+  trace::CheckResult check;       ///< violations (safety + maybe liveness)
+  Tick end_tick = 0;              ///< simulated time at quiescence
+  uint64_t messages = 0;          ///< protocol sends metered by the run
+  size_t final_view_size = 0;     ///< |view| of the most senior survivor (0 if none)
+
+  /// A run passes when it quiesced and no checked clause was violated.
+  bool ok() const { return quiesced && check.ok(); }
+  /// Failure report for logs: violations or the non-quiescence note.
+  std::string message() const;
+};
+
+/// Replay `s` on a fresh cluster and check the trace.
+ExecResult execute(const Schedule& s, const ExecOptions& opts = {});
+
+}  // namespace gmpx::scenario

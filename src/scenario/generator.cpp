@@ -1,0 +1,183 @@
+#include "scenario/generator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace gmpx::scenario {
+
+const char* to_string(Profile p) {
+  switch (p) {
+    case Profile::kMixed: return "mixed";
+    case Profile::kChurnHeavy: return "churn";
+    case Profile::kPartitionHeavy: return "partition";
+    case Profile::kBurstCrash: return "burst";
+  }
+  return "?";
+}
+
+bool parse_profile(const std::string& name, Profile& out) {
+  if (name == "mixed") out = Profile::kMixed;
+  else if (name == "churn") out = Profile::kChurnHeavy;
+  else if (name == "partition") out = Profile::kPartitionHeavy;
+  else if (name == "burst") out = Profile::kBurstCrash;
+  else return false;
+  return true;
+}
+
+namespace {
+
+/// Per-profile draw weights, indexed by EventType order
+/// {crash, partition, heal(unused: 0), join, leave, suspect, delaystorm}.
+struct Weights {
+  uint64_t crash, partition, join, leave, suspect, storm;
+  uint64_t total() const { return crash + partition + join + leave + suspect + storm; }
+};
+
+Weights weights_for(Profile p) {
+  switch (p) {
+    case Profile::kChurnHeavy: return {4, 1, 4, 3, 1, 1};
+    case Profile::kPartitionHeavy: return {1, 5, 1, 1, 3, 2};
+    case Profile::kBurstCrash: return {0, 1, 1, 1, 1, 1};
+    case Profile::kMixed: break;
+  }
+  return {3, 2, 2, 1, 2, 1};
+}
+
+}  // namespace
+
+Schedule generate(uint64_t seed, const GeneratorOptions& opts) {
+  Rng rng(seed ^ 0xC0FFEE5EEDull);
+  Schedule s;
+  s.n = std::max<size_t>(opts.n, 3);
+  s.seed = seed;
+
+  const size_t n = s.n;
+  // Operating envelope: a minority of the initial membership may crash, and
+  // at least two initial members must remain (crashes + leaves + falsely
+  // suspected members all depart the group).
+  const size_t max_crashes = (n - 1) / 2;
+  size_t crashes = 0;
+  std::set<ProcessId> departed;  // initial members leaving the group somehow
+  auto may_depart = [&] { return departed.size() < n - 2; };
+  auto pick_member = [&](bool prefer_resident) -> ProcessId {
+    for (int tries = 0; tries < 8; ++tries) {
+      ProcessId p = static_cast<ProcessId>(rng.below(n));
+      if (!prefer_resident || !departed.count(p)) return p;
+    }
+    return static_cast<ProcessId>(rng.below(n));
+  };
+
+  const Tick horizon = std::max<Tick>(opts.horizon, 1000);
+  auto tick_in = [&](Tick lo, Tick hi) { return rng.range(lo, hi); };
+
+  size_t budget = std::max<size_t>(opts.max_events, 1);
+  size_t next_join_id = 100;
+  bool has_unhealed_cut = false;
+
+  // Burst profile: open with a near-simultaneous crash volley.
+  if (opts.profile == Profile::kBurstCrash && max_crashes > 0) {
+    Tick t0 = tick_in(100, horizon / 2);
+    size_t k = 1 + rng.below(max_crashes);
+    for (size_t i = 0; i < k && budget > 0; ++i) {
+      ProcessId victim = pick_member(true);
+      if (departed.count(victim) || !may_depart()) continue;
+      departed.insert(victim);
+      ++crashes;
+      --budget;
+      s.events.push_back({EventType::kCrash, t0 + rng.below(50), victim});
+    }
+  }
+
+  const Weights w = weights_for(opts.profile);
+  for (size_t i = 0; i < budget; ++i) {
+    uint64_t d = rng.below(w.total());
+    if (d < w.crash) {
+      if (crashes >= max_crashes || !may_depart()) continue;
+      ProcessId victim = pick_member(true);
+      if (departed.count(victim)) continue;
+      departed.insert(victim);
+      ++crashes;
+      s.events.push_back({EventType::kCrash, tick_in(50, horizon), victim});
+      continue;
+    }
+    d -= w.crash;
+    if (d < w.partition) {
+      // Random nonempty strict subset of the initial membership.
+      std::vector<ProcessId> side;
+      for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+        if (rng.chance(1, 2)) side.push_back(p);
+      }
+      if (side.empty() || side.size() == n) continue;
+      ScheduleEvent e{EventType::kPartition, tick_in(50, horizon)};
+      e.group = std::move(side);
+      // Mostly bounded cuts (auto-heal); occasionally an open cut with an
+      // explicit trailing heal so the schedule stays GMP-5 eligible.
+      if (rng.chance(3, 4)) {
+        e.duration = tick_in(100, 1500);
+      } else {
+        has_unhealed_cut = true;
+      }
+      s.events.push_back(std::move(e));
+      continue;
+    }
+    d -= w.partition;
+    if (d < w.join) {
+      ScheduleEvent e{EventType::kJoin, tick_in(1, horizon * 3 / 4)};
+      e.target = static_cast<ProcessId>(next_join_id++);
+      size_t contacts = 1 + rng.below(2);
+      std::set<ProcessId> cs;
+      for (size_t c = 0; c < contacts; ++c) cs.insert(pick_member(true));
+      e.group.assign(cs.begin(), cs.end());
+      s.events.push_back(std::move(e));
+      continue;
+    }
+    d -= w.join;
+    if (d < w.leave) {
+      if (!may_depart()) continue;
+      ProcessId p = pick_member(true);
+      if (departed.count(p)) continue;
+      departed.insert(p);
+      s.events.push_back({EventType::kLeave, tick_in(50, horizon), p});
+      continue;
+    }
+    d -= w.leave;
+    if (d < w.suspect) {
+      // A false suspicion usually departs *both* parties: the executor's
+      // bilateral counter-suspicion makes the Mgr believe accuser and
+      // accused faulty, so budget two departures.
+      if (departed.size() + 2 > n - 2) continue;
+      ProcessId target = pick_member(true);
+      ProcessId observer = pick_member(true);
+      if (observer == target || departed.count(target) || departed.count(observer)) continue;
+      departed.insert(target);
+      departed.insert(observer);
+      ScheduleEvent e{EventType::kSuspect, tick_in(50, horizon), target};
+      e.observer = observer;
+      s.events.push_back(std::move(e));
+      continue;
+    }
+    // Delay storm.
+    ScheduleEvent e{EventType::kDelayStorm, tick_in(1, horizon)};
+    e.duration = tick_in(200, 2000);
+    e.min_delay = 1 + rng.below(8);
+    e.max_delay = e.min_delay + 1 + rng.below(250);
+    s.events.push_back(std::move(e));
+  }
+
+  if (has_unhealed_cut) {
+    s.events.push_back({EventType::kHeal, horizon + 1});
+  }
+  if (s.events.empty()) {
+    // Degenerate draw: fall back to a single crash so every schedule
+    // exercises at least one view change.
+    s.events.push_back({EventType::kCrash, horizon / 2, static_cast<ProcessId>(n - 1)});
+  }
+  std::stable_sort(s.events.begin(), s.events.end(),
+                   [](const ScheduleEvent& a, const ScheduleEvent& b) { return a.at < b.at; });
+  return s;
+}
+
+}  // namespace gmpx::scenario

@@ -1,0 +1,48 @@
+// Seeded random schedule generation with tunable adversary profiles.
+//
+// A profile shapes *which* faults the adversary prefers; the seed pins the
+// exact draw.  generate(seed, opts) is a pure function of its arguments —
+// the fuzzer sweeps seed ranges and any failure names the (profile, seed,
+// opts) triple that reproduces it.
+//
+// Generated schedules are constrained to stay inside the paper's
+// operating envelope so that a violation is a protocol bug, not a model
+// violation:
+//   * at most a minority of the *initial* membership crashes (S7 majority
+//     requirement — beyond that the group is allowed to halt);
+//   * joiner ids are fresh (never reuse a ProcessId, paper S1);
+//   * partitions either carry a bounded duration or are followed by a
+//     final heal, so quiesced runs are GMP-5 eligible.
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/schedule.hpp"
+
+namespace gmpx::scenario {
+
+/// Adversary personality: the fault mix the generator draws from.
+enum class Profile : uint8_t {
+  kMixed,           ///< everything, uniformly weighted
+  kChurnHeavy,      ///< joins + leaves + crashes, few partitions
+  kPartitionHeavy,  ///< repeated cuts/heals + false suspicions
+  kBurstCrash,      ///< near-simultaneous multi-crash bursts
+};
+
+/// Returns "mixed" / "churn" / "partition" / "burst".
+const char* to_string(Profile p);
+
+/// Parse a profile name (as printed by to_string); false on unknown.
+bool parse_profile(const std::string& name, Profile& out);
+
+struct GeneratorOptions {
+  size_t n = 5;             ///< initial cluster size (>= 3)
+  Profile profile = Profile::kMixed;
+  Tick horizon = 6000;      ///< events are drawn in [1, horizon]
+  size_t max_events = 10;   ///< cap on generated fault events
+};
+
+/// Deterministically generate one schedule from (seed, opts).
+Schedule generate(uint64_t seed, const GeneratorOptions& opts = {});
+
+}  // namespace gmpx::scenario

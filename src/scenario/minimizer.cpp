@@ -1,0 +1,109 @@
+#include "scenario/minimizer.hpp"
+
+#include <algorithm>
+
+namespace gmpx::scenario {
+
+namespace {
+
+class Budget {
+ public:
+  Budget(size_t cap, MinimizeStats* stats) : cap_(cap), stats_(stats) {}
+  bool spend() {
+    if (used_ >= cap_) return false;
+    ++used_;
+    if (stats_) stats_->probes = used_;
+    return true;
+  }
+
+ private:
+  size_t cap_;
+  size_t used_ = 0;
+  MinimizeStats* stats_;
+};
+
+/// One ddmin-style dropping sweep: try removing contiguous chunks from
+/// `chunk = events/2` down to single events.  Returns true if anything was
+/// dropped.
+bool drop_pass(Schedule& s, const FailPredicate& still_fails, Budget& budget) {
+  bool progress = false;
+  for (size_t chunk = std::max<size_t>(s.events.size() / 2, 1); chunk >= 1; chunk /= 2) {
+    for (size_t start = 0; start < s.events.size();) {
+      Schedule candidate = s;
+      size_t len = std::min(chunk, candidate.events.size() - start);
+      candidate.events.erase(candidate.events.begin() + start,
+                             candidate.events.begin() + start + len);
+      if (!budget.spend()) return progress;
+      if (still_fails(candidate)) {
+        s = std::move(candidate);
+        progress = true;
+        // Do not advance: the next chunk slid into `start`.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return progress;
+}
+
+/// Halve one numeric field toward zero while the failure persists.
+/// `get`/`set` access the field on a ScheduleEvent.
+template <typename Get, typename Set>
+bool shrink_field(Schedule& s, size_t idx, const FailPredicate& still_fails, Budget& budget,
+                  Get get, Set set) {
+  bool progress = false;
+  while (get(s.events[idx]) > 0) {
+    Schedule candidate = s;
+    set(candidate.events[idx], get(candidate.events[idx]) / 2);
+    if (get(candidate.events[idx]) == get(s.events[idx])) break;  // clamped: no change
+    if (!budget.spend()) return progress;
+    if (!still_fails(candidate)) break;
+    s = std::move(candidate);
+    progress = true;
+  }
+  return progress;
+}
+
+/// Value-shrinking sweep over every event's tick/duration/delay fields.
+bool shrink_pass(Schedule& s, const FailPredicate& still_fails, Budget& budget) {
+  bool progress = false;
+  for (size_t i = 0; i < s.events.size(); ++i) {
+    progress |= shrink_field(
+        s, i, still_fails, budget, [](const ScheduleEvent& e) { return e.at; },
+        [](ScheduleEvent& e, Tick v) { e.at = v; });
+    progress |= shrink_field(
+        s, i, still_fails, budget, [](const ScheduleEvent& e) { return e.duration; },
+        [](ScheduleEvent& e, Tick v) { e.duration = v; });
+    if (s.events[i].type == EventType::kDelayStorm) {
+      progress |= shrink_field(
+          s, i, still_fails, budget, [](const ScheduleEvent& e) { return e.max_delay; },
+          [](ScheduleEvent& e, Tick v) { e.max_delay = std::max<Tick>(v, e.min_delay); });
+    }
+  }
+  return progress;
+}
+
+}  // namespace
+
+Schedule minimize(const Schedule& s, const FailPredicate& still_fails,
+                  const MinimizeOptions& opts, MinimizeStats* stats) {
+  if (stats) {
+    *stats = {};
+    stats->events_before = s.events.size();
+    stats->events_after = s.events.size();
+  }
+  Budget budget(opts.max_probes, stats);
+  if (!budget.spend() || !still_fails(s)) return s;
+
+  Schedule cur = s;
+  bool progress = true;
+  while (progress) {
+    progress = drop_pass(cur, still_fails, budget);
+    progress |= shrink_pass(cur, still_fails, budget);
+  }
+  if (stats) stats->events_after = cur.events.size();
+  return cur;
+}
+
+}  // namespace gmpx::scenario

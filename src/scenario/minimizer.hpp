@@ -1,0 +1,40 @@
+// Greedy schedule minimization: shrink a violating schedule to a minimal
+// reproducer while the violation persists.
+//
+// The minimizer is predicate-driven (delta-debugging style): callers supply
+// `still_fails(Schedule)` — usually "execute() reports a violation" — and
+// the minimizer alternates two greedy passes until a fixpoint:
+//   1. event dropping — remove chunks of events (halves, quarters, ...,
+//      single events) and keep any removal that preserves the failure;
+//   2. value shrinking — halve event ticks, durations and storm delays
+//      toward zero while the failure persists.
+// The result is 1-minimal with respect to single-event removal: dropping
+// any one remaining event makes the failure disappear.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "scenario/schedule.hpp"
+
+namespace gmpx::scenario {
+
+/// Returns true when the (candidate) schedule still reproduces the failure.
+using FailPredicate = std::function<bool(const Schedule&)>;
+
+struct MinimizeOptions {
+  size_t max_probes = 2000;  ///< hard cap on predicate evaluations
+};
+
+struct MinimizeStats {
+  size_t probes = 0;          ///< predicate evaluations spent
+  size_t events_before = 0;
+  size_t events_after = 0;
+};
+
+/// Shrink `s` under `still_fails`.  Precondition: still_fails(s) is true
+/// (if not, `s` is returned unchanged).  Deterministic.
+Schedule minimize(const Schedule& s, const FailPredicate& still_fails,
+                  const MinimizeOptions& opts = {}, MinimizeStats* stats = nullptr);
+
+}  // namespace gmpx::scenario

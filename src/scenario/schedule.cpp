@@ -1,0 +1,143 @@
+#include "scenario/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/textcodec.hpp"
+
+namespace gmpx::scenario {
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::kCrash: return "crash";
+    case EventType::kPartition: return "partition";
+    case EventType::kHeal: return "heal";
+    case EventType::kJoin: return "join";
+    case EventType::kLeave: return "leave";
+    case EventType::kSuspect: return "suspect";
+    case EventType::kDelayStorm: return "delaystorm";
+  }
+  return "?";
+}
+
+bool liveness_eligible(const Schedule& s) {
+  // Replay partition/heal events in schedule-file order (ties broken by
+  // position, matching the executor's injection order) and require that no
+  // cut outlives the run.
+  struct Cut {
+    Tick opened = 0;
+    Tick heals_at = 0;  // 0 = explicit heal required
+  };
+  std::vector<std::pair<Tick, size_t>> order;
+  for (size_t i = 0; i < s.events.size(); ++i) order.emplace_back(s.events[i].at, i);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Cut> open;
+  for (const auto& [at, idx] : order) {
+    const ScheduleEvent& e = s.events[idx];
+    // Timed cuts that expired before this event heal now.
+    std::erase_if(open, [&](const Cut& c) { return c.heals_at != 0 && c.heals_at <= at; });
+    if (e.type == EventType::kPartition) {
+      open.push_back({e.at, e.duration == 0 ? 0 : e.at + e.duration});
+    } else if (e.type == EventType::kHeal) {
+      open.clear();  // heal_partition() releases every cut
+    }
+  }
+  std::erase_if(open, [](const Cut& c) { return c.heals_at != 0; });
+  return open.empty();
+}
+
+std::string encode_schedule(const Schedule& s) {
+  TextWriter w;
+  w.rec("gmpx-schedule").field(1);
+  w.rec("n").field(s.n);
+  w.rec("seed").field(s.seed);
+  for (const ScheduleEvent& e : s.events) {
+    w.rec(to_string(e.type)).field(e.at);
+    switch (e.type) {
+      case EventType::kCrash:
+      case EventType::kLeave:
+        w.field(e.target);
+        break;
+      case EventType::kSuspect:
+        w.field(e.observer).field(e.target);
+        break;
+      case EventType::kPartition:
+        w.field(e.duration).ids(e.group);
+        break;
+      case EventType::kHeal:
+        break;
+      case EventType::kJoin:
+        w.field(e.target).ids(e.group);
+        break;
+      case EventType::kDelayStorm:
+        w.field(e.duration).field(e.min_delay).field(e.max_delay);
+        break;
+    }
+  }
+  w.rec("end");
+  return w.take();
+}
+
+Schedule decode_schedule(const std::string& text) {
+  TextReader r(text);
+  if (r.keyword() != "gmpx-schedule") throw CodecError("not a gmpx-schedule file");
+  if (r.num() != 1) throw CodecError("unsupported schedule version");
+  Schedule s;
+  for (;;) {
+    std::string kw = r.keyword();
+    if (kw == "end") break;
+    if (kw == "n") {
+      s.n = static_cast<size_t>(r.num());
+      continue;
+    }
+    if (kw == "seed") {
+      s.seed = r.num();
+      continue;
+    }
+    ScheduleEvent e;
+    e.at = r.num();
+    if (kw == "crash" || kw == "leave") {
+      e.type = kw == "crash" ? EventType::kCrash : EventType::kLeave;
+      e.target = static_cast<ProcessId>(r.num());
+    } else if (kw == "suspect") {
+      e.type = EventType::kSuspect;
+      e.observer = static_cast<ProcessId>(r.num());
+      e.target = static_cast<ProcessId>(r.num());
+    } else if (kw == "partition") {
+      e.type = EventType::kPartition;
+      e.duration = r.num();
+      e.group = r.ids();
+    } else if (kw == "heal") {
+      e.type = EventType::kHeal;
+    } else if (kw == "join") {
+      e.type = EventType::kJoin;
+      e.target = static_cast<ProcessId>(r.num());
+      e.group = r.ids();
+    } else if (kw == "delaystorm") {
+      e.type = EventType::kDelayStorm;
+      e.duration = r.num();
+      e.min_delay = r.num();
+      e.max_delay = r.num();
+    } else {
+      throw CodecError("unknown schedule keyword '" + kw + "'");
+    }
+    s.events.push_back(std::move(e));
+  }
+  return s;
+}
+
+std::string summarize(const Schedule& s) {
+  std::ostringstream os;
+  os << "n=" << s.n << " seed=" << s.seed << " events=" << s.events.size() << " [";
+  for (size_t i = 0; i < s.events.size(); ++i) {
+    const ScheduleEvent& e = s.events[i];
+    if (i) os << ' ';
+    os << to_string(e.type) << '@' << e.at;
+    if (e.target != kNilId) os << ":p" << e.target;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace gmpx::scenario

@@ -139,6 +139,13 @@ class SimWorld {
   /// Current simulated time.
   Tick now() const { return now_; }
 
+  /// Current latency model.
+  const DelayModel& delays() const { return delays_; }
+
+  /// Swap the latency model mid-run (scenario "delay storm" events).  Only
+  /// affects messages sent after the call; per-channel FIFO still holds.
+  void set_delays(DelayModel d) { delays_ = d; }
+
   /// Message meter (counts protocol sends).
   Meter& meter() { return meter_; }
   const Meter& meter() const { return meter_; }

@@ -21,6 +21,19 @@ std::string CheckResult::message() const {
   return os.str();
 }
 
+std::vector<std::string> CheckResult::clauses() const {
+  std::set<std::string> tags;
+  for (const auto& v : violations) tags.insert(v.substr(0, v.find(':')));
+  return {tags.begin(), tags.end()};
+}
+
+bool CheckResult::has_clause(const std::string& clause) const {
+  for (const auto& v : violations) {
+    if (v.compare(0, v.find(':'), clause) == 0) return true;
+  }
+  return false;
+}
+
 CheckResult check_gmp0(const Recorder& rec) {
   CheckResult r;
   const auto& init = rec.initial_membership();

@@ -34,6 +34,10 @@ struct CheckResult {
   bool ok() const { return violations.empty(); }
   /// All violations joined by newlines (gtest failure message helper).
   std::string message() const;
+  /// Distinct clause tags ("GMP-0".."GMP-5", "GMP-2/3"), sorted.
+  std::vector<std::string> clauses() const;
+  /// True if some violation carries the given clause tag.
+  bool has_clause(const std::string& clause) const;
 };
 
 /// Options controlling which conditions are asserted.

@@ -1,0 +1,242 @@
+// Negative coverage for trace::check_gmp: every clause GMP-0..GMP-5 gets a
+// hand-crafted synthetic violating trace, and the test asserts the checker
+// flags exactly that clause.  (The positive direction — clean runs produce
+// no violations — is exercised by every integration test; until now the
+// checkers themselves were never proven to *fire*.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/checker.hpp"
+#include "trace/recorder.hpp"
+
+using namespace gmpx;
+using trace::CheckOptions;
+using trace::CheckResult;
+using trace::Recorder;
+
+namespace {
+
+/// Asserts `r` violates `clause` and nothing else.
+void expect_only(const CheckResult& r, const std::string& clause) {
+  ASSERT_FALSE(r.ok()) << "expected a " << clause << " violation";
+  EXPECT_EQ(r.clauses(), std::vector<std::string>{clause}) << r.message();
+}
+
+/// Test fixture owning a recorder pre-seeded with membership {0,1,2}.
+/// (Recorder holds a mutex, so it is neither copyable nor movable.)
+struct Base {
+  Base() { rec.set_initial_membership({0, 1, 2}); }
+  Recorder rec;
+};
+
+/// The lawful exclusion of process 2, recorded at every member: use as a
+/// clean scaffold that single violations are grafted onto.
+void lawful_removal_of_2(Recorder& rec) {
+  for (ProcessId p : {0u, 1u}) rec.faulty(p, 2, 10);
+  rec.crash(2, 5);
+  for (ProcessId p : {0u, 1u}) {
+    rec.remove(p, 2, 20);
+    rec.install(p, 1, {0, 1}, 20);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GMP-0: the initial system view
+// ---------------------------------------------------------------------------
+
+TEST(CheckerNegative, Gmp0NoInitialMembership) {
+  Recorder rec;  // never declared
+  expect_only(trace::check_gmp0(rec), "GMP-0");
+}
+
+TEST(CheckerNegative, Gmp0VersionZeroViewDiffersFromProc) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.install(1, 0, {0, 1}, 5);  // claims a version-0 view != Proc
+  expect_only(trace::check_gmp0(rec), "GMP-0");
+  EXPECT_TRUE(trace::check_gmp(rec, {}).has_clause("GMP-0"));
+}
+
+TEST(CheckerNegative, Gmp0CleanTracePasses) {
+  Base b;
+  Recorder& rec = b.rec;
+  lawful_removal_of_2(rec);
+  EXPECT_TRUE(trace::check_gmp0(rec).ok());
+}
+
+// ---------------------------------------------------------------------------
+// GMP-1: no capricious view changes
+// ---------------------------------------------------------------------------
+
+TEST(CheckerNegative, Gmp1RemoveWithoutFaulty) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.crash(2, 5);
+  rec.faulty(0, 2, 10);
+  rec.remove(0, 2, 20);  // justified
+  rec.remove(1, 2, 21);  // capricious: p1 never believed 2 faulty
+  CheckResult r = trace::check_gmp1(rec);
+  expect_only(r, "GMP-1");
+  EXPECT_EQ(r.violations.size(), 1u);
+  EXPECT_NE(r.violations[0].find("p1"), std::string::npos);
+}
+
+TEST(CheckerNegative, Gmp1AddWithoutOperational) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.operational(0, 7, 10);
+  rec.add(0, 7, 20);  // justified
+  rec.add(1, 7, 21);  // capricious: p1 never learned of 7
+  expect_only(trace::check_gmp1(rec), "GMP-1");
+}
+
+TEST(CheckerNegative, Gmp1OrderMatters) {
+  // The belief must *precede* the operation in the global order.
+  Base b;
+  Recorder& rec = b.rec;
+  rec.remove(0, 2, 20);
+  rec.faulty(0, 2, 30);  // too late
+  expect_only(trace::check_gmp1(rec), "GMP-1");
+}
+
+// ---------------------------------------------------------------------------
+// GMP-2/3: unique system-view sequence, identical local sequences
+// ---------------------------------------------------------------------------
+
+TEST(CheckerNegative, Gmp23DisagreeingViewsAtSameVersion) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.faulty(0, 2, 10);
+  rec.faulty(1, 0, 10);
+  rec.remove(0, 2, 20);
+  rec.install(0, 1, {0, 1}, 20);   // p0 thinks v1 = {0,1}
+  rec.remove(1, 0, 20);
+  rec.install(1, 1, {1, 2}, 21);   // p1 thinks v1 = {1,2}: split brain
+  expect_only(trace::check_gmp23(rec), "GMP-2/3");
+}
+
+TEST(CheckerNegative, Gmp23VersionSkip) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.faulty(0, 2, 10);
+  rec.remove(0, 2, 20);
+  rec.install(0, 1, {0, 1}, 20);
+  rec.install(0, 3, {0}, 30);  // jumped v1 -> v3
+  expect_only(trace::check_gmp23(rec), "GMP-2/3");
+}
+
+TEST(CheckerNegative, Gmp23InitialMemberSkipsFirstVersion) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.install(0, 2, {0, 1}, 20);  // first install must be version 1
+  expect_only(trace::check_gmp23(rec), "GMP-2/3");
+}
+
+// ---------------------------------------------------------------------------
+// GMP-4: no re-instatement
+// ---------------------------------------------------------------------------
+
+TEST(CheckerNegative, Gmp4RemovedProcessReappears) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.install(0, 1, {0, 1}, 20);     // 2 left the view...
+  rec.install(0, 2, {0, 1, 2}, 30);  // ...and came back: forbidden
+  CheckResult r = trace::check_gmp4(rec);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.has_clause("GMP-4")) << r.message();
+}
+
+TEST(CheckerNegative, Gmp4FreshIdIsNotReinstatement) {
+  // A brand-new id joining is fine; GMP-4 only bans *returning* ids.
+  Base b;
+  Recorder& rec = b.rec;
+  rec.install(0, 1, {0, 1}, 20);
+  rec.install(0, 2, {0, 1, 7}, 30);  // 7 never left: a legitimate join
+  EXPECT_TRUE(trace::check_gmp4(rec).ok());
+}
+
+// ---------------------------------------------------------------------------
+// GMP-5: liveness (exclusion of crashed members, convergence)
+// ---------------------------------------------------------------------------
+
+TEST(CheckerNegative, Gmp5CrashedMemberNeverExcluded) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.crash(2, 5);
+  // Survivors 0 and 1 never install anything: their final views still
+  // contain the dead 2.
+  CheckOptions o;
+  expect_only(trace::check_gmp5(rec, o), "GMP-5");
+}
+
+TEST(CheckerNegative, Gmp5SurvivorsDiverge) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.crash(2, 5);
+  rec.faulty(0, 2, 10);
+  rec.remove(0, 2, 20);
+  rec.install(0, 1, {0, 1}, 20);  // p0 converged...
+  // ...but p1 still sits on the initial view.
+  CheckOptions o;
+  expect_only(trace::check_gmp5(rec, o), "GMP-5");
+}
+
+TEST(CheckerNegative, Gmp5IgnoreListExemptsStragglers) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.crash(2, 5);
+  rec.faulty(0, 2, 10);
+  rec.faulty(1, 2, 10);
+  for (ProcessId p : {0u, 1u}) {
+    rec.remove(p, 2, 20);
+    rec.install(p, 1, {0, 1}, 20);
+  }
+  rec.install(5, 3, {0, 1, 5}, 40);  // a half-joined straggler at v3
+  CheckOptions o;
+  EXPECT_FALSE(trace::check_gmp5(rec, o).ok());
+  o.ignore_for_liveness = {5};
+  EXPECT_TRUE(trace::check_gmp5(rec, o).ok());
+}
+
+TEST(CheckerNegative, Gmp5OffByOptionSkipsLiveness) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.crash(2, 5);
+  CheckOptions o;
+  o.check_liveness = false;
+  EXPECT_TRUE(trace::check_gmp(rec, o).ok());  // safety alone is clean
+  o.check_liveness = true;
+  EXPECT_FALSE(trace::check_gmp(rec, o).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation: check_gmp unions clause results; clause helpers
+// ---------------------------------------------------------------------------
+
+TEST(CheckerNegative, AggregateReportsEveryViolatedClause) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.crash(2, 5);
+  rec.remove(0, 2, 20);           // GMP-1 (no faulty)
+  rec.install(0, 1, {0, 1}, 20);
+  rec.install(0, 2, {0, 1, 2}, 30);  // GMP-4 (re-instatement), and the dead
+                                     // 2 in the final view also trips GMP-5
+  CheckResult r = trace::check_gmp(rec, {});
+  EXPECT_TRUE(r.has_clause("GMP-1"));
+  EXPECT_TRUE(r.has_clause("GMP-4"));
+  EXPECT_TRUE(r.has_clause("GMP-5"));
+  EXPECT_FALSE(r.has_clause("GMP-0"));
+  EXPECT_GE(r.clauses().size(), 3u);
+}
+
+TEST(CheckerNegative, MessageJoinsViolations) {
+  Base b;
+  Recorder& rec = b.rec;
+  rec.remove(0, 2, 20);
+  CheckResult r = trace::check_gmp1(rec);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.message(), r.violations[0] + "\n");
+}

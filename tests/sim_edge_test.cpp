@@ -1,0 +1,196 @@
+// SimWorld edge-semantics coverage beyond sim_test.cpp: interactions of
+// crashes with partitions (held traffic), deterministic same-tick FIFO
+// tie-breaking, crash_at racing at() scripts, and mid-run delay swaps.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/world.hpp"
+
+using namespace gmpx;
+using sim::DelayModel;
+using sim::SimWorld;
+
+namespace {
+
+struct Probe : Actor {
+  std::vector<Packet> received;
+  void on_packet(Context&, const Packet& p) override { received.push_back(p); }
+};
+
+Packet make(ProcessId to, uint8_t tag = 0) { return Packet{kNilId, to, 9, {tag}}; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Crash x partition interactions
+// ---------------------------------------------------------------------------
+
+TEST(SimEdge, HeldMessagesToProcessCrashedDuringPartitionVanishOnHeal) {
+  // quit_p: messages to a crashed process vanish — even messages that were
+  // sitting in a partitioned channel when the crash happened.
+  SimWorld w(1, DelayModel{1, 4});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.partition({0}, {1});
+  w.at(1, [&] {
+    for (uint8_t i = 0; i < 3; ++i) w.context_of(0)->send(make(1, i));
+  });
+  w.crash_at(50, 1);  // destination dies while the traffic is held
+  w.at(100, [&] { w.heal_partition(); });
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_TRUE(w.crashed(1));
+}
+
+TEST(SimEdge, HeldMessagesFromProcessCrashedDuringPartitionStillDeliver) {
+  // The dual: a sender's crash never retracts its past sends.  Traffic held
+  // by the cut outlives the sender and lands after healing.
+  SimWorld w(1, DelayModel{1, 4});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.partition({0}, {1});
+  w.at(1, [&] {
+    for (uint8_t i = 0; i < 3; ++i) w.context_of(0)->send(make(1, i));
+  });
+  w.crash_at(50, 0);  // sender dies; its held messages must survive
+  w.at(100, [&] { w.heal_partition(); });
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(b.received.size(), 3u);
+  for (uint8_t i = 0; i < 3; ++i) EXPECT_EQ(b.received[i].bytes[0], i);
+}
+
+TEST(SimEdge, CrashInsidePartitionDropsPendingTimers) {
+  SimWorld w(1);
+  Probe a, b;
+  int fired = 0;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.at(1, [&] { w.context_of(0)->set_timer(500, [&] { ++fired; }); });
+  w.partition({0}, {1});
+  w.crash_at(100, 0);  // crash while cut off: local timers still die with it
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(w.alive(), (std::vector<ProcessId>{1}));
+}
+
+// ---------------------------------------------------------------------------
+// Same-tick event ordering
+// ---------------------------------------------------------------------------
+
+TEST(SimEdge, SameTickEventsRunInSchedulingOrder) {
+  // Events with equal timestamps execute in the order they were scheduled
+  // (seq tie-break), not in any container-dependent order.
+  SimWorld w(1);
+  Probe a;
+  w.add_actor(0, &a);
+  w.start();
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    w.at(42, [&order, i] { order.push_back(i); });
+  }
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimEdge, ZeroDelayChannelPreservesSendOrder) {
+  // DelayModel{0,0} can deliver in the sending tick; FIFO must still hold.
+  SimWorld w(1, DelayModel{0, 0});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.at(5, [&] {
+    for (uint8_t i = 0; i < 20; ++i) w.context_of(0)->send(make(1, i));
+  });
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(b.received.size(), 20u);
+  for (uint8_t i = 0; i < 20; ++i) EXPECT_EQ(b.received[i].bytes[0], i);
+}
+
+// ---------------------------------------------------------------------------
+// crash_at racing at()
+// ---------------------------------------------------------------------------
+
+TEST(SimEdge, CrashAtBeforeScriptAtSameTickWinsTheRace) {
+  // crash_at(t) scheduled before at(t): the crash executes first (seq
+  // order), so the script observes a dead process.
+  SimWorld w(1);
+  Probe a;
+  w.add_actor(0, &a);
+  w.start();
+  bool script_saw_alive = false;
+  w.crash_at(10, 0);
+  w.at(10, [&] { script_saw_alive = w.context_of(0) != nullptr; });
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_FALSE(script_saw_alive);
+  EXPECT_TRUE(w.crashed(0));
+}
+
+TEST(SimEdge, ScriptAtBeforeCrashAtSameTickSendsSuccessfully) {
+  // The reverse registration order: the script runs first and its send is
+  // already in flight when the crash lands — so it still delivers (message
+  // *from* a crashed process).
+  SimWorld w(1, DelayModel{5, 5});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.at(10, [&] {
+    if (Context* c = w.context_of(0)) c->send(make(1, 7));
+  });
+  w.crash_at(10, 0);
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].bytes[0], 7);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-run delay swaps (scenario delay storms)
+// ---------------------------------------------------------------------------
+
+TEST(SimEdge, SetDelaysAffectsOnlySubsequentSends) {
+  SimWorld w(1, DelayModel{1, 1});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  std::vector<Tick> recv_at;
+  struct Recorder : Actor {
+    std::vector<Tick>* out;
+    void on_packet(Context& ctx, const Packet&) override { out->push_back(ctx.now()); }
+  } rec;
+  rec.out = &recv_at;
+  w.add_actor(2, &rec);
+  w.at(10, [&] { w.context_of(0)->send(make(2, 0)); });   // 1-tick delay
+  w.at(20, [&] { w.set_delays(DelayModel{100, 100}); });
+  w.at(30, [&] { w.context_of(0)->send(make(2, 1)); });   // 100-tick delay
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(recv_at.size(), 2u);
+  EXPECT_EQ(recv_at[0], 11u);
+  EXPECT_EQ(recv_at[1], 130u);
+  EXPECT_EQ(w.delays().min_delay, 100u);
+}
+
+TEST(SimEdge, DelaySwapKeepsChannelFifo) {
+  // A slow message sent under storm delays must not be overtaken by a fast
+  // message sent after the storm ends (FIFO per channel).
+  SimWorld w(1, DelayModel{200, 200});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.at(10, [&] { w.context_of(0)->send(make(1, 0)); });  // lands ~210
+  w.at(20, [&] { w.set_delays(DelayModel{1, 1}); });
+  w.at(30, [&] { w.context_of(0)->send(make(1, 1)); });  // would land ~31
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[0].bytes[0], 0);
+  EXPECT_EQ(b.received[1].bytes[0], 1);
+}

@@ -1,0 +1,213 @@
+// gmpx_fuzz — seeded fault-schedule fuzzing for the GMP protocol.
+//
+//   gmpx_fuzz --seeds 0:1000 --profile all --nodes 5      # sweep
+//   gmpx_fuzz --replay failing.sched                      # replay one file
+//   gmpx_fuzz --replay failing.sched --minimize           # shrink it too
+//
+// For every (profile, seed) pair the tool generates a schedule, replays it
+// against a fresh simulated cluster, and validates the recorded trace
+// against GMP-0..4 (plus GMP-5 when the schedule is liveness-eligible).
+// On a violation it prints the schedule text, greedily minimizes it to a
+// minimal reproducer, and (with --out) writes both artifacts to disk.
+// Exit status: 0 = all runs clean, 1 = violations found, 2 = usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "scenario/executor.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/minimizer.hpp"
+
+using namespace gmpx;
+using namespace gmpx::scenario;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: gmpx_fuzz [--seeds LO:HI] [--profile mixed|churn|partition|burst|all]\n"
+               "                 [--nodes N] [--horizon T] [--max-events K] [--no-liveness]\n"
+               "                 [--basic] [--inject-bug] [--out DIR]\n"
+               "                 [--replay FILE [--minimize]] [-v]\n"
+               "\n"
+               "--inject-bug suppresses faulty_p(q) trace records (a deliberate GMP-1\n"
+               "violation) to demonstrate the find -> report -> minimize pipeline.\n");
+}
+
+struct Args {
+  uint64_t seed_lo = 0, seed_hi = 100;
+  std::string profile = "all";
+  GeneratorOptions gen;
+  ExecOptions exec;
+  std::string replay_file;
+  bool minimize_replay = false;
+  std::string out_dir;
+  bool verbose = false;
+};
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--seeds") {
+      const char* v = next();
+      if (!v) return false;
+      char* colon = nullptr;
+      a.seed_lo = std::strtoull(v, &colon, 10);
+      if (colon == v || *colon != ':') return false;
+      char* end = nullptr;
+      a.seed_hi = std::strtoull(colon + 1, &end, 10);
+      if (end == colon + 1 || *end != '\0') return false;
+    } else if (arg == "--profile") {
+      const char* v = next();
+      if (!v) return false;
+      a.profile = v;
+      Profile p;
+      if (a.profile != "all" && !parse_profile(a.profile, p)) return false;
+    } else if (arg == "--nodes") {
+      const char* v = next();
+      if (!v) return false;
+      a.gen.n = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--horizon") {
+      const char* v = next();
+      if (!v) return false;
+      a.gen.horizon = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-events") {
+      const char* v = next();
+      if (!v) return false;
+      a.gen.max_events = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--no-liveness") {
+      a.exec.check_liveness = false;
+    } else if (arg == "--basic") {
+      a.exec.require_majority = false;
+    } else if (arg == "--inject-bug") {
+      a.exec.inject_bug_unrecorded_suspicion = true;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (!v) return false;
+      a.replay_file = v;
+    } else if (arg == "--minimize") {
+      a.minimize_replay = true;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      a.out_dir = v;
+    } else if (arg == "-v" || arg == "--verbose") {
+      a.verbose = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Profile> profiles_of(const std::string& name) {
+  if (name == "all") {
+    return {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
+            Profile::kBurstCrash};
+  }
+  Profile p;
+  parse_profile(name, p);
+  return {p};
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  if (!out) std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+}
+
+/// Replay-and-still-fails predicate used for minimization.  A candidate
+/// reproduces the failure when any checked clause is violated (the run not
+/// quiescing does not count: that only says the budget was too small).
+FailPredicate fails_with(const ExecOptions& exec) {
+  return [exec](const Schedule& s) { return !execute(s, exec).check.ok(); };
+}
+
+int report_failure(const Args& a, const Schedule& sched, const ExecResult& res,
+                   const std::string& tag) {
+  std::printf("FAIL %s: %s\n%s", tag.c_str(), summarize(sched).c_str(),
+              res.message().c_str());
+  std::string text = encode_schedule(sched);
+  std::printf("--- schedule ---\n%s----------------\n", text.c_str());
+  if (!a.out_dir.empty()) write_file(a.out_dir + "/" + tag + ".sched", text);
+
+  MinimizeStats stats;
+  Schedule shrunk = minimize(sched, fails_with(a.exec), {}, &stats);
+  std::string shrunk_text = encode_schedule(shrunk);
+  std::printf("minimized %zu -> %zu events (%zu probes):\n%s", stats.events_before,
+              stats.events_after, stats.probes, shrunk_text.c_str());
+  if (!a.out_dir.empty()) write_file(a.out_dir + "/" + tag + ".min.sched", shrunk_text);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse_args(argc, argv, a)) {
+    usage();
+    return 2;
+  }
+
+  if (!a.replay_file.empty()) {
+    std::ifstream in(a.replay_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", a.replay_file.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Schedule sched;
+    try {
+      sched = decode_schedule(buf.str());
+    } catch (const CodecError& e) {
+      std::fprintf(stderr, "bad schedule file: %s\n", e.what());
+      return 2;
+    }
+    ExecResult res = execute(sched, a.exec);
+    std::printf("replay %s: %s (tick=%lu msgs=%lu liveness=%s)\n", a.replay_file.c_str(),
+                res.ok() ? "OK" : "FAIL", static_cast<unsigned long>(res.end_tick),
+                static_cast<unsigned long>(res.messages),
+                res.liveness_checked ? "checked" : "skipped");
+    if (res.ok()) return 0;
+    if (!a.minimize_replay) {
+      std::printf("%s", res.message().c_str());
+      return 1;
+    }
+    return report_failure(a, sched, res, "replay");
+  }
+
+  uint64_t runs = 0, failures = 0;
+  int rc = 0;
+  for (Profile p : profiles_of(a.profile)) {
+    GeneratorOptions gen = a.gen;
+    gen.profile = p;
+    for (uint64_t seed = a.seed_lo; seed < a.seed_hi; ++seed) {
+      Schedule sched = generate(seed, gen);
+      ExecResult res = execute(sched, a.exec);
+      ++runs;
+      if (a.verbose) {
+        std::printf("%s seed=%lu: %s tick=%lu msgs=%lu view=%zu%s\n", to_string(p),
+                    static_cast<unsigned long>(seed), res.ok() ? "ok" : "FAIL",
+                    static_cast<unsigned long>(res.end_tick),
+                    static_cast<unsigned long>(res.messages), res.final_view_size,
+                    res.liveness_checked ? "" : " (liveness skipped)");
+      }
+      if (!res.ok()) {
+        ++failures;
+        std::ostringstream tag;
+        tag << to_string(p) << "-" << seed;
+        rc = report_failure(a, sched, res, tag.str());
+      }
+    }
+  }
+  std::printf("gmpx_fuzz: %lu runs, %lu failures\n", static_cast<unsigned long>(runs),
+              static_cast<unsigned long>(failures));
+  return rc;
+}
