@@ -1,0 +1,155 @@
+// Event-core microbenchmarks: the raw throughput floor of SimWorld itself,
+// isolated from protocol logic.  bench_scenario measures the whole fuzzing
+// stack; this suite pins down the simulator's share of it — events/s through
+// the heap, sends/s through the channel/packet machinery, and timer
+// arm/cancel churn — so a regression in the event core is visible even when
+// protocol costs move.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sim/world.hpp"
+
+using namespace gmpx;
+using sim::DelayModel;
+using sim::SimWorld;
+
+namespace {
+
+/// Bounces every packet straight back until a hop budget runs out.  All
+/// traffic is sim machinery: one send + one delivery per hop.
+struct PingPong : Actor {
+  uint64_t hops = 0;
+  void on_packet(Context& ctx, const Packet& p) override {
+    ++hops;
+    if (p.bytes[0] == 0) return;
+    ctx.send(Packet{ctx.self(), p.from, 9, {static_cast<uint8_t>(p.bytes[0] - 1)}});
+  }
+};
+
+/// Re-arms a fresh timer every time one fires.
+struct TimerChurn : Actor {
+  uint64_t fired = 0;
+  uint64_t rounds = 0;
+  void on_start(Context& ctx) override { arm(ctx); }
+  void on_packet(Context&, const Packet&) override {}
+  void arm(Context& ctx) {
+    if (fired >= rounds) return;
+    ctx.set_timer(1, [this, &ctx] {
+      ++fired;
+      arm(ctx);
+    });
+  }
+};
+
+}  // namespace
+
+/// Pure event-loop throughput: packets bouncing between n processes.
+static void BM_SimCore_Events(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t events = 0;
+  for (auto _ : state) {
+    SimWorld w(7, DelayModel{1, 16});
+    std::vector<PingPong> actors(n);
+    for (size_t i = 0; i < n; ++i) w.add_actor(static_cast<ProcessId>(i), &actors[i]);
+    w.start();
+    w.at(1, [&] {
+      // 64 hops outstanding on every ordered pair, all racing.
+      for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j) {
+          if (i == j) continue;
+          w.context_of(static_cast<ProcessId>(i))
+              ->send(Packet{static_cast<ProcessId>(i), static_cast<ProcessId>(j), 9, {64}});
+        }
+    });
+    w.run_until_idle();
+    for (const PingPong& a : actors) events += a.hops;
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimCore_Events)->Arg(4)->Arg(16);
+
+/// Send-side machinery: metering, FIFO bookkeeping, packet slab recycling.
+static void BM_SimCore_Sends(benchmark::State& state) {
+  SimWorld w(7, DelayModel{1, 4});
+  PingPong a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  uint64_t sends = 0;
+  for (auto _ : state) {
+    w.at(w.now() + 1, [&] {
+      for (int i = 0; i < 256; ++i)
+        w.context_of(0)->send(Packet{0, 1, 9, {0}});
+    });
+    w.run_until_idle();
+    sends += 256;
+  }
+  state.counters["sends/s"] =
+      benchmark::Counter(static_cast<double>(sends), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimCore_Sends);
+
+/// Timer slab: arm -> fire -> re-arm chains (generation-counter path).
+static void BM_SimCore_TimerChurn(benchmark::State& state) {
+  uint64_t fired = 0;
+  for (auto _ : state) {
+    SimWorld w(7);
+    TimerChurn t;
+    t.rounds = 4096;
+    w.add_actor(0, &t);
+    w.start();
+    w.run_until_idle();
+    fired += t.fired;
+  }
+  state.counters["timers/s"] =
+      benchmark::Counter(static_cast<double>(fired), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimCore_TimerChurn);
+
+/// Timer cancellation: every timer armed is cancelled before it fires, so
+/// the heap drains stale generation entries without running any callback.
+static void BM_SimCore_TimerCancel(benchmark::State& state) {
+  SimWorld w(7);
+  PingPong a;
+  w.add_actor(0, &a);
+  w.start();
+  uint64_t cancelled = 0;
+  for (auto _ : state) {
+    w.at(w.now() + 1, [&] {
+      Context* c = w.context_of(0);
+      for (int i = 0; i < 256; ++i) {
+        TimerId t = c->set_timer(1000, [] {});
+        c->cancel_timer(t);
+      }
+    });
+    w.run_until_idle();
+    cancelled += 256;
+  }
+  state.counters["cancels/s"] =
+      benchmark::Counter(static_cast<double>(cancelled), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimCore_TimerCancel);
+
+/// Partition hold + heal: channel matrix writes and held-traffic release.
+static void BM_SimCore_PartitionHeal(benchmark::State& state) {
+  uint64_t healed = 0;
+  for (auto _ : state) {
+    SimWorld w(7, DelayModel{1, 4});
+    PingPong a, b;
+    w.add_actor(0, &a);
+    w.add_actor(1, &b);
+    w.start();
+    w.partition({0}, {1});
+    w.at(1, [&] {
+      for (int i = 0; i < 64; ++i) w.context_of(0)->send(Packet{0, 1, 9, {0}});
+    });
+    w.at(2, [&] { w.heal_partition(); });
+    w.run_until_idle();
+    healed += b.hops;
+  }
+  state.counters["held_msgs/s"] =
+      benchmark::Counter(static_cast<double>(healed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimCore_PartitionHeal);

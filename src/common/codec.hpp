@@ -27,6 +27,11 @@ class CodecError : public std::runtime_error {
 /// Append-only byte sink with fixed-width little-endian primitives.
 class Writer {
  public:
+  /// Nearly every protocol message fits in one cache line of payload, so
+  /// start with that much capacity instead of growing from empty — encoding
+  /// is one allocation for the common case instead of three or four.
+  Writer() { buf_.reserve(64); }
+
   /// Raw little-endian integer write.
   template <typename T>
   void u(T v) {

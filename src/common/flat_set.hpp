@@ -1,0 +1,58 @@
+// Sorted-vector set for small key sets on hot paths.
+//
+// The protocol layer keeps many per-process id sets (suspicions, isolation,
+// round bookkeeping) that hold at most a dozen entries but are consulted on
+// every packet.  std::set allocates a tree node per insert and chases
+// pointers per lookup; a sorted vector does neither, keeps ascending
+// iteration order (so behaviour that depends on ordered walks is unchanged),
+// and reuses its capacity across clear()s.  Only the std::set surface the
+// codebase actually uses is provided.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gmpx {
+
+template <typename T>
+class FlatSet {
+ public:
+  using const_iterator = typename std::vector<T>::const_iterator;
+  using value_type = T;
+
+  std::pair<const_iterator, bool> insert(const T& v) {
+    if (v_.capacity() == 0) v_.reserve(8);  // one allocation, not a 1-2-4 ramp
+    auto it = std::lower_bound(v_.begin(), v_.end(), v);
+    if (it != v_.end() && *it == v) return {it, false};
+    it = v_.insert(it, v);
+    return {it, true};
+  }
+
+  size_t erase(const T& v) {
+    auto it = std::lower_bound(v_.begin(), v_.end(), v);
+    if (it == v_.end() || *it != v) return 0;
+    v_.erase(it);
+    return 1;
+  }
+
+  size_t count(const T& v) const {
+    return std::binary_search(v_.begin(), v_.end(), v) ? 1 : 0;
+  }
+  bool contains(const T& v) const { return count(v) > 0; }
+
+  bool empty() const { return v_.empty(); }
+  size_t size() const { return v_.size(); }
+  void clear() { v_.clear(); }  // keeps capacity: round state reuses it
+
+  const_iterator begin() const { return v_.begin(); }
+  const_iterator end() const { return v_.end(); }
+
+  friend bool operator==(const FlatSet&, const FlatSet&) = default;
+
+ private:
+  std::vector<T> v_;  // ascending, unique
+};
+
+}  // namespace gmpx

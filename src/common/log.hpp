@@ -38,10 +38,20 @@ struct LogLine {
 };
 }  // namespace detail
 
-#define GMPX_LOG_TRACE() ::gmpx::detail::LogLine(::gmpx::LogLevel::kTrace, "trc")
-#define GMPX_LOG_DEBUG() ::gmpx::detail::LogLine(::gmpx::LogLevel::kDebug, "dbg")
-#define GMPX_LOG_INFO() ::gmpx::detail::LogLine(::gmpx::LogLevel::kInfo, "inf")
-#define GMPX_LOG_WARN() ::gmpx::detail::LogLine(::gmpx::LogLevel::kWarn, "wrn")
-#define GMPX_LOG_ERROR() ::gmpx::detail::LogLine(::gmpx::LogLevel::kError, "err")
+// The level gate runs before the LogLine exists, so a filtered call site
+// never constructs the ostringstream or formats its arguments — logging in
+// hot paths is free when the level is off.  The `if {} else` shape keeps a
+// trailing user `else` bound to the user's own `if`.
+#define GMPX_LOG_AT_(lvl, tag)                                              \
+  if (static_cast<int>(lvl) < static_cast<int>(::gmpx::Log::level()))       \
+    ;                                                                       \
+  else                                                                      \
+    ::gmpx::detail::LogLine(lvl, tag)
+
+#define GMPX_LOG_TRACE() GMPX_LOG_AT_(::gmpx::LogLevel::kTrace, "trc")
+#define GMPX_LOG_DEBUG() GMPX_LOG_AT_(::gmpx::LogLevel::kDebug, "dbg")
+#define GMPX_LOG_INFO() GMPX_LOG_AT_(::gmpx::LogLevel::kInfo, "inf")
+#define GMPX_LOG_WARN() GMPX_LOG_AT_(::gmpx::LogLevel::kWarn, "wrn")
+#define GMPX_LOG_ERROR() GMPX_LOG_AT_(::gmpx::LogLevel::kError, "err")
 
 }  // namespace gmpx

@@ -15,18 +15,19 @@ GmpNode::GmpNode(ProcessId self, Config cfg) : self_(self), cfg_(std::move(cfg))
 void GmpNode::on_start(Context& ctx) {
   if (cfg_.joiner) {
     // S7: a (new) process announces its desire to join and retries until a
-    // ViewTransfer admits it (the incumbent Mgr may crash mid-join).
-    auto solicit = [this, &ctx] {
+    // ViewTransfer admits it (the incumbent Mgr may crash mid-join).  The
+    // solicitation closure is stored once; every retry re-arms with a thin
+    // two-pointer lambda, so the retry loop never allocates.
+    join_solicit_ = [this, &ctx] {
       for (ProcessId c : cfg_.contacts) {
         if (c == self_) continue;
         ctx.send(JoinRequest{self_}.to_packet(c));
       }
     };
-    auto begin = [this, &ctx, solicit] {
-      solicit();
-      join_timer_ = ctx.set_timer(cfg_.join_retry_interval, [this, &ctx, solicit] {
-        this->on_start_retry(ctx, solicit);
-      });
+    auto begin = [this, &ctx] {
+      join_solicit_();
+      join_timer_ = ctx.set_timer(cfg_.join_retry_interval,
+                                  [this, &ctx] { this->on_start_retry(ctx); });
     };
     if (cfg_.join_start_delay > 0) {
       join_timer_ = ctx.set_timer(cfg_.join_start_delay, begin);
@@ -270,7 +271,7 @@ void GmpNode::drain_buffered(Context& ctx) {
   // applied as soon as its predecessor has been installed.
   for (size_t i = 0; i < buffered_commits_.size(); ++i) {
     if (buffered_commits_[i].second.version == view_.version() + 1) {
-      auto [from, c] = buffered_commits_[i];
+      auto [from, c] = std::move(buffered_commits_[i]);
       buffered_commits_.erase(buffered_commits_.begin() + static_cast<long>(i));
       adopt_mgr(ctx, from);
       if (!process_contingent(ctx, from, c.next_op, c.next_target, c.version + 1, c.faulty,
@@ -543,16 +544,16 @@ PendingWork GmpNode::pending_work() const {
   return w;
 }
 
-void GmpNode::on_start_retry(Context& ctx, const std::function<void()>& solicit) {
+void GmpNode::on_start_retry(Context& ctx) {
   if (admitted_ || quit_) return;
   if (++join_attempts_ >= cfg_.join_max_attempts) {
     // The group is unreachable (dead, or durably below majority): give up.
     do_quit(ctx);
     return;
   }
-  solicit();
+  join_solicit_();
   join_timer_ = ctx.set_timer(cfg_.join_retry_interval,
-                              [this, &ctx, solicit] { this->on_start_retry(ctx, solicit); });
+                              [this, &ctx] { this->on_start_retry(ctx); });
 }
 
 }  // namespace gmpx::gmp

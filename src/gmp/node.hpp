@@ -25,9 +25,9 @@
 #pragma once
 
 #include <optional>
-#include <set>
 #include <vector>
 
+#include "common/flat_set.hpp"
 #include "common/runtime.hpp"
 #include "common/types.hpp"
 #include "gmp/messages.hpp"
@@ -123,8 +123,8 @@ class GmpNode : public Actor {
 
   // ---- introspection (tests, benches) ----
   ProcessId id() const { return self_; }
-  const std::set<ProcessId>& suspected() const { return suspected_; }
-  const std::set<ProcessId>& isolated() const { return isolated_; }
+  const FlatSet<ProcessId>& suspected() const { return suspected_; }
+  const FlatSet<ProcessId>& isolated() const { return isolated_; }
   const std::vector<SeqEntry>& seq() const { return seq_; }
   const std::vector<NextEntry>& next_list() const { return next_; }
   /// True while a reconfiguration this node initiated is in flight.
@@ -214,7 +214,7 @@ class GmpNode : public Actor {
   PendingWork pending_work() const;
 
   /// Joiner solicitation retry (re-arms itself until admitted).
-  void on_start_retry(Context& ctx, const std::function<void()>& solicit);
+  void on_start_retry(Context& ctx);
 
   // ---- state ----
   ProcessId self_;
@@ -223,18 +223,19 @@ class GmpNode : public Actor {
   ProcessId mgr_ = kNilId;
   std::vector<SeqEntry> seq_;   ///< seq(p): committed ops, in order
   std::vector<NextEntry> next_; ///< next(p): expected next view changes
-  std::set<ProcessId> suspected_;  ///< Faulty(p): believed faulty, not yet removed
-  std::set<ProcessId> isolated_;   ///< S1: senders whose messages are ignored forever
-  std::set<ProcessId> recovered_;  ///< Recovered(p): pending joiners
-  std::set<ProcessId> reported_;   ///< suspicions already reported to mgr_
-  std::set<ProcessId> join_handled_;  ///< joiners ever committed (dedupe)
-  std::set<ProcessId> operational_logged_;  ///< operational_p(q) already traced
+  FlatSet<ProcessId> suspected_;  ///< Faulty(p): believed faulty, not yet removed
+  FlatSet<ProcessId> isolated_;   ///< S1: senders whose messages are ignored forever
+  FlatSet<ProcessId> recovered_;  ///< Recovered(p): pending joiners
+  FlatSet<ProcessId> reported_;   ///< suspicions already reported to mgr_
+  FlatSet<ProcessId> join_handled_;  ///< joiners ever committed (dedupe)
+  FlatSet<ProcessId> operational_logged_;  ///< operational_p(q) already traced
   bool quit_ = false;
   bool admitted_ = false;
   bool leaving_ = false;  ///< leave() requested, exclusion not yet committed
   ViewListener* listener_ = nullptr;
   trace::Recorder* rec_ = nullptr;
   TimerId join_timer_ = 0;
+  std::function<void()> join_solicit_;  ///< joiner: resend JoinRequests
   size_t join_attempts_ = 0;
   size_t leave_attempts_ = 0;
   size_t reconfigs_initiated_ = 0;
@@ -248,17 +249,17 @@ class GmpNode : public Actor {
     Op op = Op::kRemove;
     ProcessId target = kNilId;
     ViewVersion installs = 0;           ///< ver the op installs (ver(Mgr)+1)
-    std::set<ProcessId> awaiting;       ///< members yet to OK or be suspected
+    FlatSet<ProcessId> awaiting;        ///< members yet to OK or be suspected
     size_t oks = 0;
   } round_;
 
   struct ReconfigState {
     enum class Phase { kIdle, kInterrogating, kProposing };
     Phase phase = Phase::kIdle;
-    std::set<ProcessId> awaiting;
+    FlatSet<ProcessId> awaiting;
     std::vector<PhaseIResponse> responses;  ///< includes the initiator
-    std::set<ProcessId> phase1_resp;        ///< responders excluding self
-    std::set<ProcessId> phase2_resp;
+    FlatSet<ProcessId> phase1_resp;         ///< responders excluding self
+    FlatSet<ProcessId> phase2_resp;
     DetermineResult plan;
   } reconf_;
 };

@@ -15,12 +15,15 @@ void GmpNode::maybe_initiate_reconfig(Context& ctx) {
   if (reconf_.phase != ReconfigState::Phase::kIdle) return;
   if (!view_.contains(self_)) return;
   // Initiation rule (S4.2): initiate(p) <=> every member ranked higher than
-  // p is believed faulty, i.e. HiFaulty(p) is full.
-  auto seniors = view_.more_senior_than(self_);
-  if (seniors.empty()) return;  // we are most senior: Mgr role, not reconfig
-  for (ProcessId q : seniors) {
+  // p is believed faulty, i.e. HiFaulty(p) is full.  Members are stored in
+  // seniority order, so the seniors are exactly the prefix before self.
+  bool any_senior = false;
+  for (ProcessId q : view_.members()) {
+    if (q == self_) break;
+    any_senior = true;
     if (!isolated_.count(q)) return;
   }
+  if (!any_senior) return;  // we are most senior: Mgr role, not reconfig
   start_reconfiguration(ctx);
 }
 

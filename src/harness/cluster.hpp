@@ -10,8 +10,8 @@
 // keeping runs deterministic and message meters free of heartbeat noise.
 #pragma once
 
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "fd/heartbeat.hpp"
@@ -135,8 +135,9 @@ class Cluster {
   ClusterOptions opts_;
   sim::SimWorld world_;
   trace::Recorder recorder_;
-  std::map<ProcessId, std::unique_ptr<gmp::GmpNode>> nodes_;
-  std::map<ProcessId, std::unique_ptr<fd::HeartbeatFd>> fds_;
+  // Never iterated (ids_ keeps the deterministic order); hash lookup only.
+  std::unordered_map<ProcessId, std::unique_ptr<gmp::GmpNode>> nodes_;
+  std::unordered_map<ProcessId, std::unique_ptr<fd::HeartbeatFd>> fds_;
   std::vector<ProcessId> ids_;
 };
 

@@ -40,7 +40,7 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
       storms.push_back({e.at, e.at + e.duration, {e.min_delay, e.max_delay}});
     }
   }
-  auto model_at = [storms, base_delays](Tick t) {
+  auto model_at = [&storms, base_delays](Tick t) {
     sim::DelayModel m = base_delays;
     Tick best_start = 0;
     bool found = false;
@@ -61,8 +61,10 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
         cluster.crash_at(e.at, e.target);
         break;
       case EventType::kLeave:
-        world.at(e.at, [&cluster, &world, p = e.target] {
-          if (Context* ctx = world.context_of(p)) {
+        // (Closures here may capture execute()'s locals and the schedule by
+        // reference: both outlive the simulation run they are fired in.)
+        world.at(e.at, [&cluster, p = e.target] {
+          if (Context* ctx = cluster.world().context_of(p)) {
             if (cluster.has_node(p)) cluster.node(p).leave(*ctx);
           }
         });
@@ -82,12 +84,12 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
       case EventType::kPartition: {
         // Side B is every registered process not named in the event (the
         // cut follows joiners too).
-        world.at(e.at, [&cluster, &world, side = e.group] {
+        world.at(e.at, [&cluster, &world, side = &e.group] {
           std::vector<ProcessId> rest;
           for (ProcessId p : cluster.ids()) {
-            if (!std::count(side.begin(), side.end(), p)) rest.push_back(p);
+            if (!std::count(side->begin(), side->end(), p)) rest.push_back(p);
           }
-          if (!side.empty() && !rest.empty()) world.partition(side, rest);
+          if (!side->empty() && !rest.empty()) world.partition(*side, rest);
         });
         if (e.duration > 0) {
           world.at(e.at + e.duration, [&world] { world.heal_partition(); });
@@ -102,9 +104,9 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
         joiners.push_back(e.target);
         break;
       case EventType::kDelayStorm:
-        world.at(e.at, [&world, model_at, t = e.at] { world.set_delays(model_at(t)); });
+        world.at(e.at, [&world, &model_at, t = e.at] { world.set_delays(model_at(t)); });
         world.at(e.at + e.duration,
-                 [&world, model_at, t = e.at + e.duration] { world.set_delays(model_at(t)); });
+                 [&world, &model_at, t = e.at + e.duration] { world.set_delays(model_at(t)); });
         break;
     }
   }
@@ -139,6 +141,26 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
   r.end_tick = world.now();
   r.messages = world.meter().total();
 
+  // Trace fingerprint (FNV-1a over every recorded event field).
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  cluster.recorder().for_each_event([&](const trace::Event& e) {
+    mix(e.seq);
+    mix(e.tick);
+    mix(static_cast<uint64_t>(e.kind));
+    mix(e.actor);
+    mix(e.target);
+    mix(e.version);
+    mix(e.members.size());
+    for (ProcessId m : e.members) mix(m);
+  });
+  r.trace_hash = h;
+
   // The paper's GMP-5 precondition: progress is only promised while a
   // majority of the *current* view survives.  Exclusions (false suspicions,
   // leaves) shrink the view, so a schedule-level crash budget cannot prove
@@ -146,14 +168,7 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
   // view ever installed must retain a strict majority of live members.
   // Frontier view: the highest-version view anyone installed (all installs
   // of a version agree by GMP-2/3; violations of that are reported anyway).
-  ViewVersion frontier_version = 0;
-  std::vector<ProcessId> frontier = cluster.recorder().initial_membership();
-  for (const auto& [p, vs] : cluster.recorder().views()) {
-    if (!vs.empty() && vs.back().version >= frontier_version) {
-      frontier_version = vs.back().version;
-      frontier = vs.back().members;
-    }
-  }
+  std::vector<ProcessId> frontier = cluster.recorder().frontier_view().members;
 
   bool majority_survives = true;
   if (opts.require_majority) {
@@ -184,17 +199,35 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
   // held to convergence, so "the Mgr never told the excludee" bugs remain
   // visible.  Safety is fully checked for everyone regardless.
   {
-    auto crash_ticks = cluster.recorder().crashes();
-    std::set<ProcessId> false_suspectors;
-    for (const trace::Event& e : cluster.recorder().events()) {
-      if (e.kind != trace::EventKind::kFaulty) continue;
-      auto it = crash_ticks.find(e.target);
-      if (it == crash_ticks.end() || e.tick < it->second) false_suspectors.insert(e.actor);
-    }
+    // Two passes over the log: collect (first) crash ticks, then flag any
+    // faulty_p(q) recorded before q's real crash.  Flat vectors: a run has
+    // a handful of crashes and suspectors.
+    std::vector<std::pair<ProcessId, Tick>> crash_ticks;
+    cluster.recorder().for_each_event([&](const trace::Event& e) {
+      if (e.kind != trace::EventKind::kCrash) return;
+      for (const auto& [p, t] : crash_ticks) {
+        if (p == e.actor) return;
+      }
+      crash_ticks.emplace_back(e.actor, e.tick);
+    });
+    std::vector<ProcessId> false_suspectors;
+    cluster.recorder().for_each_event([&](const trace::Event& e) {
+      if (e.kind != trace::EventKind::kFaulty) return;
+      Tick crash_at = 0;
+      bool crashed = false;
+      for (const auto& [p, t] : crash_ticks) {
+        if (p == e.target) {
+          crashed = true;
+          crash_at = t;
+          break;
+        }
+      }
+      if (!crashed || e.tick < crash_at) false_suspectors.push_back(e.actor);
+    });
     for (ProcessId p : cluster.ids()) {
       if (world.crashed(p) || !cluster.node(p).admitted()) continue;
       bool in_frontier = std::count(frontier.begin(), frontier.end(), p) > 0;
-      if (!in_frontier && false_suspectors.count(p)) {
+      if (!in_frontier && std::count(false_suspectors.begin(), false_suspectors.end(), p)) {
         check_opts.ignore_for_liveness.push_back(p);
       }
     }

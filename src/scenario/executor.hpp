@@ -34,6 +34,10 @@ struct ExecResult {
   Tick end_tick = 0;              ///< simulated time at quiescence
   uint64_t messages = 0;          ///< protocol sends metered by the run
   size_t final_view_size = 0;     ///< |view| of the most senior survivor (0 if none)
+  /// FNV-1a fingerprint of the full recorded trace (every event, field by
+  /// field).  Two runs of the same schedule are bit-reproducible iff their
+  /// hashes match — the determinism regression test asserts exactly this.
+  uint64_t trace_hash = 0;
 
   /// A run passes when it quiesced and no checked clause was violated.
   bool ok() const { return quiesced && check.ok(); }

@@ -1,0 +1,138 @@
+#include "scenario/sweep.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "scenario/minimizer.hpp"
+
+namespace gmpx::scenario {
+
+namespace {
+
+/// Replay-and-still-fails predicate used for minimization.  A candidate
+/// reproduces the failure when any checked clause is violated (the run not
+/// quiescing does not count: that only says the budget was too small).
+FailPredicate fails_with(const ExecOptions& exec) {
+  return [exec](const Schedule& s) { return !execute(s, exec).check.ok(); };
+}
+
+/// Render one run's report exactly as the serial fuzzer always printed it,
+/// so `--jobs N` output diffs clean against `--jobs 1` (and against history).
+void render(SweepRun& out, const Schedule& sched, const ExecResult& res,
+            const SweepOptions& opts) {
+  if (opts.verbose) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s seed=%lu: %s tick=%lu msgs=%lu view=%zu%s\n",
+                  to_string(out.profile), static_cast<unsigned long>(out.seed),
+                  res.ok() ? "ok" : "FAIL", static_cast<unsigned long>(res.end_tick),
+                  static_cast<unsigned long>(res.messages), res.final_view_size,
+                  res.liveness_checked ? "" : " (liveness skipped)");
+    out.report += buf;
+  }
+  if (res.ok()) return;
+
+  out.tag = std::string(to_string(out.profile)) + "-" + std::to_string(out.seed);
+  FailureReport failure = render_failure(sched, res, opts.exec, out.tag);
+  out.report += failure.report;
+  out.schedule_text = std::move(failure.schedule_text);
+  out.minimized_text = std::move(failure.minimized_text);
+}
+
+}  // namespace
+
+FailureReport render_failure(const Schedule& sched, const ExecResult& res,
+                             const ExecOptions& exec, const std::string& tag) {
+  FailureReport out;
+  out.report = "FAIL " + tag + ": " + summarize(sched) + "\n" + res.message();
+  out.schedule_text = encode_schedule(sched);
+  out.report += "--- schedule ---\n" + out.schedule_text + "----------------\n";
+
+  MinimizeStats stats;
+  Schedule shrunk = minimize(sched, fails_with(exec), {}, &stats);
+  out.minimized_text = encode_schedule(shrunk);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "minimized %zu -> %zu events (%zu probes):\n",
+                stats.events_before, stats.events_after, stats.probes);
+  out.report += buf;
+  out.report += out.minimized_text;
+  return out;
+}
+
+SweepResult run_sweep(const SweepOptions& opts) {
+  // Work list in the canonical (profile, seed) order; this order — not the
+  // execution interleaving — defines every observable output.
+  struct Item {
+    Profile profile;
+    uint64_t seed;
+  };
+  std::vector<Item> items;
+  for (Profile p : opts.profiles) {
+    for (uint64_t seed = opts.seed_lo; seed < opts.seed_hi; ++seed) {
+      items.push_back(Item{p, seed});
+    }
+  }
+
+  SweepResult result;
+  result.runs = items.size();
+  result.run_log.resize(items.size());
+
+  unsigned jobs = opts.jobs == 0 ? std::thread::hardware_concurrency() : opts.jobs;
+  if (jobs == 0) jobs = 1;
+  if (jobs > items.size()) jobs = items.size() ? static_cast<unsigned>(items.size()) : 1;
+
+  // Streaming bookkeeping: the sink sees the completed *prefix* of the work
+  // list, so deliveries are in canonical order no matter which worker
+  // finishes which run first.
+  std::mutex flush_mu;
+  std::vector<uint8_t> completed(items.size(), 0);
+  size_t flushed = 0;
+
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= items.size()) return;
+      const Item& item = items[i];
+      GeneratorOptions gen = opts.gen;
+      gen.profile = item.profile;
+      Schedule sched = generate(item.seed, gen);
+      ExecResult res = execute(sched, opts.exec);
+      SweepRun& run = result.run_log[i];
+      run.profile = item.profile;
+      run.seed = item.seed;
+      run.ok = res.ok();
+      run.end_tick = res.end_tick;
+      run.messages = res.messages;
+      run.trace_hash = res.trace_hash;
+      render(run, sched, res, opts);
+      if (opts.on_run) {
+        std::lock_guard lock(flush_mu);
+        completed[i] = 1;
+        while (flushed < items.size() && completed[flushed]) {
+          opts.on_run(result.run_log[flushed]);
+          ++flushed;
+        }
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic merge: reports concatenate in work-list order.
+  for (const SweepRun& run : result.run_log) {
+    if (!run.ok) ++result.failures;
+    result.output += run.report;
+  }
+  return result;
+}
+
+}  // namespace gmpx::scenario

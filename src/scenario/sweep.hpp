@@ -1,0 +1,77 @@
+// Sharded fuzz sweep: the engine behind `gmpx_fuzz --seeds LO:HI`.
+//
+// A sweep is a grid of independent (profile, seed) runs.  Each run builds
+// its own SimWorld, so runs shard perfectly across worker threads: with
+// `jobs > 1` the grid is consumed by a pool, and the per-run reports are
+// merged back in (profile, seed) order.  Output, counts, artifacts and the
+// derived exit status are byte-identical for every jobs value — parallelism
+// buys wall-clock time only, never a different answer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/executor.hpp"
+#include "scenario/generator.hpp"
+
+namespace gmpx::scenario {
+
+/// Outcome of one (profile, seed) run.
+struct SweepRun {
+  Profile profile = Profile::kMixed;
+  uint64_t seed = 0;
+  bool ok = true;
+  Tick end_tick = 0;
+  uint64_t messages = 0;
+  uint64_t trace_hash = 0;       ///< ExecResult::trace_hash of the run
+  std::string report;            ///< rendered lines ("" for a quiet pass)
+  // Failure artifacts (empty on success):
+  std::string tag;               ///< "<profile>-<seed>"
+  std::string schedule_text;     ///< encoded failing schedule
+  std::string minimized_text;    ///< encoded minimal reproducer
+};
+
+struct SweepOptions {
+  uint64_t seed_lo = 0;
+  uint64_t seed_hi = 100;   ///< exclusive
+  std::vector<Profile> profiles = {Profile::kMixed, Profile::kChurnHeavy,
+                                   Profile::kPartitionHeavy, Profile::kBurstCrash};
+  GeneratorOptions gen;
+  ExecOptions exec;
+  unsigned jobs = 1;        ///< worker threads; 0 = hardware concurrency
+  bool verbose = false;     ///< emit one report line per run (not only failures)
+  /// Streaming sink: invoked for every run in canonical (profile, seed)
+  /// order as soon as that run *and all runs before it* have completed, so
+  /// a long sweep shows progress without ever reordering output.  Called
+  /// from whichever worker thread completes the prefix; runs are never
+  /// delivered twice or out of order.
+  std::function<void(const SweepRun&)> on_run;
+};
+
+struct SweepResult {
+  uint64_t runs = 0;
+  uint64_t failures = 0;
+  std::vector<SweepRun> run_log;  ///< every run, in (profile, seed) order
+  std::string output;             ///< concatenated reports, jobs-independent
+};
+
+/// Execute the sweep.  Deterministic: the result (including `output` and
+/// `run_log` ordering) depends only on the options, never on `jobs`.
+SweepResult run_sweep(const SweepOptions& opts);
+
+/// A rendered failure: the report text plus the schedule artifacts.
+struct FailureReport {
+  std::string report;         ///< "FAIL <tag> ..." + schedule + minimization
+  std::string schedule_text;  ///< encoded failing schedule
+  std::string minimized_text; ///< encoded minimal reproducer
+};
+
+/// Render the find → report → minimize pipeline for one failing run.  The
+/// single formatter behind both the sweep and the CLI `--replay` path, so
+/// the same failure always prints the same report.
+FailureReport render_failure(const Schedule& sched, const ExecResult& res,
+                             const ExecOptions& exec, const std::string& tag);
+
+}  // namespace gmpx::scenario

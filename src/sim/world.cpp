@@ -1,5 +1,6 @@
 #include "sim/world.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.hpp"
@@ -13,8 +14,6 @@ struct SimWorld::Node final : Context {
   ProcessId id = kNilId;
   Actor* actor = nullptr;
   bool is_crashed = false;
-  // Timers owned by this node, so a crash can drop them wholesale.
-  std::unordered_set<uint64_t> timers;
 
   ProcessId self() const override { return id; }
   Tick now() const override { return world->now_; }
@@ -25,19 +24,34 @@ struct SimWorld::Node final : Context {
   }
 
   TimerId set_timer(Tick delay, std::function<void()> fn) override {
-    uint64_t tid = world->next_timer_++;
-    timers.insert(tid);
-    world->schedule(world->now_ + delay, [this, tid, fn = std::move(fn)] {
-      if (is_crashed) return;
-      if (world->cancelled_timers_.erase(tid) > 0) return;
-      timers.erase(tid);
-      fn();
-    });
-    return tid;
+    uint32_t slot;
+    if (!world->timer_free_.empty()) {
+      slot = world->timer_free_.back();
+      world->timer_free_.pop_back();
+    } else {
+      slot = static_cast<uint32_t>(world->timer_slots_.size());
+      world->timer_slots_.emplace_back();
+    }
+    TimerSlot& t = world->timer_slots_[slot];
+    t.owner = id;
+    t.armed = true;
+    t.fn = std::move(fn);
+    world->push_event(world->now_ + delay, EventKind::kTimer, slot, t.gen);
+    return (static_cast<uint64_t>(slot) << 32) | static_cast<uint32_t>(t.gen);
   }
 
   void cancel_timer(TimerId tid) override {
-    if (timers.erase(tid) > 0) world->cancelled_timers_.insert(tid);
+    uint32_t slot = static_cast<uint32_t>(tid >> 32);
+    if (slot >= world->timer_slots_.size()) return;
+    TimerSlot& t = world->timer_slots_[slot];
+    if (!t.armed || static_cast<uint32_t>(t.gen) != static_cast<uint32_t>(tid) ||
+        t.owner != id) {
+      return;  // already fired, already cancelled, or not ours
+    }
+    t.armed = false;
+    ++t.gen;  // stale heap entry (and stale TimerIds) now miss
+    t.fn = nullptr;
+    world->timer_free_.push_back(slot);
   }
 
   void quit() override { world->do_crash(id); }
@@ -47,114 +61,212 @@ SimWorld::SimWorld(uint64_t seed, DelayModel delays) : delays_(delays), rng_(see
 
 SimWorld::~SimWorld() = default;
 
+SimWorld::Node* SimWorld::node_of(ProcessId id) const {
+  return id < nodes_.size() ? nodes_[id].get() : nullptr;
+}
+
 void SimWorld::add_actor(ProcessId id, Actor* actor) {
   assert(!started_ && "add_actor after start()");
+  assert(id < (1u << 20) && "process ids must be small dense integers");
+  if (id >= nodes_.size()) nodes_.resize(id + 1);
+  assert(!nodes_[id] && "duplicate process id");
   auto node = std::make_unique<Node>();
   node->world = this;
   node->id = id;
   node->actor = actor;
-  auto [it, inserted] = nodes_.emplace(id, std::move(node));
-  (void)it;
-  assert(inserted && "duplicate process id");
+  nodes_[id] = std::move(node);
 }
 
 void SimWorld::start() {
   started_ = true;
-  // Deterministic start order: ascending id.
-  std::vector<ProcessId> ids;
-  ids.reserve(nodes_.size());
-  for (auto& [id, n] : nodes_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-  for (ProcessId id : ids) {
-    Node& n = *nodes_.at(id);
-    if (!n.is_crashed) n.actor->on_start(n);
+  // Size the flat channel matrices over the dense id range (skip for very
+  // sparse/large worlds, where the hash fallbacks serve instead).
+  constexpr size_t kFlatDimLimit = 512;
+  dim_ = nodes_.size() <= kFlatDimLimit ? nodes_.size() : 0;
+  if (dim_ > 0) {
+    channel_front_flat_.assign(dim_ * dim_, 0);
+    blocked_flat_.assign(dim_ * dim_, 0);
+    // Partitions declared before start() migrate into the matrix.
+    for (auto it = blocked_pairs_.begin(); it != blocked_pairs_.end();) {
+      ProcessId f = static_cast<ProcessId>(*it >> 32);
+      ProcessId t = static_cast<ProcessId>(*it);
+      if (f < dim_ && t < dim_) {
+        blocked_flat_[f * dim_ + t] = 1;
+        it = blocked_pairs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Deterministic start order: ascending id (the table is id-indexed).
+  for (auto& n : nodes_) {
+    if (n && !n->is_crashed) n->actor->on_start(*n);
   }
 }
 
 void SimWorld::crash(ProcessId id) { do_crash(id); }
 
-void SimWorld::crash_at(Tick t, ProcessId id) {
-  schedule(t, [this, id] { do_crash(id); });
-}
+void SimWorld::crash_at(Tick t, ProcessId id) { push_event(t, EventKind::kCrash, id); }
 
 void SimWorld::do_crash(ProcessId id) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end() || it->second->is_crashed) return;
-  it->second->is_crashed = true;
-  it->second->timers.clear();
+  Node* n = node_of(id);
+  if (!n || n->is_crashed) return;
+  n->is_crashed = true;
+  // Armed timers owned by `id` are reclaimed lazily: their heap entries
+  // surface in dispatch(), see the owner-crashed branch there.
   GMPX_LOG_DEBUG() << "t=" << now_ << " crash(" << id << ")";
   if (crash_hook_) crash_hook_(id, now_);
 }
 
 Context* SimWorld::context_of(ProcessId id) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end() || it->second->is_crashed) return nullptr;
-  return it->second.get();
+  Node* n = node_of(id);
+  return (!n || n->is_crashed) ? nullptr : n;
 }
 
 bool SimWorld::crashed(ProcessId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() || it->second->is_crashed;
+  Node* n = node_of(id);
+  return !n || n->is_crashed;
 }
 
 std::vector<ProcessId> SimWorld::alive() const {
   std::vector<ProcessId> out;
-  for (const auto& [id, n] : nodes_)
-    if (!n->is_crashed) out.push_back(id);
-  std::sort(out.begin(), out.end());
-  return out;
+  for (const auto& n : nodes_)
+    if (n && !n->is_crashed) out.push_back(n->id);
+  return out;  // ascending by construction
 }
 
-void SimWorld::at(Tick t, std::function<void()> fn) { schedule(t, std::move(fn)); }
+void SimWorld::at(Tick t, std::function<void()> fn) {
+  uint32_t slot;
+  if (!script_free_.empty()) {
+    slot = script_free_.back();
+    script_free_.pop_back();
+    script_slab_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<uint32_t>(script_slab_.size());
+    script_slab_.push_back(std::move(fn));
+  }
+  push_event(t, EventKind::kScript, slot);
+}
 
 void SimWorld::partition(const std::vector<ProcessId>& a, const std::vector<ProcessId>& b) {
+  auto block = [this](ProcessId x, ProcessId y) {
+    if (dim_ > 0 && x < dim_ && y < dim_) {
+      blocked_flat_[x * dim_ + y] = 1;
+    } else {
+      blocked_pairs_.insert(channel_key(x, y));
+    }
+  };
   for (ProcessId x : a)
     for (ProcessId y : b) {
-      blocked_pairs_.insert({x, y});
-      blocked_pairs_.insert({y, x});
+      block(x, y);
+      block(y, x);
     }
 }
 
 void SimWorld::heal_partition() {
   blocked_pairs_.clear();
-  // Release held traffic channel by channel, preserving FIFO.
+  std::fill(blocked_flat_.begin(), blocked_flat_.end(), 0);
+  // Release held traffic channel by channel in (from, to) order, preserving
+  // FIFO within each channel.  Held packets were metered when first sent,
+  // so they re-enter via route(), not send_from() — no double counting.
   auto held = std::move(held_);
   held_.clear();
-  for (auto& [chan, q] : held) {
-    for (Packet& p : q) send_from(chan.first, std::move(p));
+  std::vector<uint64_t> keys;
+  keys.reserve(held.size());
+  for (const auto& [chan, q] : held) keys.push_back(chan);
+  std::sort(keys.begin(), keys.end());
+  for (uint64_t chan : keys) {
+    for (Packet& p : held[chan]) {
+      route(static_cast<ProcessId>(chan >> 32), std::move(p));
+    }
   }
 }
 
 bool SimWorld::blocked(ProcessId a, ProcessId b) const {
-  return blocked_pairs_.count({a, b}) > 0;
+  if (dim_ > 0 && a < dim_ && b < dim_) return blocked_flat_[a * dim_ + b] != 0;
+  return blocked_pairs_.count(channel_key(a, b)) > 0;
 }
 
-void SimWorld::schedule(Tick time, std::function<void()> fn) {
-  queue_.push(Event{time, next_seq_++, std::move(fn)});
+Tick& SimWorld::channel_front(ProcessId from, ProcessId to) {
+  if (dim_ > 0 && from < dim_ && to < dim_) return channel_front_flat_[from * dim_ + to];
+  return channel_front_[channel_key(from, to)];
 }
+
+void SimWorld::push_event(Tick time, EventKind kind, uint32_t a, uint64_t gen) {
+  queue_.push(Event{time, next_seq_++, gen, a, kind});
+}
+
+uint32_t SimWorld::acquire_packet_slot(Packet&& p) {
+  if (!packet_free_.empty()) {
+    uint32_t slot = packet_free_.back();
+    packet_free_.pop_back();
+    packet_slab_[slot] = std::move(p);
+    return slot;
+  }
+  packet_slab_.push_back(std::move(p));
+  return static_cast<uint32_t>(packet_slab_.size() - 1);
+}
+
+void SimWorld::release_packet_slot(uint32_t slot) { packet_free_.push_back(slot); }
 
 void SimWorld::send_from(ProcessId from, Packet p) {
   assert(p.to != kNilId && "send without destination");
   meter_.count(p.kind);
   if (blocked(from, p.to)) {
-    held_[{from, p.to}].push_back(std::move(p));
+    held_[channel_key(from, p.to)].push_back(std::move(p));
     return;
   }
+  route(from, std::move(p));
+}
+
+void SimWorld::route(ProcessId from, Packet p) {
   Tick delay = delays_.min_delay + rng_.below(delays_.max_delay - delays_.min_delay + 1);
   Tick when = now_ + delay;
   // FIFO per channel: never deliver before a previously sent message.
-  Tick& front = channel_front_[{from, p.to}];
+  Tick& front = channel_front(from, p.to);
   if (when <= front) when = front + 1;
   front = when;
-  schedule(when, [this, p = std::move(p)]() mutable { deliver(std::move(p)); });
+  push_event(when, EventKind::kDeliver, acquire_packet_slot(std::move(p)));
 }
 
-void SimWorld::deliver(Packet p) {
-  auto it = nodes_.find(p.to);
-  if (it == nodes_.end()) return;
-  Node& n = *it->second;
-  if (n.is_crashed) return;  // quit_p: messages to a crashed process vanish
-  n.actor->on_packet(n, p);
+void SimWorld::deliver(uint32_t slot) {
+  Packet p = std::move(packet_slab_[slot]);
+  release_packet_slot(slot);  // before on_packet: nested sends may reuse it
+  Node* n = node_of(p.to);
+  if (!n || n->is_crashed) return;  // quit_p: messages to a crashed process vanish
+  n->actor->on_packet(*n, p);
+}
+
+void SimWorld::dispatch(Event ev) {
+  switch (ev.kind) {
+    case EventKind::kDeliver:
+      deliver(ev.a);
+      break;
+    case EventKind::kTimer: {
+      TimerSlot& t = timer_slots_[ev.a];
+      if (!t.armed || t.gen != ev.gen) return;  // cancelled (or slot recycled)
+      Node* n = node_of(t.owner);
+      t.armed = false;
+      ++t.gen;
+      auto fn = std::move(t.fn);
+      t.fn = nullptr;
+      timer_free_.push_back(ev.a);
+      // Crashed owners take no further steps; the slot is reclaimed either
+      // way, so cancelled-then-crashed timers cannot accumulate state.
+      if (n && !n->is_crashed) fn();
+      break;
+    }
+    case EventKind::kCrash:
+      do_crash(ev.a);
+      break;
+    case EventKind::kScript: {
+      auto fn = std::move(script_slab_[ev.a]);
+      script_slab_[ev.a] = nullptr;
+      script_free_.push_back(ev.a);
+      fn();
+      break;
+    }
+  }
 }
 
 bool SimWorld::step() {
@@ -163,7 +275,7 @@ bool SimWorld::step() {
   queue_.pop();
   assert(ev.time >= now_ && "time went backwards");
   now_ = ev.time;
-  ev.fn();
+  dispatch(ev);
   return true;
 }
 

@@ -12,6 +12,12 @@
 //     deliverable, messages *to* p vanish.
 //   * Message metering — benches regenerate the S7.2 complexity rows by
 //     counting real sends, grouped by packet kind.
+//   * Allocation-free hot path — the event loop is the throughput floor of
+//     every fuzz sweep and bench, so events are typed POD records in a
+//     vector-backed binary heap, packets live in a recycled slab, timers
+//     cancel via generation counters, and channel state is keyed by a
+//     packed 64-bit id in hash maps.  No per-event heap allocation occurs
+//     once the pools are warm.
 //
 // Partitions: the model's channels are reliable, so a "partition" here
 // *delays* messages (holds them in the channel) rather than dropping them;
@@ -19,13 +25,13 @@
 // reading of a partition: an arbitrarily long communication delay.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <queue>
-#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -45,36 +51,49 @@ struct DelayModel {
 
 /// Counts messages sent, grouped by Packet::kind.  Reset between
 /// experiment phases to isolate the message cost of a single view change.
+/// Protocol kinds are small dense integers (src/gmp/messages.hpp), so the
+/// counters are a flat array; rare out-of-range kinds overflow into a map.
 class Meter {
  public:
   /// Record one send of the given kind.
   void count(uint32_t kind) {
     ++total_;
-    ++by_kind_[kind];
+    if (kind < kInlineKinds) {
+      ++by_kind_[kind];
+    } else {
+      ++overflow_[kind];
+    }
   }
   /// Total sends since last reset.
   uint64_t total() const { return total_; }
   /// Sends of one kind since last reset.
   uint64_t of_kind(uint32_t kind) const {
-    auto it = by_kind_.find(kind);
-    return it == by_kind_.end() ? 0 : it->second;
+    if (kind < kInlineKinds) return by_kind_[kind];
+    auto it = overflow_.find(kind);
+    return it == overflow_.end() ? 0 : it->second;
   }
   /// Sends of any kind in [lo, hi] (kind ranges group protocol families).
   uint64_t in_kind_range(uint32_t lo, uint32_t hi) const {
     uint64_t n = 0;
-    for (const auto& [k, c] : by_kind_)
-      if (k >= lo && k <= hi) n += c;
+    for (uint32_t k = lo; k <= hi && k < kInlineKinds; ++k) n += by_kind_[k];
+    if (hi >= kInlineKinds) {
+      for (const auto& [k, c] : overflow_)
+        if (k >= lo && k <= hi) n += c;
+    }
     return n;
   }
   /// Zero all counters.
   void reset() {
     total_ = 0;
-    by_kind_.clear();
+    by_kind_.fill(0);
+    overflow_.clear();
   }
 
  private:
+  static constexpr uint32_t kInlineKinds = 64;
   uint64_t total_ = 0;
-  std::map<uint32_t, uint64_t> by_kind_;
+  std::array<uint64_t, kInlineKinds> by_kind_{};
+  std::map<uint32_t, uint64_t> overflow_;
 };
 
 /// Signature of a crash observer (the trace recorder subscribes to this).
@@ -124,6 +143,7 @@ class SimWorld {
   void partition(const std::vector<ProcessId>& a, const std::vector<ProcessId>& b);
 
   /// Release all held messages, preserving per-channel FIFO order.
+  /// Channels release in (from, to) order, so a seeded run is reproducible.
   void heal_partition();
 
   /// Process a single event.  Returns false when the queue is empty.
@@ -164,10 +184,27 @@ class SimWorld {
  private:
   friend class NodeContext;
 
+  /// Packed ordered-channel id: from in the high 32 bits, to in the low 32.
+  /// Numeric order equals lexicographic (from, to) order, which keeps
+  /// heal_partition's release order identical to the former std::map walk.
+  static constexpr uint64_t channel_key(ProcessId from, ProcessId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
+  /// Typed event record.  POD: the heap never copies closures, and the
+  /// deliver/timer hot paths never touch the allocator.
+  enum class EventKind : uint8_t {
+    kDeliver,  ///< a = packet slab slot
+    kTimer,    ///< a = timer slab slot, gen = generation at arm time
+    kCrash,    ///< a = process id
+    kScript,   ///< a = script slab slot
+  };
   struct Event {
     Tick time;
     uint64_t seq;  // tie-break: deterministic FIFO among same-time events
-    std::function<void()> fn;
+    uint64_t gen;  // kTimer: generation that must still be current to fire
+    uint32_t a;
+    EventKind kind;
   };
   struct EventCmp {
     bool operator()(const Event& a, const Event& b) const {
@@ -177,23 +214,60 @@ class SimWorld {
   };
   struct Node;
 
-  void schedule(Tick time, std::function<void()> fn);
-  void deliver(Packet p);          // called at delivery time
+  /// One armed (or recycled) timer.  A slot is freed by cancel, by firing,
+  /// or lazily when its owner turns out to have crashed; each transition
+  /// bumps `gen` so stale heap entries and stale TimerIds miss.
+  struct TimerSlot {
+    uint64_t gen = 1;
+    ProcessId owner = kNilId;
+    bool armed = false;
+    std::function<void()> fn;
+  };
+
+  void push_event(Tick time, EventKind kind, uint32_t a, uint64_t gen = 0);
+  uint32_t acquire_packet_slot(Packet&& p);
+  void release_packet_slot(uint32_t slot);
+  void dispatch(Event ev);
+  void deliver(uint32_t slot);
   void send_from(ProcessId from, Packet p);
+  /// Delay-draw + FIFO + enqueue, without metering (heal re-routes held
+  /// packets through this so they are not counted twice).
+  void route(ProcessId from, Packet p);
   bool blocked(ProcessId a, ProcessId b) const;
   void do_crash(ProcessId id);
+  Node* node_of(ProcessId id) const;
 
   Tick now_ = 0;
   uint64_t next_seq_ = 0;
-  uint64_t next_timer_ = 1;
   std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
-  std::unordered_map<ProcessId, std::unique_ptr<Node>> nodes_;
-  std::unordered_set<uint64_t> cancelled_timers_;
+  // Dense process table indexed by id (ids are small dense integers; the
+  // scenario generator allocates joiner ids contiguously after 0..n-1).
+  std::vector<std::unique_ptr<Node>> nodes_;
+  // Packet slab: in-flight messages parked here between send and delivery.
+  std::vector<Packet> packet_slab_;
+  std::vector<uint32_t> packet_free_;
+  // Timer slab with generation-counter cancellation.
+  std::vector<TimerSlot> timer_slots_;
+  std::vector<uint32_t> timer_free_;
+  // Script slab (at() closures; cold path, still recycled).
+  std::vector<std::function<void()>> script_slab_;
+  std::vector<uint32_t> script_free_;
+  /// Mutable slot for a channel's FIFO front (last scheduled delivery time).
+  Tick& channel_front(ProcessId from, ProcessId to);
+
+  // Channel state.  start() sizes dim_ x dim_ flat matrices over the dense
+  // id range so the per-send FIFO/partition lookups are array indexing with
+  // no hashing and no per-channel node allocation; out-of-range ids (never
+  // produced by the harness, but allowed by the API) fall back to the hash
+  // containers.
+  size_t dim_ = 0;
+  std::vector<Tick> channel_front_flat_;   // dim_ * dim_, 0 = untouched
+  std::vector<uint8_t> blocked_flat_;      // dim_ * dim_ adjacency bytes
   // FIFO enforcement: last scheduled delivery time per ordered channel.
-  std::map<std::pair<ProcessId, ProcessId>, Tick> channel_front_;
+  std::unordered_map<uint64_t, Tick> channel_front_;
   // Held (partitioned) traffic per ordered channel.
-  std::map<std::pair<ProcessId, ProcessId>, std::deque<Packet>> held_;
-  std::set<std::pair<ProcessId, ProcessId>> blocked_pairs_;
+  std::unordered_map<uint64_t, std::deque<Packet>> held_;
+  std::unordered_set<uint64_t> blocked_pairs_;
   DelayModel delays_;
   Rng rng_;
   Meter meter_;

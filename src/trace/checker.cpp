@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <unordered_set>
 
 namespace gmpx::trace {
 
@@ -11,6 +12,267 @@ namespace {
 
 std::string fmt(const char* clause, const std::string& detail) {
   return std::string(clause) + ": " + detail;
+}
+
+/// One snapshot of the recorder, shared by every clause checker.  Built in
+/// a single in-place scan under one recorder lock — the checker runs after
+/// every fuzzed schedule, making it part of the sweep's hot path, so the
+/// log (and every install's member vector) is not copied per clause.
+///
+/// View entries *reference* the member vectors inside the recorder's log;
+/// the index is only valid while the recorder is not recording (true for
+/// every checker call site: checks run on a finished, quiescent run).
+struct TraceIndex {
+  /// Belief/view operations in global order (members stripped: GMP-1 never
+  /// needs them, installs live in `views`).
+  struct OpEvent {
+    EventKind kind;
+    ProcessId actor;
+    ProcessId target;
+  };
+  /// An install, borrowing the recorder-owned member vector.
+  struct ViewRef {
+    ViewVersion version;
+    const std::vector<ProcessId>* members;
+  };
+  /// One process's installed-view history, in installation order.
+  struct ProcessViews {
+    ProcessId p;
+    std::vector<ViewRef> views;
+  };
+  std::vector<OpEvent> ops;
+  std::vector<ProcessViews> views;  ///< ascending by process id
+  std::vector<ProcessId> crashed;   ///< ascending by process id
+  std::vector<ProcessId> initial;
+
+  explicit TraceIndex(const Recorder& rec) : initial(rec.initial_membership()) {
+    ops.reserve(64);
+    rec.for_each_event([this](const Event& e) {
+      switch (e.kind) {
+        case EventKind::kInstall: {
+          auto it = std::find_if(views.begin(), views.end(),
+                                 [&](const ProcessViews& pv) { return pv.p == e.actor; });
+          if (it == views.end()) {
+            views.push_back(ProcessViews{e.actor, {}});
+            it = views.end() - 1;
+          }
+          it->views.push_back(ViewRef{e.version, &e.members});
+          break;
+        }
+        case EventKind::kCrash:
+          crashed.push_back(e.actor);
+          break;
+        case EventKind::kFaulty:
+        case EventKind::kOperational:
+        case EventKind::kRemove:
+        case EventKind::kAdd:
+          ops.push_back(OpEvent{e.kind, e.actor, e.target});
+          break;
+        default:
+          break;
+      }
+    });
+    // Clause checkers walk processes in ascending id order (the violation
+    // report order depends on it).
+    std::sort(views.begin(), views.end(),
+              [](const ProcessViews& a, const ProcessViews& b) { return a.p < b.p; });
+    std::sort(crashed.begin(), crashed.end());
+  }
+
+  const std::vector<ViewRef>* views_of(ProcessId p) const {
+    auto it = std::lower_bound(
+        views.begin(), views.end(), p,
+        [](const ProcessViews& pv, ProcessId q) { return pv.p < q; });
+    return (it != views.end() && it->p == p) ? &it->views : nullptr;
+  }
+
+  bool has_crashed(ProcessId p) const {
+    return std::binary_search(crashed.begin(), crashed.end(), p);
+  }
+};
+
+/// Packs an (actor, target) belief pair for flat hash membership.
+constexpr uint64_t pair_key(ProcessId actor, ProcessId target) {
+  return (static_cast<uint64_t>(actor) << 32) | target;
+}
+
+void gmp0_into(const TraceIndex& ix, CheckResult& r) {
+  if (ix.initial.empty()) {
+    r.violations.push_back(fmt("GMP-0", "no initial membership declared"));
+    return;
+  }
+  // Every initial member's version-0 view (implicit) is Proc; we verify that
+  // the first *installed* view of any initial member has version >= 1 and
+  // that no one installs a version-0 view different from Proc.
+  for (const auto& [p, vs] : ix.views) {
+    for (const TraceIndex::ViewRef& v : vs) {
+      if (v.version == 0 && *v.members != ix.initial) {
+        r.violations.push_back(
+            fmt("GMP-0", "p" + std::to_string(p) + " installed a version-0 view != Proc"));
+      }
+    }
+  }
+}
+
+void gmp1_into(const TraceIndex& ix, CheckResult& r) {
+  // remove_p(q) must be preceded (in p's local order) by faulty_p(q).
+  // Similarly add_p(q) must be preceded by operational_p(q).  Belief sets
+  // hold a few dozen pairs at most, so flat vectors with a linear probe
+  // beat node-based sets (no allocation per belief).
+  std::vector<uint64_t> believed_faulty, believed_operational;
+  believed_faulty.reserve(32);
+  believed_operational.reserve(16);
+  auto has = [](const std::vector<uint64_t>& v, uint64_t k) {
+    return std::find(v.begin(), v.end(), k) != v.end();
+  };
+  for (const TraceIndex::OpEvent& e : ix.ops) {
+    switch (e.kind) {
+      case EventKind::kFaulty:
+        believed_faulty.push_back(pair_key(e.actor, e.target));
+        break;
+      case EventKind::kOperational:
+        believed_operational.push_back(pair_key(e.actor, e.target));
+        break;
+      case EventKind::kRemove:
+        if (!has(believed_faulty, pair_key(e.actor, e.target))) {
+          r.violations.push_back(fmt(
+              "GMP-1", "p" + std::to_string(e.actor) + " removed " + std::to_string(e.target) +
+                           " without a prior faulty event"));
+        }
+        break;
+      case EventKind::kAdd:
+        if (!has(believed_operational, pair_key(e.actor, e.target))) {
+          r.violations.push_back(fmt(
+              "GMP-1", "p" + std::to_string(e.actor) + " added " + std::to_string(e.target) +
+                           " without a prior operational event"));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void gmp23_into(const TraceIndex& ix, CheckResult& r) {
+  auto is_initial = [&](ProcessId p) {
+    return std::binary_search(ix.initial.begin(), ix.initial.end(), p);
+  };
+  // Agreement per version: all installs of version x carry identical sets.
+  // Real runs use small dense versions — a version-indexed flat table —
+  // but the checker is a public API fed synthetic traces too, so absurd
+  // versions spill into a map instead of sizing the table after them.
+  constexpr ViewVersion kFlatVersionLimit = 4096;
+  std::vector<const std::vector<ProcessId>*> canonical;
+  std::map<ViewVersion, const std::vector<ProcessId>*> canonical_overflow;
+  auto canonical_slot = [&](ViewVersion ver) -> const std::vector<ProcessId>*& {
+    if (ver < kFlatVersionLimit) {
+      if (ver >= canonical.size()) canonical.resize(ver + 1, nullptr);
+      return canonical[ver];
+    }
+    return canonical_overflow[ver];
+  };
+  for (const auto& [p, vs] : ix.views) {
+    ViewVersion prev = 0;
+    bool first = true;
+    for (const TraceIndex::ViewRef& v : vs) {
+      const std::vector<ProcessId>*& canon = canonical_slot(v.version);
+      bool inserted = canon == nullptr;
+      if (inserted) canon = v.members;
+      if (!inserted && *canon != *v.members) {
+        r.violations.push_back(fmt(
+            "GMP-2/3", "version " + std::to_string(v.version) + " installed as " +
+                           to_string(*v.members) + " by p" + std::to_string(p) + " but as " +
+                           to_string(*canon) + " by an earlier process"));
+      }
+      // Per-process versions ascend by exactly 1 (local views are a
+      // contiguous prefix of the system-view sequence).  Initial members
+      // start from the implicit version 0, so their first install must be
+      // version 1; a joiner's first install is its ViewTransfer version.
+      if (first) {
+        first = false;
+        if (is_initial(p) && v.version != 1) {
+          r.violations.push_back(fmt(
+              "GMP-2/3", "initial member p" + std::to_string(p) +
+                             " first installed version " + std::to_string(v.version)));
+        } else if (!is_initial(p) && v.version == 0) {
+          r.violations.push_back(
+              fmt("GMP-2/3", "p" + std::to_string(p) + " re-installed version 0"));
+        }
+      } else if (v.version != prev + 1) {
+        r.violations.push_back(fmt(
+            "GMP-2/3", "p" + std::to_string(p) + " jumped from version " + std::to_string(prev) +
+                           " to " + std::to_string(v.version)));
+      }
+      prev = v.version;
+    }
+  }
+}
+
+void gmp4_into(const TraceIndex& ix, CheckResult& r) {
+  // Once q leaves p's view sequence it never returns.
+  std::vector<ProcessId> ever_removed;  // a handful of ids: flat beats a set
+  for (const auto& [p, vs] : ix.views) {
+    ever_removed.clear();
+    const std::vector<ProcessId>* prev = &ix.initial;
+    for (const TraceIndex::ViewRef& v : vs) {
+      for (ProcessId q : *prev) {
+        if (!std::binary_search(v.members->begin(), v.members->end(), q)) ever_removed.push_back(q);
+      }
+      for (ProcessId q : *v.members) {
+        if (std::find(ever_removed.begin(), ever_removed.end(), q) != ever_removed.end()) {
+          r.violations.push_back(fmt(
+              "GMP-4", "p" + std::to_string(p) + " re-instated " + std::to_string(q) +
+                           " in view v" + std::to_string(v.version)));
+        }
+      }
+      prev = v.members;
+    }
+  }
+}
+
+void gmp5_into(const TraceIndex& ix, const CheckOptions& opts, CheckResult& r) {
+  std::vector<ProcessId> ignore = opts.ignore_for_liveness;
+  std::sort(ignore.begin(), ignore.end());
+  auto is_ignored = [&](ProcessId q) {
+    return std::binary_search(ignore.begin(), ignore.end(), q);
+  };
+
+  // Survivors: initial members (plus successfully joined processes — anyone
+  // who installed a view) that did not crash.  `initial` is sorted and the
+  // views map iterates ascending, so a sort+unique merge preserves the
+  // ascending walk the violation order depends on.
+  std::vector<ProcessId> participants = ix.initial;
+  participants.reserve(participants.size() + ix.views.size());
+  for (const auto& [p, vs] : ix.views) participants.push_back(p);
+  std::sort(participants.begin(), participants.end());
+  participants.erase(std::unique(participants.begin(), participants.end()),
+                     participants.end());
+
+  std::vector<ProcessId> survivors;
+  for (ProcessId p : participants) {
+    if (!ix.has_crashed(p) && !is_ignored(p)) survivors.push_back(p);
+  }
+
+  // (a) Every crashed participant is excluded from every survivor's final view.
+  // (b) All survivors converge on one final view containing exactly the
+  //     survivors (quiescent run: nothing is pending).  Ignored processes
+  //     are exempt on both sides: they need not converge, and their
+  //     presence/absence in others' views is not judged.
+  const std::vector<ProcessId>& expect = survivors;  // already ascending
+  auto strip_ignored = [&](std::vector<ProcessId> v) {
+    std::erase_if(v, [&](ProcessId q) { return is_ignored(q); });
+    return v;
+  };
+  for (ProcessId p : survivors) {
+    const auto* vs = ix.views_of(p);
+    std::vector<ProcessId> final_view = strip_ignored(
+        (!vs || vs->empty()) ? ix.initial : *vs->back().members);
+    if (final_view != expect) {
+      r.violations.push_back(fmt(
+          "GMP-5", "survivor p" + std::to_string(p) + " final view " + to_string(final_view) +
+                       " != surviving set " + to_string(expect)));
+    }
+  }
 }
 
 }  // namespace
@@ -36,178 +298,42 @@ bool CheckResult::has_clause(const std::string& clause) const {
 
 CheckResult check_gmp0(const Recorder& rec) {
   CheckResult r;
-  const auto& init = rec.initial_membership();
-  if (init.empty()) {
-    r.violations.push_back(fmt("GMP-0", "no initial membership declared"));
-    return r;
-  }
-  // Every initial member's version-0 view (implicit) is Proc; we verify that
-  // the first *installed* view of any initial member has version >= 1 and
-  // that no one installs a version-0 view different from Proc.
-  for (const auto& [p, vs] : rec.views()) {
-    for (const auto& v : vs) {
-      if (v.version == 0 && v.members != init) {
-        r.violations.push_back(
-            fmt("GMP-0", "p" + std::to_string(p) + " installed a version-0 view != Proc"));
-      }
-    }
-  }
+  gmp0_into(TraceIndex(rec), r);
   return r;
 }
 
 CheckResult check_gmp1(const Recorder& rec) {
   CheckResult r;
-  // remove_p(q) must be preceded (in p's local order) by faulty_p(q).
-  // Similarly add_p(q) must be preceded by operational_p(q).
-  std::map<ProcessId, std::set<ProcessId>> believed_faulty, believed_operational;
-  for (const Event& e : rec.events()) {
-    switch (e.kind) {
-      case EventKind::kFaulty:
-        believed_faulty[e.actor].insert(e.target);
-        break;
-      case EventKind::kOperational:
-        believed_operational[e.actor].insert(e.target);
-        break;
-      case EventKind::kRemove:
-        if (!believed_faulty[e.actor].count(e.target)) {
-          r.violations.push_back(fmt(
-              "GMP-1", "p" + std::to_string(e.actor) + " removed " + std::to_string(e.target) +
-                           " without a prior faulty event"));
-        }
-        break;
-      case EventKind::kAdd:
-        if (!believed_operational[e.actor].count(e.target)) {
-          r.violations.push_back(fmt(
-              "GMP-1", "p" + std::to_string(e.actor) + " added " + std::to_string(e.target) +
-                           " without a prior operational event"));
-        }
-        break;
-      default:
-        break;
-    }
-  }
+  gmp1_into(TraceIndex(rec), r);
   return r;
 }
 
 CheckResult check_gmp23(const Recorder& rec) {
   CheckResult r;
-  const auto& init = rec.initial_membership();
-  auto is_initial = [&](ProcessId p) {
-    return std::binary_search(init.begin(), init.end(), p);
-  };
-  // Agreement per version: all installs of version x carry identical sets.
-  std::map<ViewVersion, std::vector<ProcessId>> canonical;
-  for (const auto& [p, vs] : rec.views()) {
-    ViewVersion prev = 0;
-    bool first = true;
-    for (const auto& v : vs) {
-      auto [it, inserted] = canonical.emplace(v.version, v.members);
-      if (!inserted && it->second != v.members) {
-        r.violations.push_back(fmt(
-            "GMP-2/3", "version " + std::to_string(v.version) + " installed as " +
-                           to_string(v.members) + " by p" + std::to_string(p) + " but as " +
-                           to_string(it->second) + " by an earlier process"));
-      }
-      // Per-process versions ascend by exactly 1 (local views are a
-      // contiguous prefix of the system-view sequence).  Initial members
-      // start from the implicit version 0, so their first install must be
-      // version 1; a joiner's first install is its ViewTransfer version.
-      if (first) {
-        first = false;
-        if (is_initial(p) && v.version != 1) {
-          r.violations.push_back(fmt(
-              "GMP-2/3", "initial member p" + std::to_string(p) +
-                             " first installed version " + std::to_string(v.version)));
-        } else if (!is_initial(p) && v.version == 0) {
-          r.violations.push_back(
-              fmt("GMP-2/3", "p" + std::to_string(p) + " re-installed version 0"));
-        }
-      } else if (v.version != prev + 1) {
-        r.violations.push_back(fmt(
-            "GMP-2/3", "p" + std::to_string(p) + " jumped from version " + std::to_string(prev) +
-                           " to " + std::to_string(v.version)));
-      }
-      prev = v.version;
-    }
-  }
+  gmp23_into(TraceIndex(rec), r);
   return r;
 }
 
 CheckResult check_gmp4(const Recorder& rec) {
   CheckResult r;
-  // Once q leaves p's view sequence it never returns.
-  for (const auto& [p, vs] : rec.views()) {
-    std::set<ProcessId> ever_removed;
-    std::vector<ProcessId> prev = rec.initial_membership();
-    for (const auto& v : vs) {
-      for (ProcessId q : prev) {
-        if (!std::binary_search(v.members.begin(), v.members.end(), q)) ever_removed.insert(q);
-      }
-      for (ProcessId q : v.members) {
-        if (ever_removed.count(q)) {
-          r.violations.push_back(fmt(
-              "GMP-4", "p" + std::to_string(p) + " re-instated " + std::to_string(q) +
-                           " in view v" + std::to_string(v.version)));
-        }
-      }
-      prev = v.members;
-    }
-  }
+  gmp4_into(TraceIndex(rec), r);
   return r;
 }
 
 CheckResult check_gmp5(const Recorder& rec, const CheckOptions& opts) {
   CheckResult r;
-  auto crashes = rec.crashes();
-  auto views = rec.views();
-  std::set<ProcessId> ignore(opts.ignore_for_liveness.begin(), opts.ignore_for_liveness.end());
-
-  // Survivors: initial members (plus successfully joined processes — anyone
-  // who installed a view) that did not crash.
-  std::set<ProcessId> participants(rec.initial_membership().begin(),
-                                   rec.initial_membership().end());
-  for (const auto& [p, vs] : views) participants.insert(p);
-
-  std::vector<ProcessId> survivors;
-  for (ProcessId p : participants) {
-    if (!crashes.count(p) && !ignore.count(p)) survivors.push_back(p);
-  }
-
-  // (a) Every crashed participant is excluded from every survivor's final view.
-  // (b) All survivors converge on one final view containing exactly the
-  //     survivors (quiescent run: nothing is pending).  Ignored processes
-  //     are exempt on both sides: they need not converge, and their
-  //     presence/absence in others' views is not judged.
-  std::vector<ProcessId> expect = survivors;
-  std::sort(expect.begin(), expect.end());
-  auto strip_ignored = [&](std::vector<ProcessId> v) {
-    std::erase_if(v, [&](ProcessId q) { return ignore.count(q) > 0; });
-    return v;
-  };
-  for (ProcessId p : survivors) {
-    auto it = views.find(p);
-    std::vector<ProcessId> final_view = strip_ignored(
-        (it == views.end() || it->second.empty()) ? rec.initial_membership()
-                                                  : it->second.back().members);
-    if (final_view != expect) {
-      r.violations.push_back(fmt(
-          "GMP-5", "survivor p" + std::to_string(p) + " final view " + to_string(final_view) +
-                       " != surviving set " + to_string(expect)));
-    }
-  }
+  gmp5_into(TraceIndex(rec), opts, r);
   return r;
 }
 
 CheckResult check_gmp(const Recorder& rec, const CheckOptions& opts) {
+  TraceIndex ix(rec);
   CheckResult all;
-  for (auto* fn : {&check_gmp0, &check_gmp1, &check_gmp23, &check_gmp4}) {
-    CheckResult r = fn(rec);
-    all.violations.insert(all.violations.end(), r.violations.begin(), r.violations.end());
-  }
-  if (opts.check_liveness) {
-    CheckResult r = check_gmp5(rec, opts);
-    all.violations.insert(all.violations.end(), r.violations.begin(), r.violations.end());
-  }
+  gmp0_into(ix, all);
+  gmp1_into(ix, all);
+  gmp23_into(ix, all);
+  gmp4_into(ix, all);
+  if (opts.check_liveness) gmp5_into(ix, opts, all);
   return all;
 }
 

@@ -9,6 +9,9 @@ void Recorder::set_initial_membership(std::vector<ProcessId> members) {
   std::lock_guard lock(mu_);
   initial_ = std::move(members);
   std::sort(initial_.begin(), initial_.end());
+  // A typical fuzzed run records a few dozen to a couple hundred events;
+  // pre-reserving skips the growth reallocations on the recording hot path.
+  log_.reserve(256);
 }
 
 void Recorder::push(Event e) {
@@ -71,6 +74,36 @@ std::map<ProcessId, std::vector<ViewRecord>> Recorder::views() const {
     out[e.actor].push_back(ViewRecord{e.version, e.members, e.tick});
   }
   return out;
+}
+
+ViewRecord Recorder::frontier_view() const {
+  std::lock_guard lock(mu_);
+  // Last install per process (= that process's highest version), then fold
+  // in ascending id order with >= so the largest id wins ties — the same
+  // pick order as walking views() and taking vs.back() per process.
+  std::vector<std::pair<ProcessId, const Event*>> last;  // few processes: flat
+  for (const Event& e : log_) {
+    if (e.kind != EventKind::kInstall) continue;
+    auto it = std::find_if(last.begin(), last.end(),
+                           [&](const auto& pe) { return pe.first == e.actor; });
+    if (it == last.end()) {
+      last.emplace_back(e.actor, &e);
+    } else {
+      it->second = &e;
+    }
+  }
+  std::sort(last.begin(), last.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const Event* pick = nullptr;
+  ViewVersion best = 0;
+  for (const auto& [p, e] : last) {
+    if (e->version >= best) {
+      best = e->version;
+      pick = e;
+    }
+  }
+  if (!pick) return ViewRecord{0, initial_, 0};
+  return ViewRecord{pick->version, pick->members, pick->tick};
 }
 
 std::map<ProcessId, Tick> Recorder::crashes() const {

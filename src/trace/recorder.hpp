@@ -70,6 +70,20 @@ class Recorder {
   /// Full event log in global order.
   std::vector<Event> events() const;
 
+  /// Visit every event in global order under one lock.  The checker and the
+  /// executor run after every fuzzed schedule, so they scan in place instead
+  /// of copying the log (and every install's member vector) per clause.
+  template <typename F>
+  void for_each_event(F&& f) const {
+    std::lock_guard lock(mu_);
+    for (const Event& e : log_) f(e);
+  }
+
+  /// The frontier view: the highest-version view any process ever installed
+  /// (ties broken towards the highest process id), or the initial membership
+  /// when nothing was installed.  Single pass, one member-vector copy.
+  ViewRecord frontier_view() const;
+
   /// Per-process event log (subsequence of events() with actor == p).
   std::vector<Event> events_of(ProcessId p) const;
 

@@ -15,7 +15,11 @@ namespace {
 
 struct Probe : Actor {
   std::vector<Packet> received;
-  void on_packet(Context&, const Packet& p) override { received.push_back(p); }
+  std::function<void(Context&, const Packet&)> on_recv;
+  void on_packet(Context& ctx, const Packet& p) override {
+    received.push_back(p);
+    if (on_recv) on_recv(ctx, p);
+  }
 };
 
 Packet make(ProcessId to, uint8_t tag = 0) { return Packet{kNilId, to, 9, {tag}}; }
@@ -193,4 +197,219 @@ TEST(SimEdge, DelaySwapKeepsChannelFifo) {
   ASSERT_EQ(b.received.size(), 2u);
   EXPECT_EQ(b.received[0].bytes[0], 0);
   EXPECT_EQ(b.received[1].bytes[0], 1);
+}
+
+TEST(SimEdge, RepeatedDelaySwapsMidFlightKeepFifoPerChannel) {
+  // A full storm schedule: the delay model flips several times while a
+  // burst is in flight on the same channel.  Whatever the draws, arrival
+  // order must equal send order.
+  SimWorld w(99, DelayModel{1, 8});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  const DelayModel storms[] = {{300, 300}, {1, 1}, {50, 120}, {0, 0}, {7, 7}};
+  for (uint8_t i = 0; i < 20; ++i) {
+    w.at(10 + 5 * i, [&w, i, &storms] {
+      w.set_delays(storms[i % 5]);
+      w.context_of(0)->send(make(1, i));
+    });
+  }
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(b.received.size(), 20u);
+  for (uint8_t i = 0; i < 20; ++i) EXPECT_EQ(b.received[i].bytes[0], i);
+}
+
+// ---------------------------------------------------------------------------
+// Partition hold / heal ordering
+// ---------------------------------------------------------------------------
+
+TEST(SimEdge, HealReleasesChannelsInFromToOrder) {
+  // Held traffic releases channel by channel in ascending (from, to) order
+  // — the documented deterministic heal order.  With a zero-delay model the
+  // FIFO bump schedules each channel's packets at heal, heal+1, ...; ties
+  // resolve by scheduling seq, so (0,1)'s k-th packet always lands before
+  // (0,2)'s k-th packet — even though the sends happened in the opposite
+  // order.
+  SimWorld w(5, DelayModel{0, 0});
+  Probe a, b, c;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.add_actor(2, &c);
+  std::vector<std::pair<ProcessId, uint8_t>> arrivals;
+  b.on_recv = [&](Context&, const Packet& p) { arrivals.push_back({1, p.bytes[0]}); };
+  c.on_recv = [&](Context&, const Packet& p) { arrivals.push_back({2, p.bytes[0]}); };
+  w.start();
+  w.partition({0}, {1, 2});
+  w.at(1, [&] {
+    Context* ctx = w.context_of(0);
+    ctx->send(make(2, 20));  // held on (0,2) first...
+    ctx->send(make(2, 21));
+    ctx->send(make(1, 10));  // ...then (0,1)
+    ctx->send(make(1, 11));
+  });
+  w.at(50, [&] { w.heal_partition(); });
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(arrivals.size(), 4u);
+  // Per delivery wave, channel (0,1) precedes (0,2); FIFO holds per channel.
+  EXPECT_EQ(arrivals[0], (std::pair<ProcessId, uint8_t>{1, 10}));
+  EXPECT_EQ(arrivals[1], (std::pair<ProcessId, uint8_t>{2, 20}));
+  EXPECT_EQ(arrivals[2], (std::pair<ProcessId, uint8_t>{1, 11}));
+  EXPECT_EQ(arrivals[3], (std::pair<ProcessId, uint8_t>{2, 21}));
+}
+
+TEST(SimEdge, HeldPacketsAreMeteredExactlyOnce) {
+  // Held traffic was metered at send time; healing must not re-count it
+  // (the double-metering would skew every complexity bench run under
+  // partitions).
+  SimWorld w(1, DelayModel{1, 4});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.partition({0}, {1});
+  w.at(1, [&] {
+    for (uint8_t i = 0; i < 5; ++i) w.context_of(0)->send(make(1, i));
+  });
+  w.at(100, [&] { w.heal_partition(); });
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(b.received.size(), 5u);  // all delivered...
+  EXPECT_EQ(w.meter().total(), 5u);  // ...and counted once each
+  EXPECT_EQ(w.meter().of_kind(9), 5u);
+}
+
+TEST(SimEdge, PartitionDeclaredBeforeStartStillBlocks) {
+  // The flat channel matrices are sized at start(); cuts declared earlier
+  // must survive that transition.
+  SimWorld w(1, DelayModel{1, 2});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.partition({0}, {1});  // before start()
+  w.start();
+  w.at(1, [&] { w.context_of(0)->send(make(1, 3)); });
+  w.run_until(500);
+  EXPECT_TRUE(b.received.empty());  // held
+  w.at(501, [&] { w.heal_partition(); });
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].bytes[0], 3);
+}
+
+// ---------------------------------------------------------------------------
+// Timer cancel / crash interleavings (generation-counter slab)
+// ---------------------------------------------------------------------------
+
+TEST(SimEdge, CancelThenCrashLeavesNoPendingWork) {
+  // A timer cancelled before its owner crashes must be fully reclaimed:
+  // the world still quiesces and nothing fires.
+  SimWorld w(1);
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  int fired = 0;
+  w.at(1, [&] {
+    Context* c = w.context_of(0);
+    TimerId t = c->set_timer(10'000, [&] { ++fired; });
+    c->cancel_timer(t);
+  });
+  w.crash_at(5, 0);
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(w.crashed(0));
+}
+
+TEST(SimEdge, StaleTimerIdNeverCancelsARecycledSlot) {
+  // cancel(t1) after t1 already resolved must not kill an unrelated,
+  // later-armed timer even if the slab recycled t1's slot.
+  SimWorld w(1);
+  Probe a;
+  w.add_actor(0, &a);
+  w.start();
+  int first = 0, second = 0;
+  TimerId t1 = 0;
+  w.at(1, [&] {
+    Context* c = w.context_of(0);
+    t1 = c->set_timer(5, [&] { ++first; });
+    c->cancel_timer(t1);  // slot freed, generation bumped
+  });
+  w.at(10, [&] {
+    Context* c = w.context_of(0);
+    c->set_timer(5, [&] { ++second; });  // may reuse t1's slot
+    c->cancel_timer(t1);                 // stale id: must be a no-op
+  });
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SimEdge, CancelInsideTimerCallbackAffectsOnlyPendingTimers) {
+  // A firing callback cancelling (a) itself — no-op — and (b) a sibling
+  // armed for later — effective.
+  SimWorld w(1);
+  Probe a;
+  w.add_actor(0, &a);
+  w.start();
+  int self_fired = 0, sibling_fired = 0;
+  TimerId self_id = 0, sibling_id = 0;
+  w.at(1, [&] {
+    Context* c = w.context_of(0);
+    sibling_id = c->set_timer(100, [&] { ++sibling_fired; });
+    self_id = c->set_timer(10, [&] {
+      ++self_fired;
+      Context* cc = w.context_of(0);
+      cc->cancel_timer(self_id);     // already fired: no-op
+      cc->cancel_timer(sibling_id);  // pending: cancelled
+    });
+  });
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_EQ(self_fired, 1);
+  EXPECT_EQ(sibling_fired, 0);
+}
+
+TEST(SimEdge, CrashBetweenArmAndFireSwallowsTimer) {
+  // crash(t) lands between arm and expiry (same slot still armed): the
+  // callback must not run, and re-registered processes are unaffected.
+  SimWorld w(1);
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  int fired0 = 0, fired1 = 0;
+  w.at(1, [&] { w.context_of(0)->set_timer(100, [&] { ++fired0; }); });
+  w.at(2, [&] { w.context_of(1)->set_timer(100, [&] { ++fired1; }); });
+  w.crash_at(50, 0);
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_EQ(fired0, 0);
+  EXPECT_EQ(fired1, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Meter flat array + overflow
+// ---------------------------------------------------------------------------
+
+TEST(SimEdge, MeterCountsOutOfRangeKindsViaOverflow) {
+  SimWorld w(1);
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.start();
+  w.at(1, [&] {
+    Context* c = w.context_of(0);
+    c->send(Packet{0, 1, 63, {0}});    // last inline kind
+    c->send(Packet{0, 1, 64, {0}});    // first overflow kind
+    c->send(Packet{0, 1, 9000, {0}});  // far overflow
+    c->send(Packet{0, 1, 9000, {0}});
+  });
+  ASSERT_TRUE(w.run_until_idle());
+  EXPECT_EQ(w.meter().total(), 4u);
+  EXPECT_EQ(w.meter().of_kind(63), 1u);
+  EXPECT_EQ(w.meter().of_kind(64), 1u);
+  EXPECT_EQ(w.meter().of_kind(9000), 2u);
+  EXPECT_EQ(w.meter().in_kind_range(60, 70), 2u);    // straddles the boundary
+  EXPECT_EQ(w.meter().in_kind_range(0, 10'000), 4u);
+  w.meter().reset();
+  EXPECT_EQ(w.meter().of_kind(9000), 0u);
+  EXPECT_EQ(w.meter().total(), 0u);
 }

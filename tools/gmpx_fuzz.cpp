@@ -1,6 +1,7 @@
 // gmpx_fuzz — seeded fault-schedule fuzzing for the GMP protocol.
 //
 //   gmpx_fuzz --seeds 0:1000 --profile all --nodes 5      # sweep
+//   gmpx_fuzz --seeds 0:4000 --profile all --jobs 8       # sharded sweep
 //   gmpx_fuzz --replay failing.sched                      # replay one file
 //   gmpx_fuzz --replay failing.sched --minimize           # shrink it too
 //
@@ -9,6 +10,9 @@
 // against GMP-0..4 (plus GMP-5 when the schedule is liveness-eligible).
 // On a violation it prints the schedule text, greedily minimizes it to a
 // minimal reproducer, and (with --out) writes both artifacts to disk.
+// `--jobs N` shards the (profile, seed) grid across N worker threads, one
+// independent simulated world per run; output and exit status are identical
+// for every N (see scenario/sweep.hpp).
 // Exit status: 0 = all runs clean, 1 = violations found, 2 = usage error.
 #include <cstdio>
 #include <cstdlib>
@@ -21,7 +25,7 @@
 #include "common/codec.hpp"
 #include "scenario/executor.hpp"
 #include "scenario/generator.hpp"
-#include "scenario/minimizer.hpp"
+#include "scenario/sweep.hpp"
 
 using namespace gmpx;
 using namespace gmpx::scenario;
@@ -32,7 +36,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: gmpx_fuzz [--seeds LO:HI] [--profile mixed|churn|partition|burst|all]\n"
                "                 [--nodes N] [--horizon T] [--max-events K] [--no-liveness]\n"
-               "                 [--basic] [--inject-bug] [--out DIR]\n"
+               "                 [--basic] [--inject-bug] [--out DIR] [--jobs N]\n"
                "                 [--replay FILE [--minimize]] [-v]\n"
                "\n"
                "--inject-bug suppresses faulty_p(q) trace records (a deliberate GMP-1\n"
@@ -48,6 +52,7 @@ struct Args {
   bool minimize_replay = false;
   std::string out_dir;
   bool verbose = false;
+  unsigned jobs = 1;
 };
 
 bool parse_args(int argc, char** argv, Args& a) {
@@ -97,6 +102,10 @@ bool parse_args(int argc, char** argv, Args& a) {
       const char* v = next();
       if (!v) return false;
       a.out_dir = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return false;
+      a.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (arg == "-v" || arg == "--verbose") {
       a.verbose = true;
     } else {
@@ -122,27 +131,16 @@ void write_file(const std::string& path, const std::string& content) {
   if (!out) std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
 }
 
-/// Replay-and-still-fails predicate used for minimization.  A candidate
-/// reproduces the failure when any checked clause is violated (the run not
-/// quiescing does not count: that only says the budget was too small).
-FailPredicate fails_with(const ExecOptions& exec) {
-  return [exec](const Schedule& s) { return !execute(s, exec).check.ok(); };
-}
-
+/// Print and (with --out) persist one failure via the shared sweep
+/// formatter, so --replay reports are identical to sweep reports.
 int report_failure(const Args& a, const Schedule& sched, const ExecResult& res,
                    const std::string& tag) {
-  std::printf("FAIL %s: %s\n%s", tag.c_str(), summarize(sched).c_str(),
-              res.message().c_str());
-  std::string text = encode_schedule(sched);
-  std::printf("--- schedule ---\n%s----------------\n", text.c_str());
-  if (!a.out_dir.empty()) write_file(a.out_dir + "/" + tag + ".sched", text);
-
-  MinimizeStats stats;
-  Schedule shrunk = minimize(sched, fails_with(a.exec), {}, &stats);
-  std::string shrunk_text = encode_schedule(shrunk);
-  std::printf("minimized %zu -> %zu events (%zu probes):\n%s", stats.events_before,
-              stats.events_after, stats.probes, shrunk_text.c_str());
-  if (!a.out_dir.empty()) write_file(a.out_dir + "/" + tag + ".min.sched", shrunk_text);
+  FailureReport failure = render_failure(sched, res, a.exec, tag);
+  std::fputs(failure.report.c_str(), stdout);
+  if (!a.out_dir.empty()) {
+    write_file(a.out_dir + "/" + tag + ".sched", failure.schedule_text);
+    write_file(a.out_dir + "/" + tag + ".min.sched", failure.minimized_text);
+  }
   return 1;
 }
 
@@ -183,31 +181,28 @@ int main(int argc, char** argv) {
     return report_failure(a, sched, res, "replay");
   }
 
-  uint64_t runs = 0, failures = 0;
-  int rc = 0;
-  for (Profile p : profiles_of(a.profile)) {
-    GeneratorOptions gen = a.gen;
-    gen.profile = p;
-    for (uint64_t seed = a.seed_lo; seed < a.seed_hi; ++seed) {
-      Schedule sched = generate(seed, gen);
-      ExecResult res = execute(sched, a.exec);
-      ++runs;
-      if (a.verbose) {
-        std::printf("%s seed=%lu: %s tick=%lu msgs=%lu view=%zu%s\n", to_string(p),
-                    static_cast<unsigned long>(seed), res.ok() ? "ok" : "FAIL",
-                    static_cast<unsigned long>(res.end_tick),
-                    static_cast<unsigned long>(res.messages), res.final_view_size,
-                    res.liveness_checked ? "" : " (liveness skipped)");
-      }
-      if (!res.ok()) {
-        ++failures;
-        std::ostringstream tag;
-        tag << to_string(p) << "-" << seed;
-        rc = report_failure(a, sched, res, tag.str());
-      }
+  SweepOptions sweep;
+  sweep.seed_lo = a.seed_lo;
+  sweep.seed_hi = a.seed_hi;
+  sweep.profiles = profiles_of(a.profile);
+  sweep.gen = a.gen;
+  sweep.exec = a.exec;
+  sweep.jobs = a.jobs;
+  sweep.verbose = a.verbose;
+  // Stream reports and artifacts as the completed (profile, seed) prefix
+  // advances: progress is visible during long sweeps, and the order — hence
+  // the full output — is still identical for every --jobs value.
+  sweep.on_run = [&a](const SweepRun& run) {
+    std::fputs(run.report.c_str(), stdout);
+    std::fflush(stdout);
+    if (!run.ok && !a.out_dir.empty()) {
+      write_file(a.out_dir + "/" + run.tag + ".sched", run.schedule_text);
+      write_file(a.out_dir + "/" + run.tag + ".min.sched", run.minimized_text);
     }
-  }
-  std::printf("gmpx_fuzz: %lu runs, %lu failures\n", static_cast<unsigned long>(runs),
-              static_cast<unsigned long>(failures));
-  return rc;
+  };
+  SweepResult result = run_sweep(sweep);
+  std::printf("gmpx_fuzz: %lu runs, %lu failures\n",
+              static_cast<unsigned long>(result.runs),
+              static_cast<unsigned long>(result.failures));
+  return result.failures == 0 ? 0 : 1;
 }
