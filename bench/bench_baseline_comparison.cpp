@@ -21,7 +21,7 @@ uint64_t measure_gmp(size_t n) {
   o.n = n;
   o.seed = 1100 + n;
   o.delays = sim::DelayModel{5, 5};
-  o.oracle_min_delay = o.oracle_max_delay = 50;
+  o.oracle.min_delay = o.oracle.max_delay = 50;
   harness::Cluster c(o);
   c.start();
   c.crash_at(100, static_cast<ProcessId>(n - 1));
@@ -35,7 +35,7 @@ uint64_t measure_symmetric(size_t n) {
   o.n = n;
   o.seed = 1100 + n;
   o.delays = sim::DelayModel{5, 5};
-  o.oracle_min_delay = o.oracle_max_delay = 50;
+  o.oracle.min_delay = o.oracle.max_delay = 50;
   harness::BaselineCluster<baseline::SymmetricNode> c(o);
   c.start();
   c.crash_at(100, static_cast<ProcessId>(n - 1));

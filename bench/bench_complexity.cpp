@@ -25,7 +25,7 @@ ClusterOptions deterministic(size_t n, uint64_t seed) {
   o.n = n;
   o.seed = seed;
   o.delays = sim::DelayModel{5, 5};
-  o.oracle_min_delay = o.oracle_max_delay = 50;
+  o.oracle.min_delay = o.oracle.max_delay = 50;
   return o;
 }
 

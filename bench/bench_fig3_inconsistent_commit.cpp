@@ -19,7 +19,7 @@ int main() {
   o.n = 6;
   o.seed = 40;
   o.delays = sim::DelayModel{5, 5};
-  o.oracle_min_delay = o.oracle_max_delay = 50;
+  o.oracle.min_delay = o.oracle.max_delay = 50;
   Cluster c(o);
   c.start();
   c.crash_at(100, 5);  // q := p5

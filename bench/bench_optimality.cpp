@@ -48,7 +48,7 @@ int violations_baseline(Schedule&& schedule, bool deterministic_net) {
     o.seed = 1200 + s;
     if (deterministic_net) {
       o.delays = sim::DelayModel{5, 5};
-      o.oracle_min_delay = o.oracle_max_delay = 50;
+      o.oracle.min_delay = o.oracle.max_delay = 50;
     }
     harness::BaselineCluster<NodeT> c(o);
     schedule(c);
@@ -67,7 +67,7 @@ int violations_full(Schedule&& schedule, bool deterministic_net) {
     o.seed = 1200 + s;
     if (deterministic_net) {
       o.delays = sim::DelayModel{5, 5};
-      o.oracle_min_delay = o.oracle_max_delay = 50;
+      o.oracle.min_delay = o.oracle.max_delay = 50;
     }
     harness::Cluster c(o);
     schedule(c);

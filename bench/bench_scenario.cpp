@@ -13,15 +13,19 @@ using namespace gmpx::scenario;
 
 namespace {
 
-void run_profile(benchmark::State& state, Profile profile) {
+void run_profile(benchmark::State& state, Profile profile,
+                 fd::DetectorKind detector = fd::DetectorKind::kOracle) {
   GeneratorOptions gen;
   gen.profile = profile;
   gen.n = static_cast<size_t>(state.range(0));
+  ExecOptions exec;
+  exec.fd = detector;
+  if (detector == fd::DetectorKind::kHeartbeat) gen = tuned_for_heartbeat(gen, exec.heartbeat);
   uint64_t seed = 0;
   uint64_t ticks = 0, messages = 0, violations = 0;
   for (auto _ : state) {
     Schedule s = generate(seed++, gen);
-    ExecResult r = execute(s);
+    ExecResult r = execute(s, exec);
     ticks += r.end_tick;
     messages += r.messages;
     violations += r.check.violations.size();
@@ -44,10 +48,17 @@ static void BM_Scenario_Partition(benchmark::State& s) {
   run_profile(s, Profile::kPartitionHeavy);
 }
 static void BM_Scenario_Burst(benchmark::State& s) { run_profile(s, Profile::kBurstCrash); }
+/// The heartbeat-FD path pays for real ping traffic, calibrated storms and
+/// protocol-quiescence detection; this pins how much of the fuzz budget the
+/// detector axis costs relative to the oracle rows above.
+static void BM_Scenario_MixedHeartbeat(benchmark::State& s) {
+  run_profile(s, Profile::kMixed, fd::DetectorKind::kHeartbeat);
+}
 BENCHMARK(BM_Scenario_Mixed)->Arg(5)->Arg(9);
 BENCHMARK(BM_Scenario_Churn)->Arg(5)->Arg(9);
 BENCHMARK(BM_Scenario_Partition)->Arg(5)->Arg(9);
 BENCHMARK(BM_Scenario_Burst)->Arg(5)->Arg(9);
+BENCHMARK(BM_Scenario_MixedHeartbeat)->Arg(5)->Arg(9);
 
 /// Minimization cost on a guaranteed failure (the injected GMP-1 bug).
 static void BM_Scenario_Minimize(benchmark::State& state) {

@@ -1,0 +1,124 @@
+// Macro-benchmark (ROADMAP bench gap): view-change latency as a function of
+// delay-storm intensity, per failure detector.
+//
+// One member of a 5-process group crashes mid-run while a delay storm holds
+// per-message latencies in [1, intensity]; the measured quantity is how
+// long it takes every surviving member to install a view excluding the
+// victim.  The oracle detector reports the crash within a fixed bound
+// regardless of delay (only the commit round itself is storm-inflated); the
+// heartbeat detector must *notice* the silence first, so its latency grows
+// with the storm — and past the suspicion threshold (intensity > timeout)
+// storms also provoke false suspicions that widen the tail or kill the
+// group outright (dropped samples).
+//
+// Counters per (detector, intensity) configuration:
+//   latency_p50/p90/p99 — percentiles over the sampled runs (ticks)
+//   dropped             — runs where no survivor excluded the victim
+//                         (group died or detection never converged)
+//   excluded_early      — runs where a storm-provoked false suspicion
+//                         excluded the victim before its real crash (no
+//                         latency to measure, but the group survived)
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "harness/cluster.hpp"
+
+using namespace gmpx;
+
+namespace {
+
+constexpr Tick kCrashAt = 2000;
+constexpr Tick kStormAt = 1000;  // covers the crash and the detection window
+constexpr ProcessId kVictim = 4;
+
+/// One seeded run; returns the victim-exclusion latency in ticks, -1 if no
+/// end-of-run survivor ever installed a victim-free view, or -2 if every
+/// survivor excluded the victim *before* the crash (a storm-provoked false
+/// suspicion pre-empted the measurement).
+double run_once(fd::DetectorKind kind, Tick storm_max, uint64_t seed) {
+  harness::ClusterOptions co;
+  co.n = 5;
+  co.seed = seed;
+  co.detector = kind;
+  harness::Cluster c(co);
+  sim::SimWorld& w = c.world();
+  if (storm_max > co.delays.max_delay) {
+    w.at(kStormAt, [&w, storm_max] { w.set_delays({1, storm_max}); });
+  }
+  c.crash_at(kCrashAt, kVictim);
+  c.start();
+  if (kind == fd::DetectorKind::kHeartbeat) {
+    c.run_to_protocol_quiescence(50'000'000, storm_max);
+  } else {
+    c.run_to_quiescence();
+  }
+  // First install per process whose member set excludes the victim.
+  std::vector<Tick> first(co.n, 0);
+  std::vector<uint8_t> seen(co.n, 0);
+  c.recorder().for_each_event([&](const trace::Event& e) {
+    if (e.kind != trace::EventKind::kInstall || e.actor >= co.n || seen[e.actor]) return;
+    if (std::find(e.members.begin(), e.members.end(), kVictim) != e.members.end()) return;
+    seen[e.actor] = 1;
+    first[e.actor] = e.tick;
+  });
+  Tick done = 0;
+  bool any = false, all = true;
+  for (ProcessId p = 0; p < co.n; ++p) {
+    if (p == kVictim || w.crashed(p)) continue;
+    if (!seen[p]) {
+      all = false;
+      break;
+    }
+    done = std::max(done, first[p]);
+    any = true;
+  }
+  if (!any || !all) return -1.0;
+  if (done < kCrashAt) return -2.0;
+  return static_cast<double>(done - kCrashAt);
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[idx];
+}
+
+void run_config(benchmark::State& state, fd::DetectorKind kind) {
+  const Tick storm_max = static_cast<Tick>(state.range(0));
+  std::vector<double> latencies;
+  uint64_t seed = 0;
+  uint64_t dropped = 0;
+  uint64_t excluded_early = 0;
+  for (auto _ : state) {
+    double l = run_once(kind, storm_max, ++seed);
+    if (l == -1.0) {
+      ++dropped;
+    } else if (l == -2.0) {
+      ++excluded_early;
+    } else {
+      latencies.push_back(l);
+    }
+    benchmark::DoNotOptimize(l);
+  }
+  state.counters["latency_p50"] = benchmark::Counter(percentile(latencies, 0.50));
+  state.counters["latency_p90"] = benchmark::Counter(percentile(latencies, 0.90));
+  state.counters["latency_p99"] = benchmark::Counter(percentile(latencies, 0.99));
+  state.counters["dropped"] = benchmark::Counter(static_cast<double>(dropped));
+  state.counters["excluded_early"] = benchmark::Counter(static_cast<double>(excluded_early));
+}
+
+}  // namespace
+
+static void BM_ViewChangeLatency_Oracle(benchmark::State& s) {
+  run_config(s, fd::DetectorKind::kOracle);
+}
+static void BM_ViewChangeLatency_Heartbeat(benchmark::State& s) {
+  run_config(s, fd::DetectorKind::kHeartbeat);
+}
+// Storm intensities: baseline (no storm), sub-threshold, around the
+// heartbeat timeout (800), and far past it.
+BENCHMARK(BM_ViewChangeLatency_Oracle)->Arg(16)->Arg(128)->Arg(512)->Arg(1024)->Arg(2048);
+BENCHMARK(BM_ViewChangeLatency_Heartbeat)->Arg(16)->Arg(128)->Arg(512)->Arg(1024)->Arg(2048);

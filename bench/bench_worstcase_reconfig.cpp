@@ -27,7 +27,7 @@ uint64_t measure_cascade(size_t n, size_t kills, uint64_t seed) {
   o.n = n;
   o.seed = seed;
   o.delays = sim::DelayModel{5, 5};
-  o.oracle_min_delay = o.oracle_max_delay = 50;
+  o.oracle.min_delay = o.oracle.max_delay = 50;
   Cluster c(o);
   c.start();
   // Mgr crashes at t=100; initiator p1 starts reconfiguring ~t=150 and is

@@ -54,6 +54,14 @@ class Context {
   /// One-shot timer after `delay` ticks; returns a cancellable id.
   virtual TimerId set_timer(Tick delay, std::function<void()> fn) = 0;
 
+  /// Like set_timer, but marks the timer as *background*: periodic upkeep
+  /// (failure-detector pings) that re-arms forever and must not count as
+  /// pending protocol work when a runtime decides whether a run has
+  /// quiesced.  Runtimes without that notion treat it as a plain timer.
+  virtual TimerId set_background_timer(Tick delay, std::function<void()> fn) {
+    return set_timer(delay, std::move(fn));
+  }
+
   /// Cancel a pending timer (no-op if already fired or unknown).
   virtual void cancel_timer(TimerId id) = 0;
 

@@ -1,0 +1,50 @@
+#include "fd/detector.hpp"
+
+namespace gmpx::fd {
+
+const char* to_string(DetectorKind k) {
+  switch (k) {
+    case DetectorKind::kOracle: return "oracle";
+    case DetectorKind::kHeartbeat: return "heartbeat";
+  }
+  return "?";
+}
+
+bool parse_detector(const std::string& name, DetectorKind& out) {
+  if (name == "oracle") out = DetectorKind::kOracle;
+  else if (name == "heartbeat") out = DetectorKind::kHeartbeat;
+  else return false;
+  return true;
+}
+
+void OracleFd::on_crash(ProcessId p, Tick t) {
+  if (!opts_.enabled) return;
+  // F1: every surviving process detects the crash within a bounded delay.
+  // RNG draws happen in deterministic id order, so a seed names the run.
+  sim::SimWorld& world = *env_.world;
+  for (ProcessId q : *env_.ids) {
+    if (q == p || world.crashed(q)) continue;
+    Tick d = opts_.min_delay + world.rng().below(opts_.max_delay - opts_.min_delay + 1);
+    world.at(t + d, [this, q, p] {
+      if (Context* ctx = env_.world->context_of(q)) {
+        if (gmp::GmpNode* n = env_.node(q)) n->suspect(*ctx, p);
+      }
+    });
+  }
+}
+
+Actor* HeartbeatDetector::wrap(gmp::GmpNode& inner) {
+  monitors_.push_back(std::make_unique<HeartbeatFd>(&inner, opts_));
+  return monitors_.back().get();
+}
+
+std::unique_ptr<FailureDetector> make_detector(DetectorKind kind, const OracleOptions& oracle,
+                                               const HeartbeatOptions& heartbeat) {
+  switch (kind) {
+    case DetectorKind::kOracle: return std::make_unique<OracleFd>(oracle);
+    case DetectorKind::kHeartbeat: return std::make_unique<HeartbeatDetector>(heartbeat);
+  }
+  return std::make_unique<OracleFd>(oracle);
+}
+
+}  // namespace gmpx::fd

@@ -1,0 +1,156 @@
+// Pluggable failure-detection layer (the paper's F1 "observation").
+//
+// The paper deliberately leaves the detection mechanism open ("we are not
+// concerned with the details of the mechanism") and only assumes it fires
+// in finite time after a real crash.  A `FailureDetector` is the
+// per-deployment policy object that decides *how* suspicions reach
+// `GmpNode::suspect()`:
+//
+//   * OracleFd      — the scripted detector used by tests and benches: it
+//     injects faulty_p(q) a bounded random delay after q really crashes.
+//     Deterministic, never false, and free of detector message traffic, so
+//     protocol complexity counts stay clean.
+//   * HeartbeatDetector — wraps every node in a fd::HeartbeatFd ping/timeout
+//     monitor (fd/heartbeat.hpp).  Detection is driven by real silence, so
+//     it may produce *false* suspicions under delay storms and partitions —
+//     exactly the phenomenon the protocol must (and does) tolerate.
+//
+// harness::Cluster owns one detector per deployment and gives it two
+// integration points: `wrap()` may decorate each node's Actor before it is
+// registered with the runtime, and `on_crash()` observes real crashes via
+// the simulator's crash hook.  `background_kinds()` names the detector's
+// own wire traffic so the simulator can (a) meter it separately from
+// protocol messages and (b) treat it as background noise when deciding
+// protocol quiescence (sim::SimWorld::run_until_protocol_idle).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fd/heartbeat.hpp"
+#include "gmp/node.hpp"
+#include "sim/world.hpp"
+
+namespace gmpx::fd {
+
+/// Which detector a deployment runs.  Threaded through ClusterOptions,
+/// scenario::ExecOptions, the sweep grid and the gmpx_fuzz CLI.
+enum class DetectorKind : uint8_t {
+  kOracle,     ///< scripted crash-hook injection (deterministic, never false)
+  kHeartbeat,  ///< real ping/timeout monitoring (may be false under delay)
+};
+
+/// Returns "oracle" / "heartbeat".
+const char* to_string(DetectorKind k);
+
+/// Parse a detector name (as printed by to_string); false on unknown.
+bool parse_detector(const std::string& name, DetectorKind& out);
+
+/// Oracle tuning: F1's "detection occurs in finite time" with an explicit
+/// bound.  `enabled = false` turns automatic injection off entirely, for
+/// experiments that script every suspicion by hand.
+struct OracleOptions {
+  bool enabled = true;  ///< inject suspicions after real crashes
+  Tick min_delay = 40;  ///< detection latency bounds
+  Tick max_delay = 160;
+};
+
+/// Per-deployment failure-detection policy.  One instance per cluster; the
+/// cluster binds it to the deployment before registering any actor.
+class FailureDetector {
+ public:
+  /// The deployment as the detector sees it.  `ids` and `node` stay valid
+  /// (and `ids` keeps growing as joiners register) for the cluster lifetime.
+  struct Env {
+    sim::SimWorld* world = nullptr;
+    std::function<gmp::GmpNode*(ProcessId)> node;  ///< nullptr when unknown
+    const std::vector<ProcessId>* ids = nullptr;   ///< deterministic order
+  };
+
+  virtual ~FailureDetector() = default;
+
+  /// Called once by the cluster, before any wrap()/on_crash().
+  virtual void bind(Env env) { env_ = std::move(env); }
+
+  /// Decorate (or pass through) the actor registered with the runtime for
+  /// `inner`.  The returned actor must stay valid for the cluster lifetime;
+  /// the detector owns any wrapper it creates.
+  virtual Actor* wrap(gmp::GmpNode& inner) { return &inner; }
+
+  /// Observation hook: a real crash of `p` happened at tick `t` (fired from
+  /// the simulator's crash hook, after the trace recorder).
+  virtual void on_crash(ProcessId p, Tick t) {
+    (void)p;
+    (void)t;
+  }
+
+  /// Packet-kind range [lo, hi] of detector-internal wire traffic.  The
+  /// cluster hands this to the simulator, which meters those kinds under a
+  /// separate counter (protocol message totals stay clean) and classifies
+  /// them as background events for protocol-quiescence detection.  The
+  /// default empty range [1, 0] declares "no detector traffic".
+  virtual std::pair<uint32_t, uint32_t> background_kinds() const { return {1, 0}; }
+
+  /// Settle window for protocol-quiescence detection: how long the runtime
+  /// must keep advancing through background events before concluding that
+  /// no detection this implementation would still fire is pending.
+  /// `worst_delay` is the largest per-message channel delay the run can be
+  /// under (a packet that late in flight can still refresh a peer's proof
+  /// of life).  Detectors without background machinery only need the
+  /// generic slack.
+  virtual Tick settle_window(Tick worst_delay) const { return worst_delay + 400; }
+
+ protected:
+  Env env_;
+};
+
+/// Factory hook: ClusterOptions carries one of these so experiments can
+/// plug in custom detector implementations without touching the harness.
+using DetectorFactory = std::function<std::unique_ptr<FailureDetector>()>;
+
+/// The scripted oracle (formerly hard-wired into harness::Cluster): every
+/// survivor learns of a real crash within [min_delay, max_delay] ticks.
+class OracleFd final : public FailureDetector {
+ public:
+  explicit OracleFd(OracleOptions opts) : opts_(opts) {}
+
+  void on_crash(ProcessId p, Tick t) override;
+
+ private:
+  OracleOptions opts_;
+};
+
+/// The realistic detector: one fd::HeartbeatFd monitor per node.  See
+/// fd/heartbeat.hpp for tuning guidance (interval/timeout vs storm
+/// intensity).
+class HeartbeatDetector final : public FailureDetector {
+ public:
+  explicit HeartbeatDetector(HeartbeatOptions opts) : opts_(opts) {}
+
+  Actor* wrap(gmp::GmpNode& inner) override;
+
+  std::pair<uint32_t, uint32_t> background_kinds() const override {
+    return {gmp::kind::kHeartbeat, gmp::kind::kHeartbeatAck};
+  }
+
+  /// A silence that began just before the window opened — possibly
+  /// refreshed by a packet delayed by `worst_delay` — must still cross the
+  /// timeout inside it, plus two ping periods and slack for the suspicion
+  /// traffic itself.
+  Tick settle_window(Tick worst_delay) const override {
+    return opts_.timeout + 2 * opts_.interval + worst_delay + 400;
+  }
+
+ private:
+  HeartbeatOptions opts_;
+  std::vector<std::unique_ptr<HeartbeatFd>> monitors_;
+};
+
+/// Build the standard detector for `kind` from the matching options.
+std::unique_ptr<FailureDetector> make_detector(DetectorKind kind, const OracleOptions& oracle,
+                                               const HeartbeatOptions& heartbeat);
+
+}  // namespace gmpx::fd

@@ -1,19 +1,43 @@
-// F1 "observation" failure detection (paper S2.1).
+// F1 "observation" failure detection (paper S2.1): the realistic
+// ping/timeout monitor.
 //
-// The paper deliberately leaves the detection mechanism open ("we are not
-// concerned with the details of the mechanism") and only assumes it fires
-// in finite time after a real crash.  Two implementations are provided:
+// HeartbeatFd wraps a GmpNode as a decorating Actor: it intercepts
+// heartbeat traffic, forwards everything else to the wrapped node, and
+// feeds timeout-driven suspicions into GmpNode::suspect().  It may produce
+// *false* suspicions under delay, which is exactly the phenomenon the
+// protocol must (and does) tolerate.  The scripted alternative is
+// fd::OracleFd (fd/detector.hpp), which only ever reports real crashes.
 //
-//   * HeartbeatFd (this file) — a realistic ping/timeout detector that
-//     wraps a GmpNode as a decorating Actor.  It may produce *false*
-//     suspicions under delay, which is exactly the phenomenon the protocol
-//     must (and does) tolerate.
-//   * The oracle in harness::Cluster — a scripted detector used by tests
-//     and benches: it injects faulty_p(q) a bounded delay after q really
-//     crashes, making experiments deterministic and message counts clean.
+// Runtime-neutral: the monitor is written against Context/Actor, so it runs
+// unchanged over sim::SimWorld and net::TcpRuntime (see examples/tcp_group
+// and tests/net_test).  Under the simulator its ping timer is armed as a
+// *background* timer and its packet kinds are registered as background
+// traffic, so heartbeat noise neither pollutes protocol message counts nor
+// keeps protocol-quiescence detection from converging.
+//
+// Tuning HeartbeatOptions against adversary storm profiles
+// --------------------------------------------------------
+// A peer is suspected after `timeout` ticks of silence; between pings the
+// longest benign silence is roughly `interval + max channel delay` (the ack
+// of the previous ping plus one full ping period).  So:
+//
+//   * no false suspicions  — keep `timeout` comfortably above
+//     `interval + max_delay` of the worst storm you consider benign.  The
+//     defaults (interval 200, timeout 800) never fire under the baseline
+//     DelayModel (max 16) or the generator's default storms (max ~260).
+//   * provoke false suspicions — storms must hold per-message delays above
+//     `timeout - interval` for longer than `timeout` ticks.  The scenario
+//     generator's heartbeat calibration (scenario::tuned_for_heartbeat)
+//     raises its storm ceiling to ~2x the timeout for exactly this reason:
+//     with the stock 250-tick ceiling a heartbeat run would never exercise
+//     the false-suspicion machinery the detector axis exists to fuzz.
+//   * detection latency — a real crash is noticed `timeout` to
+//     `timeout + interval` ticks after the last proof of life, plus one
+//     channel delay for the SuspectReport.  bench_viewchange_latency
+//     measures the end-to-end effect per storm intensity.
 #pragma once
 
-#include <map>
+#include <vector>
 
 #include "common/runtime.hpp"
 #include "gmp/messages.hpp"
@@ -28,58 +52,86 @@ struct HeartbeatOptions {
   Tick timeout = 800;   ///< silence threshold before faulty_p(q)
 };
 
-/// Decorating actor: intercepts heartbeat traffic, forwards everything else
-/// to the wrapped GmpNode, and feeds suspicions into GmpNode::suspect().
+/// Decorating actor: one monitor per process.
 class HeartbeatFd final : public Actor {
  public:
   HeartbeatFd(gmp::GmpNode* inner, HeartbeatOptions opts) : inner_(inner), opts_(opts) {}
 
   void on_start(Context& ctx) override {
     inner_->on_start(ctx);
-    arm(ctx);
+    if (!inner_->has_quit()) arm(ctx);
   }
 
   void on_packet(Context& ctx, const Packet& p) override {
     if (p.kind == gmp::kind::kHeartbeat) {
       // S1: no traffic is accepted from an isolated sender, pings included.
       if (inner_->isolated().count(p.from) || inner_->has_quit()) return;
-      note_alive(ctx, p.from);
+      note_alive(p.from, ctx.now());
       ctx.send(Packet{ctx.self(), p.from, gmp::kind::kHeartbeatAck, {}});
       return;
     }
     if (p.kind == gmp::kind::kHeartbeatAck) {
       if (inner_->isolated().count(p.from) || inner_->has_quit()) return;
-      note_alive(ctx, p.from);
+      note_alive(p.from, ctx.now());
       return;
     }
     // Any protocol message is proof of life too.
-    note_alive(ctx, p.from);
+    note_alive(p.from, ctx.now());
     inner_->on_packet(ctx, p);
+    // Exclusion / lost-majority quits happen inside the forwarded call:
+    // cancel the pending ping timer right away (generation-counter slab
+    // makes this O(1)) so a finished process leaves no re-arming event
+    // behind and the run can quiesce.
+    if (inner_->has_quit()) disarm(ctx);
   }
 
   /// The wrapped protocol endpoint.
   gmp::GmpNode& node() { return *inner_; }
 
  private:
-  void note_alive(Context& ctx, ProcessId q) { last_heard_[q] = ctx.now(); }
+  /// Flat proof-of-life table keyed by dense process id.  Tick 0 doubles as
+  /// "never heard": a packet genuinely arriving at tick 0 merely restarts
+  /// that peer's grace period on the first ping tick, which is harmless.
+  static constexpr Tick kNever = 0;
+
+  void note_alive(ProcessId q, Tick t) {
+    if (q >= last_heard_.size()) last_heard_.resize(q + 1, kNever);
+    last_heard_[q] = t;
+  }
+
+  Tick heard(ProcessId q) const { return q < last_heard_.size() ? last_heard_[q] : kNever; }
 
   void arm(Context& ctx) {
-    ctx.set_timer(opts_.interval, [this, &ctx] { tick(ctx); });
+    timer_ = ctx.set_background_timer(opts_.interval, [this, &ctx] { tick(ctx); });
+  }
+
+  void disarm(Context& ctx) {
+    if (timer_ != 0) {
+      ctx.cancel_timer(timer_);
+      timer_ = 0;
+    }
   }
 
   void tick(Context& ctx) {
+    timer_ = 0;
     if (inner_->has_quit()) return;  // no re-arm after quit_p
     if (inner_->admitted()) {
       const Tick now = ctx.now();
-      for (ProcessId q : inner_->view().members()) {
+      // Snapshot the membership before walking it: suspect() can commit a
+      // view change synchronously (a Mgr whose round awaited only the newly
+      // suspected peer installs the next view inside the call), and that
+      // reallocates the live members vector mid-iteration.  The scratch
+      // buffer is reused across ticks, so steady state never allocates.
+      scratch_.assign(inner_->view().members().begin(), inner_->view().members().end());
+      for (ProcessId q : scratch_) {
         if (q == ctx.self() || inner_->isolated().count(q)) continue;
-        auto it = last_heard_.find(q);
-        if (it == last_heard_.end()) {
+        const Tick seen = heard(q);
+        if (seen == kNever) {
           // First sighting of this member: start its grace period now.
-          last_heard_[q] = now;
-        } else if (now - it->second > opts_.timeout) {
+          note_alive(q, now);
+        } else if (now - seen > opts_.timeout) {
           inner_->suspect(ctx, q);
-          if (inner_->has_quit()) return;
+          if (inner_->has_quit()) return;  // the suspicion cost us majority
           continue;  // no point pinging a suspect
         }
         ctx.send(Packet{ctx.self(), q, gmp::kind::kHeartbeat, {}});
@@ -90,7 +142,9 @@ class HeartbeatFd final : public Actor {
 
   gmp::GmpNode* inner_;
   HeartbeatOptions opts_;
-  std::map<ProcessId, Tick> last_heard_;
+  TimerId timer_ = 0;
+  std::vector<Tick> last_heard_;     ///< dense id -> last proof of life
+  std::vector<ProcessId> scratch_;   ///< tick()'s membership snapshot
 };
 
 }  // namespace gmpx::fd

@@ -123,10 +123,11 @@ void GmpNode::leave(Context& ctx) {
   if (!isolated_.count(mgr_)) {
     ctx.send(SuspectReport{self_}.to_packet(mgr_));
   }
-  ctx.set_timer(cfg_.join_retry_interval, [this, &ctx] { leave_retry(ctx); });
+  leave_timer_ = ctx.set_timer(cfg_.join_retry_interval, [this, &ctx] { leave_retry(ctx); });
 }
 
 void GmpNode::leave_retry(Context& ctx) {
+  leave_timer_ = 0;
   if (quit_ || !leaving_) return;
   if (++leave_attempts_ >= cfg_.join_max_attempts) {
     // Nobody is committing our exclusion (group dead or unreachable).  A
@@ -143,7 +144,7 @@ void GmpNode::leave_retry(Context& ctx) {
     do_quit(ctx);
     return;
   }
-  ctx.set_timer(cfg_.join_retry_interval, [this, &ctx] { leave_retry(ctx); });
+  leave_timer_ = ctx.set_timer(cfg_.join_retry_interval, [this, &ctx] { leave_retry(ctx); });
 }
 
 // ---------------------------------------------------------------------------
@@ -224,6 +225,17 @@ void GmpNode::adopt_mgr(Context& ctx, ProcessId m) {
 void GmpNode::do_quit(Context& ctx) {
   if (quit_) return;
   quit_ = true;
+  // Timer teardown: a quit process takes no further steps, so its retry
+  // timers must not linger as pending work (they would hold the runtime's
+  // protocol-quiescence detection open until each stale deadline passed).
+  if (join_timer_ != 0) {
+    ctx.cancel_timer(join_timer_);
+    join_timer_ = 0;
+  }
+  if (leave_timer_ != 0) {
+    ctx.cancel_timer(leave_timer_);
+    leave_timer_ = 0;
+  }
   GMPX_LOG_DEBUG() << "p" << self_ << " quit_p at t=" << ctx.now();
   ctx.quit();
 }

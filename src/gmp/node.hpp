@@ -235,6 +235,7 @@ class GmpNode : public Actor {
   ViewListener* listener_ = nullptr;
   trace::Recorder* rec_ = nullptr;
   TimerId join_timer_ = 0;
+  TimerId leave_timer_ = 0;  ///< pending leave_retry (cancelled on quit)
   std::function<void()> join_solicit_;  ///< joiner: resend JoinRequests
   size_t join_attempts_ = 0;
   size_t leave_attempts_ = 0;

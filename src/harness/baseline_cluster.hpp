@@ -1,13 +1,16 @@
 // Generic simulation harness for the baseline protocols (symmetric,
 // one-phase, two-phase-reconfiguration).  Mirrors harness::Cluster: wires a
-// SimWorld, a recorder and the oracle failure detector around any node type
-// exposing `suspect(Context&, ProcessId)`.
+// SimWorld, a recorder and oracle failure detection around any node type
+// exposing `suspect(Context&, ProcessId)`.  The oracle injection loop is
+// duplicated here (not fd::OracleFd, which is typed to gmp::GmpNode) but
+// shares fd::OracleOptions so experiments tune both harnesses identically.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "fd/detector.hpp"
 #include "sim/world.hpp"
 #include "trace/checker.hpp"
 #include "trace/recorder.hpp"
@@ -21,9 +24,7 @@ class BaselineCluster {
     size_t n = 4;
     uint64_t seed = 1;
     sim::DelayModel delays{};
-    bool auto_oracle = true;
-    Tick oracle_min_delay = 40;
-    Tick oracle_max_delay = 160;
+    fd::OracleOptions oracle{};
   };
 
   explicit BaselineCluster(Options opts) : opts_(opts), world_(opts.seed, opts.delays) {
@@ -64,11 +65,11 @@ class BaselineCluster {
  private:
   void on_crash(ProcessId p, Tick t) {
     recorder_.crash(p, t);
-    if (!opts_.auto_oracle) return;
+    if (!opts_.oracle.enabled) return;
     for (auto& [q, node] : nodes_) {
       if (q == p || world_.crashed(q)) continue;
-      Tick d = opts_.oracle_min_delay +
-               world_.rng().below(opts_.oracle_max_delay - opts_.oracle_min_delay + 1);
+      Tick d = opts_.oracle.min_delay +
+               world_.rng().below(opts_.oracle.max_delay - opts_.oracle.min_delay + 1);
       world_.at(t + d, [this, q = q, p] {
         if (Context* ctx = world_.context_of(q)) nodes_.at(q)->suspect(*ctx, p);
       });

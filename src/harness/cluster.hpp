@@ -1,20 +1,22 @@
 // Simulation cluster harness: wires SimWorld + GmpNodes + trace recorder +
-// the oracle failure detector together.  Every test and bench builds its
+// a pluggable failure detector together.  Every test and bench builds its
 // experiment on this.
 //
-// Oracle detection (the default): whenever a process really crashes —
-// whether killed by the script or by a protocol quit_p — the harness
-// schedules faulty_p(crashed) injections into every surviving process after
-// a bounded random delay.  This satisfies the paper's F1 liveness
-// assumption ("detection occurs in finite time after a real crash") while
-// keeping runs deterministic and message meters free of heartbeat noise.
+// Failure detection is a first-class layer (src/fd/detector.hpp):
+// `ClusterOptions::detector` selects the scripted oracle (deterministic
+// crash-hook injection, the default) or the realistic heartbeat detector
+// (real ping/timeout monitoring that may suspect falsely under delay), and
+// `ClusterOptions::factory` accepts a custom implementation.  The cluster
+// registers the detector's wire-traffic kinds with the simulator so
+// detector noise is metered separately from protocol messages and treated
+// as background for protocol-quiescence detection.
 #pragma once
 
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
-#include "fd/heartbeat.hpp"
+#include "fd/detector.hpp"
 #include "gmp/node.hpp"
 #include "sim/world.hpp"
 #include "trace/checker.hpp"
@@ -27,11 +29,10 @@ struct ClusterOptions {
   uint64_t seed = 1;
   bool require_majority = true;   ///< S7 final algorithm vs S3 basic algorithm
   sim::DelayModel delays{};
-  bool auto_oracle = true;        ///< inject suspicions after real crashes
-  Tick oracle_min_delay = 40;     ///< detection latency bounds
-  Tick oracle_max_delay = 160;
-  bool heartbeat_fd = false;      ///< use the realistic detector instead
-  fd::HeartbeatOptions heartbeat{};
+  fd::DetectorKind detector = fd::DetectorKind::kOracle;
+  fd::OracleOptions oracle{};        ///< used when detector == kOracle
+  fd::HeartbeatOptions heartbeat{};  ///< used when detector == kHeartbeat
+  fd::DetectorFactory factory;       ///< custom detector; overrides `detector`
   /// Fault injection for minimizer tests (see gmp::Config).
   bool bug_skip_faulty_record = false;
 };
@@ -40,6 +41,17 @@ struct ClusterOptions {
 class Cluster {
  public:
   explicit Cluster(ClusterOptions opts) : opts_(opts), world_(opts.seed, opts.delays) {
+    detector_ = opts_.factory
+                    ? opts_.factory()
+                    : fd::make_detector(opts_.detector, opts_.oracle, opts_.heartbeat);
+    auto [bg_lo, bg_hi] = detector_->background_kinds();
+    world_.set_background_kinds(bg_lo, bg_hi);
+    detector_->bind({&world_,
+                     [this](ProcessId id) -> gmp::GmpNode* {
+                       auto it = nodes_.find(id);
+                       return it == nodes_.end() ? nullptr : it->second.get();
+                     },
+                     &ids_});
     std::vector<ProcessId> initial;
     for (size_t i = 0; i < opts_.n; ++i) initial.push_back(static_cast<ProcessId>(i));
     recorder_.set_initial_membership(initial);
@@ -51,7 +63,10 @@ class Cluster {
       cfg.bug_skip_faulty_record = opts_.bug_skip_faulty_record;
       add_node(id, std::move(cfg));
     }
-    world_.set_crash_hook([this](ProcessId p, Tick t) { on_crash(p, t); });
+    world_.set_crash_hook([this](ProcessId p, Tick t) {
+      recorder_.crash(p, t);
+      detector_->on_crash(p, t);
+    });
   }
 
   /// Register a joiner (new process instance) before start().  `start_at`
@@ -72,6 +87,7 @@ class Cluster {
 
   sim::SimWorld& world() { return world_; }
   trace::Recorder& recorder() { return recorder_; }
+  fd::FailureDetector& detector() { return *detector_; }
   gmp::GmpNode& node(ProcessId id) { return *nodes_.at(id); }
   bool has_node(ProcessId id) const { return nodes_.count(id) > 0; }
   const std::vector<ProcessId>& ids() const { return ids_; }
@@ -88,13 +104,33 @@ class Cluster {
     });
   }
 
-  /// Run until the event queue drains.  True on quiescence.
+  /// Run until the event queue drains.  True on quiescence.  Only suits
+  /// oracle runs: heartbeat ping timers re-arm forever.
   bool run_to_quiescence(uint64_t max_events = 50'000'000) {
     return world_.run_until_idle(max_events);
   }
 
-  /// Run until simulated time `t` (for heartbeat-FD runs, which never
-  /// quiesce because ping timers re-arm forever).
+  /// Run until no protocol work is pending and a full detection-settle
+  /// window passes without producing any (heartbeat runs: the queue never
+  /// drains, but the protocol does).  True on protocol quiescence.
+  /// `worst_delay` is the largest per-message channel delay the run can be
+  /// under (delay storms included) — a packet still in flight can refresh a
+  /// peer's proof-of-life that late into the window, postponing the
+  /// timeout it must cover.
+  bool run_to_protocol_quiescence(uint64_t max_events = 50'000'000, Tick worst_delay = 0) {
+    return world_.run_until_protocol_idle(detection_settle(worst_delay), max_events);
+  }
+
+  /// A settle window long enough that any detection the installed detector
+  /// would inevitably fire does so inside it (the detector knows its own
+  /// timeouts — custom factory detectors included).
+  Tick detection_settle(Tick worst_delay = 0) const {
+    Tick d = worst_delay > opts_.delays.max_delay ? worst_delay : opts_.delays.max_delay;
+    return detector_->settle_window(d);
+  }
+
+  /// Run until simulated time `t` (for heartbeat-FD experiments that watch
+  /// a fixed horizon instead of waiting for quiescence).
   void run_until(Tick t) { world_.run_until(t); }
 
   /// Validate the recorded run against GMP-0..5.
@@ -108,36 +144,16 @@ class Cluster {
     gmp::GmpNode& ref = *node;
     nodes_.emplace(id, std::move(node));
     ids_.push_back(id);
-    if (opts_.heartbeat_fd) {
-      auto wrap = std::make_unique<fd::HeartbeatFd>(&ref, opts_.heartbeat);
-      world_.add_actor(id, wrap.get());
-      fds_.emplace(id, std::move(wrap));
-    } else {
-      world_.add_actor(id, &ref);
-    }
+    world_.add_actor(id, detector_->wrap(ref));
     return ref;
-  }
-
-  void on_crash(ProcessId p, Tick t) {
-    recorder_.crash(p, t);
-    if (!opts_.auto_oracle) return;
-    // F1: every surviving process detects the crash within a bounded delay.
-    for (ProcessId q : ids_) {
-      if (q == p || world_.crashed(q)) continue;
-      Tick d = opts_.oracle_min_delay +
-               world_.rng().below(opts_.oracle_max_delay - opts_.oracle_min_delay + 1);
-      world_.at(t + d, [this, q, p] {
-        if (Context* ctx = world_.context_of(q)) nodes_.at(q)->suspect(*ctx, p);
-      });
-    }
   }
 
   ClusterOptions opts_;
   sim::SimWorld world_;
   trace::Recorder recorder_;
+  std::unique_ptr<fd::FailureDetector> detector_;
   // Never iterated (ids_ keeps the deterministic order); hash lookup only.
   std::unordered_map<ProcessId, std::unique_ptr<gmp::GmpNode>> nodes_;
-  std::unordered_map<ProcessId, std::unique_ptr<fd::HeartbeatFd>> fds_;
   std::vector<ProcessId> ids_;
 };
 

@@ -16,10 +16,13 @@ std::string ExecResult::message() const {
 }
 
 ExecResult execute(const Schedule& s, const ExecOptions& opts) {
+  const bool heartbeat = opts.fd == fd::DetectorKind::kHeartbeat;
   harness::ClusterOptions co;
   co.n = s.n;
   co.seed = s.seed;
   co.require_majority = opts.require_majority;
+  co.detector = opts.fd;
+  co.heartbeat = opts.heartbeat;
   co.bug_skip_faulty_record = opts.inject_bug_unrecorded_suspicion;
   harness::Cluster cluster(co);
   sim::SimWorld& world = cluster.world();
@@ -78,8 +81,11 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
         // back.  The oracle only fires on real crashes, so the executor
         // injects that counter-suspicion explicitly; without it a false
         // suspicion of the Mgr wedges the group forever (the Mgr awaits an
-        // OK the isolating accuser will never send).
-        cluster.suspect_at(e.at + 200, e.target, e.observer);
+        // OK the isolating accuser will never send).  The heartbeat FD *is*
+        // a timeout detector, so the counter-suspicion arises natively
+        // (the accuser stops pinging its victim; the victim times it out)
+        // and the executor must not inject anything.
+        if (!heartbeat) cluster.suspect_at(e.at + 200, e.target, e.observer);
         break;
       case EventType::kPartition: {
         // Side B is every registered process not named in the event (the
@@ -113,33 +119,50 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
 
   cluster.start();
   ExecResult r;
-  r.quiesced = cluster.run_to_quiescence(opts.max_sim_events);
-  // Timeout-detector emulation.  The oracle only reports *real* crashes, but
-  // the protocol's "await (OK(p) or faulty(p))" also relies on detecting
-  // non-cooperation: a process that (falsely, possibly via F2 gossip)
-  // believes the awaiter faulty isolates it and will never answer.  With
-  // real clocks the awaiter's detector times such a peer out; in the
-  // simulation, quiescence with a live awaited-but-isolating peer *is* that
-  // timeout.  Inject the suspicion and resume until no standoff remains.
-  for (int pass = 0; r.quiesced && pass < 64; ++pass) {
-    std::vector<std::pair<ProcessId, ProcessId>> timeouts;  // (awaiter, peer)
-    for (ProcessId p : cluster.ids()) {
-      if (world.crashed(p) || !cluster.node(p).admitted()) continue;
-      for (ProcessId q : cluster.node(p).awaiting()) {
-        if (!world.crashed(q) && cluster.has_node(q) &&
-            cluster.node(q).isolated().count(p)) {
-          timeouts.emplace_back(p, q);
+  if (heartbeat) {
+    // Real timeout detection: standoffs resolve natively (mutual timeout),
+    // so the executor injects nothing.  The queue never drains — ping
+    // timers re-arm forever — so quiescence means "no protocol work left
+    // and a full detection-settle window produced none".  The window must
+    // cover the nastiest storm in the schedule: a packet that left just
+    // before a silence began can refresh the peer's proof-of-life up to
+    // one worst-case delay into the window.
+    Tick worst_delay = base_delays.max_delay;
+    for (const Storm& st : storms) {
+      if (st.model.max_delay > worst_delay) worst_delay = st.model.max_delay;
+    }
+    r.quiesced = cluster.run_to_protocol_quiescence(opts.max_sim_events, worst_delay);
+  } else {
+    r.quiesced = cluster.run_to_quiescence(opts.max_sim_events);
+    // Timeout-detector emulation (oracle only).  The oracle reports *real*
+    // crashes, but the protocol's "await (OK(p) or faulty(p))" also relies
+    // on detecting non-cooperation: a process that (falsely, possibly via
+    // F2 gossip) believes the awaiter faulty isolates it and will never
+    // answer.  With real clocks the awaiter's detector times such a peer
+    // out; in the simulation, quiescence with a live awaited-but-isolating
+    // peer *is* that timeout.  Inject the suspicion and resume until no
+    // standoff remains.
+    for (int pass = 0; r.quiesced && pass < 64; ++pass) {
+      std::vector<std::pair<ProcessId, ProcessId>> timeouts;  // (awaiter, peer)
+      for (ProcessId p : cluster.ids()) {
+        if (world.crashed(p) || !cluster.node(p).admitted()) continue;
+        for (ProcessId q : cluster.node(p).awaiting()) {
+          if (!world.crashed(q) && cluster.has_node(q) &&
+              cluster.node(q).isolated().count(p)) {
+            timeouts.emplace_back(p, q);
+          }
         }
       }
+      if (timeouts.empty()) break;
+      for (auto [p, q] : timeouts) {
+        if (Context* ctx = world.context_of(p)) cluster.node(p).suspect(*ctx, q);
+      }
+      r.quiesced = cluster.run_to_quiescence(opts.max_sim_events);
     }
-    if (timeouts.empty()) break;
-    for (auto [p, q] : timeouts) {
-      if (Context* ctx = world.context_of(p)) cluster.node(p).suspect(*ctx, q);
-    }
-    r.quiesced = cluster.run_to_quiescence(opts.max_sim_events);
   }
   r.end_tick = world.now();
-  r.messages = world.meter().total();
+  r.messages = world.meter().protocol_total();
+  r.fd_messages = world.meter().detector_total();
 
   // Trace fingerprint (FNV-1a over every recorded event field).
   uint64_t h = 1469598103934665603ull;

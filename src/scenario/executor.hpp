@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fd/detector.hpp"
 #include "scenario/schedule.hpp"
 #include "trace/checker.hpp"
 
@@ -22,17 +23,26 @@ struct ExecOptions {
   bool require_majority = true;
   /// Event budget for run_to_quiescence.
   uint64_t max_sim_events = 5'000'000;
+  /// Which failure detector drives the run.  Oracle runs quiesce by queue
+  /// drain and need the executor's timeout emulation for one-sided false
+  /// suspicions; heartbeat runs detect protocol quiescence (ping timers
+  /// re-arm forever) and resolve every standoff natively by mutual timeout
+  /// — the executor injects nothing.
+  fd::DetectorKind fd = fd::DetectorKind::kOracle;
+  /// Heartbeat tuning (fd == kHeartbeat only).
+  fd::HeartbeatOptions heartbeat{};
   /// Fault injection: suppress faulty_p(q) trace records so every removal
   /// trips GMP-1 (exercises the minimizer on a guaranteed "bug").
   bool inject_bug_unrecorded_suspicion = false;
 };
 
 struct ExecResult {
-  bool quiesced = false;          ///< event queue drained within budget
+  bool quiesced = false;          ///< protocol work drained within budget
   bool liveness_checked = false;  ///< GMP-5 was asserted on this run
   trace::CheckResult check;       ///< violations (safety + maybe liveness)
   Tick end_tick = 0;              ///< simulated time at quiescence
   uint64_t messages = 0;          ///< protocol sends metered by the run
+  uint64_t fd_messages = 0;       ///< detector sends (heartbeats/acks), metered apart
   size_t final_view_size = 0;     ///< |view| of the most senior survivor (0 if none)
   /// FNV-1a fingerprint of the full recorded trace (every event, field by
   /// field).  Two runs of the same schedule are bit-reproducible iff their

@@ -161,9 +161,9 @@ Schedule generate(uint64_t seed, const GeneratorOptions& opts) {
     }
     // Delay storm.
     ScheduleEvent e{EventType::kDelayStorm, tick_in(1, horizon)};
-    e.duration = tick_in(200, 2000);
+    e.duration = tick_in(200, std::max<Tick>(opts.storm_duration_cap, 201));
     e.min_delay = 1 + rng.below(8);
-    e.max_delay = e.min_delay + 1 + rng.below(250);
+    e.max_delay = e.min_delay + 1 + rng.below(std::max<Tick>(opts.storm_ceiling, 1));
     s.events.push_back(std::move(e));
   }
 
@@ -178,6 +178,15 @@ Schedule generate(uint64_t seed, const GeneratorOptions& opts) {
   std::stable_sort(s.events.begin(), s.events.end(),
                    [](const ScheduleEvent& a, const ScheduleEvent& b) { return a.at < b.at; });
   return s;
+}
+
+GeneratorOptions tuned_for_heartbeat(GeneratorOptions opts, const fd::HeartbeatOptions& hb) {
+  // False suspicions need silence beyond the timeout: per-message delays
+  // above it (one held-back ack suffices) sustained for longer than the
+  // timeout window itself.
+  opts.storm_ceiling = std::max<Tick>(opts.storm_ceiling, 2 * hb.timeout);
+  opts.storm_duration_cap = std::max<Tick>(opts.storm_duration_cap, 3 * hb.timeout);
+  return opts;
 }
 
 }  // namespace gmpx::scenario

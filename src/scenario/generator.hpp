@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "fd/heartbeat.hpp"
 #include "scenario/schedule.hpp"
 
 namespace gmpx::scenario {
@@ -40,9 +41,23 @@ struct GeneratorOptions {
   Profile profile = Profile::kMixed;
   Tick horizon = 6000;      ///< events are drawn in [1, horizon]
   size_t max_events = 10;   ///< cap on generated fault events
+  /// Delay-storm intensity: a storm's max_delay is drawn from
+  /// [min_delay + 1, min_delay + storm_ceiling].  The default never
+  /// outlasts a heartbeat timeout; tuned_for_heartbeat() raises it so
+  /// storms can provoke *false* suspicions.
+  Tick storm_ceiling = 250;
+  /// Delay-storm durations are drawn from [200, storm_duration_cap].
+  Tick storm_duration_cap = 2000;
 };
 
 /// Deterministically generate one schedule from (seed, opts).
 Schedule generate(uint64_t seed, const GeneratorOptions& opts = {});
+
+/// Calibrate the storm knobs against a heartbeat detector so that storms
+/// actually cross the suspicion threshold: per-message delays may exceed
+/// the timeout and storms may outlast it.  Identity for knobs already set
+/// higher.  The (profile, seed, opts) triple still names the schedule —
+/// heartbeat sweeps draw from a deliberately nastier distribution.
+GeneratorOptions tuned_for_heartbeat(GeneratorOptions opts, const fd::HeartbeatOptions& hb);
 
 }  // namespace gmpx::scenario

@@ -18,23 +18,25 @@ FailPredicate fails_with(const ExecOptions& exec) {
   return [exec](const Schedule& s) { return !execute(s, exec).check.ok(); };
 }
 
-/// Render one run's report exactly as the serial fuzzer always printed it,
-/// so `--jobs N` output diffs clean against `--jobs 1` (and against history).
+/// Render one run's report in a fixed format so `--jobs N` output diffs
+/// clean against `--jobs 1` (and against history).
 void render(SweepRun& out, const Schedule& sched, const ExecResult& res,
-            const SweepOptions& opts) {
+            const SweepOptions& opts, const ExecOptions& exec) {
   if (opts.verbose) {
     char buf[256];
-    std::snprintf(buf, sizeof(buf), "%s seed=%lu: %s tick=%lu msgs=%lu view=%zu%s\n",
-                  to_string(out.profile), static_cast<unsigned long>(out.seed),
-                  res.ok() ? "ok" : "FAIL", static_cast<unsigned long>(res.end_tick),
+    std::snprintf(buf, sizeof(buf), "%s/%s seed=%lu: %s tick=%lu msgs=%lu view=%zu%s\n",
+                  to_string(out.profile), fd::to_string(out.detector),
+                  static_cast<unsigned long>(out.seed), res.ok() ? "ok" : "FAIL",
+                  static_cast<unsigned long>(res.end_tick),
                   static_cast<unsigned long>(res.messages), res.final_view_size,
                   res.liveness_checked ? "" : " (liveness skipped)");
     out.report += buf;
   }
   if (res.ok()) return;
 
-  out.tag = std::string(to_string(out.profile)) + "-" + std::to_string(out.seed);
-  FailureReport failure = render_failure(sched, res, opts.exec, out.tag);
+  out.tag = std::string(to_string(out.profile)) + "-" + fd::to_string(out.detector) + "-" +
+            std::to_string(out.seed);
+  FailureReport failure = render_failure(sched, res, exec, out.tag);
   out.report += failure.report;
   out.schedule_text = std::move(failure.schedule_text);
   out.minimized_text = std::move(failure.minimized_text);
@@ -61,16 +63,21 @@ FailureReport render_failure(const Schedule& sched, const ExecResult& res,
 }
 
 SweepResult run_sweep(const SweepOptions& opts) {
-  // Work list in the canonical (profile, seed) order; this order — not the
-  // execution interleaving — defines every observable output.
+  // Work list in the canonical (profile, detector, seed) order; this order
+  // — not the execution interleaving — defines every observable output.
   struct Item {
     Profile profile;
+    fd::DetectorKind detector;
     uint64_t seed;
   };
   std::vector<Item> items;
+  std::vector<fd::DetectorKind> detectors = opts.detectors;
+  if (detectors.empty()) detectors.push_back(fd::DetectorKind::kOracle);
   for (Profile p : opts.profiles) {
-    for (uint64_t seed = opts.seed_lo; seed < opts.seed_hi; ++seed) {
-      items.push_back(Item{p, seed});
+    for (fd::DetectorKind d : detectors) {
+      for (uint64_t seed = opts.seed_lo; seed < opts.seed_hi; ++seed) {
+        items.push_back(Item{p, d, seed});
+      }
     }
   }
 
@@ -97,16 +104,26 @@ SweepResult run_sweep(const SweepOptions& opts) {
       const Item& item = items[i];
       GeneratorOptions gen = opts.gen;
       gen.profile = item.profile;
+      ExecOptions exec = opts.exec;
+      exec.fd = item.detector;
+      // Heartbeat runs draw from a storm distribution hot enough to cross
+      // the suspicion threshold — otherwise the detector axis would never
+      // exercise false detection, the behaviour it exists to fuzz.
+      if (item.detector == fd::DetectorKind::kHeartbeat) {
+        gen = tuned_for_heartbeat(gen, exec.heartbeat);
+      }
       Schedule sched = generate(item.seed, gen);
-      ExecResult res = execute(sched, opts.exec);
+      ExecResult res = execute(sched, exec);
       SweepRun& run = result.run_log[i];
       run.profile = item.profile;
+      run.detector = item.detector;
       run.seed = item.seed;
       run.ok = res.ok();
       run.end_tick = res.end_tick;
       run.messages = res.messages;
+      run.fd_messages = res.fd_messages;
       run.trace_hash = res.trace_hash;
-      render(run, sched, res, opts);
+      render(run, sched, res, opts, exec);
       if (opts.on_run) {
         std::lock_guard lock(flush_mu);
         completed[i] = 1;

@@ -1,11 +1,17 @@
 // Sharded fuzz sweep: the engine behind `gmpx_fuzz --seeds LO:HI`.
 //
-// A sweep is a grid of independent (profile, seed) runs.  Each run builds
-// its own SimWorld, so runs shard perfectly across worker threads: with
-// `jobs > 1` the grid is consumed by a pool, and the per-run reports are
-// merged back in (profile, seed) order.  Output, counts, artifacts and the
-// derived exit status are byte-identical for every jobs value — parallelism
-// buys wall-clock time only, never a different answer.
+// A sweep is a grid of independent (profile, detector, seed) runs.  Each
+// run builds its own SimWorld, so runs shard perfectly across worker
+// threads: with `jobs > 1` the grid is consumed by a pool, and the per-run
+// reports are merged back in canonical grid order.  Output, counts,
+// artifacts and the derived exit status are byte-identical for every jobs
+// value — parallelism buys wall-clock time only, never a different answer.
+//
+// The detector axis doubles the fuzzed behaviour space: oracle runs replay
+// the scripted-detection semantics (clean message counts, executor timeout
+// emulation), heartbeat runs exercise real timeout detection — including
+// storm-provoked *false* suspicions (the generator's storm knobs are
+// calibrated against the heartbeat timeout for those runs).
 #pragma once
 
 #include <cstdint>
@@ -18,17 +24,19 @@
 
 namespace gmpx::scenario {
 
-/// Outcome of one (profile, seed) run.
+/// Outcome of one (profile, detector, seed) run.
 struct SweepRun {
   Profile profile = Profile::kMixed;
+  fd::DetectorKind detector = fd::DetectorKind::kOracle;
   uint64_t seed = 0;
   bool ok = true;
   Tick end_tick = 0;
-  uint64_t messages = 0;
+  uint64_t messages = 0;         ///< protocol sends (never heartbeat noise)
+  uint64_t fd_messages = 0;      ///< detector sends (0 for oracle runs)
   uint64_t trace_hash = 0;       ///< ExecResult::trace_hash of the run
   std::string report;            ///< rendered lines ("" for a quiet pass)
   // Failure artifacts (empty on success):
-  std::string tag;               ///< "<profile>-<seed>"
+  std::string tag;               ///< "<profile>-<detector>-<seed>"
   std::string schedule_text;     ///< encoded failing schedule
   std::string minimized_text;    ///< encoded minimal reproducer
 };
@@ -38,6 +46,8 @@ struct SweepOptions {
   uint64_t seed_hi = 100;   ///< exclusive
   std::vector<Profile> profiles = {Profile::kMixed, Profile::kChurnHeavy,
                                    Profile::kPartitionHeavy, Profile::kBurstCrash};
+  /// Detector axis of the grid (inner to profiles, outer to seeds).
+  std::vector<fd::DetectorKind> detectors = {fd::DetectorKind::kOracle};
   GeneratorOptions gen;
   ExecOptions exec;
   unsigned jobs = 1;        ///< worker threads; 0 = hardware concurrency

@@ -24,20 +24,11 @@ struct SimWorld::Node final : Context {
   }
 
   TimerId set_timer(Tick delay, std::function<void()> fn) override {
-    uint32_t slot;
-    if (!world->timer_free_.empty()) {
-      slot = world->timer_free_.back();
-      world->timer_free_.pop_back();
-    } else {
-      slot = static_cast<uint32_t>(world->timer_slots_.size());
-      world->timer_slots_.emplace_back();
-    }
-    TimerSlot& t = world->timer_slots_[slot];
-    t.owner = id;
-    t.armed = true;
-    t.fn = std::move(fn);
-    world->push_event(world->now_ + delay, EventKind::kTimer, slot, t.gen);
-    return (static_cast<uint64_t>(slot) << 32) | static_cast<uint32_t>(t.gen);
+    return world->arm_timer(id, delay, std::move(fn), /*background=*/false);
+  }
+
+  TimerId set_background_timer(Tick delay, std::function<void()> fn) override {
+    return world->arm_timer(id, delay, std::move(fn), /*background=*/true);
   }
 
   void cancel_timer(TimerId tid) override {
@@ -48,16 +39,44 @@ struct SimWorld::Node final : Context {
         t.owner != id) {
       return;  // already fired, already cancelled, or not ours
     }
-    t.armed = false;
-    ++t.gen;  // stale heap entry (and stale TimerIds) now miss
-    t.fn = nullptr;
-    world->timer_free_.push_back(slot);
+    world->release_timer_slot(slot);
   }
 
   void quit() override { world->do_crash(id); }
 };
 
 SimWorld::SimWorld(uint64_t seed, DelayModel delays) : delays_(delays), rng_(seed) {}
+
+TimerId SimWorld::arm_timer(ProcessId owner, Tick delay, std::function<void()> fn,
+                            bool background) {
+  uint32_t slot;
+  if (!timer_free_.empty()) {
+    slot = timer_free_.back();
+    timer_free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(timer_slots_.size());
+    timer_slots_.emplace_back();
+  }
+  TimerSlot& t = timer_slots_[slot];
+  t.owner = owner;
+  t.armed = true;
+  t.background = background;
+  t.fn = std::move(fn);
+  if (!background) ++fg_pending_;
+  push_event(now_ + delay, EventKind::kTimer, slot, t.gen);
+  return (static_cast<uint64_t>(slot) << 32) | static_cast<uint32_t>(t.gen);
+}
+
+std::function<void()> SimWorld::release_timer_slot(uint32_t slot) {
+  TimerSlot& t = timer_slots_[slot];
+  t.armed = false;
+  ++t.gen;  // stale heap entries (and stale TimerIds) now miss
+  if (!t.background) --fg_pending_;
+  auto fn = std::move(t.fn);
+  t.fn = nullptr;
+  timer_free_.push_back(slot);
+  return fn;
+}
 
 SimWorld::~SimWorld() = default;
 
@@ -106,14 +125,25 @@ void SimWorld::start() {
 
 void SimWorld::crash(ProcessId id) { do_crash(id); }
 
-void SimWorld::crash_at(Tick t, ProcessId id) { push_event(t, EventKind::kCrash, id); }
+void SimWorld::crash_at(Tick t, ProcessId id) {
+  ++fg_pending_;
+  push_event(t, EventKind::kCrash, id);
+}
 
 void SimWorld::do_crash(ProcessId id) {
   Node* n = node_of(id);
   if (!n || n->is_crashed) return;
   n->is_crashed = true;
-  // Armed timers owned by `id` are reclaimed lazily: their heap entries
-  // surface in dispatch(), see the owner-crashed branch there.
+  quiesce_dirty_ = true;
+  // Reclaim the victim's armed timers eagerly (their callbacks can never
+  // run): a stale armed timer would otherwise hold protocol-idle detection
+  // open until its deadline surfaced in dispatch().  The gen bump makes the
+  // already-queued heap entries miss; slot reuse order does not affect
+  // event ordering, so determinism is preserved.
+  for (uint32_t slot = 0; slot < timer_slots_.size(); ++slot) {
+    TimerSlot& t = timer_slots_[slot];
+    if (t.armed && t.owner == id) release_timer_slot(slot);
+  }
   GMPX_LOG_DEBUG() << "t=" << now_ << " crash(" << id << ")";
   if (crash_hook_) crash_hook_(id, now_);
 }
@@ -145,6 +175,7 @@ void SimWorld::at(Tick t, std::function<void()> fn) {
     slot = static_cast<uint32_t>(script_slab_.size());
     script_slab_.push_back(std::move(fn));
   }
+  ++fg_pending_;
   push_event(t, EventKind::kScript, slot);
 }
 
@@ -226,6 +257,7 @@ void SimWorld::route(ProcessId from, Packet p) {
   Tick& front = channel_front(from, p.to);
   if (when <= front) when = front + 1;
   front = when;
+  if (!background_kind(p.kind)) ++fg_pending_;
   push_event(when, EventKind::kDeliver, acquire_packet_slot(std::move(p)));
 }
 
@@ -240,26 +272,25 @@ void SimWorld::deliver(uint32_t slot) {
 void SimWorld::dispatch(Event ev) {
   switch (ev.kind) {
     case EventKind::kDeliver:
+      if (!background_kind(packet_slab_[ev.a].kind)) --fg_pending_;
       deliver(ev.a);
       break;
     case EventKind::kTimer: {
       TimerSlot& t = timer_slots_[ev.a];
       if (!t.armed || t.gen != ev.gen) return;  // cancelled (or slot recycled)
       Node* n = node_of(t.owner);
-      t.armed = false;
-      ++t.gen;
-      auto fn = std::move(t.fn);
-      t.fn = nullptr;
-      timer_free_.push_back(ev.a);
+      auto fn = release_timer_slot(ev.a);
       // Crashed owners take no further steps; the slot is reclaimed either
       // way, so cancelled-then-crashed timers cannot accumulate state.
       if (n && !n->is_crashed) fn();
       break;
     }
     case EventKind::kCrash:
+      --fg_pending_;
       do_crash(ev.a);
       break;
     case EventKind::kScript: {
+      --fg_pending_;
       auto fn = std::move(script_slab_[ev.a]);
       script_slab_[ev.a] = nullptr;
       script_free_.push_back(ev.a);
@@ -284,6 +315,36 @@ bool SimWorld::run_until_idle(uint64_t max_events) {
     if (!step()) return true;
   }
   return queue_.empty();
+}
+
+bool SimWorld::run_until_protocol_idle(Tick settle, uint64_t max_events) {
+  uint64_t steps = 0;
+  for (;;) {
+    // Drain foreground work (protocol deliveries, scripts, crashes, plain
+    // timers).  Stale cancelled-timer heap entries are not counted here, so
+    // the counter reaching zero really means only detector upkeep is left.
+    while (fg_pending_ > 0) {
+      if (steps++ >= max_events) return false;
+      if (!step()) return true;
+    }
+    if (queue_.empty()) return true;
+    // Only background events remain.  Advance through them for a full
+    // settle window: any detection that is already inevitable (a peer whose
+    // silence exceeds the timeout) fires within it and re-opens the drain.
+    // A *death* inside the window also re-opens it — a process can quit
+    // from a background timeout (lost majority) without emitting a single
+    // foreground event, and noticing the fresh silence takes detectors
+    // another full timeout.
+    quiesce_dirty_ = false;
+    const Tick deadline = now_ + settle;
+    bool busy = false;
+    while (!queue_.empty() && queue_.top().time <= deadline && !busy) {
+      if (steps++ >= max_events) return false;
+      step();
+      busy = fg_pending_ > 0 || quiesce_dirty_;
+    }
+    if (!busy) return true;
+  }
 }
 
 void SimWorld::run_until(Tick t) {

@@ -53,19 +53,32 @@ struct DelayModel {
 /// experiment phases to isolate the message cost of a single view change.
 /// Protocol kinds are small dense integers (src/gmp/messages.hpp), so the
 /// counters are a flat array; rare out-of-range kinds overflow into a map.
+/// Kinds inside the registered detector range (failure-detector pings/acks)
+/// are additionally tallied under a separate counter so protocol message
+/// totals stay clean of heartbeat noise.
 class Meter {
  public:
   /// Record one send of the given kind.
   void count(uint32_t kind) {
     ++total_;
+    if (kind >= det_lo_ && kind <= det_hi_) ++detector_total_;
     if (kind < kInlineKinds) {
       ++by_kind_[kind];
     } else {
       ++overflow_[kind];
     }
   }
+  /// Declare [lo, hi] as detector-internal kinds (empty range disables).
+  void set_detector_range(uint32_t lo, uint32_t hi) {
+    det_lo_ = lo;
+    det_hi_ = hi;
+  }
   /// Total sends since last reset.
   uint64_t total() const { return total_; }
+  /// Detector-internal sends (heartbeats/acks) since last reset.
+  uint64_t detector_total() const { return detector_total_; }
+  /// Protocol sends: everything outside the detector range.
+  uint64_t protocol_total() const { return total_ - detector_total_; }
   /// Sends of one kind since last reset.
   uint64_t of_kind(uint32_t kind) const {
     if (kind < kInlineKinds) return by_kind_[kind];
@@ -82,9 +95,10 @@ class Meter {
     }
     return n;
   }
-  /// Zero all counters.
+  /// Zero all counters (the detector range registration is kept).
   void reset() {
     total_ = 0;
+    detector_total_ = 0;
     by_kind_.fill(0);
     overflow_.clear();
   }
@@ -92,6 +106,8 @@ class Meter {
  private:
   static constexpr uint32_t kInlineKinds = 64;
   uint64_t total_ = 0;
+  uint64_t detector_total_ = 0;
+  uint32_t det_lo_ = 1, det_hi_ = 0;  // empty range: no detector traffic
   std::array<uint64_t, kInlineKinds> by_kind_{};
   std::map<uint32_t, uint64_t> overflow_;
 };
@@ -152,6 +168,28 @@ class SimWorld {
   /// Run until the queue drains or `max_events` have been processed.
   /// Returns true on a drained queue (quiescence), false on the guard.
   bool run_until_idle(uint64_t max_events = 50'000'000);
+
+  /// Protocol-quiescence for runs with an always-on background layer
+  /// (heartbeat pings re-arm forever, so the queue never drains).  Steps
+  /// until no *foreground* event — protocol delivery, script, crash, or
+  /// ordinary timer — is pending, then keeps advancing through background
+  /// events for a full `settle` window.  If fresh foreground work appears
+  /// (a detector timeout firing a suspicion), the drain starts over.
+  /// Returns true once a settle window completes with only background
+  /// events left (or the queue drains entirely), false on the event budget.
+  /// Choose `settle` >= detector timeout + ping interval + worst channel
+  /// delay so any detection that is already inevitable fires inside the
+  /// window.
+  bool run_until_protocol_idle(Tick settle, uint64_t max_events = 50'000'000);
+
+  /// Declare [lo, hi] as background packet kinds (detector pings/acks):
+  /// metered under Meter::detector_total() and ignored by
+  /// run_until_protocol_idle's foreground tracking.
+  void set_background_kinds(uint32_t lo, uint32_t hi) {
+    bg_lo_ = lo;
+    bg_hi_ = hi;
+    meter_.set_detector_range(lo, hi);
+  }
 
   /// Run (at most) until simulated time `t`.
   void run_until(Tick t);
@@ -221,9 +259,17 @@ class SimWorld {
     uint64_t gen = 1;
     ProcessId owner = kNilId;
     bool armed = false;
+    bool background = false;  ///< excluded from foreground-pending tracking
     std::function<void()> fn;
   };
 
+  bool background_kind(uint32_t kind) const { return kind >= bg_lo_ && kind <= bg_hi_; }
+  TimerId arm_timer(ProcessId owner, Tick delay, std::function<void()> fn, bool background);
+  /// Disarm and recycle an armed slot (gen bump, foreground-counter
+  /// release, free-list push); returns the callback for firing sites.
+  /// The single owner of the slot-release invariant — cancel, crash
+  /// reclamation and firing all go through here.
+  std::function<void()> release_timer_slot(uint32_t slot);
   void push_event(Tick time, EventKind kind, uint32_t a, uint64_t gen = 0);
   uint32_t acquire_packet_slot(Packet&& p);
   void release_packet_slot(uint32_t slot);
@@ -268,6 +314,16 @@ class SimWorld {
   // Held (partitioned) traffic per ordered channel.
   std::unordered_map<uint64_t, std::deque<Packet>> held_;
   std::unordered_set<uint64_t> blocked_pairs_;
+  // Background (detector) packet-kind range; empty [1, 0] by default.
+  uint32_t bg_lo_ = 1, bg_hi_ = 0;
+  // Pending foreground work: queued deliveries of non-background kinds,
+  // queued crash/script events, and armed non-background timers.  Zero
+  // means only detector upkeep remains (protocol quiescence candidate).
+  uint64_t fg_pending_ = 0;
+  // Set by do_crash: a death during a protocol-idle settle window changes
+  // what detectors must still notice (the fresh silence needs another full
+  // timeout), even when the quit itself produced no foreground event.
+  bool quiesce_dirty_ = false;
   DelayModel delays_;
   Rng rng_;
   Meter meter_;

@@ -28,8 +28,8 @@ TEST_P(DelayAdversary, ChurnUnderExtremeSkew) {
   o.seed = GetParam() + 6'000'000;
   o.delays.min_delay = 1;
   o.delays.max_delay = 1 + rng.below(500);  // up to 500-tick jitter
-  o.oracle_min_delay = 10;
-  o.oracle_max_delay = 10 + rng.below(1000);
+  o.oracle.min_delay = 10;
+  o.oracle.max_delay = 10 + rng.below(1000);
   Cluster c(o);
   size_t crashes = 1 + rng.below(o.n - 1);
   for (size_t i = 0; i < crashes; ++i) {
@@ -59,8 +59,7 @@ TEST_P(HeartbeatChaos, FalseSuspicionsNeverBreakAgreement) {
   ClusterOptions o;
   o.n = 4 + rng.below(4);  // 4..7
   o.seed = GetParam() + 7'000'000;
-  o.auto_oracle = false;
-  o.heartbeat_fd = true;
+  o.detector = fd::DetectorKind::kHeartbeat;
   o.heartbeat.interval = 100;
   o.heartbeat.timeout = 400;
   Cluster c(o);

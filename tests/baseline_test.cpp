@@ -148,7 +148,7 @@ TEST(TwoPhaseReconfig, InvisibleCommitViolatesAgreement) {
   o.n = 6;
   o.seed = 40;
   o.delays = sim::DelayModel{5, 5};
-  o.oracle_min_delay = o.oracle_max_delay = 50;
+  o.oracle.min_delay = o.oracle.max_delay = 50;
   harness::BaselineCluster<TwoPhaseReconfigNode> c(o);
   invisible_commit_schedule(c);
   ASSERT_TRUE(c.run_to_quiescence());
@@ -165,7 +165,7 @@ TEST(TwoPhaseReconfig, FullProtocolSurvivesSameSchedule) {
   o.n = 6;
   o.seed = 40;
   o.delays = sim::DelayModel{5, 5};
-  o.oracle_min_delay = o.oracle_max_delay = 50;
+  o.oracle.min_delay = o.oracle.max_delay = 50;
   harness::Cluster c(o);
   invisible_commit_schedule(c);
   ASSERT_TRUE(c.run_to_quiescence());

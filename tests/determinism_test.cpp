@@ -45,6 +45,29 @@ TEST(Determinism, SameSeedSameExecResult) {
   }
 }
 
+TEST(Determinism, SameSeedSameExecResultHeartbeatFd) {
+  // The heartbeat detector adds ping traffic, storm-calibrated schedules
+  // and protocol-quiescence detection to the run; none of it may cost
+  // bit-reproducibility.
+  for (Profile p : {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
+                    Profile::kBurstCrash}) {
+    ExecOptions exec;
+    exec.fd = fd::DetectorKind::kHeartbeat;
+    GeneratorOptions gen = tuned_for_heartbeat({}, exec.heartbeat);
+    gen.profile = p;
+    for (uint64_t seed : {0ull, 7ull, 23ull}) {
+      Schedule s = generate(seed, gen);
+      ExecResult first = execute(s, exec);
+      ExecResult second = execute(s, exec);
+      SCOPED_TRACE(std::string(to_string(p)) + "/heartbeat seed=" + std::to_string(seed));
+      expect_same_result(first, second);
+      EXPECT_EQ(first.fd_messages, second.fd_messages);
+      EXPECT_GT(first.fd_messages, 0u);  // the detector really ran
+      EXPECT_NE(first.trace_hash, 0u);
+    }
+  }
+}
+
 TEST(Determinism, DifferentSeedsDiverge) {
   // Sanity check that the fingerprint has discriminating power: across a
   // seed range at least one pair of traces must differ.
@@ -59,9 +82,12 @@ TEST(Determinism, DifferentSeedsDiverge) {
 }
 
 TEST(Determinism, SweepIdenticalAcrossJobCounts) {
+  // Both detector axes ride the same sharded grid: the merged output must
+  // not depend on the worker count for either.
   SweepOptions opts;
   opts.seed_lo = 0;
   opts.seed_hi = 40;
+  opts.detectors = {fd::DetectorKind::kOracle, fd::DetectorKind::kHeartbeat};
   opts.verbose = true;  // force per-run report lines so output is non-trivial
 
   opts.jobs = 1;
@@ -73,16 +99,21 @@ TEST(Determinism, SweepIdenticalAcrossJobCounts) {
   EXPECT_EQ(serial.failures, sharded.failures);
   EXPECT_EQ(serial.output, sharded.output);  // byte-identical merged report
   ASSERT_EQ(serial.run_log.size(), sharded.run_log.size());
+  bool heartbeat_ran = false;
   for (size_t i = 0; i < serial.run_log.size(); ++i) {
     const SweepRun& a = serial.run_log[i];
     const SweepRun& b = sharded.run_log[i];
     EXPECT_EQ(a.profile, b.profile);
+    EXPECT_EQ(a.detector, b.detector);
     EXPECT_EQ(a.seed, b.seed);
     EXPECT_EQ(a.ok, b.ok);
     EXPECT_EQ(a.end_tick, b.end_tick);
     EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.fd_messages, b.fd_messages);
     EXPECT_EQ(a.trace_hash, b.trace_hash);
+    if (a.detector == fd::DetectorKind::kHeartbeat && a.fd_messages > 0) heartbeat_ran = true;
   }
+  EXPECT_TRUE(heartbeat_ran);
 }
 
 TEST(Determinism, SweepFailurePathIdenticalAcrossJobCounts) {

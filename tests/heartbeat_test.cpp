@@ -1,9 +1,11 @@
 // Tests for the realistic heartbeat failure detector (F1 "observation"):
 // detection after real crashes, no false suspicion under benign delay,
-// S1 isolation of ping traffic, end-to-end exclusion without the oracle.
+// S1 isolation of ping traffic, end-to-end exclusion without the oracle,
+// and native (injection-free) resolution of false-suspicion standoffs.
 #include <gtest/gtest.h>
 
 #include "harness/cluster.hpp"
+#include "scenario/executor.hpp"
 
 using namespace gmpx;
 using harness::Cluster;
@@ -15,8 +17,7 @@ ClusterOptions hb_opts(size_t n, uint64_t seed) {
   ClusterOptions o;
   o.n = n;
   o.seed = seed;
-  o.auto_oracle = false;   // heartbeats are the only detector
-  o.heartbeat_fd = true;
+  o.detector = fd::DetectorKind::kHeartbeat;  // heartbeats are the only detector
   o.heartbeat.interval = 100;
   o.heartbeat.timeout = 500;
   return o;
@@ -82,6 +83,66 @@ TEST(Heartbeat, SlowLinkCausesFalseSuspicionButStaysSafe) {
     if (c.world().crashed(p)) continue;
     EXPECT_FALSE(c.node(p).view().contains(5)) << "p" << p;
   }
+}
+
+TEST(Heartbeat, FalseSuspicionStandoffResolvesNatively) {
+  // A one-sided false suspicion of the Mgr is the classic wedge: the Mgr
+  // awaits "OK(p2) or faulty(p2)" while p2 (having isolated the Mgr) will
+  // never answer.  Under the oracle the executor must inject the
+  // counter-suspicion; under the heartbeat FD the Mgr stops hearing from
+  // p2 (S1: p2 neither pings nor acks an accused peer) and times it out —
+  // the standoff resolves with zero executor involvement.
+  scenario::Schedule s;
+  s.n = 5;
+  s.seed = 4242;
+  scenario::ScheduleEvent e{scenario::EventType::kSuspect, 1000, /*target=*/0};
+  e.observer = 2;
+  s.events.push_back(e);
+
+  scenario::ExecOptions exec;
+  exec.fd = fd::DetectorKind::kHeartbeat;
+  scenario::ExecResult r = scenario::execute(s, exec);
+  EXPECT_TRUE(r.quiesced);
+  EXPECT_TRUE(r.ok()) << r.message();
+  EXPECT_GT(r.fd_messages, 0u);
+  // The bilateral rule ran its course: the group moved past the standoff,
+  // so the final view lost at least one of the two parties.
+  EXPECT_LT(r.final_view_size, 5u);
+}
+
+TEST(Heartbeat, ScriptedSuspectOfNonMgrResolvesNatively) {
+  // Same, with roles flipped: a member falsely suspects a non-coordinator
+  // peer.  The accused keeps answering the Mgr, the accuser stops pinging
+  // it, and mutual timeout lets the group exclude one side without any
+  // injected counter-suspicion.
+  scenario::Schedule s;
+  s.n = 5;
+  s.seed = 99;
+  scenario::ScheduleEvent e{scenario::EventType::kSuspect, 1500, /*target=*/3};
+  e.observer = 1;
+  s.events.push_back(e);
+
+  scenario::ExecOptions exec;
+  exec.fd = fd::DetectorKind::kHeartbeat;
+  scenario::ExecResult r = scenario::execute(s, exec);
+  EXPECT_TRUE(r.quiesced);
+  EXPECT_TRUE(r.ok()) << r.message();
+  EXPECT_LT(r.final_view_size, 5u);
+}
+
+TEST(Heartbeat, PingTimersSelfCancelSoDeadGroupsDrain) {
+  // Once every process has quit, no heartbeat timer may keep re-arming:
+  // the event queue must drain completely (run_until_idle, not just
+  // protocol-idle).  Three real crashes leave p0 below majority; its own
+  // timeouts make it quit, its monitor cancels the ping timer, and the
+  // world goes fully quiet.
+  Cluster c(hb_opts(4, 2011));
+  c.start();
+  c.crash_at(1000, 1);
+  c.crash_at(1100, 2);
+  c.crash_at(1200, 3);
+  ASSERT_TRUE(c.run_to_quiescence(5'000'000)) << "heartbeat timers leaked";
+  EXPECT_TRUE(c.node(0).has_quit());  // lost majority after timing the rest out
 }
 
 TEST(Heartbeat, StaggeredCrashesConverge) {

@@ -2,17 +2,22 @@
 //
 //   gmpx_fuzz --seeds 0:1000 --profile all --nodes 5      # sweep
 //   gmpx_fuzz --seeds 0:4000 --profile all --jobs 8       # sharded sweep
+//   gmpx_fuzz --seeds 0:1000 --fd heartbeat               # real timeout FD
+//   gmpx_fuzz --seeds 0:500 --fd oracle,heartbeat         # both detectors
 //   gmpx_fuzz --replay failing.sched                      # replay one file
 //   gmpx_fuzz --replay failing.sched --minimize           # shrink it too
 //
-// For every (profile, seed) pair the tool generates a schedule, replays it
-// against a fresh simulated cluster, and validates the recorded trace
-// against GMP-0..4 (plus GMP-5 when the schedule is liveness-eligible).
-// On a violation it prints the schedule text, greedily minimizes it to a
-// minimal reproducer, and (with --out) writes both artifacts to disk.
-// `--jobs N` shards the (profile, seed) grid across N worker threads, one
-// independent simulated world per run; output and exit status are identical
-// for every N (see scenario/sweep.hpp).
+// For every (profile, detector, seed) triple the tool generates a schedule,
+// replays it against a fresh simulated cluster, and validates the recorded
+// trace against GMP-0..4 (plus GMP-5 when the schedule is
+// liveness-eligible).  On a violation it prints the schedule text, greedily
+// minimizes it to a minimal reproducer, and (with --out) writes both
+// artifacts to disk.  `--fd` selects the failure-detection layer: "oracle"
+// (scripted crash-hook injection) and/or "heartbeat" (real ping/timeout
+// monitoring; storms are calibrated to provoke genuine false suspicions).
+// `--jobs N` shards the grid across N worker threads, one independent
+// simulated world per run; output and exit status are identical for every N
+// (see scenario/sweep.hpp).
 // Exit status: 0 = all runs clean, 1 = violations found, 2 = usage error.
 #include <cstdio>
 #include <cstdlib>
@@ -35,10 +40,14 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: gmpx_fuzz [--seeds LO:HI] [--profile mixed|churn|partition|burst|all]\n"
+               "                 [--fd oracle|heartbeat|all (or comma list)]\n"
+               "                 [--hb-interval T] [--hb-timeout T]\n"
                "                 [--nodes N] [--horizon T] [--max-events K] [--no-liveness]\n"
                "                 [--basic] [--inject-bug] [--out DIR] [--jobs N]\n"
                "                 [--replay FILE [--minimize]] [-v]\n"
                "\n"
+               "--fd heartbeat runs real ping/timeout detection instead of the scripted\n"
+               "oracle (storm intensities are calibrated so false suspicions fire).\n"
                "--inject-bug suppresses faulty_p(q) trace records (a deliberate GMP-1\n"
                "violation) to demonstrate the find -> report -> minimize pipeline.\n");
 }
@@ -46,6 +55,7 @@ void usage() {
 struct Args {
   uint64_t seed_lo = 0, seed_hi = 100;
   std::string profile = "all";
+  std::vector<fd::DetectorKind> detectors = {fd::DetectorKind::kOracle};
   GeneratorOptions gen;
   ExecOptions exec;
   std::string replay_file;
@@ -54,6 +64,26 @@ struct Args {
   bool verbose = false;
   unsigned jobs = 1;
 };
+
+/// Parse "oracle", "heartbeat", "all", or a comma-separated list.
+bool parse_detectors(const std::string& spec, std::vector<fd::DetectorKind>& out) {
+  out.clear();
+  if (spec == "all") {
+    out = {fd::DetectorKind::kOracle, fd::DetectorKind::kHeartbeat};
+    return true;
+  }
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string name = spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    fd::DetectorKind k;
+    if (!fd::parse_detector(name, k)) return false;
+    out.push_back(k);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out.empty();
+}
 
 bool parse_args(int argc, char** argv, Args& a) {
   for (int i = 1; i < argc; ++i) {
@@ -74,6 +104,21 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.profile = v;
       Profile p;
       if (a.profile != "all" && !parse_profile(a.profile, p)) return false;
+    } else if (arg == "--fd") {
+      const char* v = next();
+      if (!v || !parse_detectors(v, a.detectors)) return false;
+    } else if (arg == "--hb-interval") {
+      const char* v = next();
+      char* end = nullptr;
+      Tick t = v ? std::strtoull(v, &end, 10) : 0;
+      if (!v || end == v || *end != '\0' || t == 0) return false;  // 0 would re-arm same-tick
+      a.exec.heartbeat.interval = t;
+    } else if (arg == "--hb-timeout") {
+      const char* v = next();
+      char* end = nullptr;
+      Tick t = v ? std::strtoull(v, &end, 10) : 0;
+      if (!v || end == v || *end != '\0' || t == 0) return false;
+      a.exec.heartbeat.timeout = t;
     } else if (arg == "--nodes") {
       const char* v = next();
       if (!v) return false;
@@ -168,9 +213,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad schedule file: %s\n", e.what());
       return 2;
     }
+    // A schedule file is self-contained; --fd selects which detector the
+    // replay runs under (first listed when several were named).
+    a.exec.fd = a.detectors.front();
     ExecResult res = execute(sched, a.exec);
-    std::printf("replay %s: %s (tick=%lu msgs=%lu liveness=%s)\n", a.replay_file.c_str(),
-                res.ok() ? "OK" : "FAIL", static_cast<unsigned long>(res.end_tick),
+    std::printf("replay %s (fd=%s): %s (tick=%lu msgs=%lu liveness=%s)\n",
+                a.replay_file.c_str(), fd::to_string(a.exec.fd), res.ok() ? "OK" : "FAIL",
+                static_cast<unsigned long>(res.end_tick),
                 static_cast<unsigned long>(res.messages),
                 res.liveness_checked ? "checked" : "skipped");
     if (res.ok()) return 0;
@@ -185,6 +234,7 @@ int main(int argc, char** argv) {
   sweep.seed_lo = a.seed_lo;
   sweep.seed_hi = a.seed_hi;
   sweep.profiles = profiles_of(a.profile);
+  sweep.detectors = a.detectors;
   sweep.gen = a.gen;
   sweep.exec = a.exec;
   sweep.jobs = a.jobs;
