@@ -4,6 +4,7 @@
 // the fuzzing substrate itself kept up.
 #include <benchmark/benchmark.h>
 
+#include "harness/cluster.hpp"
 #include "scenario/executor.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/minimizer.hpp"
@@ -23,9 +24,12 @@ void run_profile(benchmark::State& state, Profile profile,
   if (detector == fd::DetectorKind::kHeartbeat) gen = tuned_for_heartbeat(gen, exec.heartbeat);
   uint64_t seed = 0;
   uint64_t ticks = 0, messages = 0, violations = 0;
+  // One pooled cluster reset per schedule — exactly the sweep's warm loop
+  // (scenario/sweep.cpp keeps one cluster per worker thread the same way).
+  harness::Cluster cluster{harness::ClusterOptions{}};
   for (auto _ : state) {
     Schedule s = generate(seed++, gen);
-    ExecResult r = execute(s, exec);
+    ExecResult r = execute(s, exec, cluster);
     ticks += r.end_tick;
     messages += r.messages;
     violations += r.check.violations.size();

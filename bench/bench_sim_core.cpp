@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "gmp/messages.hpp"
 #include "sim/world.hpp"
 
 using namespace gmpx;
@@ -131,6 +132,58 @@ static void BM_SimCore_TimerCancel(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(cancelled), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimCore_TimerCancel);
+
+/// Codec round-trip for the largest GMP message: a ViewTransfer carrying a
+/// 16-member view and a 32-operation committed history (a joiner bootstrap
+/// late in a churn-heavy run).  Exercises the arena-backed Writer (pooled
+/// payload buffers) and the WireList decode views — the steady-state cycle
+/// performs no allocation, and `bytes/s` prices the wire work itself.
+static void BM_Codec_ViewTransferRoundTrip(benchmark::State& state) {
+  gmp::ViewTransfer vt;
+  for (ProcessId p = 0; p < 16; ++p) vt.members.push_back(p);
+  vt.version = 32;
+  for (uint32_t i = 0; i < 32; ++i) {
+    vt.seq.push_back(SeqEntry{i % 3 ? Op::kRemove : Op::kAdd, i, i + 1});
+  }
+  vt.next_op = Op::kRemove;
+  vt.next_target = 3;
+  vt.faulty = {2, 5, 7};
+  vt.recovered = {40, 41};
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    Packet p = vt.to_packet(9);
+    gmp::ViewTransferView v = gmp::ViewTransferView::decode(p);
+    // Consume every field the joiner's handler would.
+    uint64_t sum = v.version + v.members.size();
+    for (ProcessId q : v.members) sum += q;
+    for (const SeqEntry e : v.seq) sum += e.target + e.resulting_version;
+    for (ProcessId q : v.faulty) sum += q;
+    for (ProcessId q : v.recovered) sum += q;
+    benchmark::DoNotOptimize(sum);
+    bytes += p.bytes.size();
+    recycle_buffer(std::move(p.bytes));  // what SimWorld::deliver does
+  }
+  state.counters["bytes/s"] =
+      benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Codec_ViewTransferRoundTrip);
+
+/// Codec cost of a heartbeat ping: the empty-payload background frame.
+/// Encode builds the packet the portable path ships (the simulator's wave
+/// fast path skips even this); decode is the receiver's kind dispatch.
+static void BM_Codec_HeartbeatPing(benchmark::State& state) {
+  uint64_t pings = 0;
+  for (auto _ : state) {
+    Packet p{1, 2, gmp::kind::kHeartbeat, {}};
+    Reader r(p.bytes);
+    r.expect_done();
+    benchmark::DoNotOptimize(p.kind);
+    ++pings;
+  }
+  state.counters["pings/s"] =
+      benchmark::Counter(static_cast<double>(pings), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Codec_HeartbeatPing);
 
 /// Partition hold + heal: channel matrix writes and held-traffic release.
 static void BM_SimCore_PartitionHeal(benchmark::State& state) {

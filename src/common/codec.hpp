@@ -4,10 +4,22 @@
 // carry opaque byte payloads, so the protocol code path — encode, ship,
 // decode — is identical in simulation and on real sockets.  Encoding is
 // little-endian, length-prefixed, and deliberately boring.
+//
+// Memory discipline (the fuzz loop runs millions of encode/decode cycles):
+//   * Writer draws its buffer from a thread-local slab pool; a runtime that
+//     finishes with a payload hands the buffer back via recycle_buffer(),
+//     so steady-state encoding never touches the heap.  The pool is pure
+//     capacity reuse — contents are always rewritten from scratch — so it
+//     cannot affect determinism.
+//   * Decode exposes *non-owning* views (WireList) over the payload bytes:
+//     list-valued message fields iterate the wire representation in place
+//     instead of materializing an owning vector per field.  A view is only
+//     valid while the backing payload is.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -24,13 +36,137 @@ class CodecError : public std::runtime_error {
   explicit CodecError(const std::string& what) : std::runtime_error(what) {}
 };
 
+namespace detail {
+/// Thread-local pool of recycled payload buffers.  One pool per thread
+/// matches both runtimes: the sweep runs one SimWorld per worker thread and
+/// the TCP runtime recycles on each node's event-loop thread.
+struct BufferPool {
+  std::vector<std::vector<uint8_t>> free;
+  static BufferPool& instance() {
+    thread_local BufferPool pool;
+    return pool;
+  }
+};
+}  // namespace detail
+
+/// Return a payload buffer to the calling thread's pool (capacity reuse;
+/// the next Writer on this thread starts from it instead of the heap).
+inline void recycle_buffer(std::vector<uint8_t>&& buf) {
+  if (buf.capacity() == 0) return;
+  auto& pool = detail::BufferPool::instance().free;
+  if (pool.size() >= 1024) return;  // bound the pool; excess buffers free
+  buf.clear();
+  pool.push_back(std::move(buf));
+}
+
+/// Fixed wire layout per element type.  Lists encode as u32 count followed
+/// by `size` bytes per element; WireList decodes elements on access.
+template <typename T>
+struct WireTraits;
+
+template <>
+struct WireTraits<ProcessId> {
+  static constexpr size_t size = 4;
+  static ProcessId read(const uint8_t* p) {
+    ProcessId v;
+    std::memcpy(&v, p, 4);
+    return v;
+  }
+};
+
+template <>
+struct WireTraits<SeqEntry> {
+  static constexpr size_t size = 9;  // u8 op + u32 target + u32 version
+  static SeqEntry read(const uint8_t* p) {
+    SeqEntry e;
+    e.op = static_cast<Op>(p[0]);
+    std::memcpy(&e.target, p + 1, 4);
+    std::memcpy(&e.resulting_version, p + 5, 4);
+    return e;
+  }
+};
+
+template <>
+struct WireTraits<NextEntry> {
+  static constexpr size_t size = 14;  // u8 op + 3*u32 + u8 bool
+  static NextEntry read(const uint8_t* p) {
+    NextEntry e;
+    e.op = static_cast<Op>(p[0]);
+    std::memcpy(&e.target, p + 1, 4);
+    std::memcpy(&e.coordinator, p + 5, 4);
+    std::memcpy(&e.version, p + 9, 4);
+    e.pending_coordinator_only = p[13] != 0;
+    return e;
+  }
+};
+
+/// Non-owning decoded list: iterates the wire bytes in place, decoding one
+/// element per dereference.  Valid only while the backing payload lives —
+/// handlers that must retain a list copy it into owned storage (which, for
+/// pooled protocol state, reuses existing capacity).
+template <typename T>
+class WireList {
+ public:
+  WireList() = default;
+  WireList(const uint8_t* base, uint32_t n) : base_(base), n_(n) {}
+
+  class iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const T*;
+    using reference = T;
+
+    iterator() = default;
+    explicit iterator(const uint8_t* p) : p_(p) {}
+    T operator*() const { return WireTraits<T>::read(p_); }
+    iterator& operator++() {
+      p_ += WireTraits<T>::size;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator t = *this;
+      ++*this;
+      return t;
+    }
+    bool operator==(const iterator&) const = default;
+
+   private:
+    const uint8_t* p_ = nullptr;
+  };
+
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  T operator[](size_t i) const { return WireTraits<T>::read(base_ + i * WireTraits<T>::size); }
+  T front() const { return (*this)[0]; }
+  T back() const { return (*this)[n_ - 1]; }
+  iterator begin() const { return iterator(base_); }
+  iterator end() const { return iterator(base_ + size_t{n_} * WireTraits<T>::size); }
+
+  /// Owning copy (cold paths that must retain the list).
+  std::vector<T> to_vector() const { return std::vector<T>(begin(), end()); }
+
+ private:
+  const uint8_t* base_ = nullptr;
+  uint32_t n_ = 0;
+};
+
 /// Append-only byte sink with fixed-width little-endian primitives.
 class Writer {
  public:
-  /// Nearly every protocol message fits in one cache line of payload, so
-  /// start with that much capacity instead of growing from empty — encoding
-  /// is one allocation for the common case instead of three or four.
-  Writer() { buf_.reserve(64); }
+  /// Start from a recycled thread-pool buffer when one is available; a cold
+  /// pool allocates once and reserves a cache line of payload (nearly every
+  /// protocol message fits in 64 bytes).
+  Writer() {
+    auto& pool = detail::BufferPool::instance().free;
+    if (!pool.empty()) {
+      buf_ = std::move(pool.back());
+      pool.pop_back();
+    } else {
+      buf_.reserve(64);
+    }
+  }
 
   /// Raw little-endian integer write.
   template <typename T>
@@ -116,13 +252,26 @@ class Reader {
     return s;
   }
 
-  std::vector<ProcessId> ids() {
+  /// Non-owning list view over the next `count * wire-size` bytes.  Bounds
+  /// are validated here, so iterating the returned view cannot underrun.
+  template <typename T>
+  WireList<T> list() {
     uint32_t n = u32();
-    std::vector<ProcessId> v;
-    v.reserve(n);
-    for (uint32_t i = 0; i < n; ++i) v.push_back(u32());
+    size_t span = size_t{n} * WireTraits<T>::size;
+    if (pos_ + span > buf_.size()) throw CodecError("list underrun");
+    WireList<T> v(buf_.data() + pos_, n);
+    pos_ += span;
     return v;
   }
+
+  WireList<ProcessId> ids_view() { return list<ProcessId>(); }
+  WireList<SeqEntry> seq_view() { return list<SeqEntry>(); }
+  WireList<NextEntry> next_view() { return list<NextEntry>(); }
+
+  /// Owning-decode conveniences (cold paths and tests).
+  std::vector<ProcessId> ids() { return ids_view().to_vector(); }
+  std::vector<SeqEntry> seq() { return seq_view().to_vector(); }
+  std::vector<NextEntry> next() { return next_view().to_vector(); }
 
   SeqEntry seq_entry() {
     SeqEntry e;
@@ -130,14 +279,6 @@ class Reader {
     e.target = u32();
     e.resulting_version = u32();
     return e;
-  }
-
-  std::vector<SeqEntry> seq() {
-    uint32_t n = u32();
-    std::vector<SeqEntry> v;
-    v.reserve(n);
-    for (uint32_t i = 0; i < n; ++i) v.push_back(seq_entry());
-    return v;
   }
 
   NextEntry next_entry() {
@@ -148,14 +289,6 @@ class Reader {
     e.version = u32();
     e.pending_coordinator_only = b();
     return e;
-  }
-
-  std::vector<NextEntry> next() {
-    uint32_t n = u32();
-    std::vector<NextEntry> v;
-    v.reserve(n);
-    for (uint32_t i = 0; i < n; ++i) v.push_back(next_entry());
-    return v;
   }
 
   /// True when the whole payload has been consumed.

@@ -62,6 +62,14 @@ class Context {
     return set_timer(delay, std::move(fn));
   }
 
+  /// Send an *empty-payload background* frame (failure-detector pings and
+  /// acks).  Semantically identical to send(Packet{self(), to, kind, {}});
+  /// runtimes with a background fast path (the simulator) deliver it
+  /// without building a Packet at all.
+  virtual void send_background(ProcessId to, uint32_t kind) {
+    send(Packet{self(), to, kind, {}});
+  }
+
   /// Cancel a pending timer (no-op if already fired or unknown).
   virtual void cancel_timer(TimerId id) = 0;
 

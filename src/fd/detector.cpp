@@ -33,9 +33,67 @@ void OracleFd::on_crash(ProcessId p, Tick t) {
   }
 }
 
+void HeartbeatDetector::bind(Env env) {
+  FailureDetector::bind(std::move(env));
+  // Route fast-path ping/ack frames straight to the destination's monitor.
+  env_.world->set_background_sink(
+      [this](ProcessId from, ProcessId to, uint32_t kind) {
+        on_background_packet(from, to, kind);
+      });
+  // The batched ping wave: one environment-owned background timer per
+  // interval replaces n per-node re-arming timers.  Environment ownership
+  // matters — a process-owned timer would die with its owner's crash and
+  // silence every other monitor.
+  env_.world->set_environment_timer(opts_.interval, [this] { wave(); });
+}
+
+void HeartbeatDetector::reset() {
+  for (auto& m : monitors_) monitor_pool_.push_back(std::move(m));
+  monitors_.clear();
+  monitor_by_id_.clear();
+}
+
+void HeartbeatDetector::wave() {
+  sim::SimWorld& world = *env_.world;
+  bool any_alive = false;
+  // Registration order (= deterministic cluster id order).  Each monitor's
+  // ping fan ships as one batched frame: one heap event and one delay draw
+  // per sender per interval instead of one per ping.
+  for (auto& m : monitors_) {
+    const ProcessId id = m->node().id();
+    if (Context* ctx = world.context_of(id)) {
+      targets_.clear();
+      m->tick_collect(*ctx, targets_);
+      if (!targets_.empty()) world.send_background_wave(id, targets_, gmp::kind::kHeartbeat);
+    }
+    if (!world.crashed(id)) any_alive = true;
+  }
+  // Re-arm while anyone is left; once the whole deployment is dead the
+  // queue must drain completely (pinned by the dead-group heartbeat test).
+  if (any_alive) env_.world->set_environment_timer(opts_.interval, [this] { wave(); });
+}
+
+void HeartbeatDetector::on_background_packet(ProcessId from, ProcessId to, uint32_t kind) {
+  HeartbeatFd* m = to < monitor_by_id_.size() ? monitor_by_id_[to] : nullptr;
+  if (!m) return;
+  if (Context* ctx = env_.world->context_of(to)) m->on_background(*ctx, from, kind);
+}
+
 Actor* HeartbeatDetector::wrap(gmp::GmpNode& inner) {
-  monitors_.push_back(std::make_unique<HeartbeatFd>(&inner, opts_));
-  return monitors_.back().get();
+  std::unique_ptr<HeartbeatFd> m;
+  if (!monitor_pool_.empty()) {
+    m = std::move(monitor_pool_.back());
+    monitor_pool_.pop_back();
+    m->reset(&inner, opts_, /*self_arm=*/false);
+  } else {
+    m = std::make_unique<HeartbeatFd>(&inner, opts_, /*self_arm=*/false);
+  }
+  monitors_.push_back(std::move(m));
+  HeartbeatFd* raw = monitors_.back().get();
+  const ProcessId id = inner.id();
+  if (id >= monitor_by_id_.size()) monitor_by_id_.resize(id + 1, nullptr);
+  monitor_by_id_[id] = raw;
+  return raw;
 }
 
 std::unique_ptr<FailureDetector> make_detector(DetectorKind kind, const OracleOptions& oracle,

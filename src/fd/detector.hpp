@@ -56,6 +56,7 @@ struct OracleOptions {
   bool enabled = true;  ///< inject suspicions after real crashes
   Tick min_delay = 40;  ///< detection latency bounds
   Tick max_delay = 160;
+  friend bool operator==(const OracleOptions&, const OracleOptions&) = default;
 };
 
 /// Per-deployment failure-detection policy.  One instance per cluster; the
@@ -72,8 +73,13 @@ class FailureDetector {
 
   virtual ~FailureDetector() = default;
 
-  /// Called once by the cluster, before any wrap()/on_crash().
+  /// Called by the cluster before any wrap()/on_crash() — once at
+  /// construction, and again after every reset().
   virtual void bind(Env env) { env_ = std::move(env); }
+
+  /// Rewind per-run state for a pooled cluster reuse (wrapper actors are
+  /// recycled, scratch tables cleared with capacity kept).  bind() follows.
+  virtual void reset() {}
 
   /// Decorate (or pass through) the actor registered with the runtime for
   /// `inner`.  The returned actor must stay valid for the cluster lifetime;
@@ -126,10 +132,22 @@ class OracleFd final : public FailureDetector {
 /// The realistic detector: one fd::HeartbeatFd monitor per node.  See
 /// fd/heartbeat.hpp for tuning guidance (interval/timeout vs storm
 /// intensity).
+///
+/// Under the simulator the detector batches and short-circuits its own
+/// upkeep (the heartbeat fast path):
+///   * one environment-owned *wave* timer per interval ticks every live
+///     monitor in registration order, replacing n per-node re-arming
+///     timers;
+///   * ping/ack frames ride SimWorld's slab-free background path — the
+///     event record carries (from, to, kind) inline and delivery dispatches
+///     straight to the destination monitor, never building a Packet;
+///   * monitors are recycled across reset()s (pooled cluster reuse).
 class HeartbeatDetector final : public FailureDetector {
  public:
   explicit HeartbeatDetector(HeartbeatOptions opts) : opts_(opts) {}
 
+  void bind(Env env) override;
+  void reset() override;
   Actor* wrap(gmp::GmpNode& inner) override;
 
   std::pair<uint32_t, uint32_t> background_kinds() const override {
@@ -144,9 +162,20 @@ class HeartbeatDetector final : public FailureDetector {
     return opts_.timeout + 2 * opts_.interval + worst_delay + 400;
   }
 
+  const HeartbeatOptions& options() const { return opts_; }
+
  private:
+  /// One batched monitor period: tick every live monitor, then re-arm while
+  /// anyone is still alive (a fully dead deployment lets the queue drain).
+  void wave();
+  /// Fast-path delivery of a ping/ack to the destination's monitor.
+  void on_background_packet(ProcessId from, ProcessId to, uint32_t kind);
+
   HeartbeatOptions opts_;
   std::vector<std::unique_ptr<HeartbeatFd>> monitors_;
+  std::vector<std::unique_ptr<HeartbeatFd>> monitor_pool_;  ///< recycled across runs
+  std::vector<HeartbeatFd*> monitor_by_id_;  ///< dense id -> monitor (borrowed)
+  std::vector<ProcessId> targets_;           ///< wave scratch: one sender's ping fan
 };
 
 /// Build the standard detector for `kind` from the matching options.

@@ -8,18 +8,29 @@
 // protocol must (and does) tolerate.  The scripted alternative is
 // fd::OracleFd (fd/detector.hpp), which only ever reports real crashes.
 //
+// Proof of life is the peer's own traffic: every admitted member pings
+// every view member each interval, so the symmetric ping streams double as
+// acknowledgements — an admitted receiver does not ack a ping (its own next
+// ping says the same thing for free, halving detector traffic).  The one
+// asymmetry is a committed-but-unbootstrapped joiner: it appears in views
+// (so members monitor it) but cannot ping before its ViewTransfer arrives,
+// so *unadmitted* processes ack pings to stay audible.  The worst benign
+// silence is unchanged either way: one ping interval plus one channel
+// delay.
+//
 // Runtime-neutral: the monitor is written against Context/Actor, so it runs
 // unchanged over sim::SimWorld and net::TcpRuntime (see examples/tcp_group
-// and tests/net_test).  Under the simulator its ping timer is armed as a
-// *background* timer and its packet kinds are registered as background
-// traffic, so heartbeat noise neither pollutes protocol message counts nor
-// keeps protocol-quiescence detection from converging.
+// and tests/net_test).  Constructed stand-alone it arms its own per-node
+// ping timer; under fd::HeartbeatDetector (the simulator harness) the
+// timers are *batched* — one environment-owned wave timer ticks every
+// monitor per interval — and ping/ack frames ride the simulator's
+// slab-free background fast path (Context::send_background).
 //
 // Tuning HeartbeatOptions against adversary storm profiles
 // --------------------------------------------------------
 // A peer is suspected after `timeout` ticks of silence; between pings the
-// longest benign silence is roughly `interval + max channel delay` (the ack
-// of the previous ping plus one full ping period).  So:
+// longest benign silence is roughly `interval + max channel delay` (the
+// peer's previous ping plus one full ping period).  So:
 //
 //   * no false suspicions  — keep `timeout` comfortably above
 //     `interval + max_delay` of the worst storm you consider benign.  The
@@ -50,29 +61,26 @@ namespace gmpx::fd {
 struct HeartbeatOptions {
   Tick interval = 200;  ///< ping period
   Tick timeout = 800;   ///< silence threshold before faulty_p(q)
+  friend bool operator==(const HeartbeatOptions&, const HeartbeatOptions&) = default;
 };
 
 /// Decorating actor: one monitor per process.
 class HeartbeatFd final : public Actor {
  public:
-  HeartbeatFd(gmp::GmpNode* inner, HeartbeatOptions opts) : inner_(inner), opts_(opts) {}
+  /// `self_arm` selects the drive mode: true (default) arms a per-node ping
+  /// timer (runtime-neutral stand-alone use); false leaves pacing to an
+  /// external driver calling tick() — fd::HeartbeatDetector's batched wave.
+  HeartbeatFd(gmp::GmpNode* inner, HeartbeatOptions opts, bool self_arm = true)
+      : inner_(inner), opts_(opts), self_arm_(self_arm) {}
 
   void on_start(Context& ctx) override {
     inner_->on_start(ctx);
-    if (!inner_->has_quit()) arm(ctx);
+    if (self_arm_ && !inner_->has_quit()) arm(ctx);
   }
 
   void on_packet(Context& ctx, const Packet& p) override {
-    if (p.kind == gmp::kind::kHeartbeat) {
-      // S1: no traffic is accepted from an isolated sender, pings included.
-      if (inner_->isolated().count(p.from) || inner_->has_quit()) return;
-      note_alive(p.from, ctx.now());
-      ctx.send(Packet{ctx.self(), p.from, gmp::kind::kHeartbeatAck, {}});
-      return;
-    }
-    if (p.kind == gmp::kind::kHeartbeatAck) {
-      if (inner_->isolated().count(p.from) || inner_->has_quit()) return;
-      note_alive(p.from, ctx.now());
+    if (p.kind == gmp::kind::kHeartbeat || p.kind == gmp::kind::kHeartbeatAck) {
+      on_background(ctx, p.from, p.kind);
       return;
     }
     // Any protocol message is proof of life too.
@@ -85,10 +93,78 @@ class HeartbeatFd final : public Actor {
     if (inner_->has_quit()) disarm(ctx);
   }
 
+  /// Detector-traffic entry point, shared by the packet path above and the
+  /// simulator's slab-free background fast path.
+  void on_background(Context& ctx, ProcessId from, uint32_t kind) {
+    // S1: no traffic is accepted from an isolated sender, pings included.
+    if (inner_->isolated().count(from) || inner_->has_quit()) return;
+    note_alive(from, ctx.now());
+    // An admitted receiver's own ping stream answers for it; only a process
+    // that cannot ping yet (pre-bootstrap joiner) must ack to be heard.
+    if (kind == gmp::kind::kHeartbeat && !inner_->admitted()) {
+      ctx.send_background(from, gmp::kind::kHeartbeatAck);
+    }
+  }
+
+  /// One monitor period: check every view member for silence past the
+  /// timeout, suspect the silent ones, ping the rest.  Public so an
+  /// external driver (the detector's wave) can pace all monitors with a
+  /// single timer; in self-arm mode an internal timer calls it.
+  void tick(Context& ctx) {
+    scan(ctx, [&ctx](ProcessId q) { ctx.send_background(q, gmp::kind::kHeartbeat); });
+  }
+
+  /// Wave-driven variant: append this period's ping targets to `out`
+  /// instead of sending — the driver ships them as one batched frame (the
+  /// simulator's wave fast path delivers a sender's whole ping fan with a
+  /// single event and a single delay draw).
+  void tick_collect(Context& ctx, std::vector<ProcessId>& out) {
+    scan(ctx, [&out](ProcessId q) { out.push_back(q); });
+  }
+
   /// The wrapped protocol endpoint.
   gmp::GmpNode& node() { return *inner_; }
 
+  /// Rebind to a (pooled) node for a fresh run, clearing per-run state but
+  /// keeping buffer capacity.
+  void reset(gmp::GmpNode* inner, HeartbeatOptions opts, bool self_arm) {
+    inner_ = inner;
+    opts_ = opts;
+    self_arm_ = self_arm;
+    timer_ = 0;
+    last_heard_.clear();
+    scratch_.clear();
+  }
+
  private:
+  /// The monitor period body shared by tick()/tick_collect(): silence
+  /// checks drive suspect(); `ping` receives each peer to be pinged.
+  template <typename Ping>
+  void scan(Context& ctx, Ping&& ping) {
+    if (inner_->has_quit()) return;  // no pings after quit_p
+    if (!inner_->admitted()) return;
+    const Tick now = ctx.now();
+    // Snapshot the membership before walking it: suspect() can commit a
+    // view change synchronously (a Mgr whose round awaited only the newly
+    // suspected peer installs the next view inside the call), and that
+    // reallocates the live members vector mid-iteration.  The scratch
+    // buffer is reused across ticks, so steady state never allocates.
+    scratch_.assign(inner_->view().members().begin(), inner_->view().members().end());
+    for (ProcessId q : scratch_) {
+      if (q == ctx.self() || inner_->isolated().count(q)) continue;
+      const Tick seen = heard(q);
+      if (seen == kNever) {
+        // First sighting of this member: start its grace period now.
+        note_alive(q, now);
+      } else if (now - seen > opts_.timeout) {
+        inner_->suspect(ctx, q);
+        if (inner_->has_quit()) return;  // the suspicion cost us majority
+        continue;  // no point pinging a suspect
+      }
+      ping(q);
+    }
+  }
+
   /// Flat proof-of-life table keyed by dense process id.  Tick 0 doubles as
   /// "never heard": a packet genuinely arriving at tick 0 merely restarts
   /// that peer's grace period on the first ping tick, which is harmless.
@@ -102,7 +178,11 @@ class HeartbeatFd final : public Actor {
   Tick heard(ProcessId q) const { return q < last_heard_.size() ? last_heard_[q] : kNever; }
 
   void arm(Context& ctx) {
-    timer_ = ctx.set_background_timer(opts_.interval, [this, &ctx] { tick(ctx); });
+    timer_ = ctx.set_background_timer(opts_.interval, [this, &ctx] {
+      timer_ = 0;
+      tick(ctx);
+      if (!inner_->has_quit()) arm(ctx);
+    });
   }
 
   void disarm(Context& ctx) {
@@ -112,36 +192,9 @@ class HeartbeatFd final : public Actor {
     }
   }
 
-  void tick(Context& ctx) {
-    timer_ = 0;
-    if (inner_->has_quit()) return;  // no re-arm after quit_p
-    if (inner_->admitted()) {
-      const Tick now = ctx.now();
-      // Snapshot the membership before walking it: suspect() can commit a
-      // view change synchronously (a Mgr whose round awaited only the newly
-      // suspected peer installs the next view inside the call), and that
-      // reallocates the live members vector mid-iteration.  The scratch
-      // buffer is reused across ticks, so steady state never allocates.
-      scratch_.assign(inner_->view().members().begin(), inner_->view().members().end());
-      for (ProcessId q : scratch_) {
-        if (q == ctx.self() || inner_->isolated().count(q)) continue;
-        const Tick seen = heard(q);
-        if (seen == kNever) {
-          // First sighting of this member: start its grace period now.
-          note_alive(q, now);
-        } else if (now - seen > opts_.timeout) {
-          inner_->suspect(ctx, q);
-          if (inner_->has_quit()) return;  // the suspicion cost us majority
-          continue;  // no point pinging a suspect
-        }
-        ctx.send(Packet{ctx.self(), q, gmp::kind::kHeartbeat, {}});
-      }
-    }
-    arm(ctx);
-  }
-
   gmp::GmpNode* inner_;
   HeartbeatOptions opts_;
+  bool self_arm_;
   TimerId timer_ = 0;
   std::vector<Tick> last_heard_;     ///< dense id -> last proof of life
   std::vector<ProcessId> scratch_;   ///< tick()'s membership snapshot

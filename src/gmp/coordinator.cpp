@@ -83,12 +83,13 @@ void GmpNode::mgr_commit_round(Context& ctx) {
   // this commit is its invitation.
   Proposal nxt = get_next(pending_work(), kNilId);
 
-  Commit c;
+  Commit& c = commit_scratch_;
   c.op = op;
   c.target = target;
   c.version = view_.version();
   c.next_op = nxt.defined() ? nxt.op : Op::kRemove;
   c.next_target = nxt.defined() ? nxt.target : kNilId;
+  c.faulty.clear();
   for (ProcessId q : suspected_) {
     if (view_.contains(q)) c.faulty.push_back(q);
   }
@@ -100,7 +101,7 @@ void GmpNode::mgr_commit_round(Context& ctx) {
     ctx.send(c.to_packet(q));
   }
   if (op == Op::kAdd) {
-    ViewTransfer vt = make_view_transfer();
+    ViewTransfer& vt = make_view_transfer();
     vt.next_op = c.next_op;
     vt.next_target = c.next_target;
     ctx.send(vt.to_packet(target));

@@ -15,6 +15,13 @@
 //
 // Each struct encodes/decodes itself with the common codec; `kind`
 // constants discriminate packets and group them for the message meter.
+//
+// Two decode shapes exist for the list-bearing messages: the owning
+// structs below (tests, cold paths, and anything that must retain the
+// message) and the *View structs at the end of this header (hot-path
+// decode used by the protocol handlers).  A view's list fields are
+// WireLists into the packet payload — no per-field materialization — and
+// stay valid only while the packet does.
 #pragma once
 
 #include <vector>
@@ -332,6 +339,133 @@ struct ReconfigCommit {
     m.invis_op = static_cast<Op>(r.u8());
     m.invis_target = r.u32();
     m.faulty = r.ids();
+    r.expect_done();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Hot-path decode views.  Field order mirrors the owning structs exactly;
+// list fields are non-owning WireLists over the packet payload.
+// ---------------------------------------------------------------------------
+
+/// Non-owning decode of a Commit.
+struct CommitView {
+  Op op = Op::kRemove;
+  ProcessId target = kNilId;
+  ViewVersion version = 0;
+  Op next_op = Op::kRemove;
+  ProcessId next_target = kNilId;
+  WireList<ProcessId> faulty;
+  WireList<ProcessId> recovered;
+
+  static CommitView decode(const Packet& p) {
+    Reader r(p.bytes);
+    CommitView m;
+    m.op = static_cast<Op>(r.u8());
+    m.target = r.u32();
+    m.version = r.u32();
+    m.next_op = static_cast<Op>(r.u8());
+    m.next_target = r.u32();
+    m.faulty = r.ids_view();
+    m.recovered = r.ids_view();
+    r.expect_done();
+    return m;
+  }
+
+  /// Owning copy (the buffered-commit path must outlive the packet).
+  Commit materialize() const {
+    Commit c;
+    c.op = op;
+    c.target = target;
+    c.version = version;
+    c.next_op = next_op;
+    c.next_target = next_target;
+    c.faulty = faulty.to_vector();
+    c.recovered = recovered.to_vector();
+    return c;
+  }
+};
+
+/// Non-owning decode of a ViewTransfer.
+struct ViewTransferView {
+  WireList<ProcessId> members;
+  ViewVersion version = 0;
+  WireList<SeqEntry> seq;
+  Op next_op = Op::kRemove;
+  ProcessId next_target = kNilId;
+  WireList<ProcessId> faulty;
+  WireList<ProcessId> recovered;
+
+  static ViewTransferView decode(const Packet& p) {
+    Reader r(p.bytes);
+    ViewTransferView m;
+    m.members = r.ids_view();
+    m.version = r.u32();
+    m.seq = r.seq_view();
+    m.next_op = static_cast<Op>(r.u8());
+    m.next_target = r.u32();
+    m.faulty = r.ids_view();
+    m.recovered = r.ids_view();
+    r.expect_done();
+    return m;
+  }
+};
+
+/// Non-owning decode of an InterrogateOk.
+struct InterrogateOkView {
+  ViewVersion version = 0;
+  WireList<SeqEntry> seq;
+  WireList<NextEntry> next;
+
+  static InterrogateOkView decode(const Packet& p) {
+    Reader r(p.bytes);
+    InterrogateOkView m;
+    m.version = r.u32();
+    m.seq = r.seq_view();
+    m.next = r.next_view();
+    r.expect_done();
+    return m;
+  }
+};
+
+/// Non-owning decode of a Propose.
+struct ProposeView {
+  WireList<SeqEntry> ops;
+  ViewVersion version = 0;
+  Op invis_op = Op::kRemove;
+  ProcessId invis_target = kNilId;
+  WireList<ProcessId> faulty;
+
+  static ProposeView decode(const Packet& p) {
+    Reader r(p.bytes);
+    ProposeView m;
+    m.ops = r.seq_view();
+    m.version = r.u32();
+    m.invis_op = static_cast<Op>(r.u8());
+    m.invis_target = r.u32();
+    m.faulty = r.ids_view();
+    r.expect_done();
+    return m;
+  }
+};
+
+/// Non-owning decode of a ReconfigCommit (same wire layout as Propose).
+struct ReconfigCommitView {
+  WireList<SeqEntry> ops;
+  ViewVersion version = 0;
+  Op invis_op = Op::kRemove;
+  ProcessId invis_target = kNilId;
+  WireList<ProcessId> faulty;
+
+  static ReconfigCommitView decode(const Packet& p) {
+    Reader r(p.bytes);
+    ReconfigCommitView m;
+    m.ops = r.seq_view();
+    m.version = r.u32();
+    m.invis_op = static_cast<Op>(r.u8());
+    m.invis_target = r.u32();
+    m.faulty = r.ids_view();
     r.expect_done();
     return m;
   }

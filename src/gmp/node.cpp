@@ -12,6 +12,51 @@ GmpNode::GmpNode(ProcessId self, Config cfg) : self_(self), cfg_(std::move(cfg))
   rec_ = cfg_.recorder;
 }
 
+void GmpNode::reinit(ProcessId self, const Config& cfg) {
+  self_ = self;
+  // Whole-struct copy assignment: vector members copy-assign, which reuses
+  // this node's existing capacity, and new Config fields are picked up
+  // automatically (no per-field list to forget to extend).
+  cfg_ = cfg;
+  rec_ = cfg_.recorder;
+  view_.clear();
+  mgr_ = kNilId;
+  seq_.clear();
+  next_.clear();
+  suspected_.clear();
+  isolated_.clear();
+  recovered_.clear();
+  reported_.clear();
+  join_handled_.clear();
+  operational_logged_.clear();
+  quit_ = false;
+  admitted_ = false;
+  leaving_ = false;
+  listener_ = nullptr;
+  join_timer_ = 0;
+  leave_timer_ = 0;
+  join_solicit_ = nullptr;  // captures the previous run's Context: must die
+  join_attempts_ = 0;
+  leave_attempts_ = 0;
+  reconfigs_initiated_ = 0;
+  buffered_commits_.clear();
+  pre_admission_.clear();
+  round_.active = false;
+  round_.op = Op::kRemove;
+  round_.target = kNilId;
+  round_.installs = 0;
+  round_.awaiting.clear();
+  round_.oks = 0;
+  reconf_.phase = ReconfigState::Phase::kIdle;
+  reconf_.awaiting.clear();
+  reconf_.n_responses = 0;  // slots (and their vectors) stay for reuse
+  reconf_.phase1_resp.clear();
+  reconf_.phase2_resp.clear();
+  reconf_.plan.version = 0;
+  reconf_.plan.rl_ops.clear();
+  reconf_.plan.invis = Proposal{};
+}
+
 void GmpNode::on_start(Context& ctx) {
   if (cfg_.joiner) {
     // S7: a (new) process announces its desire to join and retries until a
@@ -37,7 +82,7 @@ void GmpNode::on_start(Context& ctx) {
     return;
   }
   GMPX_CHECK(!cfg_.initial_members.empty(), "initial member with empty Proc");
-  view_ = View(cfg_.initial_members);
+  view_.reset_initial(cfg_.initial_members);
   GMPX_CHECK(view_.contains(self_), "process not in its own initial view");
   mgr_ = view_.most_senior();
   admitted_ = true;
@@ -88,11 +133,15 @@ void GmpNode::on_packet(Context& ctx, const Packet& p) {
   }
 }
 
-ViewTransfer GmpNode::make_view_transfer() const {
-  ViewTransfer vt;
-  vt.members = view_.members();
+ViewTransfer& GmpNode::make_view_transfer() {
+  ViewTransfer& vt = transfer_scratch_;
+  vt.members.assign(view_.members().begin(), view_.members().end());
   vt.version = view_.version();
-  vt.seq = seq_;  // the joiner must be able to serve Determine's replay
+  vt.seq.assign(seq_.begin(), seq_.end());  // the joiner must be able to
+                                            // serve Determine's replay
+  vt.next_op = Op::kRemove;
+  vt.next_target = kNilId;
+  vt.faulty.clear();
   for (ProcessId q : suspected_) {
     if (view_.contains(q)) vt.faulty.push_back(q);
   }
@@ -272,7 +321,7 @@ void GmpNode::apply_op(Context& ctx, Op op, ProcessId target) {
       rec_->add(self_, target, ctx.now());
     }
   }
-  if (rec_) rec_->install(self_, view_.version(), view_.sorted_members(), ctx.now());
+  if (rec_) rec_->install(self_, view_.version(), view_.members(), ctx.now());
   if (listener_) listener_->on_view(view_);
   maybe_initiate_reconfig(ctx);
   if (!quit_) drain_buffered(ctx);
@@ -350,10 +399,11 @@ void GmpNode::handle_invite(Context& ctx, const Packet& p) {
   ctx.send(InviteOk{m.version, m.target}.to_packet(p.from));
 }
 
+template <typename FaultyList, typename RecoveredList>
 bool GmpNode::process_contingent(Context& ctx, ProcessId from, Op next_op,
                                  ProcessId next_target, ViewVersion next_installs,
-                                 const std::vector<ProcessId>& faulty,
-                                 const std::vector<ProcessId>& recovered, bool reply_ok) {
+                                 const FaultyList& faulty,
+                                 const RecoveredList& recovered, bool reply_ok) {
   // "if p in L then quit_p": the commit names us among the faulty.
   for (ProcessId l : faulty) {
     if (l == self_) {
@@ -393,14 +443,15 @@ bool GmpNode::process_contingent(Context& ctx, ProcessId from, Op next_op,
 }
 
 void GmpNode::handle_commit(Context& ctx, const Packet& p) {
-  Commit m = Commit::decode(p);
+  CommitView m = CommitView::decode(p);
   if (m.version <= view_.version()) {
     // Stale duplicate (already installed via a reconfiguration commit).
     return;
   }
   if (m.version > view_.version() + 1) {
-    // From a future view; buffer until the gap closes (S3).
-    buffered_commits_.emplace_back(p.from, m);
+    // From a future view; buffer until the gap closes (S3).  The buffered
+    // copy must outlive the packet, so this cold path materializes.
+    buffered_commits_.emplace_back(p.from, m.materialize());
     return;
   }
   adopt_mgr(ctx, p.from);
@@ -413,19 +464,20 @@ void GmpNode::handle_commit(Context& ctx, const Packet& p) {
 
 void GmpNode::handle_view_transfer(Context& ctx, const Packet& p) {
   if (admitted_) return;
-  ViewTransfer m = ViewTransfer::decode(p);
+  ViewTransferView m = ViewTransferView::decode(p);
   GMPX_CHECK(std::find(m.members.begin(), m.members.end(), self_) != m.members.end(),
              "ViewTransfer without the joiner in it");
-  view_ = View(m.members, m.version);
-  seq_ = m.seq;  // full committed history: lets the joiner serve Determine's
-                 // committed-op replay during later reconfigurations
+  view_.adopt(m.members.begin(), m.members.end(), m.version);
+  seq_.assign(m.seq.begin(), m.seq.end());  // full committed history: lets
+                                            // the joiner serve Determine's
+                                            // replay in reconfigurations
   admitted_ = true;
   mgr_ = p.from;
   if (join_timer_ != 0) {
     ctx.cancel_timer(join_timer_);
     join_timer_ = 0;
   }
-  if (rec_) rec_->install(self_, view_.version(), view_.sorted_members(), ctx.now());
+  if (rec_) rec_->install(self_, view_.version(), view_.members(), ctx.now());
   if (listener_) listener_->on_view(view_);
   process_contingent(ctx, p.from, m.next_op, m.next_target, m.version + 1, m.faulty,
                      m.recovered, /*reply_ok=*/true);
@@ -454,10 +506,10 @@ void GmpNode::handle_interrogate(Context& ctx, const Packet& p) {
     return;
   }
   // Respond with seq(p) and next(p) *before* recording the placeholder.
-  InterrogateOk ok;
+  InterrogateOk& ok = interrogate_ok_scratch_;
   ok.version = view_.version();
-  ok.seq = seq_;
-  ok.next = next_;
+  ok.seq.assign(seq_.begin(), seq_.end());
+  ok.next.assign(next_.begin(), next_.end());
   ctx.send(ok.to_packet(r));
   // HiFaulty(r) is inferable from the commonly-known rank order (S4.5).
   for (ProcessId q : view_.more_senior_than(r)) {
@@ -472,7 +524,11 @@ void GmpNode::handle_interrogate(Context& ctx, const Packet& p) {
 }
 
 void GmpNode::handle_propose(Context& ctx, const Packet& p) {
-  Propose m = Propose::decode(p);
+  ProposeView m = ProposeView::decode(p);
+  // A proposal always carries at least one RL op (Determine guarantees it);
+  // an empty list is a peer protocol violation over TCP — drop it rather
+  // than read ops.back() out of bounds.
+  if (m.ops.empty()) return;
   for (ProcessId f : m.faulty) {
     if (f == self_) {
       do_quit(ctx);
@@ -500,13 +556,13 @@ void GmpNode::handle_propose(Context& ctx, const Packet& p) {
     }
   }
   // next(p) <- (op(proc-id) : r : v_r), replacing the placeholder list.
-  const SeqEntry& last = m.ops.back();
+  const SeqEntry last = m.ops.back();
   next_.assign(1, NextEntry{last.op, last.target, p.from, m.version, false});
   ctx.send(ProposeOk{m.version}.to_packet(p.from));
 }
 
 void GmpNode::handle_reconfig_commit(Context& ctx, const Packet& p) {
-  ReconfigCommit m = ReconfigCommit::decode(p);
+  ReconfigCommitView m = ReconfigCommitView::decode(p);
   for (ProcessId f : m.faulty) {
     if (f == self_) {
       do_quit(ctx);
@@ -521,7 +577,7 @@ void GmpNode::handle_reconfig_commit(Context& ctx, const Packet& p) {
     }
   }
   if (!process_contingent(ctx, p.from, m.invis_op, m.invis_target, m.version + 1, m.faulty,
-                          {}, /*reply_ok=*/false)) {
+                          WireList<ProcessId>{}, /*reply_ok=*/false)) {
     return;
   }
   adopt_mgr(ctx, p.from);
@@ -547,9 +603,10 @@ void GmpNode::handle_reconfig_commit(Context& ctx, const Packet& p) {
 
 // ---------------------------------------------------------------------------
 
-PendingWork GmpNode::pending_work() const {
-  PendingWork w;
+const PendingWork& GmpNode::pending_work() {
+  PendingWork& w = pending_scratch_;
   w.recovered.assign(recovered_.begin(), recovered_.end());
+  w.faulty.clear();
   for (ProcessId q : suspected_) {
     if (view_.contains(q)) w.faulty.push_back(q);
   }

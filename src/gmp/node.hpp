@@ -25,6 +25,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/flat_set.hpp"
@@ -89,6 +90,12 @@ class ViewListener {
 class GmpNode : public Actor {
  public:
   GmpNode(ProcessId self, Config cfg);
+
+  /// Rewind a pooled node for a fresh run under a new (id, config).  Every
+  /// container is cleared with capacity kept, so a warm pool re-enters
+  /// service without touching the allocator.  Equivalent to destroying the
+  /// node and constructing GmpNode(self, cfg) in place.
+  void reinit(ProcessId self, const Config& cfg);
 
   // ---- Actor ----
   void on_start(Context& ctx) override;
@@ -168,7 +175,9 @@ class GmpNode : public Actor {
   void leave_retry(Context& ctx);
   /// Bootstrap transfer carrying the current view, committed history and
   /// beliefs (no contingent next op — callers set one if they have it).
-  ViewTransfer make_view_transfer() const;
+  /// Fills and returns the node's scratch transfer (capacity reused across
+  /// calls and runs); valid until the next call.
+  ViewTransfer& make_view_transfer();
   /// Send SuspectReport(q) to the current Mgr (once per Mgr incumbency).
   void report_to_mgr(Context& ctx, ProcessId q);
   /// Re-send all pending suspicions after a Mgr change.
@@ -182,10 +191,14 @@ class GmpNode : public Actor {
   /// ReconfigCommit: beliefs, next(p) bookkeeping, self-targeting quits,
   /// and the piggy-backed OK of the compressed algorithm.  `next_installs`
   /// is the view version the contingent operation would install (commit
-  /// version + 1).  Returns false if the node quit.
+  /// version + 1).  Returns false if the node quit.  Templated over the
+  /// list shapes so the hot path iterates WireList decode views in place
+  /// while the buffered-commit replay passes owned vectors (both
+  /// instantiations live in node.cpp).
+  template <typename FaultyList, typename RecoveredList>
   bool process_contingent(Context& ctx, ProcessId from, Op next_op, ProcessId next_target,
-                          ViewVersion next_installs, const std::vector<ProcessId>& faulty,
-                          const std::vector<ProcessId>& recovered, bool reply_ok);
+                          ViewVersion next_installs, const FaultyList& faulty,
+                          const RecoveredList& recovered, bool reply_ok);
 
   // ---- Mgr role (coordinator.cpp) ----
   void handle_invite_ok(Context& ctx, const Packet& p);
@@ -210,8 +223,9 @@ class GmpNode : public Actor {
   void reconfig_check_phase1(Context& ctx);
   void reconfig_check_phase2(Context& ctx);
 
-  /// Pending work queues for GetNext.
-  PendingWork pending_work() const;
+  /// Pending work queues for GetNext (fills and returns the reusable
+  /// scratch; valid until the next call).
+  const PendingWork& pending_work();
 
   /// Joiner solicitation retry (re-arms itself until admitted).
   void on_start_retry(Context& ctx);
@@ -258,11 +272,30 @@ class GmpNode : public Actor {
     enum class Phase { kIdle, kInterrogating, kProposing };
     Phase phase = Phase::kIdle;
     FlatSet<ProcessId> awaiting;
-    std::vector<PhaseIResponse> responses;  ///< includes the initiator
+    /// Phase I responses (includes the initiator).  Slot-reused: only the
+    /// first `n_responses` entries are live, so a pooled node refills the
+    /// per-response seq/next vectors in place instead of reallocating.
+    std::vector<PhaseIResponse> responses;
+    size_t n_responses = 0;
     FlatSet<ProcessId> phase1_resp;         ///< responders excluding self
     FlatSet<ProcessId> phase2_resp;
     DetermineResult plan;
+
+    PhaseIResponse& push_response() {
+      if (n_responses == responses.size()) responses.emplace_back();
+      return responses[n_responses++];
+    }
+    std::span<const PhaseIResponse> live_responses() const {
+      return {responses.data(), n_responses};
+    }
   } reconf_;
+
+  // Encode-side scratch messages: rebuilt every use, capacity reused across
+  // rounds and (for pooled nodes) across runs.
+  Commit commit_scratch_;
+  ViewTransfer transfer_scratch_;
+  InterrogateOk interrogate_ok_scratch_;
+  PendingWork pending_scratch_;
 };
 
 }  // namespace gmpx::gmp

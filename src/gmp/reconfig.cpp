@@ -32,12 +32,16 @@ void GmpNode::start_reconfiguration(Context& ctx) {
                    << view_.version() + 1;
   ++reconfigs_initiated_;
   reconf_.phase = ReconfigState::Phase::kInterrogating;
-  reconf_.responses.clear();
+  reconf_.n_responses = 0;  // retire the slots; their vectors refill in place
   reconf_.phase1_resp.clear();
   reconf_.phase2_resp.clear();
   reconf_.awaiting.clear();
   // The initiator is its own first respondent (PhaseIResp(r) includes r).
-  reconf_.responses.push_back(PhaseIResponse{self_, view_.version(), seq_, next_});
+  PhaseIResponse& own = reconf_.push_response();
+  own.from = self_;
+  own.version = view_.version();
+  own.seq.assign(seq_.begin(), seq_.end());
+  own.next.assign(next_.begin(), next_.end());
   for (ProcessId q : view_.members()) {
     if (q == self_ || isolated_.count(q)) continue;
     reconf_.awaiting.insert(q);
@@ -53,9 +57,12 @@ void GmpNode::start_reconfiguration(Context& ctx) {
 void GmpNode::handle_interrogate_ok(Context& ctx, const Packet& p) {
   if (reconf_.phase != ReconfigState::Phase::kInterrogating) return;
   if (reconf_.awaiting.erase(p.from) == 0) return;  // duplicate / excused
-  InterrogateOk m = InterrogateOk::decode(p);
-  reconf_.responses.push_back(PhaseIResponse{p.from, m.version, std::move(m.seq),
-                                             std::move(m.next)});
+  InterrogateOkView m = InterrogateOkView::decode(p);
+  PhaseIResponse& r = reconf_.push_response();
+  r.from = p.from;
+  r.version = m.version;
+  r.seq.assign(m.seq.begin(), m.seq.end());
+  r.next.assign(m.next.begin(), m.next.end());
   reconf_.phase1_resp.insert(p.from);
   reconfig_check_phase1(ctx);
 }
@@ -66,16 +73,16 @@ void GmpNode::reconfig_check_phase1(Context& ctx) {
   }
   // GMP-2 requires unique system views: without a majority of Memb(r) the
   // initiator must not proceed — it quits (S4.3).
-  if (reconf_.responses.size() < view_.majority()) {
+  if (reconf_.n_responses < view_.majority()) {
     GMPX_LOG_DEBUG() << "reconfigurer p" << self_ << " got only "
-                     << reconf_.responses.size() << "/" << view_.size() << ", quitting";
+                     << reconf_.n_responses << "/" << view_.size() << ", quitting";
     do_quit(ctx);
     return;
   }
 
   // Determine(RL_r, invis, v) over the Phase I responses.
-  reconf_.plan = determine(reconf_.responses, self_, view_.version(), view_.most_senior(),
-                           view_.members(), pending_work());
+  reconf_.plan = determine(reconf_.live_responses(), self_, view_.version(),
+                           view_.most_senior(), view_.members(), pending_work());
 
   // A propagated proposal may order our own removal (we were being excluded
   // when the old Mgr died).  Bilateral GMP-5: we go.

@@ -19,7 +19,7 @@ size_t juniority(const SeniorityOrder& order, ProcessId p) {
 
 /// The committed operation that installed version `v`, recovered from any
 /// respondent's seq (all seqs agree on committed prefixes — Theorem 5.1).
-std::optional<SeqEntry> op_for_version(const std::vector<PhaseIResponse>& responses,
+std::optional<SeqEntry> op_for_version(std::span<const PhaseIResponse> responses,
                                        ViewVersion v) {
   for (const auto& resp : responses) {
     for (const auto& e : resp.seq) {
@@ -31,7 +31,7 @@ std::optional<SeqEntry> op_for_version(const std::vector<PhaseIResponse>& respon
 
 }  // namespace
 
-std::vector<Proposal> proposals_for_version(const std::vector<PhaseIResponse>& responses,
+std::vector<Proposal> proposals_for_version(std::span<const PhaseIResponse> responses,
                                             ViewVersion x) {
   std::vector<Proposal> out;
   for (const auto& resp : responses) {
@@ -46,7 +46,7 @@ std::vector<Proposal> proposals_for_version(const std::vector<PhaseIResponse>& r
   return out;
 }
 
-Proposal get_stable(const std::vector<PhaseIResponse>& responses, ViewVersion x,
+Proposal get_stable(std::span<const PhaseIResponse> responses, ViewVersion x,
                     const SeniorityOrder& order) {
   // Collect (proposal, proposer) pairs for version x, then return the
   // proposal of the lowest-ranked (most junior) proposer: per Prop 5.6 the
@@ -71,21 +71,21 @@ Proposal get_stable(const std::vector<PhaseIResponse>& responses, ViewVersion x,
 
 Proposal get_next(const PendingWork& pending, ProcessId exclude) {
   // Joins are served before removals (Fig 8 checks Recovered first);
-  // lowest id first for determinism.
-  std::vector<ProcessId> joins = pending.recovered;
-  std::sort(joins.begin(), joins.end());
-  for (ProcessId j : joins) {
-    if (j != exclude) return Proposal{Op::kAdd, j};
+  // lowest id first for determinism.  A min-scan instead of copy+sort: the
+  // queues are tiny and this sits on the per-round hot path.
+  ProcessId best = kNilId;
+  for (ProcessId j : pending.recovered) {
+    if (j != exclude && j < best) best = j;
   }
-  std::vector<ProcessId> removals = pending.faulty;
-  std::sort(removals.begin(), removals.end());
-  for (ProcessId f : removals) {
-    if (f != exclude) return Proposal{Op::kRemove, f};
+  if (best != kNilId) return Proposal{Op::kAdd, best};
+  for (ProcessId f : pending.faulty) {
+    if (f != exclude && f < best) best = f;
   }
+  if (best != kNilId) return Proposal{Op::kRemove, best};
   return Proposal{};
 }
 
-DetermineResult determine(const std::vector<PhaseIResponse>& responses,
+DetermineResult determine(std::span<const PhaseIResponse> responses,
                           ProcessId initiator, ViewVersion initiator_version, ProcessId mgr,
                           const SeniorityOrder& order, const PendingWork& pending) {
   (void)initiator;

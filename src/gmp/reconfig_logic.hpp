@@ -24,6 +24,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,14 +70,14 @@ using SeniorityOrder = std::vector<ProcessId>;
 /// ProposalsForVer(x, r): all distinct concrete proposals for version x
 /// appearing in the responses (placeholder "(? : r : ?)" and nil-target
 /// "(0 : Mgr : x)" entries are not proposals).  Order: as discovered.
-std::vector<Proposal> proposals_for_version(const std::vector<PhaseIResponse>& responses,
+std::vector<Proposal> proposals_for_version(std::span<const PhaseIResponse> responses,
                                             ViewVersion x);
 
 /// GetStable(r, ver): among competing proposals for `ver`, return the one
 /// whose proposer is lowest-ranked — the only possibly-invisibly-committed
 /// proposal (Prop 5.6).  `order` supplies the rank comparison; a proposer
 /// missing from `order` is treated as lowest-ranked (most junior).
-Proposal get_stable(const std::vector<PhaseIResponse>& responses, ViewVersion x,
+Proposal get_stable(std::span<const PhaseIResponse> responses, ViewVersion x,
                     const SeniorityOrder& order);
 
 /// Inputs for the GetNext fallback: the initiator's pending work queues.
@@ -95,7 +96,7 @@ Proposal get_next(const PendingWork& pending, ProcessId exclude);
 /// process whose removal is proposed when no proposal for the next version
 /// is discovered (line D.4: the crashed coordinator); `order` gives rank
 /// for GetStable; `pending` feeds GetNext.
-DetermineResult determine(const std::vector<PhaseIResponse>& responses,
+DetermineResult determine(std::span<const PhaseIResponse> responses,
                           ProcessId initiator, ViewVersion initiator_version, ProcessId mgr,
                           const SeniorityOrder& order, const PendingWork& pending);
 

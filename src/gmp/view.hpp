@@ -29,6 +29,27 @@ class View {
   View(std::vector<ProcessId> members_in_seniority_order, ViewVersion version)
       : members_(std::move(members_in_seniority_order)), version_(version) {}
 
+  /// In-place (re)initialization to Memb^0: reuses the member vector's
+  /// capacity (pooled nodes re-enter service without allocating).
+  void reset_initial(const std::vector<ProcessId>& members_in_seniority_order) {
+    members_.assign(members_in_seniority_order.begin(), members_in_seniority_order.end());
+    version_ = 0;
+  }
+
+  /// In-place adoption of a transferred view from any iterator range (the
+  /// joiner bootstrap decodes straight off the wire).
+  template <typename It>
+  void adopt(It first, It last, ViewVersion version) {
+    members_.assign(first, last);
+    version_ = version;
+  }
+
+  /// Forget everything (pooled-node rewind).
+  void clear() {
+    members_.clear();
+    version_ = 0;
+  }
+
   ViewVersion version() const { return version_; }
   size_t size() const { return members_.size(); }
   bool empty() const { return members_.empty(); }
@@ -36,7 +57,9 @@ class View {
   /// Members in seniority order (most senior first).
   const std::vector<ProcessId>& members() const { return members_; }
 
-  /// Members sorted by id (canonical form for traces and checkers).
+  /// Members sorted by id (canonical form for traces and checkers).  Hot
+  /// paths that want to avoid the temporary pass members() to a consumer
+  /// that sorts in place (trace::Recorder::install does).
   std::vector<ProcessId> sorted_members() const {
     std::vector<ProcessId> out = members_;
     std::sort(out.begin(), out.end());

@@ -10,10 +10,16 @@
 // registers the detector's wire-traffic kinds with the simulator so
 // detector noise is metered separately from protocol messages and treated
 // as background for protocol-quiescence detection.
+//
+// Pooled lifecycle: reset(opts) rewinds the whole deployment — world,
+// recorder, detector, nodes — to a freshly-constructed state while reusing
+// every allocation (node objects, event slabs, trace slots, detector
+// monitors).  A reset cluster behaves identically to `Cluster(opts)`; the
+// fuzz sweep keeps one cluster per worker thread and resets it per run,
+// which is what makes the steady-state fuzz loop allocation-free.
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "fd/detector.hpp"
@@ -40,46 +46,41 @@ struct ClusterOptions {
 /// A simulated GMP deployment.
 class Cluster {
  public:
-  explicit Cluster(ClusterOptions opts) : opts_(opts), world_(opts.seed, opts.delays) {
-    detector_ = opts_.factory
-                    ? opts_.factory()
-                    : fd::make_detector(opts_.detector, opts_.oracle, opts_.heartbeat);
-    auto [bg_lo, bg_hi] = detector_->background_kinds();
-    world_.set_background_kinds(bg_lo, bg_hi);
-    detector_->bind({&world_,
-                     [this](ProcessId id) -> gmp::GmpNode* {
-                       auto it = nodes_.find(id);
-                       return it == nodes_.end() ? nullptr : it->second.get();
-                     },
-                     &ids_});
-    std::vector<ProcessId> initial;
-    for (size_t i = 0; i < opts_.n; ++i) initial.push_back(static_cast<ProcessId>(i));
-    recorder_.set_initial_membership(initial);
-    for (ProcessId id : initial) {
-      gmp::Config cfg;
-      cfg.initial_members = initial;
-      cfg.require_majority = opts_.require_majority;
-      cfg.recorder = &recorder_;
-      cfg.bug_skip_faulty_record = opts_.bug_skip_faulty_record;
-      add_node(id, std::move(cfg));
+  explicit Cluster(ClusterOptions opts) : world_(opts.seed, opts.delays) {
+    init(std::move(opts), /*pooled=*/false);
+  }
+
+  /// Rewind for a fresh run under `opts`, reusing every allocation.  The
+  /// detector instance survives when its kind and tuning are unchanged
+  /// (its monitors/pools carry over); otherwise it is rebuilt.
+  void reset(ClusterOptions opts) {
+    world_.reset(opts.seed, opts.delays);
+    recorder_.reset();
+    for (auto& node : nodes_) {
+      if (node) node_pool_.push_back(std::move(node));
     }
-    world_.set_crash_hook([this](ProcessId p, Tick t) {
-      recorder_.crash(p, t);
-      detector_->on_crash(p, t);
-    });
+    nodes_.clear();
+    ids_.clear();
+    const bool detector_reusable =
+        detector_ && !opts.factory && !opts_.factory && opts.detector == opts_.detector &&
+        (opts.detector == fd::DetectorKind::kOracle ? opts.oracle == opts_.oracle
+                                                    : opts.heartbeat == opts_.heartbeat);
+    init(std::move(opts), detector_reusable);
   }
 
   /// Register a joiner (new process instance) before start().  `start_at`
   /// delays the first solicitation, so scenario scripts can schedule joins
   /// at arbitrary ticks.
-  gmp::GmpNode& add_joiner(ProcessId id, std::vector<ProcessId> contacts, Tick start_at = 0) {
-    gmp::Config cfg;
-    cfg.joiner = true;
-    cfg.contacts = std::move(contacts);
-    cfg.join_start_delay = start_at;
-    cfg.recorder = &recorder_;
-    cfg.bug_skip_faulty_record = opts_.bug_skip_faulty_record;
-    return add_node(id, std::move(cfg));
+  gmp::GmpNode& add_joiner(ProcessId id, const std::vector<ProcessId>& contacts,
+                           Tick start_at = 0) {
+    cfg_scratch_.initial_members.clear();
+    cfg_scratch_.require_majority = true;
+    cfg_scratch_.joiner = true;
+    cfg_scratch_.contacts.assign(contacts.begin(), contacts.end());
+    cfg_scratch_.join_start_delay = start_at;
+    cfg_scratch_.recorder = &recorder_;
+    cfg_scratch_.bug_skip_faulty_record = opts_.bug_skip_faulty_record;
+    return add_node(id, cfg_scratch_);
   }
 
   /// Deliver on_start everywhere.
@@ -89,7 +90,7 @@ class Cluster {
   trace::Recorder& recorder() { return recorder_; }
   fd::FailureDetector& detector() { return *detector_; }
   gmp::GmpNode& node(ProcessId id) { return *nodes_.at(id); }
-  bool has_node(ProcessId id) const { return nodes_.count(id) > 0; }
+  bool has_node(ProcessId id) const { return id < nodes_.size() && nodes_[id] != nullptr; }
   const std::vector<ProcessId>& ids() const { return ids_; }
 
   /// Script a crash.
@@ -139,10 +140,57 @@ class Cluster {
   }
 
  private:
-  gmp::GmpNode& add_node(ProcessId id, gmp::Config cfg) {
-    auto node = std::make_unique<gmp::GmpNode>(id, std::move(cfg));
+  /// Shared constructor/reset body: (re)build the detector wiring, the
+  /// initial membership, and the crash hook.  `reuse_detector` keeps the
+  /// existing detector instance (monitors pooled via its reset()).
+  void init(ClusterOptions opts, bool reuse_detector) {
+    opts_ = std::move(opts);
+    if (reuse_detector) {
+      detector_->reset();
+    } else {
+      detector_ = opts_.factory
+                      ? opts_.factory()
+                      : fd::make_detector(opts_.detector, opts_.oracle, opts_.heartbeat);
+    }
+    auto [bg_lo, bg_hi] = detector_->background_kinds();
+    world_.set_background_kinds(bg_lo, bg_hi);
+    detector_->bind({&world_,
+                     [this](ProcessId id) -> gmp::GmpNode* {
+                       return id < nodes_.size() ? nodes_[id].get() : nullptr;
+                     },
+                     &ids_});
+    initial_scratch_.clear();
+    for (size_t i = 0; i < opts_.n; ++i)
+      initial_scratch_.push_back(static_cast<ProcessId>(i));
+    recorder_.set_initial_membership(initial_scratch_);
+    for (ProcessId id : initial_scratch_) {
+      cfg_scratch_.initial_members.assign(initial_scratch_.begin(), initial_scratch_.end());
+      cfg_scratch_.require_majority = opts_.require_majority;
+      cfg_scratch_.joiner = false;
+      cfg_scratch_.contacts.clear();
+      cfg_scratch_.join_start_delay = 0;
+      cfg_scratch_.recorder = &recorder_;
+      cfg_scratch_.bug_skip_faulty_record = opts_.bug_skip_faulty_record;
+      add_node(id, cfg_scratch_);
+    }
+    world_.set_crash_hook([this](ProcessId p, Tick t) {
+      recorder_.crash(p, t);
+      detector_->on_crash(p, t);
+    });
+  }
+
+  gmp::GmpNode& add_node(ProcessId id, const gmp::Config& cfg) {
+    std::unique_ptr<gmp::GmpNode> node;
+    if (!node_pool_.empty()) {
+      node = std::move(node_pool_.back());
+      node_pool_.pop_back();
+      node->reinit(id, cfg);
+    } else {
+      node = std::make_unique<gmp::GmpNode>(id, cfg);
+    }
     gmp::GmpNode& ref = *node;
-    nodes_.emplace(id, std::move(node));
+    if (id >= nodes_.size()) nodes_.resize(id + 1);
+    nodes_[id] = std::move(node);
     ids_.push_back(id);
     world_.add_actor(id, detector_->wrap(ref));
     return ref;
@@ -152,9 +200,13 @@ class Cluster {
   sim::SimWorld world_;
   trace::Recorder recorder_;
   std::unique_ptr<fd::FailureDetector> detector_;
-  // Never iterated (ids_ keeps the deterministic order); hash lookup only.
-  std::unordered_map<ProcessId, std::unique_ptr<gmp::GmpNode>> nodes_;
+  // Dense id-indexed table (ids are small and dense; joiners extend the
+  // tail).  Never iterated for behaviour — ids_ keeps deterministic order.
+  std::vector<std::unique_ptr<gmp::GmpNode>> nodes_;
+  std::vector<std::unique_ptr<gmp::GmpNode>> node_pool_;  ///< recycled across resets
   std::vector<ProcessId> ids_;
+  std::vector<ProcessId> initial_scratch_;  ///< per-reset initial membership
+  gmp::Config cfg_scratch_;                 ///< per-node config staging (reused)
 };
 
 }  // namespace gmpx::harness

@@ -15,8 +15,9 @@ std::string ExecResult::message() const {
   return os.str();
 }
 
-ExecResult execute(const Schedule& s, const ExecOptions& opts) {
-  const bool heartbeat = opts.fd == fd::DetectorKind::kHeartbeat;
+namespace {
+
+harness::ClusterOptions cluster_options(const Schedule& s, const ExecOptions& opts) {
   harness::ClusterOptions co;
   co.n = s.n;
   co.seed = s.seed;
@@ -24,7 +25,12 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
   co.detector = opts.fd;
   co.heartbeat = opts.heartbeat;
   co.bug_skip_faulty_record = opts.inject_bug_unrecorded_suspicion;
-  harness::Cluster cluster(co);
+  return co;
+}
+
+/// The executor body, over a cluster already configured for (s, opts).
+ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOptions& opts) {
+  const bool heartbeat = opts.fd == fd::DetectorKind::kHeartbeat;
   sim::SimWorld& world = cluster.world();
   const sim::DelayModel base_delays = world.delays();
 
@@ -89,13 +95,14 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
         break;
       case EventType::kPartition: {
         // Side B is every registered process not named in the event (the
-        // cut follows joiners too).
-        world.at(e.at, [&cluster, &world, side = &e.group] {
+        // cut follows joiners too).  (Two-pointer capture: fits the
+        // std::function small-buffer, so scripting the cut never allocates.)
+        world.at(e.at, [&cluster, side = &e.group] {
           std::vector<ProcessId> rest;
           for (ProcessId p : cluster.ids()) {
             if (!std::count(side->begin(), side->end(), p)) rest.push_back(p);
           }
-          if (!side->empty() && !rest.empty()) world.partition(*side, rest);
+          if (!side->empty() && !rest.empty()) cluster.world().partition(*side, rest);
         });
         if (e.duration > 0) {
           world.at(e.at + e.duration, [&world] { world.heal_partition(); });
@@ -164,13 +171,18 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
   r.messages = world.meter().protocol_total();
   r.fd_messages = world.meter().detector_total();
 
-  // Trace fingerprint (FNV-1a over every recorded event field).
+  // Trace fingerprint: splitmix64 finalizer folded over every recorded
+  // event field.  One 64-bit mix per field (the old byte-wise FNV-1a spent
+  // more time hashing than simulating on short runs); full avalanche, so
+  // the DifferentSeedsDiverge discriminating-power test still holds.  The
+  // value is only ever compared between runs of the same build — it is
+  // never printed or persisted — so the algorithm is free to change.
   uint64_t h = 1469598103934665603ull;
   auto mix = [&h](uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 1099511628211ull;
-    }
+    uint64_t z = (h ^ v) + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    h = z ^ (z >> 31);
   };
   cluster.recorder().for_each_event([&](const trace::Event& e) {
     mix(e.seq);
@@ -265,6 +277,18 @@ ExecResult execute(const Schedule& s, const ExecOptions& opts) {
     }
   }
   return r;
+}
+
+}  // namespace
+
+ExecResult execute(const Schedule& s, const ExecOptions& opts) {
+  harness::Cluster cluster(cluster_options(s, opts));
+  return execute_on(cluster, s, opts);
+}
+
+ExecResult execute(const Schedule& s, const ExecOptions& opts, harness::Cluster& cluster) {
+  cluster.reset(cluster_options(s, opts));
+  return execute_on(cluster, s, opts);
 }
 
 }  // namespace gmpx::scenario

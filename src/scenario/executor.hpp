@@ -13,6 +13,10 @@
 #include "scenario/schedule.hpp"
 #include "trace/checker.hpp"
 
+namespace gmpx::harness {
+class Cluster;
+}
+
 namespace gmpx::scenario {
 
 struct ExecOptions {
@@ -57,5 +61,11 @@ struct ExecResult {
 
 /// Replay `s` on a fresh cluster and check the trace.
 ExecResult execute(const Schedule& s, const ExecOptions& opts = {});
+
+/// Pooled variant: reset `cluster` for this schedule and replay on it.
+/// Behaviourally identical to the fresh-cluster overload (pinned by
+/// determinism_test); the sweep keeps one cluster per worker thread so the
+/// steady-state fuzz loop never rebuilds a deployment.
+ExecResult execute(const Schedule& s, const ExecOptions& opts, harness::Cluster& cluster);
 
 }  // namespace gmpx::scenario

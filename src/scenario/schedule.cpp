@@ -29,9 +29,11 @@ bool liveness_eligible(const Schedule& s) {
     Tick heals_at = 0;  // 0 = explicit heal required
   };
   std::vector<std::pair<Tick, size_t>> order;
+  order.reserve(s.events.size());
   for (size_t i = 0; i < s.events.size(); ++i) order.emplace_back(s.events[i].at, i);
-  std::stable_sort(order.begin(), order.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  // The position is part of the key, so a plain sort is stable by
+  // construction (and, unlike std::stable_sort, allocates no temp buffer).
+  std::sort(order.begin(), order.end());
   std::vector<Cut> open;
   for (const auto& [at, idx] : order) {
     const ScheduleEvent& e = s.events[idx];

@@ -1,10 +1,13 @@
 #include "scenario/sweep.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <optional>
 #include <thread>
 
+#include "harness/cluster.hpp"
 #include "scenario/minimizer.hpp"
 
 namespace gmpx::scenario {
@@ -98,6 +101,11 @@ SweepResult run_sweep(const SweepOptions& opts) {
 
   std::atomic<size_t> next{0};
   auto worker = [&] {
+    // One pooled cluster per worker thread, reset per run: the steady-state
+    // sweep loop reuses every slab/node/monitor instead of rebuilding a
+    // deployment per (profile, detector, seed).  Results are byte-identical
+    // to fresh-cluster execution (pinned by determinism_test).
+    std::optional<harness::Cluster> pooled;
     for (;;) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= items.size()) return;
@@ -113,8 +121,18 @@ SweepResult run_sweep(const SweepOptions& opts) {
         gen = tuned_for_heartbeat(gen, exec.heartbeat);
       }
       Schedule sched = generate(item.seed, gen);
-      ExecResult res = execute(sched, exec);
+      // First run on this worker: build the pooled cluster *before* the
+      // telemetry sampling, so --stats never charges one-time construction
+      // to a run's allocs=/exec= figures.
+      if (!pooled) pooled.emplace(harness::ClusterOptions{});
+      const uint64_t allocs_before = opts.alloc_probe ? opts.alloc_probe() : 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      ExecResult res = execute(sched, exec, *pooled);
+      const auto t1 = std::chrono::steady_clock::now();
       SweepRun& run = result.run_log[i];
+      run.allocs = opts.alloc_probe ? opts.alloc_probe() - allocs_before : 0;
+      run.exec_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
       run.profile = item.profile;
       run.detector = item.detector;
       run.seed = item.seed;

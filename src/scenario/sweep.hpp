@@ -34,6 +34,11 @@ struct SweepRun {
   uint64_t messages = 0;         ///< protocol sends (never heartbeat noise)
   uint64_t fd_messages = 0;      ///< detector sends (0 for oracle runs)
   uint64_t trace_hash = 0;       ///< ExecResult::trace_hash of the run
+  // Budgeting telemetry (gmpx_fuzz --stats).  NOT deterministic across
+  // --jobs values (allocations depend on how warm the worker's pooled
+  // cluster is; timing is wall clock), so it never enters `report`.
+  uint64_t allocs = 0;           ///< heap allocations during execute()
+  uint64_t exec_ns = 0;          ///< wall-clock execute() duration
   std::string report;            ///< rendered lines ("" for a quiet pass)
   // Failure artifacts (empty on success):
   std::string tag;               ///< "<profile>-<detector>-<seed>"
@@ -52,6 +57,11 @@ struct SweepOptions {
   ExecOptions exec;
   unsigned jobs = 1;        ///< worker threads; 0 = hardware concurrency
   bool verbose = false;     ///< emit one report line per run (not only failures)
+  /// Per-run telemetry probe: sampled on the worker thread before and after
+  /// each execute(); the difference lands in SweepRun::allocs.  gmpx_fuzz
+  /// --stats installs its thread-local operator-new counter here.  Leave
+  /// unset to skip the sampling entirely.
+  std::function<uint64_t()> alloc_probe;
   /// Streaming sink: invoked for every run in canonical (profile, seed)
   /// order as soon as that run *and all runs before it* have completed, so
   /// a long sweep shows progress without ever reordering output.  Called

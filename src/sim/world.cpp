@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/codec.hpp"
 #include "common/log.hpp"
 
 namespace gmpx::sim {
@@ -21,6 +22,16 @@ struct SimWorld::Node final : Context {
   void send(Packet p) override {
     p.from = id;
     world->send_from(id, std::move(p));
+  }
+
+  void send_background(ProcessId to, uint32_t kind) override {
+    // Fast path only when a sink is registered and the kind really is
+    // background; otherwise behave exactly like an ordinary empty packet.
+    if (world->bg_sink_ && world->background_kind(kind)) {
+      world->send_background_packet(id, to, kind);
+    } else {
+      world->send_from(id, Packet{id, to, kind, {}});
+    }
   }
 
   TimerId set_timer(Tick delay, std::function<void()> fn) override {
@@ -46,6 +57,72 @@ struct SimWorld::Node final : Context {
 };
 
 SimWorld::SimWorld(uint64_t seed, DelayModel delays) : delays_(delays), rng_(seed) {}
+
+void SimWorld::reset(uint64_t seed, DelayModel delays) {
+  now_ = 0;
+  next_seq_ = 0;
+  queue_.clear();
+  // Recycle the node objects; add_actor re-initializes one per process.
+  for (auto& n : nodes_) {
+    if (n) node_pool_.push_back(std::move(n));
+  }
+  nodes_.clear();
+  // Packet slab: every slot becomes free again.  Payload buffers still
+  // parked in slots go back to the codec pool so the next run's encoders
+  // start warm.
+  packet_free_.clear();
+  for (uint32_t s = 0; s < packet_slab_.size(); ++s) {
+    recycle_buffer(std::move(packet_slab_[s].bytes));
+    packet_slab_[s].bytes.clear();
+    packet_free_.push_back(s);
+  }
+  // Timer slab: disarm everything (gen bump invalidates any TimerId a
+  // previous run may still hold) and rebuild the free list.
+  timer_free_.clear();
+  for (uint32_t s = 0; s < timer_slots_.size(); ++s) {
+    TimerSlot& t = timer_slots_[s];
+    if (t.armed) {
+      t.armed = false;
+      ++t.gen;
+    }
+    t.fn = nullptr;
+    t.owner = kNilId;
+    timer_free_.push_back(s);
+  }
+  script_free_.clear();
+  for (uint32_t s = 0; s < script_slab_.size(); ++s) {
+    script_slab_[s] = nullptr;
+    script_free_.push_back(s);
+  }
+  wave_free_.clear();
+  for (uint32_t s = 0; s < wave_slab_.size(); ++s) {
+    wave_slab_[s].clear();
+    wave_free_.push_back(s);
+  }
+  dim_ = 0;
+  channel_front_flat_.clear();
+  blocked_flat_.clear();
+  channel_front_.clear();
+  // Keep the held-traffic map and its deques: partitions on the same dense
+  // channels recur across runs, and a deque reallocates its block map even
+  // when constructed empty.  The key set is bounded by the channel count.
+  for (auto& [chan, q] : held_) {
+    for (Packet& p : q) recycle_buffer(std::move(p.bytes));
+    q.clear();
+  }
+  blocked_pairs_.clear();
+  bg_lo_ = 1;
+  bg_hi_ = 0;
+  bg_sink_ = nullptr;
+  fg_pending_ = 0;
+  quiesce_dirty_ = false;
+  delays_ = delays;
+  rng_ = Rng(seed);
+  meter_.reset();
+  meter_.set_detector_range(1, 0);
+  crash_hook_ = nullptr;
+  started_ = false;
+}
 
 TimerId SimWorld::arm_timer(ProcessId owner, Tick delay, std::function<void()> fn,
                             bool background) {
@@ -89,10 +166,17 @@ void SimWorld::add_actor(ProcessId id, Actor* actor) {
   assert(id < (1u << 20) && "process ids must be small dense integers");
   if (id >= nodes_.size()) nodes_.resize(id + 1);
   assert(!nodes_[id] && "duplicate process id");
-  auto node = std::make_unique<Node>();
+  std::unique_ptr<Node> node;
+  if (!node_pool_.empty()) {
+    node = std::move(node_pool_.back());
+    node_pool_.pop_back();
+  } else {
+    node = std::make_unique<Node>();
+  }
   node->world = this;
   node->id = id;
   node->actor = actor;
+  node->is_crashed = false;
   nodes_[id] = std::move(node);
 }
 
@@ -160,6 +244,7 @@ bool SimWorld::crashed(ProcessId id) const {
 
 std::vector<ProcessId> SimWorld::alive() const {
   std::vector<ProcessId> out;
+  out.reserve(nodes_.size());
   for (const auto& n : nodes_)
     if (n && !n->is_crashed) out.push_back(n->id);
   return out;  // ascending by construction
@@ -200,16 +285,19 @@ void SimWorld::heal_partition() {
   // Release held traffic channel by channel in (from, to) order, preserving
   // FIFO within each channel.  Held packets were metered when first sent,
   // so they re-enter via route(), not send_from() — no double counting.
-  auto held = std::move(held_);
-  held_.clear();
-  std::vector<uint64_t> keys;
-  keys.reserve(held.size());
-  for (const auto& [chan, q] : held) keys.push_back(chan);
-  std::sort(keys.begin(), keys.end());
-  for (uint64_t chan : keys) {
-    for (Packet& p : held[chan]) {
+  // The deques drain in place (blocking was cleared above, so route() never
+  // re-holds) and stay allocated for the next partition on the channel.
+  heal_keys_.clear();
+  for (const auto& [chan, q] : held_) {
+    if (!q.empty()) heal_keys_.push_back(chan);
+  }
+  std::sort(heal_keys_.begin(), heal_keys_.end());
+  for (uint64_t chan : heal_keys_) {
+    std::deque<Packet>& q = held_[chan];
+    for (Packet& p : q) {
       route(static_cast<ProcessId>(chan >> 32), std::move(p));
     }
+    q.clear();
   }
 }
 
@@ -224,7 +312,8 @@ Tick& SimWorld::channel_front(ProcessId from, ProcessId to) {
 }
 
 void SimWorld::push_event(Tick time, EventKind kind, uint32_t a, uint64_t gen) {
-  queue_.push(Event{time, next_seq_++, gen, a, kind});
+  queue_.push_back(Event{time, next_seq_++, gen, a, kind});
+  std::push_heap(queue_.begin(), queue_.end(), EventCmp{});
 }
 
 uint32_t SimWorld::acquire_packet_slot(Packet&& p) {
@@ -250,6 +339,53 @@ void SimWorld::send_from(ProcessId from, Packet p) {
   route(from, std::move(p));
 }
 
+void SimWorld::send_background_wave(ProcessId from, const std::vector<ProcessId>& targets,
+                                    uint32_t kind) {
+  assert(bg_sink_ && background_kind(kind) && "wave needs a sink and a background kind");
+  uint32_t slot = UINT32_MAX;
+  for (ProcessId to : targets) {
+    meter_.count(kind);
+    if (blocked(from, to)) {
+      // Held traffic re-enters the ordinary packet path on heal.
+      held_[channel_key(from, to)].push_back(Packet{from, to, kind, {}});
+      continue;
+    }
+    if (slot == UINT32_MAX) {
+      if (!wave_free_.empty()) {
+        slot = wave_free_.back();
+        wave_free_.pop_back();
+        wave_slab_[slot].clear();
+      } else {
+        slot = static_cast<uint32_t>(wave_slab_.size());
+        wave_slab_.emplace_back();
+      }
+    }
+    wave_slab_[slot].push_back(to);
+  }
+  if (slot == UINT32_MAX) return;  // everything held (or no targets)
+  Tick delay = delays_.min_delay + rng_.below(delays_.max_delay - delays_.min_delay + 1);
+  push_event(now_ + delay, EventKind::kBgWave, slot,
+             (static_cast<uint64_t>(from) << 32) | kind);
+}
+
+void SimWorld::send_background_packet(ProcessId from, ProcessId to, uint32_t kind) {
+  assert(background_kind(kind) && "fast path is for background kinds only");
+  meter_.count(kind);
+  if (blocked(from, to)) {
+    // Held traffic must survive to heal in FIFO order alongside protocol
+    // packets; the Packet deque already does that, and an empty payload
+    // keeps this allocation-free modulo deque growth.
+    held_[channel_key(from, to)].push_back(Packet{from, to, kind, {}});
+    return;
+  }
+  Tick delay = delays_.min_delay + rng_.below(delays_.max_delay - delays_.min_delay + 1);
+  Tick when = now_ + delay;
+  Tick& front = channel_front(from, to);
+  if (when <= front) when = front + 1;
+  front = when;
+  push_event(when, EventKind::kBgPacket, to, (static_cast<uint64_t>(from) << 32) | kind);
+}
+
 void SimWorld::route(ProcessId from, Packet p) {
   Tick delay = delays_.min_delay + rng_.below(delays_.max_delay - delays_.min_delay + 1);
   Tick when = now_ + delay;
@@ -265,8 +401,12 @@ void SimWorld::deliver(uint32_t slot) {
   Packet p = std::move(packet_slab_[slot]);
   release_packet_slot(slot);  // before on_packet: nested sends may reuse it
   Node* n = node_of(p.to);
-  if (!n || n->is_crashed) return;  // quit_p: messages to a crashed process vanish
-  n->actor->on_packet(*n, p);
+  if (n && !n->is_crashed) {  // quit_p: messages to a crashed process vanish
+    n->actor->on_packet(*n, p);
+  }
+  // Hand the payload back to the codec pool: decode produced views into it,
+  // never owning copies, so nothing references these bytes past on_packet.
+  recycle_buffer(std::move(p.bytes));
 }
 
 void SimWorld::dispatch(Event ev) {
@@ -278,11 +418,14 @@ void SimWorld::dispatch(Event ev) {
     case EventKind::kTimer: {
       TimerSlot& t = timer_slots_[ev.a];
       if (!t.armed || t.gen != ev.gen) return;  // cancelled (or slot recycled)
-      Node* n = node_of(t.owner);
+      const ProcessId owner = t.owner;
+      Node* n = node_of(owner);
       auto fn = release_timer_slot(ev.a);
       // Crashed owners take no further steps; the slot is reclaimed either
       // way, so cancelled-then-crashed timers cannot accumulate state.
-      if (n && !n->is_crashed) fn();
+      // Environment timers (owner == kNilId) have no process to crash and
+      // always fire.
+      if (owner == kNilId || (n && !n->is_crashed)) fn();
       break;
     }
     case EventKind::kCrash:
@@ -297,13 +440,38 @@ void SimWorld::dispatch(Event ev) {
       fn();
       break;
     }
+    case EventKind::kBgPacket: {
+      Node* n = node_of(ev.a);
+      if (!n || n->is_crashed) return;  // destination quit: traffic vanishes
+      bg_sink_(static_cast<ProcessId>(ev.gen >> 32), ev.a,
+               static_cast<uint32_t>(ev.gen));
+      break;
+    }
+    case EventKind::kBgWave: {
+      const ProcessId from = static_cast<ProcessId>(ev.gen >> 32);
+      const uint32_t kind = static_cast<uint32_t>(ev.gen);
+      // Re-index per iteration instead of caching a reference: a sink may
+      // send (a nested send_background_wave can grow the slab and move it).
+      // The slot is only released after the walk, so a nested wave always
+      // lands in a different slot.
+      const size_t fan_size = wave_slab_[ev.a].size();
+      for (size_t i = 0; i < fan_size; ++i) {
+        const ProcessId to = wave_slab_[ev.a][i];
+        Node* n = node_of(to);
+        if (!n || n->is_crashed) continue;  // destination quit: vanishes
+        bg_sink_(from, to, kind);
+      }
+      wave_free_.push_back(ev.a);
+      break;
+    }
   }
 }
 
 bool SimWorld::step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
+  Event ev = queue_.front();
+  std::pop_heap(queue_.begin(), queue_.end(), EventCmp{});
+  queue_.pop_back();
   assert(ev.time >= now_ && "time went backwards");
   now_ = ev.time;
   dispatch(ev);
@@ -338,7 +506,7 @@ bool SimWorld::run_until_protocol_idle(Tick settle, uint64_t max_events) {
     quiesce_dirty_ = false;
     const Tick deadline = now_ + settle;
     bool busy = false;
-    while (!queue_.empty() && queue_.top().time <= deadline && !busy) {
+    while (!queue_.empty() && queue_.front().time <= deadline && !busy) {
       if (steps++ >= max_events) return false;
       step();
       busy = fg_pending_ > 0 || quiesce_dirty_;
@@ -348,7 +516,7 @@ bool SimWorld::run_until_protocol_idle(Tick settle, uint64_t max_events) {
 }
 
 void SimWorld::run_until(Tick t) {
-  while (!queue_.empty() && queue_.top().time <= t) step();
+  while (!queue_.empty() && queue_.front().time <= t) step();
   if (now_ < t) now_ = t;
 }
 

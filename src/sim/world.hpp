@@ -18,6 +18,14 @@
 //     cancel via generation counters, and channel state is keyed by a
 //     packed 64-bit id in hash maps.  No per-event heap allocation occurs
 //     once the pools are warm.
+//   * Pooled lifecycle — reset() rewinds the world to its just-constructed
+//     state while keeping every slab, heap and matrix at capacity, so a
+//     fuzz sweep reuses one world (and one cluster) per worker thread
+//     across thousands of runs instead of rebuilding them.
+//   * Background fast path — failure-detector upkeep traffic (empty-payload
+//     pings) can bypass the packet slab entirely: the event record carries
+//     (from, to, kind) inline and delivery dispatches to a registered sink
+//     instead of building a Packet (see set_background_sink).
 //
 // Partitions: the model's channels are reliable, so a "partition" here
 // *delays* messages (holds them in the channel) rather than dropping them;
@@ -130,6 +138,13 @@ class SimWorld {
   SimWorld(const SimWorld&) = delete;
   SimWorld& operator=(const SimWorld&) = delete;
 
+  /// Rewind to the just-constructed state (fresh seed, empty queue, no
+  /// actors) while keeping every slab/heap/matrix allocation at capacity.
+  /// A reset world is observationally identical to `SimWorld(seed, delays)`
+  /// — slot numbering inside the recycled slabs may differ, but slot ids
+  /// never influence event ordering, RNG draws, or anything an actor sees.
+  void reset(uint64_t seed, DelayModel delays = {});
+
   /// Register a process.  The actor is borrowed, not owned; it must outlive
   /// the world.  Must be called before start().
   void add_actor(ProcessId id, Actor* actor);
@@ -191,6 +206,35 @@ class SimWorld {
     meter_.set_detector_range(lo, hi);
   }
 
+  /// Sink for fast-path background packets: delivery calls
+  /// sink(from, to, kind) instead of routing a Packet through the slab and
+  /// the destination's Actor.  Only empty-payload kinds inside the
+  /// background range use the fast path (see Context::send_background);
+  /// without a sink they fall back to ordinary packets.
+  using BackgroundSink = std::function<void(ProcessId, ProcessId, uint32_t)>;
+  void set_background_sink(BackgroundSink sink) { bg_sink_ = std::move(sink); }
+
+  /// Batched background fan: ship `from`'s whole per-interval ping fan as
+  /// ONE heap event with ONE delay draw (all targets hear at the same
+  /// tick).  Detector upkeep is a liveness heuristic, so it rides outside
+  /// the per-channel FIFO guarantee protocol traffic keeps — a ping may
+  /// overtake an earlier protocol packet on the same channel, which only
+  /// ever refreshes proof-of-life sooner.  Targets behind a partition are
+  /// held as ordinary packets and released (FIFO) on heal.  Requires a
+  /// background sink.
+  void send_background_wave(ProcessId from, const std::vector<ProcessId>& targets,
+                            uint32_t kind);
+
+  /// Arm a timer owned by the *environment* rather than a process: it is
+  /// not reclaimed by any crash and fires regardless of process state (the
+  /// heartbeat detector's batched ping wave).  Background timers do not
+  /// count as pending foreground work.  There is deliberately no cancel:
+  /// an environment task ends by not re-arming (the wave does exactly
+  /// that), and reset() disarms the whole slab.
+  TimerId set_environment_timer(Tick delay, std::function<void()> fn, bool background = true) {
+    return arm_timer(kNilId, delay, std::move(fn), background);
+  }
+
   /// Run (at most) until simulated time `t`.
   void run_until(Tick t);
 
@@ -232,10 +276,12 @@ class SimWorld {
   /// Typed event record.  POD: the heap never copies closures, and the
   /// deliver/timer hot paths never touch the allocator.
   enum class EventKind : uint8_t {
-    kDeliver,  ///< a = packet slab slot
-    kTimer,    ///< a = timer slab slot, gen = generation at arm time
-    kCrash,    ///< a = process id
-    kScript,   ///< a = script slab slot
+    kDeliver,   ///< a = packet slab slot
+    kTimer,     ///< a = timer slab slot, gen = generation at arm time
+    kCrash,     ///< a = process id
+    kScript,    ///< a = script slab slot
+    kBgPacket,  ///< a = destination id, gen = (from << 32) | kind
+    kBgWave,    ///< a = wave slab slot, gen = (from << 32) | kind
   };
   struct Event {
     Tick time;
@@ -264,6 +310,11 @@ class SimWorld {
   };
 
   bool background_kind(uint32_t kind) const { return kind >= bg_lo_ && kind <= bg_hi_; }
+  /// Fast-path background send: no Packet, no slab slot — the heap entry
+  /// carries (from, to, kind) inline.  Falls back to caller-built packets
+  /// when a partition holds the channel (held traffic must survive to heal
+  /// in FIFO order, which the Packet deques already implement).
+  void send_background_packet(ProcessId from, ProcessId to, uint32_t kind);
   TimerId arm_timer(ProcessId owner, Tick delay, std::function<void()> fn, bool background);
   /// Disarm and recycle an armed slot (gen bump, foreground-counter
   /// release, free-list push); returns the callback for firing sites.
@@ -285,10 +336,16 @@ class SimWorld {
 
   Tick now_ = 0;
   uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
+  // Explicit binary heap (std::push_heap/pop_heap with EventCmp — the same
+  // algorithm std::priority_queue uses, but clearable with capacity kept,
+  // which reset() needs).
+  std::vector<Event> queue_;
   // Dense process table indexed by id (ids are small dense integers; the
   // scenario generator allocates joiner ids contiguously after 0..n-1).
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Node objects recycled across reset()s (per-run membership varies, the
+  // pool holds the high-water count).
+  std::vector<std::unique_ptr<Node>> node_pool_;
   // Packet slab: in-flight messages parked here between send and delivery.
   std::vector<Packet> packet_slab_;
   std::vector<uint32_t> packet_free_;
@@ -298,6 +355,9 @@ class SimWorld {
   // Script slab (at() closures; cold path, still recycled).
   std::vector<std::function<void()>> script_slab_;
   std::vector<uint32_t> script_free_;
+  // Wave slab: target fans of in-flight batched background sends.
+  std::vector<std::vector<ProcessId>> wave_slab_;
+  std::vector<uint32_t> wave_free_;
   /// Mutable slot for a channel's FIFO front (last scheduled delivery time).
   Tick& channel_front(ProcessId from, ProcessId to);
 
@@ -311,11 +371,16 @@ class SimWorld {
   std::vector<uint8_t> blocked_flat_;      // dim_ * dim_ adjacency bytes
   // FIFO enforcement: last scheduled delivery time per ordered channel.
   std::unordered_map<uint64_t, Tick> channel_front_;
-  // Held (partitioned) traffic per ordered channel.
+  // Held (partitioned) traffic per ordered channel.  Entries persist (with
+  // cleared deques) across heal and reset: deque block maps are the one
+  // container that allocates even when empty, so they are recycled.
   std::unordered_map<uint64_t, std::deque<Packet>> held_;
+  std::vector<uint64_t> heal_keys_;  ///< scratch: sorted non-empty channels
   std::unordered_set<uint64_t> blocked_pairs_;
   // Background (detector) packet-kind range; empty [1, 0] by default.
   uint32_t bg_lo_ = 1, bg_hi_ = 0;
+  // Fast-path delivery sink for slab-free background packets.
+  BackgroundSink bg_sink_;
   // Pending foreground work: queued deliveries of non-background kinds,
   // queued crash/script events, and armed non-background timers.  Zero
   // means only detector upkeep remains (protocol quiescence candidate).

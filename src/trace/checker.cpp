@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 #include <set>
 #include <sstream>
 #include <unordered_set>
@@ -22,6 +23,11 @@ std::string fmt(const char* clause, const std::string& detail) {
 /// View entries *reference* the member vectors inside the recorder's log;
 /// the index is only valid while the recorder is not recording (true for
 /// every checker call site: checks run on a finished, quiescent run).
+///
+/// The index (and each clause's scratch vectors, which live here too) is a
+/// thread-local arena rebuilt per check: only the live prefixes of its
+/// containers are meaningful, and clearing keeps capacity, so the warm
+/// checking path performs no allocation.
 struct TraceIndex {
   /// Belief/view operations in global order (members stripped: GMP-1 never
   /// needs them, installs live in `views`).
@@ -41,20 +47,44 @@ struct TraceIndex {
     std::vector<ViewRef> views;
   };
   std::vector<OpEvent> ops;
-  std::vector<ProcessViews> views;  ///< ascending by process id
+  std::vector<ProcessViews> views;  ///< live prefix [0, n_views), ascending by id
+  size_t n_views = 0;
   std::vector<ProcessId> crashed;   ///< ascending by process id
   std::vector<ProcessId> initial;
 
-  explicit TraceIndex(const Recorder& rec) : initial(rec.initial_membership()) {
+  // Clause scratch (reused per check; see the gmpN_into functions).
+  std::vector<uint64_t> scratch_pairs_a;
+  std::vector<uint64_t> scratch_pairs_b;
+  std::vector<const std::vector<ProcessId>*> scratch_canonical;
+  std::vector<ProcessId> scratch_ids_a;
+  std::vector<ProcessId> scratch_ids_b;
+  std::vector<ProcessId> scratch_ids_c;
+  std::vector<ProcessId> scratch_ids_d;
+
+  /// The thread's reusable index (the sweep checks from worker threads;
+  /// each gets its own arena).
+  static TraceIndex& scratch() {
+    thread_local TraceIndex ix;
+    return ix;
+  }
+
+  TraceIndex& build(const Recorder& rec) {
+    initial.assign(rec.initial_membership().begin(), rec.initial_membership().end());
+    ops.clear();
     ops.reserve(64);
+    crashed.clear();
+    n_views = 0;
     rec.for_each_event([this](const Event& e) {
       switch (e.kind) {
         case EventKind::kInstall: {
-          auto it = std::find_if(views.begin(), views.end(),
+          const auto live_end = views.begin() + static_cast<long>(n_views);
+          auto it = std::find_if(views.begin(), live_end,
                                  [&](const ProcessViews& pv) { return pv.p == e.actor; });
-          if (it == views.end()) {
-            views.push_back(ProcessViews{e.actor, {}});
-            it = views.end() - 1;
+          if (it == live_end) {
+            if (n_views == views.size()) views.emplace_back();
+            it = views.begin() + static_cast<long>(n_views++);
+            it->p = e.actor;
+            it->views.clear();
           }
           it->views.push_back(ViewRef{e.version, &e.members});
           break;
@@ -74,16 +104,20 @@ struct TraceIndex {
     });
     // Clause checkers walk processes in ascending id order (the violation
     // report order depends on it).
-    std::sort(views.begin(), views.end(),
+    std::sort(views.begin(), views.begin() + static_cast<long>(n_views),
               [](const ProcessViews& a, const ProcessViews& b) { return a.p < b.p; });
     std::sort(crashed.begin(), crashed.end());
+    return *this;
   }
 
+  std::span<const ProcessViews> live_views() const { return {views.data(), n_views}; }
+
   const std::vector<ViewRef>* views_of(ProcessId p) const {
+    auto live = live_views();
     auto it = std::lower_bound(
-        views.begin(), views.end(), p,
+        live.begin(), live.end(), p,
         [](const ProcessViews& pv, ProcessId q) { return pv.p < q; });
-    return (it != views.end() && it->p == p) ? &it->views : nullptr;
+    return (it != live.end() && it->p == p) ? &it->views : nullptr;
   }
 
   bool has_crashed(ProcessId p) const {
@@ -104,7 +138,7 @@ void gmp0_into(const TraceIndex& ix, CheckResult& r) {
   // Every initial member's version-0 view (implicit) is Proc; we verify that
   // the first *installed* view of any initial member has version >= 1 and
   // that no one installs a version-0 view different from Proc.
-  for (const auto& [p, vs] : ix.views) {
+  for (const auto& [p, vs] : ix.live_views()) {
     for (const TraceIndex::ViewRef& v : vs) {
       if (v.version == 0 && *v.members != ix.initial) {
         r.violations.push_back(
@@ -114,14 +148,16 @@ void gmp0_into(const TraceIndex& ix, CheckResult& r) {
   }
 }
 
-void gmp1_into(const TraceIndex& ix, CheckResult& r) {
+void gmp1_into(TraceIndex& ix, CheckResult& r) {
   // remove_p(q) must be preceded (in p's local order) by faulty_p(q).
   // Similarly add_p(q) must be preceded by operational_p(q).  Belief sets
   // hold a few dozen pairs at most, so flat vectors with a linear probe
-  // beat node-based sets (no allocation per belief).
-  std::vector<uint64_t> believed_faulty, believed_operational;
-  believed_faulty.reserve(32);
-  believed_operational.reserve(16);
+  // beat node-based sets (no allocation per belief; the vectors live in
+  // the thread-local index so their capacity survives across checks).
+  std::vector<uint64_t>&believed_faulty = ix.scratch_pairs_a,
+      &believed_operational = ix.scratch_pairs_b;
+  believed_faulty.clear();
+  believed_operational.clear();
   auto has = [](const std::vector<uint64_t>& v, uint64_t k) {
     return std::find(v.begin(), v.end(), k) != v.end();
   };
@@ -153,7 +189,7 @@ void gmp1_into(const TraceIndex& ix, CheckResult& r) {
   }
 }
 
-void gmp23_into(const TraceIndex& ix, CheckResult& r) {
+void gmp23_into(TraceIndex& ix, CheckResult& r) {
   auto is_initial = [&](ProcessId p) {
     return std::binary_search(ix.initial.begin(), ix.initial.end(), p);
   };
@@ -162,7 +198,8 @@ void gmp23_into(const TraceIndex& ix, CheckResult& r) {
   // but the checker is a public API fed synthetic traces too, so absurd
   // versions spill into a map instead of sizing the table after them.
   constexpr ViewVersion kFlatVersionLimit = 4096;
-  std::vector<const std::vector<ProcessId>*> canonical;
+  std::vector<const std::vector<ProcessId>*>& canonical = ix.scratch_canonical;
+  canonical.clear();
   std::map<ViewVersion, const std::vector<ProcessId>*> canonical_overflow;
   auto canonical_slot = [&](ViewVersion ver) -> const std::vector<ProcessId>*& {
     if (ver < kFlatVersionLimit) {
@@ -171,7 +208,7 @@ void gmp23_into(const TraceIndex& ix, CheckResult& r) {
     }
     return canonical_overflow[ver];
   };
-  for (const auto& [p, vs] : ix.views) {
+  for (const auto& [p, vs] : ix.live_views()) {
     ViewVersion prev = 0;
     bool first = true;
     for (const TraceIndex::ViewRef& v : vs) {
@@ -208,10 +245,10 @@ void gmp23_into(const TraceIndex& ix, CheckResult& r) {
   }
 }
 
-void gmp4_into(const TraceIndex& ix, CheckResult& r) {
+void gmp4_into(TraceIndex& ix, CheckResult& r) {
   // Once q leaves p's view sequence it never returns.
-  std::vector<ProcessId> ever_removed;  // a handful of ids: flat beats a set
-  for (const auto& [p, vs] : ix.views) {
+  std::vector<ProcessId>& ever_removed = ix.scratch_ids_a;  // flat beats a set
+  for (const auto& [p, vs] : ix.live_views()) {
     ever_removed.clear();
     const std::vector<ProcessId>* prev = &ix.initial;
     for (const TraceIndex::ViewRef& v : vs) {
@@ -230,8 +267,9 @@ void gmp4_into(const TraceIndex& ix, CheckResult& r) {
   }
 }
 
-void gmp5_into(const TraceIndex& ix, const CheckOptions& opts, CheckResult& r) {
-  std::vector<ProcessId> ignore = opts.ignore_for_liveness;
+void gmp5_into(TraceIndex& ix, const CheckOptions& opts, CheckResult& r) {
+  std::vector<ProcessId>& ignore = ix.scratch_ids_a;
+  ignore.assign(opts.ignore_for_liveness.begin(), opts.ignore_for_liveness.end());
   std::sort(ignore.begin(), ignore.end());
   auto is_ignored = [&](ProcessId q) {
     return std::binary_search(ignore.begin(), ignore.end(), q);
@@ -241,14 +279,15 @@ void gmp5_into(const TraceIndex& ix, const CheckOptions& opts, CheckResult& r) {
   // who installed a view) that did not crash.  `initial` is sorted and the
   // views map iterates ascending, so a sort+unique merge preserves the
   // ascending walk the violation order depends on.
-  std::vector<ProcessId> participants = ix.initial;
-  participants.reserve(participants.size() + ix.views.size());
-  for (const auto& [p, vs] : ix.views) participants.push_back(p);
+  std::vector<ProcessId>& participants = ix.scratch_ids_b;
+  participants.assign(ix.initial.begin(), ix.initial.end());
+  for (const auto& [p, vs] : ix.live_views()) participants.push_back(p);
   std::sort(participants.begin(), participants.end());
   participants.erase(std::unique(participants.begin(), participants.end()),
                      participants.end());
 
-  std::vector<ProcessId> survivors;
+  std::vector<ProcessId>& survivors = ix.scratch_ids_c;
+  survivors.clear();
   for (ProcessId p : participants) {
     if (!ix.has_crashed(p) && !is_ignored(p)) survivors.push_back(p);
   }
@@ -259,14 +298,12 @@ void gmp5_into(const TraceIndex& ix, const CheckOptions& opts, CheckResult& r) {
   //     are exempt on both sides: they need not converge, and their
   //     presence/absence in others' views is not judged.
   const std::vector<ProcessId>& expect = survivors;  // already ascending
-  auto strip_ignored = [&](std::vector<ProcessId> v) {
-    std::erase_if(v, [&](ProcessId q) { return is_ignored(q); });
-    return v;
-  };
+  std::vector<ProcessId>& final_view = ix.scratch_ids_d;
   for (ProcessId p : survivors) {
     const auto* vs = ix.views_of(p);
-    std::vector<ProcessId> final_view = strip_ignored(
-        (!vs || vs->empty()) ? ix.initial : *vs->back().members);
+    const std::vector<ProcessId>& raw = (!vs || vs->empty()) ? ix.initial : *vs->back().members;
+    final_view.assign(raw.begin(), raw.end());
+    std::erase_if(final_view, [&](ProcessId q) { return is_ignored(q); });
     if (final_view != expect) {
       r.violations.push_back(fmt(
           "GMP-5", "survivor p" + std::to_string(p) + " final view " + to_string(final_view) +
@@ -298,36 +335,36 @@ bool CheckResult::has_clause(const std::string& clause) const {
 
 CheckResult check_gmp0(const Recorder& rec) {
   CheckResult r;
-  gmp0_into(TraceIndex(rec), r);
+  gmp0_into(TraceIndex::scratch().build(rec), r);
   return r;
 }
 
 CheckResult check_gmp1(const Recorder& rec) {
   CheckResult r;
-  gmp1_into(TraceIndex(rec), r);
+  gmp1_into(TraceIndex::scratch().build(rec), r);
   return r;
 }
 
 CheckResult check_gmp23(const Recorder& rec) {
   CheckResult r;
-  gmp23_into(TraceIndex(rec), r);
+  gmp23_into(TraceIndex::scratch().build(rec), r);
   return r;
 }
 
 CheckResult check_gmp4(const Recorder& rec) {
   CheckResult r;
-  gmp4_into(TraceIndex(rec), r);
+  gmp4_into(TraceIndex::scratch().build(rec), r);
   return r;
 }
 
 CheckResult check_gmp5(const Recorder& rec, const CheckOptions& opts) {
   CheckResult r;
-  gmp5_into(TraceIndex(rec), opts, r);
+  gmp5_into(TraceIndex::scratch().build(rec), opts, r);
   return r;
 }
 
 CheckResult check_gmp(const Recorder& rec, const CheckOptions& opts) {
-  TraceIndex ix(rec);
+  TraceIndex& ix = TraceIndex::scratch().build(rec);
   CheckResult all;
   gmp0_into(ix, all);
   gmp1_into(ix, all);

@@ -5,71 +5,94 @@
 
 namespace gmpx::trace {
 
-void Recorder::set_initial_membership(std::vector<ProcessId> members) {
+void Recorder::set_initial_membership(const std::vector<ProcessId>& members) {
   std::lock_guard lock(mu_);
-  initial_ = std::move(members);
+  initial_.assign(members.begin(), members.end());
   std::sort(initial_.begin(), initial_.end());
   // A typical fuzzed run records a few dozen to a couple hundred events;
   // pre-reserving skips the growth reallocations on the recording hot path.
   log_.reserve(256);
 }
 
-void Recorder::push(Event e) {
+void Recorder::reset() {
   std::lock_guard lock(mu_);
+  // Retire the live prefix without destroying the slots: the next run
+  // refills them in place, reusing each install's member-vector capacity.
+  len_ = 0;
+  next_seq_ = 0;
+  initial_.clear();
+}
+
+Event& Recorder::fill(Tick t, EventKind k, ProcessId actor, ProcessId target,
+                      ViewVersion v) {
+  if (len_ == log_.size()) log_.emplace_back();
+  Event& e = log_[len_++];
   e.seq = next_seq_++;
-  log_.push_back(std::move(e));
+  e.tick = t;
+  e.kind = k;
+  e.actor = actor;
+  e.target = target;
+  e.version = v;
+  e.members.clear();
+  return e;
 }
 
 void Recorder::faulty(ProcessId p, ProcessId q, Tick t) {
-  push(Event{.tick = t, .kind = EventKind::kFaulty, .actor = p, .target = q});
+  std::lock_guard lock(mu_);
+  fill(t, EventKind::kFaulty, p, q, 0);
 }
 
 void Recorder::operational(ProcessId p, ProcessId q, Tick t) {
-  push(Event{.tick = t, .kind = EventKind::kOperational, .actor = p, .target = q});
+  std::lock_guard lock(mu_);
+  fill(t, EventKind::kOperational, p, q, 0);
 }
 
 void Recorder::remove(ProcessId p, ProcessId q, Tick t) {
-  push(Event{.tick = t, .kind = EventKind::kRemove, .actor = p, .target = q});
+  std::lock_guard lock(mu_);
+  fill(t, EventKind::kRemove, p, q, 0);
 }
 
 void Recorder::add(ProcessId p, ProcessId q, Tick t) {
-  push(Event{.tick = t, .kind = EventKind::kAdd, .actor = p, .target = q});
+  std::lock_guard lock(mu_);
+  fill(t, EventKind::kAdd, p, q, 0);
 }
 
-void Recorder::install(ProcessId p, ViewVersion v, std::vector<ProcessId> members, Tick t) {
-  std::sort(members.begin(), members.end());
-  push(Event{.tick = t,
-             .kind = EventKind::kInstall,
-             .actor = p,
-             .version = v,
-             .members = std::move(members)});
+void Recorder::install(ProcessId p, ViewVersion v, const std::vector<ProcessId>& members,
+                       Tick t) {
+  std::lock_guard lock(mu_);
+  Event& e = fill(t, EventKind::kInstall, p, kNilId, v);
+  e.members.assign(members.begin(), members.end());
+  std::sort(e.members.begin(), e.members.end());
 }
 
 void Recorder::crash(ProcessId p, Tick t) {
-  push(Event{.tick = t, .kind = EventKind::kCrash, .actor = p});
+  std::lock_guard lock(mu_);
+  fill(t, EventKind::kCrash, p, kNilId, 0);
 }
 
 void Recorder::became_mgr(ProcessId p, Tick t) {
-  push(Event{.tick = t, .kind = EventKind::kBecameMgr, .actor = p});
+  std::lock_guard lock(mu_);
+  fill(t, EventKind::kBecameMgr, p, kNilId, 0);
 }
 
 std::vector<Event> Recorder::events() const {
   std::lock_guard lock(mu_);
-  return log_;
+  return std::vector<Event>(log_.begin(), log_.begin() + static_cast<long>(len_));
 }
 
 std::vector<Event> Recorder::events_of(ProcessId p) const {
   std::lock_guard lock(mu_);
   std::vector<Event> out;
-  for (const Event& e : log_)
-    if (e.actor == p) out.push_back(e);
+  for (size_t i = 0; i < len_; ++i)
+    if (log_[i].actor == p) out.push_back(log_[i]);
   return out;
 }
 
 std::map<ProcessId, std::vector<ViewRecord>> Recorder::views() const {
   std::lock_guard lock(mu_);
   std::map<ProcessId, std::vector<ViewRecord>> out;
-  for (const Event& e : log_) {
+  for (size_t i = 0; i < len_; ++i) {
+    const Event& e = log_[i];
     if (e.kind != EventKind::kInstall) continue;
     out[e.actor].push_back(ViewRecord{e.version, e.members, e.tick});
   }
@@ -81,8 +104,11 @@ ViewRecord Recorder::frontier_view() const {
   // Last install per process (= that process's highest version), then fold
   // in ascending id order with >= so the largest id wins ties — the same
   // pick order as walking views() and taking vs.back() per process.
-  std::vector<std::pair<ProcessId, const Event*>> last;  // few processes: flat
-  for (const Event& e : log_) {
+  // (Thread-local scratch: the executor asks after every fuzzed schedule.)
+  thread_local std::vector<std::pair<ProcessId, const Event*>> last;
+  last.clear();
+  for (size_t i = 0; i < len_; ++i) {
+    const Event& e = log_[i];
     if (e.kind != EventKind::kInstall) continue;
     auto it = std::find_if(last.begin(), last.end(),
                            [&](const auto& pe) { return pe.first == e.actor; });
@@ -109,15 +135,16 @@ ViewRecord Recorder::frontier_view() const {
 std::map<ProcessId, Tick> Recorder::crashes() const {
   std::lock_guard lock(mu_);
   std::map<ProcessId, Tick> out;
-  for (const Event& e : log_)
-    if (e.kind == EventKind::kCrash) out.emplace(e.actor, e.tick);
+  for (size_t i = 0; i < len_; ++i)
+    if (log_[i].kind == EventKind::kCrash) out.emplace(log_[i].actor, log_[i].tick);
   return out;
 }
 
 std::string Recorder::dump() const {
   std::lock_guard lock(mu_);
   std::ostringstream os;
-  for (const Event& e : log_) {
+  for (size_t i = 0; i < len_; ++i) {
+    const Event& e = log_[i];
     os << "#" << e.seq << " t=" << e.tick << " p" << e.actor << " ";
     switch (e.kind) {
       case EventKind::kFaulty: os << "faulty(" << e.target << ")"; break;

@@ -53,17 +53,29 @@ struct ViewRecord {
 
 /// Append-only trace of one run.  Thread-safe (the TCP runtime records from
 /// several event-loop threads).
+///
+/// Pooled lifecycle: reset() rewinds the log without destroying the event
+/// slots, so a reused recorder re-fills them in place — install events
+/// reuse their member-vector capacity and the warm recording path never
+/// allocates.  Only the first `len_` slots are live; every accessor
+/// respects that.
 class Recorder {
  public:
   /// Declare the commonly-known initial membership (paper: Memb^0 = Proc).
-  void set_initial_membership(std::vector<ProcessId> members);
+  void set_initial_membership(const std::vector<ProcessId>& members);
   const std::vector<ProcessId>& initial_membership() const { return initial_; }
+
+  /// Rewind for a fresh run, keeping every slot (and its member-vector
+  /// capacity) for reuse.
+  void reset();
 
   void faulty(ProcessId p, ProcessId q, Tick t);
   void operational(ProcessId p, ProcessId q, Tick t);
   void remove(ProcessId p, ProcessId q, Tick t);
   void add(ProcessId p, ProcessId q, Tick t);
-  void install(ProcessId p, ViewVersion v, std::vector<ProcessId> members, Tick t);
+  /// Records the view installation; `members` is copied and the copy is
+  /// sorted in place (callers pass the seniority-ordered view as is).
+  void install(ProcessId p, ViewVersion v, const std::vector<ProcessId>& members, Tick t);
   void crash(ProcessId p, Tick t);
   void became_mgr(ProcessId p, Tick t);
 
@@ -76,7 +88,7 @@ class Recorder {
   template <typename F>
   void for_each_event(F&& f) const {
     std::lock_guard lock(mu_);
-    for (const Event& e : log_) f(e);
+    for (size_t i = 0; i < len_; ++i) f(log_[i]);
   }
 
   /// The frontier view: the highest-version view any process ever installed
@@ -97,10 +109,13 @@ class Recorder {
   std::string dump() const;
 
  private:
-  void push(Event e);
+  /// Claim the next live slot (reusing a retired one when available) and
+  /// fill its scalar fields; the caller fills `members` if applicable.
+  Event& fill(Tick t, EventKind k, ProcessId actor, ProcessId target, ViewVersion v);
 
   mutable std::mutex mu_;
-  std::vector<Event> log_;
+  std::vector<Event> log_;  ///< slots; only [0, len_) are live
+  size_t len_ = 0;
   std::vector<ProcessId> initial_;
   uint64_t next_seq_ = 0;
 };

@@ -1,0 +1,88 @@
+// Allocation-count regression test: the steady-state fuzz loop must stay
+// (near-)allocation-free, per detector.
+//
+// The loop under test is exactly the sweep's warm path — one pooled
+// harness::Cluster reset per schedule (scenario/sweep.cpp) — measured by
+// overriding global operator new with a thread-local counter.  Warm-up runs
+// let every pool reach its high-water capacity (packet/timer/event slabs,
+// pooled nodes, recorder slots, codec buffers, checker arena); after that,
+// per-schedule allocations must stay under a pinned ceiling, or the
+// zero-alloc property of this PR silently rots.
+//
+// Calibration (mixed/n=5, 60-schedule warm-up, measured over 20 seeds):
+// oracle averages ~25 allocations per execute() (was ~370 before pooling),
+// heartbeat ~30.  The remaining handful is cold-slot capacity ramp (a trace
+// slot hosting its first install, a node scratch growing past its previous
+// high water) plus a few >SBO script closures, all of which decay further
+// over longer sweeps.  Ceilings are set with modest slack; if this test
+// fails after a change, run tools/alloc_trace.cpp-style backtracing to find
+// the new allocation site instead of raising the ceiling.
+#include <gtest/gtest.h>
+
+#include "common/alloc_counter.hpp"  // defines counting operator new/delete
+#include "harness/cluster.hpp"
+#include "scenario/executor.hpp"
+#include "scenario/generator.hpp"
+
+using namespace gmpx;
+using namespace gmpx::scenario;
+
+namespace {
+
+struct AllocStats {
+  uint64_t mean = 0;
+  uint64_t max = 0;
+};
+
+/// Warm a pooled cluster, then measure allocations across `measure` warm
+/// fuzzed schedules (execute() only — generation is excluded, matching the
+/// "per fuzzed schedule" figure the sweep's --stats reports).
+AllocStats measure_warm_loop(fd::DetectorKind detector) {
+  GeneratorOptions gen;
+  gen.profile = Profile::kMixed;
+  gen.n = 5;
+  ExecOptions exec;
+  exec.fd = detector;
+  if (detector == fd::DetectorKind::kHeartbeat) {
+    gen = tuned_for_heartbeat(gen, exec.heartbeat);
+  }
+  harness::Cluster cluster{harness::ClusterOptions{}};
+  for (uint64_t seed = 100; seed < 160; ++seed) {
+    ExecResult r = execute(generate(seed, gen), exec, cluster);
+    EXPECT_TRUE(r.ok()) << "warm-up seed " << seed << ": " << r.message();
+  }
+  AllocStats stats;
+  uint64_t total = 0;
+  constexpr uint64_t kSeeds = 20;
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Schedule s = generate(seed, gen);
+    const uint64_t before = thread_alloc_count();
+    ExecResult r = execute(s, exec, cluster);
+    const uint64_t n = thread_alloc_count() - before;
+    EXPECT_TRUE(r.ok()) << "seed " << seed << ": " << r.message();
+    total += n;
+    if (n > stats.max) stats.max = n;
+  }
+  stats.mean = total / kSeeds;
+  return stats;
+}
+
+}  // namespace
+
+TEST(AllocRegression, OracleWarmLoopStaysUnderCeiling) {
+  AllocStats s = measure_warm_loop(fd::DetectorKind::kOracle);
+  // The acceptance bar of the zero-alloc PR: ~370 -> <= 40 per schedule.
+  EXPECT_LE(s.mean, 40u) << "oracle warm loop mean allocations regressed";
+  // Single-schedule spikes (first-time capacity ramps on an unusually
+  // join-heavy seed) get modest headroom, not a blank check.
+  EXPECT_LE(s.max, 120u) << "oracle warm loop worst-case allocations regressed";
+}
+
+TEST(AllocRegression, HeartbeatWarmLoopStaysUnderCeiling) {
+  AllocStats s = measure_warm_loop(fd::DetectorKind::kHeartbeat);
+  // Heartbeat runs add ping traffic and storms; the batched wave fast path
+  // keeps the background layer allocation-free, so the ceiling is only a
+  // little above the oracle's.
+  EXPECT_LE(s.mean, 60u) << "heartbeat warm loop mean allocations regressed";
+  EXPECT_LE(s.max, 200u) << "heartbeat warm loop worst-case allocations regressed";
+}

@@ -8,6 +8,7 @@
 // --jobs value.
 #include <gtest/gtest.h>
 
+#include "harness/cluster.hpp"
 #include "scenario/executor.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/sweep.hpp"
@@ -64,6 +65,34 @@ TEST(Determinism, SameSeedSameExecResultHeartbeatFd) {
       EXPECT_EQ(first.fd_messages, second.fd_messages);
       EXPECT_GT(first.fd_messages, 0u);  // the detector really ran
       EXPECT_NE(first.trace_hash, 0u);
+    }
+  }
+}
+
+TEST(Determinism, PooledClusterResetMatchesFreshCluster) {
+  // The zero-alloc sweep reuses one cluster per worker via Cluster::reset();
+  // that reuse must be *observationally identical* to building a fresh
+  // deployment per run.  Execute every schedule both ways — fresh, and on a
+  // long-lived pooled cluster whose state has been dirtied by all the
+  // previous schedules — and require identical results (trace hash
+  // included), for both detectors.
+  for (fd::DetectorKind detector : {fd::DetectorKind::kOracle, fd::DetectorKind::kHeartbeat}) {
+    ExecOptions exec;
+    exec.fd = detector;
+    harness::Cluster pooled{harness::ClusterOptions{}};
+    for (Profile p : {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
+                      Profile::kBurstCrash}) {
+      GeneratorOptions gen;
+      gen.profile = p;
+      if (detector == fd::DetectorKind::kHeartbeat) gen = tuned_for_heartbeat(gen, exec.heartbeat);
+      for (uint64_t seed : {1ull, 11ull, 29ull}) {
+        Schedule s = generate(seed, gen);
+        ExecResult fresh = execute(s, exec);
+        ExecResult reused = execute(s, exec, pooled);
+        SCOPED_TRACE(std::string(to_string(p)) + "/" + fd::to_string(detector) +
+                     " seed=" + std::to_string(seed));
+        expect_same_result(fresh, reused);
+      }
     }
   }
 }

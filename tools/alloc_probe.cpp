@@ -1,0 +1,43 @@
+// Dev probe: print per-schedule allocation counts for the warm pooled fuzz
+// loop (the committed regression test is tests/alloc_test.cpp; this tool is
+// for interactive calibration).  Build on demand:
+//   cmake --build build --target alloc_probe
+//   ./build/alloc_probe oracle|heartbeat
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/alloc_counter.hpp"  // defines counting operator new/delete
+
+#include "harness/cluster.hpp"
+#include "scenario/executor.hpp"
+#include "scenario/generator.hpp"
+
+using namespace gmpx;
+using namespace gmpx::scenario;
+
+int main(int argc, char** argv) {
+  const char* fdname = argc > 1 ? argv[1] : "oracle";
+  GeneratorOptions gen;
+  gen.profile = Profile::kMixed;
+  gen.n = 5;
+  ExecOptions exec;
+  if (fdname[0] == 'h') {
+    exec.fd = fd::DetectorKind::kHeartbeat;
+    gen = tuned_for_heartbeat(gen, exec.heartbeat);
+  }
+  harness::Cluster cluster{harness::ClusterOptions{}};
+  // Warm-up: let every pool reach its high-water capacity.
+  for (uint64_t seed = 100; seed < 160; ++seed) execute(generate(seed, gen), exec, cluster);
+  uint64_t last = thread_alloc_count();
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Schedule s = generate(seed, gen);
+    uint64_t before_exec = thread_alloc_count();
+    ExecResult r = execute(s, exec, cluster);
+    uint64_t now = thread_alloc_count();
+    std::printf("seed=%lu total(gen+exec)=%lu exec=%lu ok=%d\n",
+                (unsigned long)seed, (unsigned long)(now - last),
+                (unsigned long)(now - before_exec), r.ok() ? 1 : 0);
+    last = now;
+  }
+  return 0;
+}

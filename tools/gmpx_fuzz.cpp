@@ -27,6 +27,12 @@
 #include <string>
 #include <vector>
 
+// --stats telemetry: count heap allocations per worker thread so the sweep
+// can report an allocs= figure per run (the zero-alloc steady state is a
+// maintained property — see tests/alloc_test.cpp, which shares this
+// counter definition).
+#include "common/alloc_counter.hpp"  // defines counting operator new/delete
+
 #include "common/codec.hpp"
 #include "scenario/executor.hpp"
 #include "scenario/generator.hpp"
@@ -44,12 +50,14 @@ void usage() {
                "                 [--hb-interval T] [--hb-timeout T]\n"
                "                 [--nodes N] [--horizon T] [--max-events K] [--no-liveness]\n"
                "                 [--basic] [--inject-bug] [--out DIR] [--jobs N]\n"
-               "                 [--replay FILE [--minimize]] [-v]\n"
+               "                 [--replay FILE [--minimize]] [-v] [--stats]\n"
                "\n"
                "--fd heartbeat runs real ping/timeout detection instead of the scripted\n"
                "oracle (storm intensities are calibrated so false suspicions fire).\n"
                "--inject-bug suppresses faulty_p(q) trace records (a deliberate GMP-1\n"
-               "violation) to demonstrate the find -> report -> minimize pipeline.\n");
+               "violation) to demonstrate the find -> report -> minimize pipeline.\n"
+               "--stats prints a per-run allocs=/exec= line and per-detector schedules/s\n"
+               "in the final report (telemetry; NOT byte-stable across --jobs values).\n");
 }
 
 struct Args {
@@ -62,6 +70,7 @@ struct Args {
   bool minimize_replay = false;
   std::string out_dir;
   bool verbose = false;
+  bool stats = false;
   unsigned jobs = 1;
 };
 
@@ -153,6 +162,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (arg == "-v" || arg == "--verbose") {
       a.verbose = true;
+    } else if (arg == "--stats") {
+      a.stats = true;
     } else {
       return false;
     }
@@ -239,11 +250,25 @@ int main(int argc, char** argv) {
   sweep.exec = a.exec;
   sweep.jobs = a.jobs;
   sweep.verbose = a.verbose;
+  if (a.stats) {
+    sweep.alloc_probe = [] { return thread_alloc_count(); };
+  }
   // Stream reports and artifacts as the completed (profile, seed) prefix
   // advances: progress is visible during long sweeps, and the order — hence
-  // the full output — is still identical for every --jobs value.
+  // the full output — is still identical for every --jobs value.  The
+  // --stats telemetry line is deliberately *outside* run.report: allocation
+  // counts depend on how warm the worker's pooled cluster is, so they are
+  // not byte-stable across --jobs values (the determinism contract covers
+  // everything else).
   sweep.on_run = [&a](const SweepRun& run) {
     std::fputs(run.report.c_str(), stdout);
+    if (a.stats) {
+      std::printf("stats %s/%s seed=%lu allocs=%lu exec=%.3fms\n",
+                  to_string(run.profile), fd::to_string(run.detector),
+                  static_cast<unsigned long>(run.seed),
+                  static_cast<unsigned long>(run.allocs),
+                  static_cast<double>(run.exec_ns) / 1e6);
+    }
     std::fflush(stdout);
     if (!run.ok && !a.out_dir.empty()) {
       write_file(a.out_dir + "/" + run.tag + ".sched", run.schedule_text);
@@ -251,6 +276,26 @@ int main(int argc, char** argv) {
     }
   };
   SweepResult result = run_sweep(sweep);
+  if (a.stats) {
+    // Per-detector throughput over summed per-run execute() time: the
+    // number that budgets a sweep (ROADMAP's nightly 100k seeds x both
+    // detectors) without reaching for a profiler.  Per worker-second, so
+    // it is comparable across --jobs values.
+    for (fd::DetectorKind d : sweep.detectors) {
+      uint64_t runs = 0, ns = 0, allocs = 0;
+      for (const SweepRun& run : result.run_log) {
+        if (run.detector != d) continue;
+        ++runs;
+        ns += run.exec_ns;
+        allocs += run.allocs;
+      }
+      if (runs == 0) continue;
+      std::printf("stats %s: %.1f schedules/s (%lu runs, mean allocs=%.1f)\n",
+                  fd::to_string(d), ns ? 1e9 * static_cast<double>(runs) / ns : 0.0,
+                  static_cast<unsigned long>(runs),
+                  static_cast<double>(allocs) / static_cast<double>(runs));
+    }
+  }
   std::printf("gmpx_fuzz: %lu runs, %lu failures\n",
               static_cast<unsigned long>(result.runs),
               static_cast<unsigned long>(result.failures));
