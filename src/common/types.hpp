@@ -33,6 +33,11 @@ using ViewVersion = uint32_t;
 /// paper prescribes.
 using Tick = uint64_t;
 
+/// Sentinel "never" tick: the virtual-time fast-forward machinery uses it
+/// as an earliest-effect horizon meaning "nothing this layer owns can ever
+/// fire again" (sim::SimWorld skips, fd::FailureDetector horizons).
+inline constexpr Tick kNeverTick = std::numeric_limits<Tick>::max();
+
 /// Membership operation kind.  The basic algorithm of S3 only removes;
 /// the final algorithm of S7 also adds ("join").
 enum class Op : uint8_t {

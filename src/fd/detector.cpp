@@ -44,6 +44,7 @@ void HeartbeatDetector::bind(Env env) {
   // interval replaces n per-node re-arming timers.  Environment ownership
   // matters — a process-owned timer would die with its owner's crash and
   // silence every other monitor.
+  next_wave_ = env_.world->now() + opts_.interval;
   env_.world->set_environment_timer(opts_.interval, [this] { wave(); });
 }
 
@@ -51,6 +52,7 @@ void HeartbeatDetector::reset() {
   for (auto& m : monitors_) monitor_pool_.push_back(std::move(m));
   monitors_.clear();
   monitor_by_id_.clear();
+  next_wave_ = kNeverTick;  // bind() re-establishes the cadence
 }
 
 void HeartbeatDetector::wave() {
@@ -70,7 +72,187 @@ void HeartbeatDetector::wave() {
   }
   // Re-arm while anyone is left; once the whole deployment is dead the
   // queue must drain completely (pinned by the dead-group heartbeat test).
-  if (any_alive) env_.world->set_environment_timer(opts_.interval, [this] { wave(); });
+  if (any_alive) {
+    next_wave_ = world.now() + opts_.interval;
+    env_.world->set_environment_timer(opts_.interval, [this] { wave(); });
+  } else {
+    next_wave_ = kNeverTick;  // no cadence, no scans, no detections
+  }
+}
+
+bool HeartbeatDetector::benign_delay() const {
+  return opts_.interval + env_.world->delays().max_delay <= opts_.timeout;
+}
+
+bool HeartbeatDetector::refreshable(ProcessId q, ProcessId mid) const {
+  const sim::SimWorld& w = *env_.world;
+  if (w.crashed(q)) return false;
+  gmp::GmpNode* qn = env_.node(q);
+  if (!qn || qn->has_quit()) return false;
+  if (w.channel_blocked(q, mid)) return false;
+  if (qn->admitted()) {
+    // q's own ping stream answers for it — towards the members of q's
+    // view, and only while q has not isolated mid (S1: no pings to an
+    // accused peer).
+    return qn->view().contains(mid) && !qn->isolated().count(mid);
+  }
+  // A committed-but-unbootstrapped joiner cannot ping; it is audible only
+  // as acks to mid's pings — which need mid to be an admitted pinger with
+  // q in its view, the mid -> q channel open, and q not to have isolated
+  // mid (its monitor drops isolated senders).  Ack proof of life lags a
+  // full ping+ack round trip behind, so its benign-silence bound is two
+  // channel delays, not one: under delays past that the pair stays a
+  // horizon candidate even though benign_delay() holds.
+  if (opts_.interval + 2 * w.delays().max_delay > opts_.timeout) return false;
+  gmp::GmpNode* mn = env_.node(mid);
+  if (!mn || !mn->admitted() || !mn->view().contains(q)) return false;
+  return !w.channel_blocked(mid, q) && !qn->isolated().count(mid);
+}
+
+Tick HeartbeatDetector::next_possible_detection(Tick now) const {
+  if (next_wave_ == kNeverTick) return kNoDetection;  // deployment dead
+  // Under storm delays (a healthy pair's silence can outgrow the timeout)
+  // detections hinge on the random timing of in-flight pings, which a
+  // horizon must not second-guess: answer "unknown" and let the engine
+  // step storm spans event by event.  Skips therefore only ever collapse
+  // provably-quiet benign upkeep; they never manufacture or suppress a
+  // suspicion inside the span they elide.  (Elided waves do skip their
+  // delay draws, so the RNG stream — and with it post-skip storm
+  // interleavings — shifts against a skip-free execution: traces diverge
+  // in timing while staying per-seed deterministic, the heartbeat axis's
+  // documented wave-elision divergence.)
+  if (!benign_delay()) return now;
+  const Tick wave0 = next_wave_ > now ? next_wave_ : now;
+  Tick best = kNoDetection;
+  for (const auto& m : monitors_) {
+    const gmp::GmpNode& node = m->node();
+    const ProcessId mid = node.id();
+    if (env_.world->crashed(mid) || node.has_quit() || !node.admitted()) continue;
+    for (ProcessId q : node.view().members()) {
+      if (q == mid || node.isolated().count(q)) continue;  // scan never suspects these
+      Tick seen = m->last_heard(q);
+      if (seen == 0) seen = wave0;  // first sighting: grace starts at the next scan
+      // A pair whose upkeep keeps flowing cannot cross the timeout under
+      // benign delay — but only once it is *steady*: its next guaranteed
+      // refresh (the frame answering the coming wave) lands within one
+      // refresh lag, and no scan before that arrival may find the current
+      // staleness past the timeout.  A pair left residually stale by a
+      // just-ended storm fails this and stays a candidate, so the wave
+      // that would suspect it in a skip-free run really executes (an
+      // elided in-flight arrival replay can still clear it first).
+      if (steady(q, mid, seen, wave0)) continue;
+      // The scan suspects at the first wave tick W with W - seen > timeout.
+      Tick fire = wave0;
+      if (fire <= seen + opts_.timeout) {
+        const Tick k = (seen + opts_.timeout - fire) / opts_.interval + 1;
+        fire += k * opts_.interval;
+      }
+      if (fire < best) best = fire;
+    }
+  }
+  return best;
+}
+
+bool HeartbeatDetector::steady(ProcessId q, ProcessId mid, Tick seen, Tick wave0) const {
+  if (!refreshable(q, mid)) return false;
+  // Refresh lag: an admitted peer's wave ping arrives within one channel
+  // delay; an unadmitted joiner answers mid's ping, a full round trip.
+  gmp::GmpNode* qn = env_.node(q);
+  const Tick lag =
+      (qn && qn->admitted()) ? env_.world->delays().max_delay
+                             : 2 * env_.world->delays().max_delay;
+  // Last scan that can run before the refresh is guaranteed to have
+  // landed; if even that one cannot see silence past the timeout, the
+  // pair is quiet until the refresh, and steadily-refreshing thereafter.
+  const Tick last_risky = wave0 + (lag / opts_.interval) * opts_.interval;
+  return last_risky <= seen + opts_.timeout;
+}
+
+void HeartbeatDetector::on_fast_forward(Tick from, Tick to) {
+  (void)from;
+  sim::SimWorld& w = *env_.world;
+  // Re-establish the wave cadence if the pending wave event was elided,
+  // preserving phase so candidate detections stay aligned with the ticks
+  // the horizon promised.  w0 remembers the first elided wave tick: the
+  // scans that would have run there have effects the hook must replay.
+  const Tick w0 = next_wave_;
+  const bool wave_elided = next_wave_ != kNeverTick && next_wave_ < to;
+  if (wave_elided) {
+    const Tick missed = (to - next_wave_ + opts_.interval - 1) / opts_.interval;
+    next_wave_ += missed * opts_.interval;
+    w.set_environment_timer(next_wave_ - to, [this] { wave(); });
+  }
+  // Replay what the elided traffic would have done to the proof-of-life
+  // tables (skips only happen in benign-delay spans — the horizon answers
+  // "unknown" under storms — so every refreshable pair really would have
+  // kept exchanging upkeep):
+  //   * a never-seen pair's grace period starts at the first elided scan
+  //     (the real scan calls note_alive on first sighting) — without this
+  //     the horizon for a silent never-seen peer recedes forever and the
+  //     run can never converge on its detection;
+  //   * a refreshable pair is heard as of the skip target.
+  // Only *steady* pairs are marked (same predicate as the horizon, against
+  // the pre-skip cadence w0): the elided waves really would have kept them
+  // refreshed.  A residually-stale pair was a horizon candidate, so the
+  // skip stopped at or before its possible suspicion — its staleness must
+  // survive the skip for that wave to judge it exactly as a skip-free run
+  // would.  Nothing is marked when no wave was elided: in-flight arrivals
+  // were already replayed at their true ticks and there was no other
+  // traffic to model.
+  if (!wave_elided) return;
+  for (auto& m : monitors_) {
+    const gmp::GmpNode& node = m->node();
+    const ProcessId mid = node.id();
+    if (w.crashed(mid) || node.has_quit()) continue;
+    if (node.admitted()) {
+      for (ProcessId q : node.view().members()) {
+        if (q == mid || node.isolated().count(q)) continue;
+        if (m->last_heard(q) == 0) m->mark_heard(q, w0);
+        if (steady(q, mid, m->last_heard(q), w0)) m->mark_heard(q, to);
+      }
+    } else {
+      // A committed-but-unbootstrapped joiner has no view to walk, but
+      // members whose views contain it ping it every wave and its monitor
+      // hears them even before admission.  The elided pings must refresh
+      // its table too: otherwise the first post-admission scan would see
+      // stale silences and suspect healthy members — suspicions a
+      // skip-free run never fires.
+      for (ProcessId q : *env_.ids) {
+        if (q == mid || node.isolated().count(q)) continue;
+        const Tick seen = m->last_heard(q) == 0 ? w0 : m->last_heard(q);
+        if (steady(q, mid, seen, w0)) m->mark_heard(q, to);
+      }
+    }
+  }
+}
+
+void HeartbeatDetector::on_elided_background(ProcessId from, ProcessId to, uint32_t kind,
+                                             Tick when) {
+  // Mirror on_background_packet's acceptance rules (dead/quit receivers
+  // hear nothing, S1 drops isolated senders) but only record the proof of
+  // life — nothing is sent during a skip.  Arrivals replay in unspecified
+  // order, so keep the freshest.
+  HeartbeatFd* m = to < monitor_by_id_.size() ? monitor_by_id_[to] : nullptr;
+  if (!m) return;
+  if (env_.world->crashed(to)) return;
+  const gmp::GmpNode& node = m->node();
+  if (node.has_quit() || node.isolated().count(from)) return;
+  if (when > m->last_heard(from)) m->mark_heard(from, when);
+  // The ack a live unadmitted receiver sends back (its only way to be
+  // audible) must be modeled too, or eliding a ping to a joiner silently
+  // deafens the *sender's* monitor — a residually-stale pair could then be
+  // suspected at the frontier wave where a skip-free run is cleared by the
+  // in-flight ack first.  The ack's own delay draw never happens, so the
+  // sender is credited at the ping's arrival tick: at most one ack flight
+  // early, within the documented timing quantization.
+  if (kind != gmp::kind::kHeartbeat || node.admitted()) return;
+  if (env_.world->channel_blocked(to, from)) return;  // the ack would be held
+  HeartbeatFd* back = from < monitor_by_id_.size() ? monitor_by_id_[from] : nullptr;
+  if (!back) return;
+  if (env_.world->crashed(from)) return;
+  const gmp::GmpNode& sender = back->node();
+  if (sender.has_quit() || sender.isolated().count(to)) return;
+  if (when > back->last_heard(to)) back->mark_heard(to, when);
 }
 
 void HeartbeatDetector::on_background_packet(ProcessId from, ProcessId to, uint32_t kind) {

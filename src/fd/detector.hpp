@@ -109,6 +109,45 @@ class FailureDetector {
   /// generic slack.
   virtual Tick settle_window(Tick worst_delay) const { return worst_delay + 400; }
 
+  /// Sentinel horizon: no detection this detector owns can ever fire.
+  static constexpr Tick kNoDetection = kNeverTick;
+
+  /// Earliest-effect horizon for the simulator's virtual-time fast-forward
+  /// (sim::SimWorld::set_horizon_provider): a *lower bound* on the first
+  /// tick at which this detector could still deliver a suspicion, given
+  /// current monitor state.  kNoDetection certifies "never" — the runtime
+  /// then concludes protocol quiescence without grinding a settle window.
+  /// The default returns `now` ("unknown; a detection could fire at any
+  /// moment"), which disables fast-forwarding entirely and keeps the
+  /// legacy settle-window behaviour — correct for custom detectors that do
+  /// not implement the contract.  Implementations that report real
+  /// horizons must also implement on_fast_forward().
+  virtual Tick next_possible_detection(Tick now) const { return now; }
+
+  /// Fast-forward reconciliation: the runtime jumped the clock from `from`
+  /// to `to`, eliding every background event in between (ping waves, ack
+  /// frames, the detector's own wave timer).  Restore the detector's
+  /// invariants as if the elided upkeep had run: re-arm the wave cadence
+  /// (phase-preserved) and refresh the proof-of-life entries the elided
+  /// traffic would have refreshed.  Must not produce foreground work.
+  virtual void on_fast_forward(Tick from, Tick to) {
+    (void)from;
+    (void)to;
+  }
+
+  /// A skip elided a background frame that was already *in flight* — sent
+  /// before the span, so it still lands in a skip-free run even across a
+  /// partition cut or after its sender's death.  Replay its state effect
+  /// (proof-of-life refresh at the true arrival tick) without sending
+  /// anything; called once per elided arrival, in unspecified order,
+  /// before on_fast_forward.
+  virtual void on_elided_background(ProcessId from, ProcessId to, uint32_t kind, Tick when) {
+    (void)from;
+    (void)to;
+    (void)kind;
+    (void)when;
+  }
+
  protected:
   Env env_;
 };
@@ -124,6 +163,14 @@ class OracleFd final : public FailureDetector {
   explicit OracleFd(OracleOptions opts) : opts_(opts) {}
 
   void on_crash(ProcessId p, Tick t) override;
+
+  /// The oracle owns no background machinery: every suspicion it injects
+  /// rides a foreground script event, which pins the skip frontier by
+  /// itself.  Nothing background can ever fire.
+  Tick next_possible_detection(Tick now) const override {
+    (void)now;
+    return kNoDetection;
+  }
 
  private:
   OracleOptions opts_;
@@ -141,7 +188,18 @@ class OracleFd final : public FailureDetector {
 ///   * ping/ack frames ride SimWorld's slab-free background path — the
 ///     event record carries (from, to, kind) inline and delivery dispatches
 ///     straight to the destination monitor, never building a Packet;
-///   * monitors are recycled across reset()s (pooled cluster reuse).
+///   * monitors are recycled across reset()s (pooled cluster reuse);
+///   * whole ping/settle spans collapse under the virtual-time
+///     fast-forward: in benign-delay spans next_possible_detection() walks
+///     every (monitor, peer) pair and reports the first wave tick at which
+///     a silence could cross the timeout, so the runtime can certify "no
+///     detection can fire before tick T" and elide every wave in between
+///     (on_fast_forward then re-arms the cadence and refreshes the pairs
+///     the elided pings would have refreshed); under storm delays the
+///     horizon answers "unknown" and the run steps exactly like a
+///     skip-free one.  See tests/README.md "virtual time & skip horizons"
+///     for the exact divergence this is allowed to introduce (wave elision
+///     in provably-quiet spans only).
 class HeartbeatDetector final : public FailureDetector {
  public:
   explicit HeartbeatDetector(HeartbeatOptions opts) : opts_(opts) {}
@@ -153,6 +211,10 @@ class HeartbeatDetector final : public FailureDetector {
   std::pair<uint32_t, uint32_t> background_kinds() const override {
     return {gmp::kind::kHeartbeat, gmp::kind::kHeartbeatAck};
   }
+
+  Tick next_possible_detection(Tick now) const override;
+  void on_fast_forward(Tick from, Tick to) override;
+  void on_elided_background(ProcessId from, ProcessId to, uint32_t kind, Tick when) override;
 
   /// A silence that began just before the window opened — possibly
   /// refreshed by a packet delayed by `worst_delay` — must still cross the
@@ -170,12 +232,42 @@ class HeartbeatDetector final : public FailureDetector {
   void wave();
   /// Fast-path delivery of a ping/ack to the destination's monitor.
   void on_background_packet(ProcessId from, ProcessId to, uint32_t kind);
+  /// Would `q` keep refreshing monitor `mid`'s proof of life across an
+  /// event-free span?  Admitted peers refresh by pinging the members of
+  /// *their* view; unadmitted joiners only by acking `mid`'s pings.  A
+  /// severed channel, a quit peer, or S1 isolation in either direction
+  /// breaks the stream.  This predicate must stay the exact complement of
+  /// the pairs next_possible_detection() treats as silence candidates —
+  /// the horizon and the fast-forward refresh reason from the same rule.
+  bool refreshable(ProcessId q, ProcessId mid) const;
+  /// "A healthy pair cannot cross the timeout": the worst benign silence
+  /// (one ping period plus one channel delay) stays under it.  False
+  /// during delay storms hot enough to provoke false suspicions — there
+  /// detections hinge on in-flight ping timing, so the horizon answers
+  /// "unknown" and storm spans step event by event exactly like a
+  /// skip-free run (storm-driven suspicion behaviour is preserved, not
+  /// approximated).
+  bool benign_delay() const;
+  /// A refreshable pair is *steady* when its current staleness provably
+  /// cannot cross the timeout before its next guaranteed refresh lands
+  /// (one channel delay after the coming wave for an admitted pinger, a
+  /// full round trip for an unadmitted acker).  Steady pairs are exempt
+  /// from the horizon and are refreshed by on_fast_forward; residually
+  /// stale ones (a storm just ended) stay candidates so the wave that
+  /// would suspect them in a skip-free run really executes.  `seen` is the
+  /// effective last-heard tick (grace substituted), `wave0` the next wave.
+  bool steady(ProcessId q, ProcessId mid, Tick seen, Tick wave0) const;
 
   HeartbeatOptions opts_;
   std::vector<std::unique_ptr<HeartbeatFd>> monitors_;
   std::vector<std::unique_ptr<HeartbeatFd>> monitor_pool_;  ///< recycled across runs
   std::vector<HeartbeatFd*> monitor_by_id_;  ///< dense id -> monitor (borrowed)
   std::vector<ProcessId> targets_;           ///< wave scratch: one sender's ping fan
+  /// Tick of the next pending wave (kNeverTick once the deployment died
+  /// and the cadence self-cancelled).  Horizon arithmetic aligns candidate
+  /// detections to this cadence; on_fast_forward re-arms it phase-preserved
+  /// when the pending wave event was elided.
+  Tick next_wave_ = kNeverTick;
 };
 
 /// Build the standard detector for `kind` from the matching options.

@@ -124,6 +124,16 @@ class HeartbeatFd final : public Actor {
 
   /// The wrapped protocol endpoint.
   gmp::GmpNode& node() { return *inner_; }
+  const gmp::GmpNode& node() const { return *inner_; }
+
+  /// Last proof of life from `q` (0 = never heard).  The detector's
+  /// earliest-effect horizon is computed from these tables.
+  Tick last_heard(ProcessId q) const { return heard(q); }
+
+  /// Externally refresh `q`'s proof of life: the virtual-time fast-forward
+  /// elides whole ping waves and then marks every pair that would have
+  /// kept exchanging upkeep as heard at the skip target.
+  void mark_heard(ProcessId q, Tick t) { note_alive(q, t); }
 
   /// Rebind to a (pooled) node for a fresh run, clearing per-run state but
   /// keeping buffer capacity.

@@ -31,6 +31,7 @@ void GmpNode::reinit(ProcessId self, const Config& cfg) {
   operational_logged_.clear();
   quit_ = false;
   admitted_ = false;
+  join_aborted_ = false;
   leaving_ = false;
   listener_ = nullptr;
   join_timer_ = 0;
@@ -617,12 +618,28 @@ void GmpNode::on_start_retry(Context& ctx) {
   if (admitted_ || quit_) return;
   if (++join_attempts_ >= cfg_.join_max_attempts) {
     // The group is unreachable (dead, or durably below majority): give up.
+    // The marker lets harnesses surface "orphaned joiner aborted" as a
+    // first-class outcome (ExecResult::aborted_joins) instead of an
+    // anonymous quit at the end of a long dead-air horizon.
+    join_aborted_ = true;
     do_quit(ctx);
     return;
   }
   join_solicit_();
   join_timer_ = ctx.set_timer(cfg_.join_retry_interval,
                               [this, &ctx] { this->on_start_retry(ctx); });
+}
+
+std::string GmpNode::pending_retry() const {
+  std::string out;
+  if (join_timer_ != 0 && !admitted_ && !quit_) {
+    out = "joiner solicit retry " + std::to_string(join_attempts_) + "/" +
+          std::to_string(cfg_.join_max_attempts);
+  } else if (leave_timer_ != 0 && leaving_ && !quit_) {
+    out = "leave re-denunciation retry " + std::to_string(leave_attempts_) + "/" +
+          std::to_string(cfg_.join_max_attempts);
+  }
+  return out;
 }
 
 }  // namespace gmpx::gmp

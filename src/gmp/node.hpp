@@ -38,6 +38,11 @@
 
 namespace gmpx::gmp {
 
+/// Default joiner solicit / leave re-denunciation retry cap (see
+/// Config::join_max_attempts).  ClusterOptions/ExecOptions overrides fall
+/// back to this when left at 0.
+inline constexpr size_t kDefaultJoinMaxAttempts = 48;
+
 /// Static configuration of a GMP endpoint.
 struct Config {
   /// Initial commonly-known membership Proc in seniority order (most senior
@@ -58,9 +63,15 @@ struct Config {
   /// at arbitrary ticks; 0 = solicit immediately on start).
   Tick join_start_delay = 0;
   Tick join_retry_interval = 2000;
-  /// Give up (quit_p) after this many unanswered solicitations: a joiner
-  /// whose group has died must not retry forever.
-  size_t join_max_attempts = 200;
+  /// Give up after this many unanswered solicitations: a joiner whose
+  /// group has died must not retry forever.  Giving up is quit_p with the
+  /// join_aborted() marker set, so harnesses can tell "orphaned joiner
+  /// terminated" from a crash.  The default (48 x 2000 ticks = ~96k ticks)
+  /// replaces the old open-ended 200-attempt horizon: an admission that
+  /// has not happened within ~6x the fuzz horizon never will (the group is
+  /// dead or durably below majority), and the dead-air tail dominated
+  /// joiner-heavy fuzz runs.  The same cap bounds leave() re-denunciation.
+  size_t join_max_attempts = kDefaultJoinMaxAttempts;
 
   /// Optional trace recorder (tests/benches); may be nullptr.
   trace::Recorder* recorder = nullptr;
@@ -123,6 +134,9 @@ class GmpNode : public Actor {
   bool has_quit() const { return quit_; }
   /// Joiners: true once the ViewTransfer arrived and the node is a member.
   bool admitted() const { return admitted_; }
+  /// Joiners: true when the solicit retry cap was exhausted and the node
+  /// quit without ever being admitted (an orphaned joiner giving up).
+  bool join_aborted() const { return join_aborted_; }
   /// Register the application callback (borrowed pointer).
   void set_listener(ViewListener* l) { listener_ = l; }
   /// Send an application payload to another member.
@@ -148,6 +162,13 @@ class GmpNode : public Actor {
   }
   /// How many reconfigurations this node has initiated (Table 1 bench).
   size_t reconfigs_initiated() const { return reconfigs_initiated_; }
+
+  /// Human diagnostic of any live retry timer this node owns ("joiner
+  /// solicit retry 13/48"), empty when none.  The executor uses this to
+  /// name the still-live work when an event budget is exhausted — the
+  /// node's retry timers are the one legitimate source of very long
+  /// foreground horizons, so they identify themselves.
+  std::string pending_retry() const;
 
  private:
   // ---- dispatch & outer role (node.cpp) ----
@@ -245,6 +266,7 @@ class GmpNode : public Actor {
   FlatSet<ProcessId> operational_logged_;  ///< operational_p(q) already traced
   bool quit_ = false;
   bool admitted_ = false;
+  bool join_aborted_ = false;  ///< joiner gave up (retry cap exhausted)
   bool leaving_ = false;  ///< leave() requested, exclusion not yet committed
   ViewListener* listener_ = nullptr;
   trace::Recorder* rec_ = nullptr;

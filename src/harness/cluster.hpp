@@ -39,6 +39,10 @@ struct ClusterOptions {
   fd::OracleOptions oracle{};        ///< used when detector == kOracle
   fd::HeartbeatOptions heartbeat{};  ///< used when detector == kHeartbeat
   fd::DetectorFactory factory;       ///< custom detector; overrides `detector`
+  /// Joiner solicit / leave re-denunciation retry cap for every node;
+  /// 0 = gmp::kDefaultJoinMaxAttempts.  Raised (e.g. to the legacy 200) to
+  /// reproduce pre-give-up behaviour byte-for-byte.
+  size_t join_max_attempts = 0;
   /// Fault injection for minimizer tests (see gmp::Config).
   bool bug_skip_faulty_record = false;
 };
@@ -78,6 +82,7 @@ class Cluster {
     cfg_scratch_.joiner = true;
     cfg_scratch_.contacts.assign(contacts.begin(), contacts.end());
     cfg_scratch_.join_start_delay = start_at;
+    cfg_scratch_.join_max_attempts = effective_join_max_attempts();
     cfg_scratch_.recorder = &recorder_;
     cfg_scratch_.bug_skip_faulty_record = opts_.bug_skip_faulty_record;
     return add_node(id, cfg_scratch_);
@@ -140,6 +145,12 @@ class Cluster {
   }
 
  private:
+  /// The retry cap every node gets — joiners and seed members alike (it
+  /// also bounds leave re-denunciation).
+  size_t effective_join_max_attempts() const {
+    return opts_.join_max_attempts ? opts_.join_max_attempts : gmp::kDefaultJoinMaxAttempts;
+  }
+
   /// Shared constructor/reset body: (re)build the detector wiring, the
   /// initial membership, and the crash hook.  `reuse_detector` keeps the
   /// existing detector instance (monitors pooled via its reset()).
@@ -154,6 +165,20 @@ class Cluster {
     }
     auto [bg_lo, bg_hi] = detector_->background_kinds();
     world_.set_background_kinds(bg_lo, bg_hi);
+    // Virtual-time fast-forward wiring: the detector owns the "no detection
+    // can fire before tick T" question and the post-skip reconciliation.
+    // The default FailureDetector implementation answers "unknown", which
+    // disables skipping — custom detectors keep legacy behaviour until they
+    // implement the horizon contract.  (SimWorld::reset cleared both hooks;
+    // a pooled reset re-registers them here, so skip state never leaks
+    // across runs.)
+    world_.set_horizon_provider(
+        [this](Tick now) { return detector_->next_possible_detection(now); });
+    world_.set_skip_hook(
+        [this](Tick from, Tick to) { detector_->on_fast_forward(from, to); });
+    world_.set_elision_sink([this](ProcessId from, ProcessId to, uint32_t kind, Tick when) {
+      detector_->on_elided_background(from, to, kind, when);
+    });
     detector_->bind({&world_,
                      [this](ProcessId id) -> gmp::GmpNode* {
                        return id < nodes_.size() ? nodes_[id].get() : nullptr;
@@ -169,6 +194,7 @@ class Cluster {
       cfg_scratch_.joiner = false;
       cfg_scratch_.contacts.clear();
       cfg_scratch_.join_start_delay = 0;
+      cfg_scratch_.join_max_attempts = effective_join_max_attempts();
       cfg_scratch_.recorder = &recorder_;
       cfg_scratch_.bug_skip_faulty_record = opts_.bug_skip_faulty_record;
       add_node(id, cfg_scratch_);

@@ -10,7 +10,11 @@ namespace gmpx::scenario {
 
 std::string ExecResult::message() const {
   std::ostringstream os;
-  if (!quiesced) os << "run did not quiesce within the event budget\n";
+  if (!quiesced) {
+    os << "run did not quiesce within the event budget";
+    if (!diagnostic.empty()) os << " (" << diagnostic << ")";
+    os << "\n";
+  }
   os << check.message();
   return os.str();
 }
@@ -24,6 +28,7 @@ harness::ClusterOptions cluster_options(const Schedule& s, const ExecOptions& op
   co.require_majority = opts.require_majority;
   co.detector = opts.fd;
   co.heartbeat = opts.heartbeat;
+  co.join_max_attempts = opts.join_max_attempts;
   co.bug_skip_faulty_record = opts.inject_bug_unrecorded_suspicion;
   return co;
 }
@@ -170,6 +175,25 @@ ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOp
   r.end_tick = world.now();
   r.messages = world.meter().protocol_total();
   r.fd_messages = world.meter().detector_total();
+  r.skipped_ticks = world.skipped_ticks();
+  r.skipped_events = world.skipped_events();
+  for (ProcessId j : joiners) {
+    if (cluster.has_node(j) && cluster.node(j).join_aborted()) ++r.aborted_joins;
+  }
+  if (!r.quiesced) {
+    // Loud budget diagnostic: name what was still live instead of failing
+    // silently — a run that cannot quiesce is either a genuinely wedged
+    // protocol (a bug) or a budget set too small, and the pending summary
+    // tells which.
+    r.diagnostic = world.pending_summary();
+    for (ProcessId p : cluster.ids()) {
+      // A crashed node's timers were reclaimed by the world; its stale
+      // join_timer_/leave_timer_ fields must not name it as live work.
+      if (!cluster.has_node(p) || world.crashed(p)) continue;
+      std::string retry = cluster.node(p).pending_retry();
+      if (!retry.empty()) r.diagnostic += "; node " + std::to_string(p) + ": " + retry;
+    }
+  }
 
   // Trace fingerprint: splitmix64 finalizer folded over every recorded
   // event field.  One 64-bit mix per field (the old byte-wise FNV-1a spent

@@ -25,8 +25,14 @@ struct ExecOptions {
   bool check_liveness = true;
   /// S7 final algorithm (majority commits) vs S3 basic algorithm.
   bool require_majority = true;
-  /// Event budget for run_to_quiescence.
+  /// Event budget for the run (run_to_quiescence / protocol quiescence).
+  /// Exhausting it yields quiesced = false plus ExecResult::diagnostic
+  /// naming the node/timer that was still live — never a silent failure.
   uint64_t max_sim_events = 5'000'000;
+  /// Joiner solicit / leave re-denunciation retry cap; 0 = the default
+  /// give-up policy (gmp::kDefaultJoinMaxAttempts).  Pin to the legacy 200
+  /// to reproduce pre-PR-5 runs byte-for-byte (gmpx_fuzz --join-attempts).
+  size_t join_max_attempts = 0;
   /// Which failure detector drives the run.  Oracle runs quiesce by queue
   /// drain and need the executor's timeout emulation for one-sided false
   /// suspicions; heartbeat runs detect protocol quiescence (ping timers
@@ -48,6 +54,18 @@ struct ExecResult {
   uint64_t messages = 0;          ///< protocol sends metered by the run
   uint64_t fd_messages = 0;       ///< detector sends (heartbeats/acks), metered apart
   size_t final_view_size = 0;     ///< |view| of the most senior survivor (0 if none)
+  /// Joiners that exhausted their solicit retry cap and gave up (an
+  /// explicit JoinAborted outcome — the group was dead or durably below
+  /// majority, so admission was never going to happen).
+  size_t aborted_joins = 0;
+  /// Virtual-time fast-forward telemetry: simulated ticks jumped over and
+  /// background events elided by the skip engine (0 on oracle runs, whose
+  /// traces the engine must leave byte-identical).
+  uint64_t skipped_ticks = 0;
+  uint64_t skipped_events = 0;
+  /// Filled when the run exhausted its event budget: which events/timers
+  /// were still pending, and which node's retry loop (if any) owned them.
+  std::string diagnostic;
   /// FNV-1a fingerprint of the full recorded trace (every event, field by
   /// field).  Two runs of the same schedule are bit-reproducible iff their
   /// hashes match — the determinism regression test asserts exactly this.

@@ -141,6 +141,9 @@ SweepResult run_sweep(const SweepOptions& opts) {
       run.messages = res.messages;
       run.fd_messages = res.fd_messages;
       run.trace_hash = res.trace_hash;
+      run.skipped_ticks = res.skipped_ticks;
+      run.skipped_events = res.skipped_events;
+      run.aborted_joins = res.aborted_joins;
       render(run, sched, res, opts, exec);
       if (opts.on_run) {
         std::lock_guard lock(flush_mu);

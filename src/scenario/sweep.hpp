@@ -34,6 +34,9 @@ struct SweepRun {
   uint64_t messages = 0;         ///< protocol sends (never heartbeat noise)
   uint64_t fd_messages = 0;      ///< detector sends (0 for oracle runs)
   uint64_t trace_hash = 0;       ///< ExecResult::trace_hash of the run
+  uint64_t skipped_ticks = 0;    ///< virtual-time ticks fast-forwarded over
+  uint64_t skipped_events = 0;   ///< background events elided by skips
+  size_t aborted_joins = 0;      ///< orphaned joiners that gave up
   // Budgeting telemetry (gmpx_fuzz --stats).  NOT deterministic across
   // --jobs values (allocations depend on how warm the worker's pooled
   // cluster is; timing is wall clock), so it never enters `report`.

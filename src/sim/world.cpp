@@ -114,6 +114,12 @@ void SimWorld::reset(uint64_t seed, DelayModel delays) {
   bg_lo_ = 1;
   bg_hi_ = 0;
   bg_sink_ = nullptr;
+  horizon_fn_ = nullptr;
+  skip_hook_ = nullptr;
+  elision_sink_ = nullptr;
+  skipped_ticks_ = 0;
+  skipped_events_ = 0;
+  skips_ = 0;
   fg_pending_ = 0;
   quiesce_dirty_ = false;
   delays_ = delays;
@@ -467,6 +473,152 @@ void SimWorld::dispatch(Event ev) {
   }
 }
 
+bool SimWorld::live_foreground(const Event& e) const {
+  switch (e.kind) {
+    case EventKind::kDeliver:
+      return !background_kind(packet_slab_[e.a].kind);
+    case EventKind::kTimer: {
+      const TimerSlot& t = timer_slots_[e.a];
+      return t.armed && t.gen == e.gen && !t.background;
+    }
+    case EventKind::kCrash:
+    case EventKind::kScript:
+      return true;
+    case EventKind::kBgPacket:
+    case EventKind::kBgWave:
+      return false;
+  }
+  return true;
+}
+
+void SimWorld::discard_elided(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kDeliver: {
+      // A background-kind packet that went through the ordinary slab path
+      // (held across a partition, then healed): replay its in-flight
+      // arrival, then recycle the payload and free the slot, exactly as a
+      // delivery would.
+      Packet& p = packet_slab_[e.a];
+      if (elision_sink_) elision_sink_(p.from, p.to, p.kind, e.time);
+      recycle_buffer(std::move(p.bytes));
+      p.bytes.clear();
+      release_packet_slot(e.a);
+      break;
+    }
+    case EventKind::kTimer: {
+      TimerSlot& t = timer_slots_[e.a];
+      // Live background timers are released without firing — the skip hook
+      // owns re-establishing any cadence they carried.  Stale entries
+      // (cancelled, or slot recycled) own nothing.
+      if (t.armed && t.gen == e.gen) release_timer_slot(e.a);
+      break;
+    }
+    case EventKind::kBgPacket:
+      if (elision_sink_) {
+        elision_sink_(static_cast<ProcessId>(e.gen >> 32), e.a,
+                      static_cast<uint32_t>(e.gen), e.time);
+      }
+      break;
+    case EventKind::kBgWave: {
+      if (elision_sink_) {
+        const ProcessId from = static_cast<ProcessId>(e.gen >> 32);
+        const uint32_t kind = static_cast<uint32_t>(e.gen);
+        for (ProcessId to : wave_slab_[e.a]) elision_sink_(from, to, kind, e.time);
+      }
+      wave_free_.push_back(e.a);
+      break;
+    }
+    case EventKind::kCrash:
+    case EventKind::kScript:
+      break;  // foreground kinds never reach here
+  }
+}
+
+bool SimWorld::try_skip() {
+  if (!horizon_fn_ || queue_.empty()) return false;
+  if (live_foreground(queue_.front())) return false;
+  const Tick front_time = queue_.front().time;
+  // The skip frontier: the background layer's earliest-effect horizon caps
+  // it, and scripted faults / live protocol work pin it (scan the heap for
+  // the earliest live foreground deadline).  The horizon is queried first:
+  // when it cannot certify anything (storm delays) it answers "now" in
+  // O(1), so dense storm spans fail out before paying the O(queue) scan.
+  Tick target = horizon_fn_(now_);
+  if (target <= front_time) return false;
+  Tick fg_next = kNeverTick;
+  for (const Event& e : queue_) {
+    if (e.time < fg_next && live_foreground(e)) fg_next = e.time;
+  }
+  if (fg_next < target) target = fg_next;
+  if (target <= front_time || target == kNeverTick) return false;
+  // Elide every non-foreground event strictly before the frontier.  Events
+  // *at* the frontier keep their seq order with whatever fires there.
+  const Tick from = now_;
+  size_t kept = 0;
+  uint64_t elided = 0;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    Event& e = queue_[i];
+    if (e.time < target && !live_foreground(e)) {
+      // Stale cancelled-timer entries are dropped too but not counted:
+      // skipped_events() reports *background events elided*, and a stale
+      // entry would have been a no-op pop either way.
+      const bool stale_timer =
+          e.kind == EventKind::kTimer &&
+          !(timer_slots_[e.a].armed && timer_slots_[e.a].gen == e.gen);
+      discard_elided(e);
+      if (!stale_timer) ++elided;
+    } else {
+      queue_[kept++] = e;
+    }
+  }
+  queue_.resize(kept);
+  std::make_heap(queue_.begin(), queue_.end(), EventCmp{});
+  now_ = target;
+  ++skips_;
+  skipped_events_ += elided;
+  skipped_ticks_ += target - from;
+  if (skip_hook_) skip_hook_(from, target);
+  return true;
+}
+
+std::string SimWorld::pending_summary() const {
+  size_t fg_deliver = 0, bg_events = 0, crashes = 0, scripts = 0, stale = 0;
+  size_t live_timers = 0;
+  for (const Event& e : queue_) {
+    switch (e.kind) {
+      case EventKind::kDeliver:
+        if (background_kind(packet_slab_[e.a].kind)) ++bg_events;
+        else ++fg_deliver;
+        break;
+      case EventKind::kTimer: {
+        const TimerSlot& t = timer_slots_[e.a];
+        if (t.armed && t.gen == e.gen) ++live_timers;
+        else ++stale;
+        break;
+      }
+      case EventKind::kCrash: ++crashes; break;
+      case EventKind::kScript: ++scripts; break;
+      case EventKind::kBgPacket:
+      case EventKind::kBgWave: ++bg_events; break;
+    }
+  }
+  std::string out = "pending at t=" + std::to_string(now_) + ": " +
+                    std::to_string(fg_deliver) + " protocol deliveries, " +
+                    std::to_string(scripts) + " scripts, " + std::to_string(crashes) +
+                    " crashes, " + std::to_string(live_timers) + " live timers, " +
+                    std::to_string(bg_events) + " background events, " +
+                    std::to_string(stale) + " stale timer entries";
+  for (uint32_t slot = 0; slot < timer_slots_.size(); ++slot) {
+    const TimerSlot& t = timer_slots_[slot];
+    if (!t.armed) continue;
+    out += "; armed ";
+    out += t.background ? "background" : "foreground";
+    out += " timer owner=";
+    out += t.owner == kNilId ? "environment" : std::to_string(t.owner);
+  }
+  return out;
+}
+
 bool SimWorld::step() {
   if (queue_.empty()) return false;
   Event ev = queue_.front();
@@ -489,20 +641,45 @@ bool SimWorld::run_until_protocol_idle(Tick settle, uint64_t max_events) {
   uint64_t steps = 0;
   for (;;) {
     // Drain foreground work (protocol deliveries, scripts, crashes, plain
-    // timers).  Stale cancelled-timer heap entries are not counted here, so
-    // the counter reaching zero really means only detector upkeep is left.
+    // timers), fast-forwarding across pure-background spans between them —
+    // a scripted fault thousands of ticks out no longer costs every ping
+    // wave in between.  Stale cancelled-timer heap entries are not counted
+    // in fg_pending_, so the counter reaching zero really means only
+    // detector upkeep is left.
     while (fg_pending_ > 0) {
-      if (steps++ >= max_events) return false;
+      if (steps >= max_events) return false;
+      if (try_skip()) continue;
+      ++steps;
       if (!step()) return true;
     }
     if (queue_.empty()) return true;
-    // Only background events remain.  Advance through them for a full
-    // settle window: any detection that is already inevitable (a peer whose
-    // silence exceeds the timeout) fires within it and re-opens the drain.
-    // A *death* inside the window also re-opens it — a process can quit
-    // from a background timeout (lost majority) without emitting a single
-    // foreground event, and noticing the fresh silence takes detectors
-    // another full timeout.
+    // Only background events remain.  A horizon-capable background layer
+    // answers the quiescence question exactly: kNeverTick certifies that
+    // no detection can ever fire (protocol idle now — the remaining upkeep
+    // is noise), and a finite future horizon is jumped to and stepped,
+    // whereupon the detection either fires (fresh foreground work re-opens
+    // the drain) or the horizon moves out.  A horizon at `now` means
+    // "unknown; anything could fire" (the default implementation, or the
+    // heartbeat detector under storm delays) — fall through to the legacy
+    // settle window, which is exactly how skip-free runs conclude.
+    if (horizon_fn_) {
+      const Tick h = horizon_fn_(now_);
+      if (h == kNeverTick) return true;
+      if (h > now_) {
+        if (try_skip()) continue;
+        if (steps >= max_events) return false;
+        ++steps;
+        step();
+        continue;
+      }
+    }
+    // Settle-window criterion: advance through background events for a
+    // full settle window; any detection that is already inevitable (a peer
+    // whose silence exceeds the timeout) fires within it and re-opens the
+    // drain.  A *death* inside the window also re-opens it — a process can
+    // quit from a background timeout (lost majority) without emitting a
+    // single foreground event, and noticing the fresh silence takes
+    // detectors another full timeout.
     quiesce_dirty_ = false;
     const Tick deadline = now_ + settle;
     bool busy = false;

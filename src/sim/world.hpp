@@ -26,6 +26,20 @@
 //     pings) can bypass the packet slab entirely: the event record carries
 //     (from, to, kind) inline and delivery dispatches to a registered sink
 //     instead of building a Packet (see set_background_sink).
+//   * Virtual-time fast-forward — most of a simulated run is dead air
+//     (joiner solicit spans, detection-settle windows, steady-state
+//     partitions) during which the only queued events are background
+//     upkeep.  When the background layer can certify an earliest-effect
+//     horizon ("no detection can fire before tick T", see
+//     set_horizon_provider), the engine elides every background event
+//     strictly before min(T, next live foreground event) and jumps the
+//     clock there in one step; the registered skip hook then reconciles
+//     the background layer's state (re-arming its wave cadence, refreshing
+//     proof-of-life tables) as if the elided upkeep had run.  Foreground
+//     work — protocol deliveries, scripted faults, crashes, plain timers —
+//     always pins the skip frontier, so skips never reorder deliveries or
+//     perturb RNG draw order: a run without background machinery (the
+//     oracle detector) is bit-for-bit unaffected.
 //
 // Partitions: the model's channels are reliable, so a "partition" here
 // *delays* messages (holds them in the channel) rather than dropping them;
@@ -40,6 +54,7 @@
 #include <map>
 #include <memory>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -177,6 +192,11 @@ class SimWorld {
   /// Channels release in (from, to) order, so a seeded run is reproducible.
   void heal_partition();
 
+  /// True when the ordered channel a -> b is currently severed.  Horizon
+  /// providers use this to decide which peers can still refresh a
+  /// monitor's proof of life.
+  bool channel_blocked(ProcessId a, ProcessId b) const { return blocked(a, b); }
+
   /// Process a single event.  Returns false when the queue is empty.
   bool step();
 
@@ -187,15 +207,76 @@ class SimWorld {
   /// Protocol-quiescence for runs with an always-on background layer
   /// (heartbeat pings re-arm forever, so the queue never drains).  Steps
   /// until no *foreground* event — protocol delivery, script, crash, or
-  /// ordinary timer — is pending, then keeps advancing through background
-  /// events for a full `settle` window.  If fresh foreground work appears
-  /// (a detector timeout firing a suspicion), the drain starts over.
-  /// Returns true once a settle window completes with only background
-  /// events left (or the queue drains entirely), false on the event budget.
-  /// Choose `settle` >= detector timeout + ping interval + worst channel
-  /// delay so any detection that is already inevitable fires inside the
-  /// window.
+  /// ordinary timer — is pending, fast-forwarding across pure-background
+  /// spans whenever the horizon provider certifies them eventless.  Once
+  /// only background work remains, a horizon of kNeverTick concludes the
+  /// run outright ("no detection can ever fire"); a finite horizon is
+  /// jumped to and stepped (the detection either fires — re-opening the
+  /// drain — or postpones the horizon).  Without a horizon provider the
+  /// legacy criterion applies: advance through background events for a
+  /// full `settle` window and conclude when it produces no foreground
+  /// work.  Returns true on protocol quiescence (or a drained queue),
+  /// false on the event budget.  Choose `settle` >= detector timeout +
+  /// ping interval + worst channel delay so any detection that is already
+  /// inevitable fires inside the window.
   bool run_until_protocol_idle(Tick settle, uint64_t max_events = 50'000'000);
+
+  /// Earliest-effect horizon of the background layer: called with the
+  /// current tick, must return the earliest tick at which background
+  /// machinery could still affect protocol state (a failure detector
+  /// delivering a suspicion), computed as a *lower bound* — returning
+  /// kNeverTick certifies that nothing background can ever fire again,
+  /// returning `now` means "unknown; anything could fire" and disables
+  /// fast-forwarding.  The provider is queried only between events, never
+  /// from inside a callback.
+  using HorizonFn = std::function<Tick(Tick now)>;
+  void set_horizon_provider(HorizonFn fn) { horizon_fn_ = std::move(fn); }
+
+  /// Reconciliation hook run after every fast-forward, with the clock
+  /// already at `to`.  The background layer owns everything a skip elides,
+  /// so the hook must restore its invariants as if the elided upkeep had
+  /// run: re-arm its wave cadence (an environment timer queued before `to`
+  /// was dropped), refresh whatever state the elided traffic would have
+  /// refreshed.  The hook may arm timers and push events at or after `to`;
+  /// it must not send foreground traffic.
+  using SkipHook = std::function<void(Tick from, Tick to)>;
+  void set_skip_hook(SkipHook hook) { skip_hook_ = std::move(hook); }
+
+  /// Sink for background traffic that was already *in flight* when a skip
+  /// elided it: called once per elided arrival with the original
+  /// (from, to, kind, arrival tick), before the skip hook runs.  An
+  /// in-flight frame was sent before the span and still lands in a
+  /// skip-free run even if its channel was cut or its sender died after
+  /// the send (delivery never re-checks partitions), so the background
+  /// layer must replay its state effect — proof-of-life refresh — at the
+  /// true arrival tick or a skip could fire a detection a skip-free run
+  /// never fires.  Replays must not send (any response frame the arrival
+  /// would have triggered is covered by the skip hook's reconciliation).
+  /// Call order within one skip is unspecified; effects must commute
+  /// (take the max arrival per pair).
+  using ElisionSink = std::function<void(ProcessId from, ProcessId to, uint32_t kind, Tick when)>;
+  void set_elision_sink(ElisionSink sink) { elision_sink_ = std::move(sink); }
+
+  /// Attempt one fast-forward: if the next queued event is background (or
+  /// a stale cancelled-timer entry) and the skip frontier — the earlier of
+  /// the horizon provider's answer and the first live foreground deadline
+  /// — lies beyond it, elide everything non-foreground before the frontier
+  /// and jump the clock there.  Returns true if the clock moved.  Requires
+  /// a horizon provider; the run loops call this, and tests may.
+  bool try_skip();
+
+  /// Fast-forward telemetry since construction/reset: simulated ticks
+  /// jumped over, events elided, and skips performed.  gmpx_fuzz --stats
+  /// reports these per run so the fast path can't silently regress.
+  uint64_t skipped_ticks() const { return skipped_ticks_; }
+  uint64_t skipped_events() const { return skipped_events_; }
+  uint64_t skips() const { return skips_; }
+
+  /// Human-oriented description of still-pending work: queued event counts
+  /// by class plus every armed timer's owner.  The executor includes this
+  /// in the "run did not quiesce" diagnostic so an exhausted event budget
+  /// names the node/timer that was still live instead of failing silently.
+  std::string pending_summary() const;
 
   /// Declare [lo, hi] as background packet kinds (detector pings/acks):
   /// metered under Meter::detector_total() and ignored by
@@ -321,6 +402,14 @@ class SimWorld {
   /// The single owner of the slot-release invariant — cancel, crash
   /// reclamation and firing all go through here.
   std::function<void()> release_timer_slot(uint32_t slot);
+  /// True for events that pin the skip frontier: queued protocol
+  /// deliveries, scripts, crashes, and *live* non-background timers.
+  /// Stale timer entries (cancelled, or their slot recycled) and all
+  /// background traffic are elidable.
+  bool live_foreground(const Event& e) const;
+  /// Release whatever an elided event owns (packet slot + payload buffer,
+  /// timer slot, wave fan) without running it.
+  void discard_elided(const Event& e);
   void push_event(Tick time, EventKind kind, uint32_t a, uint64_t gen = 0);
   uint32_t acquire_packet_slot(Packet&& p);
   void release_packet_slot(uint32_t slot);
@@ -381,6 +470,13 @@ class SimWorld {
   uint32_t bg_lo_ = 1, bg_hi_ = 0;
   // Fast-path delivery sink for slab-free background packets.
   BackgroundSink bg_sink_;
+  // Virtual-time fast-forward wiring + telemetry.
+  HorizonFn horizon_fn_;
+  SkipHook skip_hook_;
+  ElisionSink elision_sink_;
+  uint64_t skipped_ticks_ = 0;
+  uint64_t skipped_events_ = 0;
+  uint64_t skips_ = 0;
   // Pending foreground work: queued deliveries of non-background kinds,
   // queued crash/script events, and armed non-background timers.  Zero
   // means only detector upkeep remains (protocol quiescence candidate).

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/codec.hpp"
+#include "harness/cluster.hpp"
 #include "scenario/executor.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/minimizer.hpp"
@@ -228,6 +229,117 @@ TEST(Executor, DelayStormStretchesRun) {
   // Same protocol outcome, but the storm dilates simulated time.
   EXPECT_EQ(a.final_view_size, b.final_view_size);
   EXPECT_GT(b.end_tick, a.end_tick);
+}
+
+// ---------------------------------------------------------------------------
+// Joiner give-up policy and the event-budget diagnostic
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// n=5, a majority-preserving double crash, then a joiner whose only
+/// contacts are the two corpses: admission can never happen, so the joiner
+/// must exhaust its solicit retries and surface JoinAborted.
+Schedule orphaned_joiner_schedule() {
+  Schedule s;
+  s.n = 5;
+  s.seed = 31;
+  s.events.push_back({EventType::kCrash, 100, 3});
+  s.events.push_back({EventType::kCrash, 150, 4});
+  ScheduleEvent join{EventType::kJoin, 500, /*target=*/100};
+  join.group = {3, 4};  // both already dead: solicitations go nowhere
+  s.events.push_back(join);
+  return s;
+}
+
+}  // namespace
+
+TEST(Executor, OrphanedJoinerAbortsInsteadOfRetryingForever) {
+  Schedule s = orphaned_joiner_schedule();
+  for (fd::DetectorKind d : {fd::DetectorKind::kOracle, fd::DetectorKind::kHeartbeat}) {
+    ExecOptions exec;
+    exec.fd = d;
+    ExecResult r = execute(s, exec);
+    SCOPED_TRACE(fd::to_string(d));
+    EXPECT_TRUE(r.ok()) << r.message();
+    EXPECT_EQ(r.aborted_joins, 1u);
+    // The give-up cap bounds the dead-air tail: ~48 x 2000-tick retries,
+    // nowhere near the legacy 400k-tick horizon.
+    EXPECT_GT(r.end_tick, 90'000u);
+    EXPECT_LT(r.end_tick, 150'000u);
+  }
+}
+
+TEST(Executor, JoinMaxAttemptsOverrideShortensTheHorizon) {
+  Schedule s = orphaned_joiner_schedule();
+  ExecOptions exec;
+  exec.join_max_attempts = 5;
+  ExecResult r = execute(s, exec);
+  EXPECT_TRUE(r.ok()) << r.message();
+  EXPECT_EQ(r.aborted_joins, 1u);
+  EXPECT_LT(r.end_tick, 20'000u);
+  // And the legacy cap restores the old open-ended horizon byte-for-byte
+  // (the oracle byte-identity acceptance runs with --join-attempts 200).
+  exec.join_max_attempts = 200;
+  ExecResult legacy = execute(s, exec);
+  EXPECT_EQ(legacy.aborted_joins, 1u);
+  EXPECT_GT(legacy.end_tick, 390'000u);
+}
+
+TEST(Executor, ExhaustedEventBudgetNamesTheLiveWork) {
+  // A run cut off mid-flight must say what was still pending instead of
+  // failing silently: the diagnostic names queued event classes and any
+  // node whose retry loop holds the horizon open.
+  Schedule s = orphaned_joiner_schedule();
+  ExecOptions exec;
+  exec.max_sim_events = 40;  // enough to start the joiner, not to finish
+  ExecResult r = execute(s, exec);
+  EXPECT_FALSE(r.quiesced);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.diagnostic.empty());
+  EXPECT_NE(r.message().find("did not quiesce"), std::string::npos);
+  EXPECT_NE(r.message().find("pending at t="), std::string::npos);
+  EXPECT_NE(r.message().find("joiner solicit retry"), std::string::npos) << r.message();
+}
+
+TEST(Executor, HeartbeatRunsFastForwardDeadAir) {
+  // The detector-assisted skip must engage on a heartbeat run with real
+  // dead air (an orphaned joiner's solicit horizon): most of the simulated
+  // time is jumped over, and the run still passes all checks.
+  Schedule s = orphaned_joiner_schedule();
+  ExecOptions exec;
+  exec.fd = fd::DetectorKind::kHeartbeat;
+  ExecResult r = execute(s, exec);
+  EXPECT_TRUE(r.ok()) << r.message();
+  EXPECT_GT(r.skipped_ticks, r.end_tick / 2);  // the tail was skipped, not ground
+  EXPECT_GT(r.skipped_events, 0u);
+  // Oracle runs must never skip (their traces are pinned byte-identical).
+  ExecOptions oracle;
+  ExecResult o = execute(s, oracle);
+  EXPECT_EQ(o.skipped_ticks, 0u);
+  EXPECT_EQ(o.skipped_events, 0u);
+}
+
+TEST(Executor, SkipStateResetsAcrossPooledClusterReuse) {
+  // Pooled cluster reuse (the sweep's steady state) must rewind the skip
+  // engine with everything else: telemetry zeroed, hooks re-registered,
+  // and a heartbeat run after an oracle run (and vice versa) behaves
+  // exactly like a fresh cluster (the determinism suite pins equality;
+  // this pins the counters).
+  Schedule s = orphaned_joiner_schedule();
+  ExecOptions hb;
+  hb.fd = fd::DetectorKind::kHeartbeat;
+  harness::Cluster cluster(harness::ClusterOptions{});
+  ExecResult first = execute(s, hb, cluster);
+  EXPECT_GT(first.skipped_ticks, 0u);
+  EXPECT_GT(cluster.world().skipped_ticks(), 0u);
+  ExecOptions oracle;
+  ExecResult second = execute(s, oracle, cluster);
+  EXPECT_EQ(second.skipped_ticks, 0u);
+  EXPECT_EQ(cluster.world().skipped_ticks(), 0u);
+  ExecResult third = execute(s, hb, cluster);
+  EXPECT_EQ(third.skipped_ticks, first.skipped_ticks);
+  EXPECT_EQ(third.trace_hash, first.trace_hash);
 }
 
 // ---------------------------------------------------------------------------

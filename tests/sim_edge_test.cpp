@@ -3,6 +3,7 @@
 // tie-breaking, crash_at racing at() scripts, and mid-run delay swaps.
 #include <gtest/gtest.h>
 
+#include <tuple>
 #include <vector>
 
 #include "sim/world.hpp"
@@ -412,4 +413,236 @@ TEST(SimEdge, MeterCountsOutOfRangeKindsViaOverflow) {
   w.meter().reset();
   EXPECT_EQ(w.meter().of_kind(9000), 0u);
   EXPECT_EQ(w.meter().total(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time fast-forward (the skip engine)
+//
+// These tests drive try_skip()/run_until_protocol_idle with a hand-rolled
+// background layer (an environment cadence timer + a horizon provider +
+// a skip hook), pinning the contract each production layer must honor:
+// foreground events pin the frontier exactly, elided cadences are the
+// hook's to re-establish, and held (partitioned) traffic survives skips.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal background layer for skip tests: an environment-owned cadence
+/// timer that sends one background ping 0 -> 1 per period, re-arming
+/// itself; the skip hook re-establishes the cadence phase-preserved, as
+/// the heartbeat detector does.
+struct TestCadence {
+  SimWorld* w;
+  Tick period;
+  Tick next = 0;
+  std::vector<Tick> fired;  ///< tick of every cadence beat that really ran
+  std::function<void()> on_beat;  ///< optional per-beat extra (a "detection")
+
+  void arm(Tick delay) {
+    next = w->now() + delay;
+    w->set_environment_timer(delay, [this] { beat(); });
+  }
+  void beat() {
+    fired.push_back(w->now());
+    if (Context* c = w->context_of(0)) c->send_background(1, 20);
+    if (on_beat) on_beat();
+    arm(period);
+  }
+  /// Skip-hook body: phase-preserving re-arm if the pending beat was elided.
+  void on_skip(Tick to) {
+    if (next < to) {
+      next += ((to - next + period - 1) / period) * period;
+      w->set_environment_timer(next - to, [this] { beat(); });
+    }
+  }
+};
+
+}  // namespace
+
+TEST(SimEdge, ScriptedCrashLandingOnSkipTargetStillFires) {
+  // A scripted crash is the only foreground event; everything background
+  // before it is elided in one jump and the crash still runs exactly at
+  // its tick — the frontier pin is precise, not approximate.
+  SimWorld w(1, DelayModel{1, 1});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.set_background_kinds(20, 21);
+  int pings = 0;
+  w.set_background_sink([&](ProcessId, ProcessId, uint32_t) { ++pings; });
+  w.start();
+  TestCadence cadence{&w, 50};
+  cadence.arm(50);
+  w.set_horizon_provider([](Tick) { return kNeverTick; });
+  w.set_skip_hook([&](Tick, Tick to) { cadence.on_skip(to); });
+  w.crash_at(1000, 1);
+  ASSERT_TRUE(w.run_until_protocol_idle(/*settle=*/500));
+  EXPECT_TRUE(w.crashed(1));
+  EXPECT_EQ(w.now(), 1000u);        // landed exactly on the crash tick
+  EXPECT_EQ(pings, 0);              // every pre-crash beat was elided
+  EXPECT_TRUE(cadence.fired.empty());
+  EXPECT_GE(w.skipped_ticks(), 950u);
+  EXPECT_GE(w.skips(), 1u);
+}
+
+TEST(SimEdge, EnvironmentCadenceStraddlingSkipIsRearmedPhasePreserved) {
+  // A cadence timer pending before the skip target is elided; the hook
+  // re-arms it on the original phase, so the first post-skip beat lands on
+  // a cadence tick, not an arbitrary offset.
+  SimWorld w(1, DelayModel{1, 1});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.set_background_kinds(20, 21);
+  w.set_background_sink([](ProcessId, ProcessId, uint32_t) {});
+  w.start();
+  TestCadence cadence{&w, 100};
+  cadence.arm(100);  // beats at 100, 200, 300, ...
+  w.set_horizon_provider([](Tick) { return kNeverTick; });
+  w.set_skip_hook([&](Tick, Tick to) { cadence.on_skip(to); });
+  w.at(250, [] {});  // the only foreground event, mid-phase
+  ASSERT_TRUE(w.try_skip());
+  EXPECT_EQ(w.now(), 250u);  // jumped to the script, not past it
+  w.run_until(460);
+  // The elided beats at 100 and 200 never ran; the cadence resumed at 300.
+  ASSERT_EQ(cadence.fired.size(), 2u);
+  EXPECT_EQ(cadence.fired[0], 300u);
+  EXPECT_EQ(cadence.fired[1], 400u);
+}
+
+TEST(SimEdge, PartitionHealAsOnlyPreHorizonEventReleasesHeldBackground) {
+  // Background traffic held by a partition lives outside the event queue,
+  // so a skip over the cut must not discard it: the heal script (the only
+  // foreground event) still releases it in FIFO order afterwards.
+  SimWorld w(1, DelayModel{1, 1});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.set_background_kinds(20, 21);
+  int fast_path = 0;
+  w.set_background_sink([&](ProcessId, ProcessId, uint32_t) { ++fast_path; });
+  w.start();
+  w.partition({0}, {1});
+  // Three pings into the cut: held as ordinary packets, not heap events.
+  for (int i = 0; i < 3; ++i) w.context_of(0)->send_background(1, 20);
+  w.set_horizon_provider([](Tick) { return kNeverTick; });
+  w.set_environment_timer(100, [] {});  // a queued bg event to elide
+  w.at(500, [&] { w.heal_partition(); });
+  ASSERT_TRUE(w.try_skip());
+  EXPECT_EQ(w.now(), 500u);
+  EXPECT_EQ(fast_path, 0);
+  w.run_until(600);  // heal runs at 500; releases the held pings
+  ASSERT_EQ(b.received.size(), 3u);  // delivered as ordinary bg-kind packets
+  for (const Packet& p : b.received) EXPECT_EQ(p.kind, 20u);
+}
+
+TEST(SimEdge, ProtocolIdleConcludesImmediatelyOnNeverHorizon) {
+  // With a horizon provider certifying "nothing can ever fire", protocol
+  // quiescence needs no settle window at all: the run concludes at the
+  // last foreground event even though background events are still queued.
+  SimWorld w(1, DelayModel{1, 1});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.set_background_kinds(20, 21);
+  w.set_background_sink([](ProcessId, ProcessId, uint32_t) {});
+  w.start();
+  TestCadence cadence{&w, 100};
+  cadence.arm(100);
+  w.set_horizon_provider([](Tick) { return kNeverTick; });
+  w.set_skip_hook([&](Tick, Tick to) { cadence.on_skip(to); });
+  ASSERT_TRUE(w.run_until_protocol_idle(/*settle=*/10'000));
+  EXPECT_EQ(w.now(), 0u);  // no settle grind: concluded before any beat
+}
+
+TEST(SimEdge, FiniteHorizonIsSteppedNotSkippedPast) {
+  // A finite horizon is a detection candidate: the engine may elide up to
+  // it but must execute the event that lands there (here the cadence beat
+  // the horizon names), never jump beyond it.
+  SimWorld w(1, DelayModel{1, 1});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.set_background_kinds(20, 21);
+  w.set_background_sink([](ProcessId, ProcessId, uint32_t) {});
+  w.start();
+  TestCadence cadence{&w, 100};
+  bool detected = false;
+  // A real detection produces foreground work (the suspicion report); the
+  // beat at the promised horizon models that with a script.
+  cadence.on_beat = [&] {
+    if (w.now() >= 1000 && !detected) {
+      detected = true;
+      w.at(w.now(), [] {});
+    }
+  };
+  cadence.arm(100);
+  // "Detection" possible at tick 1000; once it fired, the layer certifies
+  // nothing can ever fire again.
+  w.set_horizon_provider([&](Tick) -> Tick { return detected ? kNeverTick : 1000; });
+  w.set_skip_hook([&](Tick, Tick to) { cadence.on_skip(to); });
+  ASSERT_TRUE(w.run_until_protocol_idle(/*settle=*/10'000, /*max_events=*/100));
+  // The beats at 100..900 were elided; the one at exactly 1000 — the
+  // promised horizon — really ran and its detection concluded the run.
+  EXPECT_TRUE(detected);
+  ASSERT_EQ(cadence.fired.size(), 1u);
+  EXPECT_EQ(cadence.fired.front(), 1000u);
+  EXPECT_EQ(w.now(), 1000u);
+}
+
+TEST(SimEdge, SkipStateResetsWithTheWorld) {
+  SimWorld w(1, DelayModel{1, 1});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.set_background_kinds(20, 21);
+  w.set_background_sink([](ProcessId, ProcessId, uint32_t) {});
+  w.start();
+  TestCadence cadence{&w, 50};
+  cadence.arm(50);
+  w.set_horizon_provider([](Tick) { return kNeverTick; });
+  w.at(400, [] {});
+  ASSERT_TRUE(w.try_skip());
+  EXPECT_GT(w.skipped_ticks(), 0u);
+  EXPECT_GT(w.skipped_events(), 0u);
+  w.reset(1);
+  EXPECT_EQ(w.skipped_ticks(), 0u);
+  EXPECT_EQ(w.skipped_events(), 0u);
+  EXPECT_EQ(w.skips(), 0u);
+  // The provider and hook were cleared too: with no horizon the engine
+  // refuses to skip (legacy settle behaviour for unknown detectors).
+  Probe c, d;
+  w.add_actor(0, &c);
+  w.add_actor(1, &d);
+  w.start();
+  w.at(300, [] {});
+  EXPECT_FALSE(w.try_skip());
+}
+
+TEST(SimEdge, ElidedInFlightBackgroundArrivalsAreReplayedToTheSink) {
+  // A background frame already in flight when a skip elides it was sent
+  // before the span — a skip-free run still delivers it even if its
+  // channel is cut (or its sender dies) after the send.  The elision sink
+  // must therefore see every elided in-flight arrival with its original
+  // arrival tick, so the background layer can replay the proof-of-life
+  // refresh instead of firing a detection a skip-free run never fires.
+  SimWorld w(1, DelayModel{10, 10});
+  Probe a, b;
+  w.add_actor(0, &a);
+  w.add_actor(1, &b);
+  w.set_background_kinds(20, 21);
+  w.set_background_sink([](ProcessId, ProcessId, uint32_t) {});
+  w.start();
+  w.context_of(0)->send_background(1, 20);  // in flight, arrives at tick 10
+  w.partition({0}, {1});                    // cut AFTER the send
+  std::vector<std::tuple<ProcessId, ProcessId, uint32_t, Tick>> replayed;
+  w.set_elision_sink([&](ProcessId from, ProcessId to, uint32_t kind, Tick when) {
+    replayed.emplace_back(from, to, kind, when);
+  });
+  w.set_horizon_provider([](Tick) { return kNeverTick; });
+  w.at(500, [] {});  // the only foreground event
+  ASSERT_TRUE(w.try_skip());
+  EXPECT_EQ(w.now(), 500u);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0], (std::tuple<ProcessId, ProcessId, uint32_t, Tick>{0, 1, 20, 10}));
 }

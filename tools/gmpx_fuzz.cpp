@@ -47,17 +47,20 @@ void usage() {
   std::fprintf(stderr,
                "usage: gmpx_fuzz [--seeds LO:HI] [--profile mixed|churn|partition|burst|all]\n"
                "                 [--fd oracle|heartbeat|all (or comma list)]\n"
-               "                 [--hb-interval T] [--hb-timeout T]\n"
+               "                 [--hb-interval T] [--hb-timeout T] [--join-attempts N]\n"
                "                 [--nodes N] [--horizon T] [--max-events K] [--no-liveness]\n"
                "                 [--basic] [--inject-bug] [--out DIR] [--jobs N]\n"
                "                 [--replay FILE [--minimize]] [-v] [--stats]\n"
                "\n"
                "--fd heartbeat runs real ping/timeout detection instead of the scripted\n"
                "oracle (storm intensities are calibrated so false suspicions fire).\n"
+               "--join-attempts overrides the joiner give-up cap (0 = default policy;\n"
+               "200 reproduces the legacy open-ended retry horizon byte-for-byte).\n"
                "--inject-bug suppresses faulty_p(q) trace records (a deliberate GMP-1\n"
                "violation) to demonstrate the find -> report -> minimize pipeline.\n"
-               "--stats prints a per-run allocs=/exec= line and per-detector schedules/s\n"
-               "in the final report (telemetry; NOT byte-stable across --jobs values).\n");
+               "--stats prints a per-run allocs=/exec=/skip= line and, per detector,\n"
+               "schedules/s, wall-clock, and the fast-forward skip ratio in the final\n"
+               "report (telemetry; NOT byte-stable across --jobs values).\n");
 }
 
 struct Args {
@@ -128,6 +131,12 @@ bool parse_args(int argc, char** argv, Args& a) {
       Tick t = v ? std::strtoull(v, &end, 10) : 0;
       if (!v || end == v || *end != '\0' || t == 0) return false;
       a.exec.heartbeat.timeout = t;
+    } else if (arg == "--join-attempts") {
+      const char* v = next();
+      char* end = nullptr;
+      unsigned long n = v ? std::strtoul(v, &end, 10) : 0;
+      if (!v || end == v || *end != '\0') return false;
+      a.exec.join_max_attempts = n;
     } else if (arg == "--nodes") {
       const char* v = next();
       if (!v) return false;
@@ -263,11 +272,13 @@ int main(int argc, char** argv) {
   sweep.on_run = [&a](const SweepRun& run) {
     std::fputs(run.report.c_str(), stdout);
     if (a.stats) {
-      std::printf("stats %s/%s seed=%lu allocs=%lu exec=%.3fms\n",
+      std::printf("stats %s/%s seed=%lu allocs=%lu exec=%.3fms skip=%lu/%lu\n",
                   to_string(run.profile), fd::to_string(run.detector),
                   static_cast<unsigned long>(run.seed),
                   static_cast<unsigned long>(run.allocs),
-                  static_cast<double>(run.exec_ns) / 1e6);
+                  static_cast<double>(run.exec_ns) / 1e6,
+                  static_cast<unsigned long>(run.skipped_ticks),
+                  static_cast<unsigned long>(run.skipped_events));
     }
     std::fflush(stdout);
     if (!run.ok && !a.out_dir.empty()) {
@@ -283,17 +294,30 @@ int main(int argc, char** argv) {
     // it is comparable across --jobs values.
     for (fd::DetectorKind d : sweep.detectors) {
       uint64_t runs = 0, ns = 0, allocs = 0;
+      uint64_t skipped_ticks = 0, skipped_events = 0, sim_ticks = 0, aborted = 0;
       for (const SweepRun& run : result.run_log) {
         if (run.detector != d) continue;
         ++runs;
         ns += run.exec_ns;
         allocs += run.allocs;
+        skipped_ticks += run.skipped_ticks;
+        skipped_events += run.skipped_events;
+        sim_ticks += run.end_tick;
+        aborted += run.aborted_joins;
       }
       if (runs == 0) continue;
-      std::printf("stats %s: %.1f schedules/s (%lu runs, mean allocs=%.1f)\n",
-                  fd::to_string(d), ns ? 1e9 * static_cast<double>(runs) / ns : 0.0,
-                  static_cast<unsigned long>(runs),
-                  static_cast<double>(allocs) / static_cast<double>(runs));
+      // skip-ratio = fast-forwarded ticks / total simulated ticks for the
+      // axis; CI asserts it stays nonzero on the heartbeat axis so the fast
+      // path cannot silently regress to tick-grinding.
+      std::printf(
+          "stats %s: %.1f schedules/s (%lu runs, %.1fms wall, mean allocs=%.1f, "
+          "skip-ratio=%.3f, elided=%lu, aborted-joins=%lu)\n",
+          fd::to_string(d), ns ? 1e9 * static_cast<double>(runs) / ns : 0.0,
+          static_cast<unsigned long>(runs), static_cast<double>(ns) / 1e6,
+          static_cast<double>(allocs) / static_cast<double>(runs),
+          sim_ticks ? static_cast<double>(skipped_ticks) / static_cast<double>(sim_ticks)
+                    : 0.0,
+          static_cast<unsigned long>(skipped_events), static_cast<unsigned long>(aborted));
     }
   }
   std::printf("gmpx_fuzz: %lu runs, %lu failures\n",
