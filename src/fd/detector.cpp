@@ -6,6 +6,7 @@ const char* to_string(DetectorKind k) {
   switch (k) {
     case DetectorKind::kOracle: return "oracle";
     case DetectorKind::kHeartbeat: return "heartbeat";
+    case DetectorKind::kPhi: return "phi";
   }
   return "?";
 }
@@ -13,6 +14,7 @@ const char* to_string(DetectorKind k) {
 bool parse_detector(const std::string& name, DetectorKind& out) {
   if (name == "oracle") out = DetectorKind::kOracle;
   else if (name == "heartbeat") out = DetectorKind::kHeartbeat;
+  else if (name == "phi") out = DetectorKind::kPhi;
   else return false;
   return true;
 }
@@ -80,11 +82,10 @@ void HeartbeatDetector::wave() {
   }
 }
 
-bool HeartbeatDetector::benign_delay() const {
-  return opts_.interval + env_.world->delays().max_delay <= opts_.timeout;
-}
-
 bool HeartbeatDetector::refreshable(ProcessId q, ProcessId mid) const {
+  // Purely structural: does a refresh *stream* exist?  Whether that stream
+  // outpaces the timeout under the current delay model is steady()'s
+  // chain condition, not a property of the stream itself.
   const sim::SimWorld& w = *env_.world;
   if (w.crashed(q)) return false;
   gmp::GmpNode* qn = env_.node(q);
@@ -99,11 +100,7 @@ bool HeartbeatDetector::refreshable(ProcessId q, ProcessId mid) const {
   // A committed-but-unbootstrapped joiner cannot ping; it is audible only
   // as acks to mid's pings — which need mid to be an admitted pinger with
   // q in its view, the mid -> q channel open, and q not to have isolated
-  // mid (its monitor drops isolated senders).  Ack proof of life lags a
-  // full ping+ack round trip behind, so its benign-silence bound is two
-  // channel delays, not one: under delays past that the pair stays a
-  // horizon candidate even though benign_delay() holds.
-  if (opts_.interval + 2 * w.delays().max_delay > opts_.timeout) return false;
+  // mid (its monitor drops isolated senders).
   gmp::GmpNode* mn = env_.node(mid);
   if (!mn || !mn->admitted() || !mn->view().contains(q)) return false;
   return !w.channel_blocked(mid, q) && !qn->isolated().count(mid);
@@ -111,17 +108,19 @@ bool HeartbeatDetector::refreshable(ProcessId q, ProcessId mid) const {
 
 Tick HeartbeatDetector::next_possible_detection(Tick now) const {
   if (next_wave_ == kNeverTick) return kNoDetection;  // deployment dead
-  // Under storm delays (a healthy pair's silence can outgrow the timeout)
-  // detections hinge on the random timing of in-flight pings, which a
-  // horizon must not second-guess: answer "unknown" and let the engine
-  // step storm spans event by event.  Skips therefore only ever collapse
-  // provably-quiet benign upkeep; they never manufacture or suppress a
-  // suspicion inside the span they elide.  (Elided waves do skip their
-  // delay draws, so the RNG stream — and with it post-skip storm
-  // interleavings — shifts against a skip-free execution: traces diverge
-  // in timing while staying per-seed deterministic, the heartbeat axis's
-  // documented wave-elision divergence.)
-  if (!benign_delay()) return now;
+  // Per-pair reasoning, valid under any delay model: a pair whose refresh
+  // chain provably outpaces the timeout (steady) is exempt; every other
+  // pair pins the horizon — a structurally-severed one at the first scan
+  // that could see its silence past the timeout, a merely-unprovable one
+  // (storm-hot chain, residual staleness, live fault axes) at the very
+  // next wave, whose pings decide its fate and so must execute for real.
+  // A delay span is never collapsed to "unknown" wholesale: while every
+  // watched pair still has a provable refresh in flight the span keeps
+  // skipping.  (Elided waves do skip their delay draws, so the RNG stream
+  // — and with it post-skip interleavings — shifts against a skip-free
+  // execution: traces diverge in timing while staying per-seed
+  // deterministic, the heartbeat axis's documented wave-elision
+  // divergence.)
   const Tick wave0 = next_wave_ > now ? next_wave_ : now;
   Tick best = kNoDetection;
   for (const auto& m : monitors_) {
@@ -132,11 +131,10 @@ Tick HeartbeatDetector::next_possible_detection(Tick now) const {
       if (q == mid || node.isolated().count(q)) continue;  // scan never suspects these
       Tick seen = m->last_heard(q);
       if (seen == 0) seen = wave0;  // first sighting: grace starts at the next scan
-      // A pair whose upkeep keeps flowing cannot cross the timeout under
-      // benign delay — but only once it is *steady*: its next guaranteed
-      // refresh (the frame answering the coming wave) lands within one
-      // refresh lag, and no scan before that arrival may find the current
-      // staleness past the timeout.  A pair left residually stale by a
+      // A pair whose upkeep keeps flowing cannot cross the timeout — but
+      // only once it is *steady*: its refresh chain outpaces the timeout
+      // and no scan before the next guaranteed arrival may find the
+      // current staleness past it.  A pair left residually stale by a
       // just-ended storm fails this and stays a candidate, so the wave
       // that would suspect it in a skip-free run really executes (an
       // elided in-flight arrival replay can still clear it first).
@@ -144,6 +142,14 @@ Tick HeartbeatDetector::next_possible_detection(Tick now) const {
       // The scan suspects at the first wave tick W with W - seen > timeout.
       Tick fire = wave0;
       if (fire <= seen + opts_.timeout) {
+        if (refreshable(q, mid)) {
+          // Not provably steady, but still fed by upkeep: whether the next
+          // wave's in-flight pings refresh it before its silence crosses
+          // the timeout is a question of random frame timing the horizon
+          // must not second-guess.  Never skip past that wave.
+          if (wave0 < best) best = wave0;
+          continue;
+        }
         const Tick k = (seen + opts_.timeout - fire) / opts_.interval + 1;
         fire += k * opts_.interval;
       }
@@ -155,15 +161,33 @@ Tick HeartbeatDetector::next_possible_detection(Tick now) const {
 
 bool HeartbeatDetector::steady(ProcessId q, ProcessId mid, Tick seen, Tick wave0) const {
   if (!refreshable(q, mid)) return false;
+  const sim::SimWorld& w = *env_.world;
+  // A refresh that may be dropped is not a guarantee: any nonzero loss
+  // probability suspends steadiness certification outright (fault spans
+  // are bounded and script-delimited, so certification resumes — and with
+  // it the benign skip ratio — the moment the span heals).
+  if (w.channel_faults().loss_permille > 0) return false;
   // Refresh lag: an admitted peer's wave ping arrives within one channel
   // delay; an unadmitted joiner answers mid's ping, a full round trip.
+  // Reordered frames dodge the FIFO clamp and may land up to the
+  // reordering slack later still.
   gmp::GmpNode* qn = env_.node(q);
-  const Tick lag =
-      (qn && qn->admitted()) ? env_.world->delays().max_delay
-                             : 2 * env_.world->delays().max_delay;
-  // Last scan that can run before the refresh is guaranteed to have
-  // landed; if even that one cannot see silence past the timeout, the
-  // pair is quiet until the refresh, and steadily-refreshing thereafter.
+  Tick per_frame = w.delays().max_delay;
+  if (w.channel_faults().reorder_permille > 0) per_frame += w.channel_faults().reorder_slack;
+  const Tick lag = (qn && qn->admitted()) ? per_frame : 2 * per_frame;
+  // Chain condition: successive guaranteed arrivals (one per wave, each at
+  // most `lag` after its wave) must be dense enough that every scan sees a
+  // refresh at most `timeout` old.  Wave cadence makes that exactly
+  // ceil(lag / interval) * interval <= timeout — independent of phase, so
+  // it holds for the whole span or not at all.  This is what replaces the
+  // old whole-horizon benign-delay bail: a delay span hot enough to break
+  // the chain demotes pairs individually instead of blinding the horizon.
+  const Tick chain = ((lag + opts_.interval - 1) / opts_.interval) * opts_.interval;
+  if (chain > opts_.timeout) return false;
+  // Initial window: scans before the first guaranteed refresh lands see
+  // only the current staleness; if even the last of them cannot cross the
+  // timeout, the pair is quiet until the refresh, and steadily-refreshing
+  // thereafter.
   const Tick last_risky = wave0 + (lag / opts_.interval) * opts_.interval;
   return last_risky <= seen + opts_.timeout;
 }
@@ -183,9 +207,9 @@ void HeartbeatDetector::on_fast_forward(Tick from, Tick to) {
     w.set_environment_timer(next_wave_ - to, [this] { wave(); });
   }
   // Replay what the elided traffic would have done to the proof-of-life
-  // tables (skips only happen in benign-delay spans — the horizon answers
-  // "unknown" under storms — so every refreshable pair really would have
-  // kept exchanging upkeep):
+  // tables (the horizon only certifies spans whose steady pairs really
+  // would have kept exchanging upkeep; everything else pinned the skip at
+  // or before the wave that judges it):
   //   * a never-seen pair's grace period starts at the first elided scan
   //     (the real scan calls note_alive on first sighting) — without this
   //     the horizon for a silent never-seen peer recedes forever and the
@@ -278,11 +302,238 @@ Actor* HeartbeatDetector::wrap(gmp::GmpNode& inner) {
   return raw;
 }
 
+PhiAccrualDetector::PhiAccrualDetector(PhiOptions opts) : opts_(opts) {
+  // Fixed at construction: the smallest margin the adaptive threshold can
+  // ever put above a pair's mean gap (σ is floored at min_stddev).
+  zmargin_ = static_cast<Tick>(
+      std::ceil(phi_threshold_z(opts_.threshold) * static_cast<double>(opts_.min_stddev)));
+}
+
+void PhiAccrualDetector::bind(Env env) {
+  FailureDetector::bind(std::move(env));
+  env_.world->set_background_sink(
+      [this](ProcessId from, ProcessId to, uint32_t kind) {
+        on_background_packet(from, to, kind);
+      });
+  next_wave_ = env_.world->now() + opts_.interval;
+  env_.world->set_environment_timer(opts_.interval, [this] { wave(); });
+}
+
+void PhiAccrualDetector::reset() {
+  for (auto& m : monitors_) monitor_pool_.push_back(std::move(m));
+  monitors_.clear();
+  monitor_by_id_.clear();
+  next_wave_ = kNeverTick;  // bind() re-establishes the cadence
+}
+
+void PhiAccrualDetector::wave() {
+  sim::SimWorld& world = *env_.world;
+  bool any_alive = false;
+  for (auto& m : monitors_) {
+    const ProcessId id = m->node().id();
+    if (Context* ctx = world.context_of(id)) {
+      targets_.clear();
+      m->tick_collect(*ctx, targets_);
+      if (!targets_.empty()) world.send_background_wave(id, targets_, gmp::kind::kHeartbeat);
+    }
+    if (!world.crashed(id)) any_alive = true;
+  }
+  if (any_alive) {
+    next_wave_ = world.now() + opts_.interval;
+    env_.world->set_environment_timer(opts_.interval, [this] { wave(); });
+  } else {
+    next_wave_ = kNeverTick;
+  }
+}
+
+bool PhiAccrualDetector::refreshable(ProcessId q, ProcessId mid) const {
+  // Structurally identical to HeartbeatDetector::refreshable: does a
+  // refresh stream exist at all?
+  const sim::SimWorld& w = *env_.world;
+  if (w.crashed(q)) return false;
+  gmp::GmpNode* qn = env_.node(q);
+  if (!qn || qn->has_quit()) return false;
+  if (w.channel_blocked(q, mid)) return false;
+  if (qn->admitted()) {
+    return qn->view().contains(mid) && !qn->isolated().count(mid);
+  }
+  gmp::GmpNode* mn = env_.node(mid);
+  if (!mn || !mn->admitted() || !mn->view().contains(q)) return false;
+  return !w.channel_blocked(mid, q) && !qn->isolated().count(mid);
+}
+
+Tick PhiAccrualDetector::pair_bound(const PhiFd& m, ProcessId q) const {
+  // Lower bound on every value suspect_after(q) can take while benign
+  // cadence samples keep arriving.  Future gaps under the current delay
+  // model are at least interval - (max - min channel delay); the mean and
+  // σ-floored fit can therefore never drop the threshold below
+  // min(smallest ring gap, that benign gap) + z·min_stddev.  Monotone
+  // under future samples — the property that keeps a certified span
+  // certified as elided arrivals are replayed into the ring.
+  const sim::DelayModel& d = env_.world->delays();
+  const Tick spread = d.max_delay > d.min_delay ? d.max_delay - d.min_delay : 0;
+  const Tick benign_gap = opts_.interval > spread ? opts_.interval - spread : 1;
+  const Tick mg = m.min_gap(q);
+  const Tick floor_gap = (mg != 0 && mg < benign_gap) ? mg : benign_gap;
+  Tick b = zmargin_ + floor_gap;
+  if (b > opts_.max_timeout) b = opts_.max_timeout;
+  // Until the fit is trusted the fixed bootstrap threshold governs; the
+  // bound must not promise more than the smaller regime (mid-span samples
+  // can flip a bootstrap pair to the adaptive threshold).
+  if (m.samples(q) < opts_.min_samples && opts_.bootstrap_timeout < b)
+    b = opts_.bootstrap_timeout;
+  return b;
+}
+
+bool PhiAccrualDetector::steady(const PhiFd& m, ProcessId q, ProcessId mid, Tick seen,
+                                Tick wave0) const {
+  if (!refreshable(q, mid)) return false;
+  const sim::SimWorld& w = *env_.world;
+  // Stricter than the heartbeat gate: ANY live fault axis suspends
+  // certification.  Loss breaks the refresh guarantee, and duplication /
+  // reordering perturb the inter-arrival samples themselves — the fit's
+  // future trajectory (and with it any silence bound) becomes unprovable.
+  if (w.channel_faults().any()) return false;
+  gmp::GmpNode* qn = env_.node(q);
+  const Tick lag = (qn && qn->admitted()) ? w.delays().max_delay : 2 * w.delays().max_delay;
+  // Same chain + initial-window conditions as HeartbeatDetector::steady,
+  // against the conservative moving-threshold bound instead of a fixed
+  // timeout.
+  const Tick bound = pair_bound(m, q);
+  const Tick chain = ((lag + opts_.interval - 1) / opts_.interval) * opts_.interval;
+  if (chain > bound) return false;
+  const Tick last_risky = wave0 + (lag / opts_.interval) * opts_.interval;
+  return last_risky <= seen + bound;
+}
+
+Tick PhiAccrualDetector::next_possible_detection(Tick now) const {
+  if (next_wave_ == kNeverTick) return kNoDetection;  // deployment dead
+  // Mirrors HeartbeatDetector::next_possible_detection with two twists:
+  // steadiness is certified against pair_bound() (a threshold that moves
+  // with the fit needs a monotone lower bound), while a structurally
+  // severed pair's fire tick may use the *current* fitted threshold — no
+  // future arrival can refresh it, and replayed in-flight samples can only
+  // delay the post-skip scan that judges it, never conjure a suspicion a
+  // skip-free run could not produce.
+  const Tick wave0 = next_wave_ > now ? next_wave_ : now;
+  Tick best = kNoDetection;
+  for (const auto& m : monitors_) {
+    const gmp::GmpNode& node = m->node();
+    const ProcessId mid = node.id();
+    if (env_.world->crashed(mid) || node.has_quit() || !node.admitted()) continue;
+    for (ProcessId q : node.view().members()) {
+      if (q == mid || node.isolated().count(q)) continue;
+      Tick seen = m->last_heard(q);
+      if (seen == 0) seen = wave0;
+      if (steady(*m, q, mid, seen, wave0)) continue;
+      const Tick threshold = m->suspect_after(q);
+      Tick fire = wave0;
+      if (fire <= seen + threshold) {
+        if (refreshable(q, mid)) {
+          // Fed by upkeep but not provably steady: the next wave's frames
+          // decide — never skip past them.
+          if (wave0 < best) best = wave0;
+          continue;
+        }
+        const Tick k = (seen + threshold - fire) / opts_.interval + 1;
+        fire += k * opts_.interval;
+      }
+      if (fire < best) best = fire;
+    }
+  }
+  return best;
+}
+
+void PhiAccrualDetector::on_fast_forward(Tick from, Tick to) {
+  (void)from;
+  sim::SimWorld& w = *env_.world;
+  // Same reconciliation as HeartbeatDetector::on_fast_forward: re-arm the
+  // cadence phase-preserved and mark steady pairs heard at the skip
+  // target.  mark_heard() records no inter-arrival sample — elided upkeep
+  // must not fabricate distribution data, and pair_bound() already
+  // guarantees the unfed fit stays above every silence the certified span
+  // could show.
+  const Tick w0 = next_wave_;
+  const bool wave_elided = next_wave_ != kNeverTick && next_wave_ < to;
+  if (wave_elided) {
+    const Tick missed = (to - next_wave_ + opts_.interval - 1) / opts_.interval;
+    next_wave_ += missed * opts_.interval;
+    w.set_environment_timer(next_wave_ - to, [this] { wave(); });
+  }
+  if (!wave_elided) return;
+  for (auto& m : monitors_) {
+    const gmp::GmpNode& node = m->node();
+    const ProcessId mid = node.id();
+    if (w.crashed(mid) || node.has_quit()) continue;
+    if (node.admitted()) {
+      for (ProcessId q : node.view().members()) {
+        if (q == mid || node.isolated().count(q)) continue;
+        if (m->last_heard(q) == 0) m->mark_heard(q, w0);
+        if (steady(*m, q, mid, m->last_heard(q), w0)) m->mark_heard(q, to);
+      }
+    } else {
+      for (ProcessId q : *env_.ids) {
+        if (q == mid || node.isolated().count(q)) continue;
+        const Tick seen = m->last_heard(q) == 0 ? w0 : m->last_heard(q);
+        if (steady(*m, q, mid, seen, w0)) m->mark_heard(q, to);
+      }
+    }
+  }
+}
+
+void PhiAccrualDetector::on_elided_background(ProcessId from, ProcessId to, uint32_t kind,
+                                              Tick when) {
+  // As in HeartbeatDetector::on_elided_background, but a replayed real
+  // arrival feeds the inter-arrival ring (record_arrival) — it happened at
+  // exactly `when` in a skip-free run too.  The modeled ack of a live
+  // unadmitted receiver is synthetic timing (its own delay draw never
+  // happened), so it refreshes proof of life without sampling.
+  PhiFd* m = to < monitor_by_id_.size() ? monitor_by_id_[to] : nullptr;
+  if (!m) return;
+  if (env_.world->crashed(to)) return;
+  const gmp::GmpNode& node = m->node();
+  if (node.has_quit() || node.isolated().count(from)) return;
+  if (when > m->last_heard(from)) m->record_arrival(from, when);
+  if (kind != gmp::kind::kHeartbeat || node.admitted()) return;
+  if (env_.world->channel_blocked(to, from)) return;  // the ack would be held
+  PhiFd* back = from < monitor_by_id_.size() ? monitor_by_id_[from] : nullptr;
+  if (!back) return;
+  if (env_.world->crashed(from)) return;
+  const gmp::GmpNode& sender = back->node();
+  if (sender.has_quit() || sender.isolated().count(to)) return;
+  if (when > back->last_heard(to)) back->mark_heard(to, when);
+}
+
+void PhiAccrualDetector::on_background_packet(ProcessId from, ProcessId to, uint32_t kind) {
+  PhiFd* m = to < monitor_by_id_.size() ? monitor_by_id_[to] : nullptr;
+  if (!m) return;
+  if (Context* ctx = env_.world->context_of(to)) m->on_background(*ctx, from, kind);
+}
+
+Actor* PhiAccrualDetector::wrap(gmp::GmpNode& inner) {
+  std::unique_ptr<PhiFd> m;
+  if (!monitor_pool_.empty()) {
+    m = std::move(monitor_pool_.back());
+    monitor_pool_.pop_back();
+    m->reset(&inner, opts_, /*self_arm=*/false);
+  } else {
+    m = std::make_unique<PhiFd>(&inner, opts_, /*self_arm=*/false);
+  }
+  monitors_.push_back(std::move(m));
+  PhiFd* raw = monitors_.back().get();
+  const ProcessId id = inner.id();
+  if (id >= monitor_by_id_.size()) monitor_by_id_.resize(id + 1, nullptr);
+  monitor_by_id_[id] = raw;
+  return raw;
+}
+
 std::unique_ptr<FailureDetector> make_detector(DetectorKind kind, const OracleOptions& oracle,
-                                               const HeartbeatOptions& heartbeat) {
+                                               const HeartbeatOptions& heartbeat,
+                                               const PhiOptions& phi) {
   switch (kind) {
     case DetectorKind::kOracle: return std::make_unique<OracleFd>(oracle);
     case DetectorKind::kHeartbeat: return std::make_unique<HeartbeatDetector>(heartbeat);
+    case DetectorKind::kPhi: return std::make_unique<PhiAccrualDetector>(phi);
   }
   return std::make_unique<OracleFd>(oracle);
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "fd/heartbeat.hpp"
+#include "fd/phi.hpp"
 #include "gmp/node.hpp"
 #include "sim/world.hpp"
 
@@ -41,9 +42,10 @@ namespace gmpx::fd {
 enum class DetectorKind : uint8_t {
   kOracle,     ///< scripted crash-hook injection (deterministic, never false)
   kHeartbeat,  ///< real ping/timeout monitoring (may be false under delay)
+  kPhi,        ///< adaptive φ-accrual monitoring (fd/phi.hpp)
 };
 
-/// Returns "oracle" / "heartbeat".
+/// Returns "oracle" / "heartbeat" / "phi".
 const char* to_string(DetectorKind k);
 
 /// Parse a detector name (as printed by to_string); false on unknown.
@@ -190,16 +192,18 @@ class OracleFd final : public FailureDetector {
 ///     straight to the destination monitor, never building a Packet;
 ///   * monitors are recycled across reset()s (pooled cluster reuse);
 ///   * whole ping/settle spans collapse under the virtual-time
-///     fast-forward: in benign-delay spans next_possible_detection() walks
-///     every (monitor, peer) pair and reports the first wave tick at which
-///     a silence could cross the timeout, so the runtime can certify "no
-///     detection can fire before tick T" and elide every wave in between
-///     (on_fast_forward then re-arms the cadence and refreshes the pairs
-///     the elided pings would have refreshed); under storm delays the
-///     horizon answers "unknown" and the run steps exactly like a
-///     skip-free one.  See tests/README.md "virtual time & skip horizons"
-///     for the exact divergence this is allowed to introduce (wave elision
-///     in provably-quiet spans only).
+///     fast-forward: next_possible_detection() walks every (monitor, peer)
+///     pair and reports the first wave tick at which a silence could cross
+///     the timeout, so the runtime can certify "no detection can fire
+///     before tick T" and elide every wave in between (on_fast_forward
+///     then re-arms the cadence and refreshes the pairs the elided pings
+///     would have refreshed).  The reasoning is per pair: a delay span
+///     whose every watched pair still has a provable refresh in flight
+///     keeps skipping; only pairs whose refresh chain the current delay
+///     model can no longer outpace pin the horizon, and never past the
+///     next wave (whose pings decide their fate).  See tests/README.md
+///     "virtual time & skip horizons" for the exact divergence this is
+///     allowed to introduce.
 class HeartbeatDetector final : public FailureDetector {
  public:
   explicit HeartbeatDetector(HeartbeatOptions opts) : opts_(opts) {}
@@ -240,22 +244,20 @@ class HeartbeatDetector final : public FailureDetector {
   /// the pairs next_possible_detection() treats as silence candidates —
   /// the horizon and the fast-forward refresh reason from the same rule.
   bool refreshable(ProcessId q, ProcessId mid) const;
-  /// "A healthy pair cannot cross the timeout": the worst benign silence
-  /// (one ping period plus one channel delay) stays under it.  False
-  /// during delay storms hot enough to provoke false suspicions — there
-  /// detections hinge on in-flight ping timing, so the horizon answers
-  /// "unknown" and storm spans step event by event exactly like a
-  /// skip-free run (storm-driven suspicion behaviour is preserved, not
-  /// approximated).
-  bool benign_delay() const;
-  /// A refreshable pair is *steady* when its current staleness provably
-  /// cannot cross the timeout before its next guaranteed refresh lands
-  /// (one channel delay after the coming wave for an admitted pinger, a
-  /// full round trip for an unadmitted acker).  Steady pairs are exempt
-  /// from the horizon and are refreshed by on_fast_forward; residually
-  /// stale ones (a storm just ended) stay candidates so the wave that
-  /// would suspect them in a skip-free run really executes.  `seen` is the
-  /// effective last-heard tick (grace substituted), `wave0` the next wave.
+  /// A refreshable pair is *steady* when neither its current staleness nor
+  /// any future scan can cross the timeout before a guaranteed refresh
+  /// lands (one channel delay after a wave for an admitted pinger, a full
+  /// round trip for an unadmitted acker — plus the reordering slack when
+  /// that fault axis is live).  Two conditions: the refresh *chain* must
+  /// outpace the timeout under the current delay model (false in storms
+  /// hot enough to provoke false suspicions), and the *initial* window
+  /// until the first guaranteed refresh must stay under it.  Steady pairs
+  /// are exempt from the horizon and are refreshed by on_fast_forward;
+  /// everything else stays a candidate so the wave that would judge it in
+  /// a skip-free run really executes.  Any nonzero loss probability
+  /// disbands steadiness entirely: a refresh that may be dropped is not a
+  /// guarantee.  `seen` is the effective last-heard tick (grace
+  /// substituted), `wave0` the next wave.
   bool steady(ProcessId q, ProcessId mid, Tick seen, Tick wave0) const;
 
   HeartbeatOptions opts_;
@@ -270,8 +272,67 @@ class HeartbeatDetector final : public FailureDetector {
   Tick next_wave_ = kNeverTick;
 };
 
+/// The adaptive detector: one fd::PhiFd monitor per node (see fd/phi.hpp
+/// for the φ model and tuning guidance).  Same simulator integration as
+/// HeartbeatDetector — batched wave, background fast path, pooled monitors
+/// — but the skip-horizon arithmetic must respect a per-pair *moving*
+/// threshold: new samples can shrink a pair's fitted silence threshold
+/// mid-span, so steadiness is certified against a conservative lower bound
+/// (z·min_stddev above the smallest gap the fit could converge to) rather
+/// than the current threshold, and any live loss/dup/reorder fault axis
+/// suspends certification outright (perturbed inter-arrival samples make
+/// the fit's future trajectory unprovable).
+class PhiAccrualDetector final : public FailureDetector {
+ public:
+  explicit PhiAccrualDetector(PhiOptions opts);
+
+  void bind(Env env) override;
+  void reset() override;
+  Actor* wrap(gmp::GmpNode& inner) override;
+
+  std::pair<uint32_t, uint32_t> background_kinds() const override {
+    return {gmp::kind::kHeartbeat, gmp::kind::kHeartbeatAck};
+  }
+
+  Tick next_possible_detection(Tick now) const override;
+  void on_fast_forward(Tick from, Tick to) override;
+  void on_elided_background(ProcessId from, ProcessId to, uint32_t kind, Tick when) override;
+
+  /// Like HeartbeatDetector's window but sized by the adaptive cap: a
+  /// pending suspicion can hide behind a threshold as large as max_timeout.
+  Tick settle_window(Tick worst_delay) const override {
+    return opts_.max_timeout + 2 * opts_.interval + worst_delay + 400;
+  }
+
+  const PhiOptions& options() const { return opts_; }
+
+ private:
+  void wave();
+  void on_background_packet(ProcessId from, ProcessId to, uint32_t kind);
+  /// Same structural predicate as HeartbeatDetector::refreshable.
+  bool refreshable(ProcessId q, ProcessId mid) const;
+  /// Conservative per-pair silence bound for horizon/steadiness reasoning:
+  /// a lower bound on every value the pair's fitted threshold can take
+  /// while benign cadence samples keep arriving.  min(current fit floor,
+  /// next benign gap) + z·min_stddev — monotone under future samples, so a
+  /// span certified against it stays certified as elided arrivals are
+  /// replayed into the ring.
+  Tick pair_bound(const PhiFd& m, ProcessId q) const;
+  /// Steadiness under the moving threshold; see HeartbeatDetector::steady.
+  bool steady(const PhiFd& m, ProcessId q, ProcessId mid, Tick seen, Tick wave0) const;
+
+  PhiOptions opts_;
+  Tick zmargin_ = 0;  ///< ceil(z(threshold) · min_stddev), fixed at construction
+  std::vector<std::unique_ptr<PhiFd>> monitors_;
+  std::vector<std::unique_ptr<PhiFd>> monitor_pool_;  ///< recycled across runs
+  std::vector<PhiFd*> monitor_by_id_;                 ///< dense id -> monitor (borrowed)
+  std::vector<ProcessId> targets_;                    ///< wave scratch
+  Tick next_wave_ = kNeverTick;                       ///< as in HeartbeatDetector
+};
+
 /// Build the standard detector for `kind` from the matching options.
 std::unique_ptr<FailureDetector> make_detector(DetectorKind kind, const OracleOptions& oracle,
-                                               const HeartbeatOptions& heartbeat);
+                                               const HeartbeatOptions& heartbeat,
+                                               const PhiOptions& phi);
 
 }  // namespace gmpx::fd

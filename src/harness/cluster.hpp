@@ -38,6 +38,7 @@ struct ClusterOptions {
   fd::DetectorKind detector = fd::DetectorKind::kOracle;
   fd::OracleOptions oracle{};        ///< used when detector == kOracle
   fd::HeartbeatOptions heartbeat{};  ///< used when detector == kHeartbeat
+  fd::PhiOptions phi{};              ///< used when detector == kPhi
   fd::DetectorFactory factory;       ///< custom detector; overrides `detector`
   /// Joiner solicit / leave re-denunciation retry cap for every node;
   /// 0 = gmp::kDefaultJoinMaxAttempts.  Raised (e.g. to the legacy 200) to
@@ -67,8 +68,10 @@ class Cluster {
     ids_.clear();
     const bool detector_reusable =
         detector_ && !opts.factory && !opts_.factory && opts.detector == opts_.detector &&
-        (opts.detector == fd::DetectorKind::kOracle ? opts.oracle == opts_.oracle
-                                                    : opts.heartbeat == opts_.heartbeat);
+        (opts.detector == fd::DetectorKind::kOracle
+             ? opts.oracle == opts_.oracle
+             : (opts.detector == fd::DetectorKind::kHeartbeat ? opts.heartbeat == opts_.heartbeat
+                                                              : opts.phi == opts_.phi));
     init(std::move(opts), detector_reusable);
   }
 
@@ -161,7 +164,8 @@ class Cluster {
     } else {
       detector_ = opts_.factory
                       ? opts_.factory()
-                      : fd::make_detector(opts_.detector, opts_.oracle, opts_.heartbeat);
+                      : fd::make_detector(opts_.detector, opts_.oracle, opts_.heartbeat,
+                                          opts_.phi);
     }
     auto [bg_lo, bg_hi] = detector_->background_kinds();
     world_.set_background_kinds(bg_lo, bg_hi);

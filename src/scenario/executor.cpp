@@ -28,6 +28,7 @@ harness::ClusterOptions cluster_options(const Schedule& s, const ExecOptions& op
   co.require_majority = opts.require_majority;
   co.detector = opts.fd;
   co.heartbeat = opts.heartbeat;
+  co.phi = opts.phi;
   co.join_max_attempts = opts.join_max_attempts;
   co.bug_skip_faulty_record = opts.inject_bug_unrecorded_suspicion;
   return co;
@@ -35,7 +36,10 @@ harness::ClusterOptions cluster_options(const Schedule& s, const ExecOptions& op
 
 /// The executor body, over a cluster already configured for (s, opts).
 ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOptions& opts) {
-  const bool heartbeat = opts.fd == fd::DetectorKind::kHeartbeat;
+  // Heartbeat and φ share every executor obligation that distinguishes them
+  // from the oracle: they are *timeout* detectors, so standoffs resolve
+  // natively and quiescence means protocol quiescence, not queue drain.
+  const bool timeout_fd = opts.fd != fd::DetectorKind::kOracle;
   sim::SimWorld& world = cluster.world();
   const sim::DelayModel base_delays = world.delays();
 
@@ -49,9 +53,18 @@ ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOp
     sim::DelayModel model;
   };
   std::vector<Storm> storms;
+  // Channel-fault spans follow the same latest-start-wins overlap rule
+  // (baseline: fault-free).
+  struct FaultSpan {
+    Tick start, end;
+    sim::ChannelFaults faults;
+  };
+  std::vector<FaultSpan> fault_spans;
   for (const ScheduleEvent& e : s.events) {
     if (e.type == EventType::kDelayStorm) {
       storms.push_back({e.at, e.at + e.duration, {e.min_delay, e.max_delay}});
+    } else if (e.type == EventType::kFaults) {
+      fault_spans.push_back({e.at, e.at + e.duration, {e.loss, e.dup, e.reorder}});
     }
   }
   auto model_at = [&storms, base_delays](Tick t) {
@@ -66,6 +79,19 @@ ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOp
       }
     }
     return m;
+  };
+  auto faults_at = [&fault_spans](Tick t) {
+    sim::ChannelFaults f{};
+    Tick best_start = 0;
+    bool found = false;
+    for (const FaultSpan& fs : fault_spans) {
+      if (fs.start <= t && t < fs.end && (!found || fs.start >= best_start)) {
+        best_start = fs.start;
+        f = fs.faults;
+        found = true;
+      }
+    }
+    return f;
   };
 
   std::vector<ProcessId> joiners;
@@ -92,11 +118,11 @@ ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOp
         // back.  The oracle only fires on real crashes, so the executor
         // injects that counter-suspicion explicitly; without it a false
         // suspicion of the Mgr wedges the group forever (the Mgr awaits an
-        // OK the isolating accuser will never send).  The heartbeat FD *is*
-        // a timeout detector, so the counter-suspicion arises natively
+        // OK the isolating accuser will never send).  Heartbeat and φ *are*
+        // timeout detectors, so the counter-suspicion arises natively
         // (the accuser stops pinging its victim; the victim times it out)
         // and the executor must not inject anything.
-        if (!heartbeat) cluster.suspect_at(e.at + 200, e.target, e.observer);
+        if (!timeout_fd) cluster.suspect_at(e.at + 200, e.target, e.observer);
         break;
       case EventType::kPartition: {
         // Side B is every registered process not named in the event (the
@@ -126,22 +152,50 @@ ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOp
         world.at(e.at + e.duration,
                  [&world, &model_at, t = e.at + e.duration] { world.set_delays(model_at(t)); });
         break;
+      case EventType::kPartitionOneway: {
+        // `group` -> rest stops flowing; the reverse direction keeps going.
+        // Same shape as kPartition, but through the one-way cut API.
+        world.at(e.at, [&cluster, side = &e.group] {
+          std::vector<ProcessId> rest;
+          for (ProcessId p : cluster.ids()) {
+            if (!std::count(side->begin(), side->end(), p)) rest.push_back(p);
+          }
+          if (!side->empty() && !rest.empty()) cluster.world().partition_oneway(*side, rest);
+        });
+        if (e.duration > 0) {
+          world.at(e.at + e.duration, [&world] { world.heal_partition(); });
+        }
+        break;
+      }
+      case EventType::kFaults:
+        world.at(e.at, [&world, &faults_at, t = e.at] { world.set_channel_faults(faults_at(t)); });
+        world.at(e.at + e.duration, [&world, &faults_at, t = e.at + e.duration] {
+          world.set_channel_faults(faults_at(t));
+        });
+        break;
     }
   }
 
   cluster.start();
   ExecResult r;
-  if (heartbeat) {
+  if (timeout_fd) {
     // Real timeout detection: standoffs resolve natively (mutual timeout),
     // so the executor injects nothing.  The queue never drains — ping
     // timers re-arm forever — so quiescence means "no protocol work left
     // and a full detection-settle window produced none".  The window must
     // cover the nastiest storm in the schedule: a packet that left just
     // before a silence began can refresh the peer's proof-of-life up to
-    // one worst-case delay into the window.
+    // one worst-case delay into the window — and a reordered background
+    // frame can arrive a further reorder_slack ticks after that.
     Tick worst_delay = base_delays.max_delay;
     for (const Storm& st : storms) {
       if (st.model.max_delay > worst_delay) worst_delay = st.model.max_delay;
+    }
+    for (const FaultSpan& fs : fault_spans) {
+      if (fs.faults.reorder_permille > 0) {
+        worst_delay += fs.faults.reorder_slack + 1;
+        break;
+      }
     }
     r.quiesced = cluster.run_to_protocol_quiescence(opts.max_sim_events, worst_delay);
   } else {

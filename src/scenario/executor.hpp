@@ -35,12 +35,14 @@ struct ExecOptions {
   size_t join_max_attempts = 0;
   /// Which failure detector drives the run.  Oracle runs quiesce by queue
   /// drain and need the executor's timeout emulation for one-sided false
-  /// suspicions; heartbeat runs detect protocol quiescence (ping timers
-  /// re-arm forever) and resolve every standoff natively by mutual timeout
-  /// — the executor injects nothing.
+  /// suspicions; timeout detectors (heartbeat, phi) detect protocol
+  /// quiescence (ping timers re-arm forever) and resolve every standoff
+  /// natively by mutual timeout — the executor injects nothing.
   fd::DetectorKind fd = fd::DetectorKind::kOracle;
   /// Heartbeat tuning (fd == kHeartbeat only).
   fd::HeartbeatOptions heartbeat{};
+  /// φ-accrual tuning (fd == kPhi only).
+  fd::PhiOptions phi{};
   /// Fault injection: suppress faulty_p(q) trace records so every removal
   /// trips GMP-1 (exercises the minimizer on a guaranteed "bug").
   bool inject_bug_unrecorded_suspicion = false;

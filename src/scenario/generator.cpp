@@ -14,6 +14,7 @@ const char* to_string(Profile p) {
     case Profile::kChurnHeavy: return "churn";
     case Profile::kPartitionHeavy: return "partition";
     case Profile::kBurstCrash: return "burst";
+    case Profile::kLossy: return "lossy";
   }
   return "?";
 }
@@ -23,6 +24,7 @@ bool parse_profile(const std::string& name, Profile& out) {
   else if (name == "churn") out = Profile::kChurnHeavy;
   else if (name == "partition") out = Profile::kPartitionHeavy;
   else if (name == "burst") out = Profile::kBurstCrash;
+  else if (name == "lossy") out = Profile::kLossy;
   else return false;
   return true;
 }
@@ -30,20 +32,27 @@ bool parse_profile(const std::string& name, Profile& out) {
 namespace {
 
 /// Per-profile draw weights, indexed by EventType order
-/// {crash, partition, heal(unused: 0), join, leave, suspect, delaystorm}.
+/// {crash, partition, heal(unused: 0), join, leave, suspect, delaystorm,
+/// partition1, faults}.  The two youngest event types sit LAST in the
+/// weighted walk with weight 0 for every pre-existing profile: the draw
+/// thresholds — and with them the whole RNG draw sequence — of historical
+/// (profile, seed) pairs stay byte-identical across this addition.
 struct Weights {
-  uint64_t crash, partition, join, leave, suspect, storm;
-  uint64_t total() const { return crash + partition + join + leave + suspect + storm; }
+  uint64_t crash, partition, join, leave, suspect, storm, oneway, faults;
+  uint64_t total() const {
+    return crash + partition + join + leave + suspect + storm + oneway + faults;
+  }
 };
 
 Weights weights_for(Profile p) {
   switch (p) {
-    case Profile::kChurnHeavy: return {4, 1, 4, 3, 1, 1};
-    case Profile::kPartitionHeavy: return {1, 5, 1, 1, 3, 2};
-    case Profile::kBurstCrash: return {0, 1, 1, 1, 1, 1};
+    case Profile::kChurnHeavy: return {4, 1, 4, 3, 1, 1, 0, 0};
+    case Profile::kPartitionHeavy: return {1, 5, 1, 1, 3, 2, 0, 0};
+    case Profile::kBurstCrash: return {0, 1, 1, 1, 1, 1, 0, 0};
+    case Profile::kLossy: return {2, 0, 1, 1, 1, 1, 2, 4};
     case Profile::kMixed: break;
   }
-  return {3, 2, 2, 1, 2, 1};
+  return {3, 2, 2, 1, 2, 1, 0, 0};
 }
 
 }  // namespace
@@ -159,11 +168,42 @@ Schedule generate(uint64_t seed, const GeneratorOptions& opts) {
       s.events.push_back(std::move(e));
       continue;
     }
-    // Delay storm.
-    ScheduleEvent e{EventType::kDelayStorm, tick_in(1, horizon)};
+    d -= w.suspect;
+    if (d < w.storm) {
+      ScheduleEvent e{EventType::kDelayStorm, tick_in(1, horizon)};
+      e.duration = tick_in(200, std::max<Tick>(opts.storm_duration_cap, 201));
+      e.min_delay = 1 + rng.below(8);
+      e.max_delay = e.min_delay + 1 + rng.below(std::max<Tick>(opts.storm_ceiling, 1));
+      s.events.push_back(std::move(e));
+      continue;
+    }
+    d -= w.storm;
+    if (d < w.oneway) {
+      // Asymmetric cut: a random nonempty strict subset stops being heard
+      // (its outbound frames are held) while still hearing everyone else.
+      std::vector<ProcessId> side;
+      for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+        if (rng.chance(1, 2)) side.push_back(p);
+      }
+      if (side.empty() || side.size() == n) continue;
+      ScheduleEvent e{EventType::kPartitionOneway, tick_in(50, horizon)};
+      e.group = std::move(side);
+      if (rng.chance(3, 4)) {
+        e.duration = tick_in(100, 1500);
+      } else {
+        has_unhealed_cut = true;
+      }
+      s.events.push_back(std::move(e));
+      continue;
+    }
+    // Background-channel fault span: loss is always meaningful (>= 1%),
+    // dup/reorder may be absent.  Always bounded — the run can only
+    // conclude once every fault span has healed.
+    ScheduleEvent e{EventType::kFaults, tick_in(1, horizon)};
     e.duration = tick_in(200, std::max<Tick>(opts.storm_duration_cap, 201));
-    e.min_delay = 1 + rng.below(8);
-    e.max_delay = e.min_delay + 1 + rng.below(std::max<Tick>(opts.storm_ceiling, 1));
+    e.loss = 10 + static_cast<uint32_t>(rng.below(std::max<uint32_t>(opts.loss_ceiling, 11) - 9));
+    e.dup = static_cast<uint32_t>(rng.below(opts.dup_ceiling + 1));
+    e.reorder = static_cast<uint32_t>(rng.below(opts.reorder_ceiling + 1));
     s.events.push_back(std::move(e));
   }
 
@@ -186,6 +226,17 @@ GeneratorOptions tuned_for_heartbeat(GeneratorOptions opts, const fd::HeartbeatO
   // timeout window itself.
   opts.storm_ceiling = std::max<Tick>(opts.storm_ceiling, 2 * hb.timeout);
   opts.storm_duration_cap = std::max<Tick>(opts.storm_duration_cap, 3 * hb.timeout);
+  return opts;
+}
+
+GeneratorOptions tuned_for_phi(GeneratorOptions opts, const fd::PhiOptions& phi) {
+  // Until min_samples gaps arrive a pair suspects at bootstrap_timeout, so
+  // the same "per-message delay above the threshold, sustained past it"
+  // calibration applies.  An adapted fit raises the bar further (that is
+  // the detector's selling point — the φ bench row measures it), so these
+  // are floors, not guarantees of false suspicions.
+  opts.storm_ceiling = std::max<Tick>(opts.storm_ceiling, 2 * phi.bootstrap_timeout);
+  opts.storm_duration_cap = std::max<Tick>(opts.storm_duration_cap, 3 * phi.bootstrap_timeout);
   return opts;
 }
 

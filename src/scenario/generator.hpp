@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "fd/heartbeat.hpp"
+#include "fd/phi.hpp"
 #include "scenario/schedule.hpp"
 
 namespace gmpx::scenario {
@@ -28,9 +29,10 @@ enum class Profile : uint8_t {
   kChurnHeavy,      ///< joins + leaves + crashes, few partitions
   kPartitionHeavy,  ///< repeated cuts/heals + false suspicions
   kBurstCrash,      ///< near-simultaneous multi-crash bursts
+  kLossy,           ///< lossy/dup/reordering channels + one-way partitions
 };
 
-/// Returns "mixed" / "churn" / "partition" / "burst".
+/// Returns "mixed" / "churn" / "partition" / "burst" / "lossy".
 const char* to_string(Profile p);
 
 /// Parse a profile name (as printed by to_string); false on unknown.
@@ -48,6 +50,13 @@ struct GeneratorOptions {
   Tick storm_ceiling = 250;
   /// Delay-storm durations are drawn from [200, storm_duration_cap].
   Tick storm_duration_cap = 2000;
+  /// Background-channel fault spans (kFaults, lossy profile): loss is drawn
+  /// from [10, loss_ceiling] permille, dup/reorder from [0, ceiling].
+  /// Spans always carry a bounded duration ([200, storm_duration_cap]) —
+  /// run conclusion relies on every fault span healing before the end.
+  uint32_t loss_ceiling = 150;
+  uint32_t dup_ceiling = 200;
+  uint32_t reorder_ceiling = 200;
 };
 
 /// Deterministically generate one schedule from (seed, opts).
@@ -59,5 +68,11 @@ Schedule generate(uint64_t seed, const GeneratorOptions& opts = {});
 /// higher.  The (profile, seed, opts) triple still names the schedule —
 /// heartbeat sweeps draw from a deliberately nastier distribution.
 GeneratorOptions tuned_for_heartbeat(GeneratorOptions opts, const fd::HeartbeatOptions& hb);
+
+/// φ-accrual analogue of tuned_for_heartbeat: before the per-pair fit
+/// adapts, suspicion is governed by the bootstrap timeout, and afterwards a
+/// storm must outgrow the *learned* distribution — so the storm knobs are
+/// raised against the bootstrap threshold just like the fixed-timeout case.
+GeneratorOptions tuned_for_phi(GeneratorOptions opts, const fd::PhiOptions& phi);
 
 }  // namespace gmpx::scenario

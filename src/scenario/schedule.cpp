@@ -16,6 +16,8 @@ const char* to_string(EventType t) {
     case EventType::kLeave: return "leave";
     case EventType::kSuspect: return "suspect";
     case EventType::kDelayStorm: return "delaystorm";
+    case EventType::kPartitionOneway: return "partition1";
+    case EventType::kFaults: return "faults";
   }
   return "?";
 }
@@ -39,7 +41,9 @@ bool liveness_eligible(const Schedule& s) {
     const ScheduleEvent& e = s.events[idx];
     // Timed cuts that expired before this event heal now.
     std::erase_if(open, [&](const Cut& c) { return c.heals_at != 0 && c.heals_at <= at; });
-    if (e.type == EventType::kPartition) {
+    // A one-way cut stalls liveness exactly like a symmetric one (the cut
+    // side's messages never arrive), so it is held to the same rule.
+    if (e.type == EventType::kPartition || e.type == EventType::kPartitionOneway) {
       open.push_back({e.at, e.duration == 0 ? 0 : e.at + e.duration});
     } else if (e.type == EventType::kHeal) {
       open.clear();  // heal_partition() releases every cut
@@ -65,6 +69,7 @@ std::string encode_schedule(const Schedule& s) {
         w.field(e.observer).field(e.target);
         break;
       case EventType::kPartition:
+      case EventType::kPartitionOneway:
         w.field(e.duration).ids(e.group);
         break;
       case EventType::kHeal:
@@ -74,6 +79,9 @@ std::string encode_schedule(const Schedule& s) {
         break;
       case EventType::kDelayStorm:
         w.field(e.duration).field(e.min_delay).field(e.max_delay);
+        break;
+      case EventType::kFaults:
+        w.field(e.duration).field(e.loss).field(e.dup).field(e.reorder);
         break;
     }
   }
@@ -110,6 +118,10 @@ Schedule decode_schedule(const std::string& text) {
       e.type = EventType::kPartition;
       e.duration = r.num();
       e.group = r.ids();
+    } else if (kw == "partition1") {
+      e.type = EventType::kPartitionOneway;
+      e.duration = r.num();
+      e.group = r.ids();
     } else if (kw == "heal") {
       e.type = EventType::kHeal;
     } else if (kw == "join") {
@@ -121,6 +133,12 @@ Schedule decode_schedule(const std::string& text) {
       e.duration = r.num();
       e.min_delay = r.num();
       e.max_delay = r.num();
+    } else if (kw == "faults") {
+      e.type = EventType::kFaults;
+      e.duration = r.num();
+      e.loss = static_cast<uint32_t>(r.num());
+      e.dup = static_cast<uint32_t>(r.num());
+      e.reorder = static_cast<uint32_t>(r.num());
     } else {
       throw CodecError("unknown schedule keyword '" + kw + "'");
     }

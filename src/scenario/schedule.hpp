@@ -32,18 +32,26 @@ enum class EventType : uint8_t {
   kSuspect,     ///< observer falsely decides faulty_observer(target) at `at`
   kDelayStorm,  ///< channel delays become [min_delay, max_delay] for
                 ///< `duration` ticks starting at `at`, then revert
+  kPartitionOneway,  ///< sever `group` -> rest one-way at `at` (reverse
+                     ///< direction keeps flowing); auto-heals after
+                     ///< `duration` ticks when duration > 0
+  kFaults,      ///< background channels drop/dup/reorder frames with the
+                ///< given permille probabilities for `duration` ticks
+                ///< starting at `at`, then revert
 };
 
 /// Returns the schedule-file keyword ("crash", "partition", ...).
 const char* to_string(EventType t);
 
 /// One scheduled environment event.  Field use by type:
-///   kCrash/kLeave:  at, target
-///   kSuspect:       at, observer, target
-///   kPartition:     at, duration (0 = until an explicit heal), group
-///   kHeal:          at
-///   kJoin:          at, target (the joiner's fresh id), group (contacts)
-///   kDelayStorm:    at, duration, min_delay, max_delay
+///   kCrash/kLeave:      at, target
+///   kSuspect:           at, observer, target
+///   kPartition:         at, duration (0 = until an explicit heal), group
+///   kPartitionOneway:   at, duration (0 = until an explicit heal), group
+///   kHeal:              at
+///   kJoin:              at, target (the joiner's fresh id), group (contacts)
+///   kDelayStorm:        at, duration, min_delay, max_delay
+///   kFaults:            at, duration, loss/dup/reorder (permille)
 struct ScheduleEvent {
   EventType type = EventType::kCrash;
   Tick at = 0;
@@ -53,6 +61,9 @@ struct ScheduleEvent {
   Tick duration = 0;
   Tick min_delay = 0;
   Tick max_delay = 0;
+  uint32_t loss = 0;     ///< kFaults: drop probability, permille
+  uint32_t dup = 0;      ///< kFaults: duplication probability, permille
+  uint32_t reorder = 0;  ///< kFaults: reorder probability, permille
 
   friend bool operator==(const ScheduleEvent&, const ScheduleEvent&) = default;
 };

@@ -114,11 +114,13 @@ SweepResult run_sweep(const SweepOptions& opts) {
       gen.profile = item.profile;
       ExecOptions exec = opts.exec;
       exec.fd = item.detector;
-      // Heartbeat runs draw from a storm distribution hot enough to cross
-      // the suspicion threshold — otherwise the detector axis would never
-      // exercise false detection, the behaviour it exists to fuzz.
+      // Timeout-detector runs draw from a storm distribution hot enough to
+      // cross the suspicion threshold — otherwise the detector axis would
+      // never exercise false detection, the behaviour it exists to fuzz.
       if (item.detector == fd::DetectorKind::kHeartbeat) {
         gen = tuned_for_heartbeat(gen, exec.heartbeat);
+      } else if (item.detector == fd::DetectorKind::kPhi) {
+        gen = tuned_for_phi(gen, exec.phi);
       }
       Schedule sched = generate(item.seed, gen);
       // First run on this worker: build the pooled cluster *before* the

@@ -53,7 +53,8 @@ struct SweepOptions {
   uint64_t seed_lo = 0;
   uint64_t seed_hi = 100;   ///< exclusive
   std::vector<Profile> profiles = {Profile::kMixed, Profile::kChurnHeavy,
-                                   Profile::kPartitionHeavy, Profile::kBurstCrash};
+                                   Profile::kPartitionHeavy, Profile::kBurstCrash,
+                                   Profile::kLossy};
   /// Detector axis of the grid (inner to profiles, outer to seeds).
   std::vector<fd::DetectorKind> detectors = {fd::DetectorKind::kOracle};
   GeneratorOptions gen;

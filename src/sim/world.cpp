@@ -123,6 +123,7 @@ void SimWorld::reset(uint64_t seed, DelayModel delays) {
   fg_pending_ = 0;
   quiesce_dirty_ = false;
   delays_ = delays;
+  faults_ = {};
   rng_ = Rng(seed);
   meter_.reset();
   meter_.set_detector_range(1, 0);
@@ -270,19 +271,26 @@ void SimWorld::at(Tick t, std::function<void()> fn) {
   push_event(t, EventKind::kScript, slot);
 }
 
+void SimWorld::block_channel(ProcessId x, ProcessId y) {
+  if (dim_ > 0 && x < dim_ && y < dim_) {
+    blocked_flat_[x * dim_ + y] = 1;
+  } else {
+    blocked_pairs_.insert(channel_key(x, y));
+  }
+}
+
 void SimWorld::partition(const std::vector<ProcessId>& a, const std::vector<ProcessId>& b) {
-  auto block = [this](ProcessId x, ProcessId y) {
-    if (dim_ > 0 && x < dim_ && y < dim_) {
-      blocked_flat_[x * dim_ + y] = 1;
-    } else {
-      blocked_pairs_.insert(channel_key(x, y));
-    }
-  };
   for (ProcessId x : a)
     for (ProcessId y : b) {
-      block(x, y);
-      block(y, x);
+      block_channel(x, y);
+      block_channel(y, x);
     }
+}
+
+void SimWorld::partition_oneway(const std::vector<ProcessId>& a,
+                                const std::vector<ProcessId>& b) {
+  for (ProcessId x : a)
+    for (ProcessId y : b) block_channel(x, y);
 }
 
 void SimWorld::heal_partition() {
@@ -356,6 +364,28 @@ void SimWorld::send_background_wave(ProcessId from, const std::vector<ProcessId>
       held_[channel_key(from, to)].push_back(Packet{from, to, kind, {}});
       continue;
     }
+    if (faults_.any()) {
+      // Per-target draws, same (loss, reorder, dup) order as the unary
+      // fast path.  A reordered target detaches from the shared wave and
+      // gets its own jittered arrival; a duplicated one rides the wave
+      // and additionally lands a late extra copy.
+      if (faults_.loss_permille && rng_.chance(faults_.loss_permille, 1000)) continue;
+      if (faults_.reorder_permille && rng_.chance(faults_.reorder_permille, 1000)) {
+        Tick d = delays_.min_delay +
+                 rng_.below(delays_.max_delay - delays_.min_delay + 1) + 1 +
+                 rng_.below(faults_.reorder_slack);
+        push_event(now_ + d, EventKind::kBgPacket, to,
+                   (static_cast<uint64_t>(from) << 32) | kind | kPerturbedBit);
+        continue;
+      }
+      if (faults_.dup_permille && rng_.chance(faults_.dup_permille, 1000)) {
+        Tick d = delays_.min_delay +
+                 rng_.below(delays_.max_delay - delays_.min_delay + 1) + 1 +
+                 rng_.below(faults_.reorder_slack + 1);
+        push_event(now_ + d, EventKind::kBgPacket, to,
+                   (static_cast<uint64_t>(from) << 32) | kind | kPerturbedBit);
+      }
+    }
     if (slot == UINT32_MAX) {
       if (!wave_free_.empty()) {
         slot = wave_free_.back();
@@ -385,11 +415,37 @@ void SimWorld::send_background_packet(ProcessId from, ProcessId to, uint32_t kin
     return;
   }
   Tick delay = delays_.min_delay + rng_.below(delays_.max_delay - delays_.min_delay + 1);
+  bool reordered = false;
+  bool dup = false;
+  if (faults_.any()) {
+    // Fixed draw order (loss, reorder, dup) so one seed names one fault
+    // pattern; with the model all-zero no draw happens and the RNG stream
+    // is identical to a fault-free build.
+    if (faults_.loss_permille && rng_.chance(faults_.loss_permille, 1000)) return;
+    if (faults_.reorder_permille && rng_.chance(faults_.reorder_permille, 1000)) {
+      reordered = true;
+      delay += 1 + rng_.below(faults_.reorder_slack);
+    }
+    dup = faults_.dup_permille != 0 && rng_.chance(faults_.dup_permille, 1000);
+  }
   Tick when = now_ + delay;
-  Tick& front = channel_front(from, to);
-  if (when <= front) when = front + 1;
-  front = when;
-  push_event(when, EventKind::kBgPacket, to, (static_cast<uint64_t>(from) << 32) | kind);
+  if (!reordered) {
+    // Reordered frames skip the FIFO clamp (that is the reorder) and do
+    // not advance the channel front, so later frames can overtake them.
+    Tick& front = channel_front(from, to);
+    if (when <= front) when = front + 1;
+    front = when;
+  }
+  push_event(when, EventKind::kBgPacket, to,
+             (static_cast<uint64_t>(from) << 32) | kind |
+                 (reordered ? kPerturbedBit : 0));
+  if (dup) {
+    Tick extra = delays_.min_delay +
+                 rng_.below(delays_.max_delay - delays_.min_delay + 1) + 1 +
+                 rng_.below(faults_.reorder_slack + 1);
+    push_event(now_ + extra, EventKind::kBgPacket, to,
+               (static_cast<uint64_t>(from) << 32) | kind | kPerturbedBit);
+  }
 }
 
 void SimWorld::route(ProcessId from, Packet p) {
@@ -449,7 +505,11 @@ void SimWorld::dispatch(Event ev) {
     case EventKind::kBgPacket: {
       Node* n = node_of(ev.a);
       if (!n || n->is_crashed) return;  // destination quit: traffic vanishes
-      bg_sink_(static_cast<ProcessId>(ev.gen >> 32), ev.a,
+      // A fault-injected copy landing after apparent quiescence is
+      // foreground work for the quiescence question: it re-opens the
+      // protocol-idle settle window (see run_until_protocol_idle).
+      if (ev.gen & kPerturbedBit) quiesce_dirty_ = true;
+      bg_sink_(static_cast<ProcessId>((ev.gen & ~kPerturbedBit) >> 32), ev.a,
                static_cast<uint32_t>(ev.gen));
       break;
     }
@@ -515,7 +575,7 @@ void SimWorld::discard_elided(const Event& e) {
     }
     case EventKind::kBgPacket:
       if (elision_sink_) {
-        elision_sink_(static_cast<ProcessId>(e.gen >> 32), e.a,
+        elision_sink_(static_cast<ProcessId>((e.gen & ~kPerturbedBit) >> 32), e.a,
                       static_cast<uint32_t>(e.gen), e.time);
       }
       break;

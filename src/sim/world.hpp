@@ -72,6 +72,41 @@ struct DelayModel {
   Tick max_delay = 16;
 };
 
+/// Channel fault model: per-message loss/duplication/reordering
+/// probabilities (out of 1000) applied to *background* (failure-detector)
+/// frames only.  Protocol traffic keeps the paper's reliable-FIFO channel
+/// semantics — the membership algorithm's correctness argument assumes
+/// them (S2.1) — while detector pings ride the kind of channel real
+/// deployments give them: UDP-like, lossy, occasionally late or repeated.
+///
+/// Every outcome is drawn from the run RNG at send time, and no draw
+/// happens at all while the model is all-zero, so runs without faults are
+/// bit-identical to builds that predate the model and sharded sweeps stay
+/// byte-identical across --jobs.
+///
+///   * loss_permille    — frame silently dropped (still metered as sent).
+///   * dup_permille     — a duplicate copy follows the original after an
+///                        independent delay draw plus up to reorder_slack
+///                        extra ticks (a retransmit); the copy is exempt
+///                        from the channel FIFO clamp.
+///   * reorder_permille — the frame itself is delivered FIFO-exempt with
+///                        up to reorder_slack extra ticks of jitter, so it
+///                        can overtake or fall behind its channel peers.
+///
+/// Duplicated/reordered arrivals are tagged in flight: their delivery
+/// re-opens run_until_protocol_idle's settle window (a dup arriving after
+/// apparent quiescence is foreground work for the quiescence question).
+struct ChannelFaults {
+  uint32_t loss_permille = 0;
+  uint32_t dup_permille = 0;
+  uint32_t reorder_permille = 0;
+  Tick reorder_slack = 48;  ///< max extra lateness of a dup/reordered copy
+  bool any() const {
+    return (loss_permille | dup_permille | reorder_permille) != 0;
+  }
+  bool operator==(const ChannelFaults&) const = default;
+};
+
 /// Counts messages sent, grouped by Packet::kind.  Reset between
 /// experiment phases to isolate the message cost of a single view change.
 /// Protocol kinds are small dense integers (src/gmp/messages.hpp), so the
@@ -188,9 +223,21 @@ class SimWorld {
   /// messages are *held*, not dropped, until heal_partition().
   void partition(const std::vector<ProcessId>& a, const std::vector<ProcessId>& b);
 
+  /// Asymmetric cut: sever only the a -> b direction.  Nodes in `b` still
+  /// reach `a`, modelling one-way link failures (a hears nobody, everybody
+  /// hears a — the classic false-suspicion generator).  Healed by the same
+  /// heal_partition() as symmetric cuts.
+  void partition_oneway(const std::vector<ProcessId>& a, const std::vector<ProcessId>& b);
+
   /// Release all held messages, preserving per-channel FIFO order.
   /// Channels release in (from, to) order, so a seeded run is reproducible.
   void heal_partition();
+
+  /// Install (or clear, with a default-constructed value) the background
+  /// fault model.  Affects only frames sent after the call; scenario
+  /// "faults" spans toggle it exactly like delay storms toggle delays.
+  void set_channel_faults(ChannelFaults f) { faults_ = f; }
+  const ChannelFaults& channel_faults() const { return faults_; }
 
   /// True when the ordered channel a -> b is currently severed.  Horizon
   /// providers use this to decide which peers can still refresh a
@@ -390,7 +437,15 @@ class SimWorld {
     std::function<void()> fn;
   };
 
+  /// kBgPacket events carry (from << 32) | kind in `gen`; this bit flags a
+  /// fault-injected (duplicated or reordered) copy so its delivery can
+  /// re-open the protocol-idle settle window.  ProcessIds are < 2^20 and
+  /// kinds < 2^32, so bit 63 is always free.
+  static constexpr uint64_t kPerturbedBit = 1ull << 63;
+
   bool background_kind(uint32_t kind) const { return kind >= bg_lo_ && kind <= bg_hi_; }
+  /// Shared blocked-channel insert for partition()/partition_oneway().
+  void block_channel(ProcessId x, ProcessId y);
   /// Fast-path background send: no Packet, no slab slot — the heap entry
   /// carries (from, to, kind) inline.  Falls back to caller-built packets
   /// when a partition holds the channel (held traffic must survive to heal
@@ -486,6 +541,7 @@ class SimWorld {
   // timeout), even when the quit itself produced no foreground event.
   bool quiesce_dirty_ = false;
   DelayModel delays_;
+  ChannelFaults faults_;
   Rng rng_;
   Meter meter_;
   CrashHook crash_hook_;

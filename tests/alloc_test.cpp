@@ -45,6 +45,8 @@ AllocStats measure_warm_loop(fd::DetectorKind detector) {
   exec.fd = detector;
   if (detector == fd::DetectorKind::kHeartbeat) {
     gen = tuned_for_heartbeat(gen, exec.heartbeat);
+  } else if (detector == fd::DetectorKind::kPhi) {
+    gen = tuned_for_phi(gen, exec.phi);
   }
   harness::Cluster cluster{harness::ClusterOptions{}};
   for (uint64_t seed = 100; seed < 160; ++seed) {
@@ -85,4 +87,14 @@ TEST(AllocRegression, HeartbeatWarmLoopStaysUnderCeiling) {
   // little above the oracle's.
   EXPECT_LE(s.mean, 60u) << "heartbeat warm loop mean allocations regressed";
   EXPECT_LE(s.max, 200u) << "heartbeat warm loop worst-case allocations regressed";
+}
+
+TEST(AllocRegression, PhiWarmLoopStaysUnderCeiling) {
+  AllocStats s = measure_warm_loop(fd::DetectorKind::kPhi);
+  // The phi-accrual detector keeps a fixed-size inter-arrival ring per
+  // (monitor, peer) inside pooled monitor objects — the adaptive fit must
+  // not buy history with steady-state heap traffic, so it rides the same
+  // ceiling as the heartbeat axis.
+  EXPECT_LE(s.mean, 60u) << "phi warm loop mean allocations regressed";
+  EXPECT_LE(s.max, 200u) << "phi warm loop worst-case allocations regressed";
 }

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "scenario/executor.hpp"
+#include "scenario/generator.hpp"
 #include "trace/checker.hpp"
 #include "trace/recorder.hpp"
 
@@ -239,4 +241,28 @@ TEST(CheckerNegative, MessageJoinsViolations) {
   CheckResult r = trace::check_gmp1(rec);
   ASSERT_EQ(r.violations.size(), 1u);
   EXPECT_EQ(r.message(), r.violations[0] + "\n");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: violations survive the lossy channel model
+// ---------------------------------------------------------------------------
+
+TEST(CheckerNegative, InjectedBugStillCaughtUnderLossyChannels) {
+  // The fault model must not blunt the checker.  Schedules from the lossy
+  // profile run fault spans (loss/dup/reorder on heartbeat traffic) over a
+  // real timeout detector; the injected GMP-1 bug (exclusions without a
+  // recorded faulty_p) fires on every suspicion that leads to a removal,
+  // and check_gmp must still flag it from the recorded trace.
+  scenario::ExecOptions exec;
+  exec.fd = fd::DetectorKind::kPhi;
+  exec.inject_bug_unrecorded_suspicion = true;
+  scenario::GeneratorOptions gen = scenario::tuned_for_phi({}, exec.phi);
+  gen.profile = scenario::Profile::kLossy;
+  size_t caught = 0;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    scenario::Schedule s = scenario::generate(seed, gen);
+    scenario::ExecResult r = scenario::execute(s, exec);
+    if (r.check.has_clause("GMP-1")) ++caught;
+  }
+  EXPECT_GT(caught, 0u);
 }

@@ -37,7 +37,7 @@ void expect_same_result(const ExecResult& a, const ExecResult& b) {
 
 TEST(Determinism, SameSeedSameExecResult) {
   for (Profile p : {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
-                    Profile::kBurstCrash}) {
+                    Profile::kBurstCrash, Profile::kLossy}) {
     GeneratorOptions gen;
     gen.profile = p;
     for (uint64_t seed : {0ull, 7ull, 23ull}) {
@@ -56,7 +56,7 @@ TEST(Determinism, SameSeedSameExecResultHeartbeatFd) {
   // and protocol-quiescence detection to the run; none of it may cost
   // bit-reproducibility.
   for (Profile p : {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
-                    Profile::kBurstCrash}) {
+                    Profile::kBurstCrash, Profile::kLossy}) {
     ExecOptions exec;
     exec.fd = fd::DetectorKind::kHeartbeat;
     GeneratorOptions gen = tuned_for_heartbeat({}, exec.heartbeat);
@@ -77,6 +77,29 @@ TEST(Determinism, SameSeedSameExecResultHeartbeatFd) {
   }
 }
 
+TEST(Determinism, SameSeedSameExecResultPhiFd) {
+  // The adaptive detector folds observed inter-arrival history into its
+  // thresholds, and the lossy profile folds per-frame fault draws into the
+  // run RNG — every bit of both must replay.
+  for (Profile p : {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
+                    Profile::kBurstCrash, Profile::kLossy}) {
+    ExecOptions exec;
+    exec.fd = fd::DetectorKind::kPhi;
+    GeneratorOptions gen = tuned_for_phi({}, exec.phi);
+    gen.profile = p;
+    for (uint64_t seed : {0ull, 7ull, 23ull}) {
+      Schedule s = generate(seed, gen);
+      ExecResult first = execute(s, exec);
+      ExecResult second = execute(s, exec);
+      SCOPED_TRACE(std::string(to_string(p)) + "/phi seed=" + std::to_string(seed));
+      expect_same_result(first, second);
+      EXPECT_EQ(first.fd_messages, second.fd_messages);
+      EXPECT_GT(first.fd_messages + first.skipped_events, 0u);
+      EXPECT_NE(first.trace_hash, 0u);
+    }
+  }
+}
+
 TEST(Determinism, PooledClusterResetMatchesFreshCluster) {
   // The zero-alloc sweep reuses one cluster per worker via Cluster::reset();
   // that reuse must be *observationally identical* to building a fresh
@@ -84,15 +107,17 @@ TEST(Determinism, PooledClusterResetMatchesFreshCluster) {
   // long-lived pooled cluster whose state has been dirtied by all the
   // previous schedules — and require identical results (trace hash
   // included), for both detectors.
-  for (fd::DetectorKind detector : {fd::DetectorKind::kOracle, fd::DetectorKind::kHeartbeat}) {
+  for (fd::DetectorKind detector : {fd::DetectorKind::kOracle, fd::DetectorKind::kHeartbeat,
+                                    fd::DetectorKind::kPhi}) {
     ExecOptions exec;
     exec.fd = detector;
     harness::Cluster pooled{harness::ClusterOptions{}};
     for (Profile p : {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
-                      Profile::kBurstCrash}) {
+                      Profile::kBurstCrash, Profile::kLossy}) {
       GeneratorOptions gen;
       gen.profile = p;
       if (detector == fd::DetectorKind::kHeartbeat) gen = tuned_for_heartbeat(gen, exec.heartbeat);
+      if (detector == fd::DetectorKind::kPhi) gen = tuned_for_phi(gen, exec.phi);
       for (uint64_t seed : {1ull, 11ull, 29ull}) {
         Schedule s = generate(seed, gen);
         ExecResult fresh = execute(s, exec);
@@ -124,7 +149,8 @@ TEST(Determinism, SweepIdenticalAcrossJobCounts) {
   SweepOptions opts;
   opts.seed_lo = 0;
   opts.seed_hi = 40;
-  opts.detectors = {fd::DetectorKind::kOracle, fd::DetectorKind::kHeartbeat};
+  opts.detectors = {fd::DetectorKind::kOracle, fd::DetectorKind::kHeartbeat,
+                    fd::DetectorKind::kPhi};
   opts.verbose = true;  // force per-run report lines so output is non-trivial
 
   opts.jobs = 1;
@@ -137,6 +163,7 @@ TEST(Determinism, SweepIdenticalAcrossJobCounts) {
   EXPECT_EQ(serial.output, sharded.output);  // byte-identical merged report
   ASSERT_EQ(serial.run_log.size(), sharded.run_log.size());
   bool heartbeat_ran = false;
+  bool phi_ran = false;
   for (size_t i = 0; i < serial.run_log.size(); ++i) {
     const SweepRun& a = serial.run_log[i];
     const SweepRun& b = sharded.run_log[i];
@@ -149,8 +176,10 @@ TEST(Determinism, SweepIdenticalAcrossJobCounts) {
     EXPECT_EQ(a.fd_messages, b.fd_messages);
     EXPECT_EQ(a.trace_hash, b.trace_hash);
     if (a.detector == fd::DetectorKind::kHeartbeat && a.fd_messages > 0) heartbeat_ran = true;
+    if (a.detector == fd::DetectorKind::kPhi && a.fd_messages > 0) phi_ran = true;
   }
   EXPECT_TRUE(heartbeat_ran);
+  EXPECT_TRUE(phi_ran);
 }
 
 TEST(Determinism, SweepFailurePathIdenticalAcrossJobCounts) {

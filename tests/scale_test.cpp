@@ -1,9 +1,12 @@
 // Scale tests: the protocol at group sizes well beyond the paper's era —
 // correctness and convergence with n up to 64, mass bursts, long exclusion
-// streams, and many concurrent joiners.
+// streams, many concurrent joiners, and the n > 512 regime where SimWorld
+// skips its flat channel matrices (dim_ == 0) and every FIFO/partition
+// lookup runs on the hash-map fallback path.
 #include <gtest/gtest.h>
 
 #include "harness/cluster.hpp"
+#include "sim/world.hpp"
 
 using namespace gmpx;
 using harness::Cluster;
@@ -16,6 +19,12 @@ ClusterOptions opts(size_t n, uint64_t seed) {
   o.seed = seed;
   return o;
 }
+
+/// Records every packet it receives (hash-fallback FIFO checks).
+struct Probe : Actor {
+  std::vector<Packet> received;
+  void on_packet(Context&, const Packet& p) override { received.push_back(p); }
+};
 }  // namespace
 
 TEST(Scale, SingleExclusionAt64) {
@@ -85,6 +94,100 @@ TEST(Scale, TenConcurrentJoiners) {
   EXPECT_EQ(c.node(0).view().size(), 15u);
   EXPECT_EQ(c.node(0).view().version(), 10u);
   for (ProcessId j = 0; j < 10; ++j) EXPECT_TRUE(c.node(100 + j).admitted());
+}
+
+// --- n > 512: the flat-matrix fast path is off (SimWorld::start() leaves
+// dim_ == 0 past kFlatDimLimit) and channel fronts, blocked pairs, and held
+// traffic all live in the hash containers.  Everything below must behave
+// exactly as the matrix path does at small n.
+
+TEST(Scale, FifoOrderOnHashChannelsAt520) {
+  // Raw-simulator FIFO check with ids beyond the 512 matrix limit: heavy
+  // jitter, 50 tagged packets on one ordered channel — arrival order must
+  // equal send order on the hash-fallback channel_front_ path.
+  sim::SimWorld w(11, sim::DelayModel{1, 64});
+  std::vector<Probe> probes(520);
+  for (ProcessId p = 0; p < 520; ++p) w.add_actor(p, &probes[p]);
+  w.start();
+  w.at(1, [&w] {
+    Context* c = w.context_of(517);
+    for (uint8_t i = 0; i < 50; ++i) c->send(Packet{kNilId, 519, 9, {i}});
+  });
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(probes[519].received.size(), 50u);
+  for (uint8_t i = 0; i < 50; ++i) EXPECT_EQ(probes[519].received[i].bytes[0], i);
+}
+
+TEST(Scale, PartitionDeclaredBeforeStartAt520) {
+  // A partition declared *before* start() involving ids >= 512.  At small n
+  // start() migrates pre-start cuts into the flat matrix; past the limit
+  // they must keep working from blocked_pairs_ with identical semantics:
+  // traffic is held (not dropped) and a heal releases it in FIFO order.
+  sim::SimWorld w(13, sim::DelayModel{1, 8});
+  std::vector<Probe> probes(520);
+  for (ProcessId p = 0; p < 520; ++p) w.add_actor(p, &probes[p]);
+  w.partition({515, 519}, {2, 300});
+  w.start();
+  w.at(1, [&w] {
+    for (uint8_t i = 0; i < 5; ++i) w.context_of(519)->send(Packet{kNilId, 300, 9, {i}});
+    w.context_of(2)->send(Packet{kNilId, 515, 9, {99}});
+    w.context_of(3)->send(Packet{kNilId, 515, 9, {100}});  // uncut channel flows
+  });
+  w.at(200, [&w] { w.heal_partition(); });
+  ASSERT_TRUE(w.run_until_idle());
+  ASSERT_EQ(probes[300].received.size(), 5u);
+  for (uint8_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(probes[300].received[i].bytes[0], i);  // FIFO across the heal
+    EXPECT_GE(w.now(), Tick{200});
+  }
+  ASSERT_EQ(probes[515].received.size(), 2u);
+  EXPECT_EQ(probes[515].received[0].bytes[0], 100);  // arrived during the cut
+  EXPECT_EQ(probes[515].received[1].bytes[0], 99);   // released by the heal
+}
+
+TEST(Scale, SingleExclusionAt520) {
+  Cluster c(opts(520, 9101));
+  c.start();
+  c.crash_at(100, 519);
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message();
+  EXPECT_EQ(c.node(0).view().size(), 519u);
+  EXPECT_EQ(c.node(0).view().version(), 1u);
+}
+
+TEST(Scale, PartitionHealAndExclusionAt520) {
+  // Mid-run (post-start) cut severing {512..519}, a crash inside the cut
+  // minority, then a heal: the majority converges on the 519-member view
+  // and held traffic releases without wedging the run.
+  Cluster c(opts(520, 9103));
+  c.start();
+  std::vector<ProcessId> minority, majority;
+  for (ProcessId p = 0; p < 520; ++p) (p >= 512 ? minority : majority).push_back(p);
+  c.world().at(100, [&c, minority, majority] { c.world().partition(minority, majority); });
+  c.crash_at(150, 519);
+  c.world().at(4000, [&c] { c.world().heal_partition(); });
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message();
+  EXPECT_EQ(c.node(0).view().size(), 519u);
+}
+
+TEST(Scale, DelayStormAt520) {
+  // A storm spanning the crash and the detection window: the channel fronts
+  // under storm delays run on the hash path, and convergence must survive
+  // the inflated commit rounds.
+  Cluster c(opts(520, 9105));
+  c.start();
+  sim::SimWorld& w = c.world();
+  w.at(100, [&w] { w.set_delays({8, 200}); });
+  c.crash_at(500, 0);  // the coordinator, under storm
+  w.at(3000, [&w] { w.set_delays({1, 16}); });
+  ASSERT_TRUE(c.run_to_quiescence());
+  auto res = c.check();
+  EXPECT_TRUE(res.ok()) << res.message();
+  EXPECT_TRUE(c.node(1).is_mgr());
+  EXPECT_EQ(c.node(1).view().size(), 519u);
 }
 
 TEST(Scale, JoinersAndDeathsInterleavedAt32) {

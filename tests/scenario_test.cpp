@@ -27,7 +27,7 @@ TEST(Generator, DeterministicFromSeed) {
 
 TEST(Generator, EverySeedYieldsAtLeastOneEvent) {
   for (Profile p : {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
-                    Profile::kBurstCrash}) {
+                    Profile::kBurstCrash, Profile::kLossy}) {
     GeneratorOptions o;
     o.profile = p;
     for (uint64_t seed = 0; seed < 50; ++seed) {
@@ -66,7 +66,7 @@ TEST(Generator, EventsSortedByTick) {
 
 TEST(Generator, ProfileNamesRoundTrip) {
   for (Profile p : {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
-                    Profile::kBurstCrash}) {
+                    Profile::kBurstCrash, Profile::kLossy}) {
     Profile back;
     ASSERT_TRUE(parse_profile(to_string(p), back));
     EXPECT_EQ(back, p);
@@ -109,12 +109,48 @@ TEST(ScheduleCodec, RoundTripsEveryEventType) {
     e.max_delay = 128;
     s.events.push_back(e);
   }
+  {
+    ScheduleEvent e{EventType::kPartitionOneway, 800};
+    e.duration = 250;
+    e.group = {1, 4};
+    s.events.push_back(e);
+  }
+  {
+    ScheduleEvent e{EventType::kFaults, 1000};
+    e.duration = 400;
+    e.loss = 80;
+    e.dup = 150;
+    e.reorder = 200;
+    s.events.push_back(e);
+  }
   EXPECT_EQ(decode_schedule(encode_schedule(s)), s);
+}
+
+TEST(ScheduleCodec, DecodesOnewayAndFaultsKeywords) {
+  // The textual forms are part of the reproducer contract: `partition1`
+  // carries duration + the isolated side, `faults` carries duration + the
+  // three permille rates in (loss, dup, reorder) order.
+  Schedule s = decode_schedule(
+      "gmpx-schedule 1\nn 5\nseed 3\n"
+      "partition1 100 300 2 0 2\n"
+      "faults 500 200 50 100 150\n"
+      "end\n");
+  ASSERT_EQ(s.events.size(), 2u);
+  EXPECT_EQ(s.events[0].type, EventType::kPartitionOneway);
+  EXPECT_EQ(s.events[0].at, 100u);
+  EXPECT_EQ(s.events[0].duration, 300u);
+  EXPECT_EQ(s.events[0].group, (std::vector<ProcessId>{0, 2}));
+  EXPECT_EQ(s.events[1].type, EventType::kFaults);
+  EXPECT_EQ(s.events[1].at, 500u);
+  EXPECT_EQ(s.events[1].duration, 200u);
+  EXPECT_EQ(s.events[1].loss, 50u);
+  EXPECT_EQ(s.events[1].dup, 100u);
+  EXPECT_EQ(s.events[1].reorder, 150u);
 }
 
 TEST(ScheduleCodec, RoundTripsGeneratedSchedules) {
   for (Profile p : {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
-                    Profile::kBurstCrash}) {
+                    Profile::kBurstCrash, Profile::kLossy}) {
     GeneratorOptions o;
     o.profile = p;
     for (uint64_t seed = 0; seed < 25; ++seed) {
@@ -196,7 +232,7 @@ TEST(Executor, SweepAllProfiles) {
   // A miniature of the gmpx_fuzz smoke target: every profile, many seeds,
   // zero violations anywhere.
   for (Profile p : {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
-                    Profile::kBurstCrash}) {
+                    Profile::kBurstCrash, Profile::kLossy}) {
     GeneratorOptions o;
     o.profile = p;
     for (uint64_t seed = 0; seed < 40; ++seed) {

@@ -3,7 +3,8 @@
 //   gmpx_fuzz --seeds 0:1000 --profile all --nodes 5      # sweep
 //   gmpx_fuzz --seeds 0:4000 --profile all --jobs 8       # sharded sweep
 //   gmpx_fuzz --seeds 0:1000 --fd heartbeat               # real timeout FD
-//   gmpx_fuzz --seeds 0:500 --fd oracle,heartbeat         # both detectors
+//   gmpx_fuzz --seeds 0:1000 --fd phi --profile lossy     # phi over faults
+//   gmpx_fuzz --seeds 0:500 --fd oracle,heartbeat,phi     # several detectors
 //   gmpx_fuzz --replay failing.sched                      # replay one file
 //   gmpx_fuzz --replay failing.sched --minimize           # shrink it too
 //
@@ -13,8 +14,9 @@
 // liveness-eligible).  On a violation it prints the schedule text, greedily
 // minimizes it to a minimal reproducer, and (with --out) writes both
 // artifacts to disk.  `--fd` selects the failure-detection layer: "oracle"
-// (scripted crash-hook injection) and/or "heartbeat" (real ping/timeout
-// monitoring; storms are calibrated to provoke genuine false suspicions).
+// (scripted crash-hook injection), "heartbeat" (real ping/timeout
+// monitoring; storms are calibrated to provoke genuine false suspicions),
+// and/or "phi" (adaptive phi-accrual monitoring over the same wire traffic).
 // `--jobs N` shards the grid across N worker threads, one independent
 // simulated world per run; output and exit status are identical for every N
 // (see scenario/sweep.hpp).
@@ -45,15 +47,20 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: gmpx_fuzz [--seeds LO:HI] [--profile mixed|churn|partition|burst|all]\n"
-               "                 [--fd oracle|heartbeat|all (or comma list)]\n"
-               "                 [--hb-interval T] [--hb-timeout T] [--join-attempts N]\n"
+               "usage: gmpx_fuzz [--seeds LO:HI]\n"
+               "                 [--profile mixed|churn|partition|burst|lossy|all]\n"
+               "                 [--fd oracle|heartbeat|phi|all (or comma list)]\n"
+               "                 [--hb-interval T] [--hb-timeout T] [--phi-threshold F]\n"
+               "                 [--phi-interval T] [--join-attempts N]\n"
                "                 [--nodes N] [--horizon T] [--max-events K] [--no-liveness]\n"
                "                 [--basic] [--inject-bug] [--out DIR] [--jobs N]\n"
                "                 [--replay FILE [--minimize]] [-v] [--stats]\n"
                "\n"
                "--fd heartbeat runs real ping/timeout detection instead of the scripted\n"
-               "oracle (storm intensities are calibrated so false suspicions fire).\n"
+               "oracle (storm intensities are calibrated so false suspicions fire);\n"
+               "--fd phi runs adaptive phi-accrual detection (--phi-threshold sets the\n"
+               "suspicion level, default 8.0).  --profile lossy adds background-channel\n"
+               "loss/dup/reorder spans and one-way partitions to the fault mix.\n"
                "--join-attempts overrides the joiner give-up cap (0 = default policy;\n"
                "200 reproduces the legacy open-ended retry horizon byte-for-byte).\n"
                "--inject-bug suppresses faulty_p(q) trace records (a deliberate GMP-1\n"
@@ -81,7 +88,7 @@ struct Args {
 bool parse_detectors(const std::string& spec, std::vector<fd::DetectorKind>& out) {
   out.clear();
   if (spec == "all") {
-    out = {fd::DetectorKind::kOracle, fd::DetectorKind::kHeartbeat};
+    out = {fd::DetectorKind::kOracle, fd::DetectorKind::kHeartbeat, fd::DetectorKind::kPhi};
     return true;
   }
   size_t pos = 0;
@@ -131,6 +138,18 @@ bool parse_args(int argc, char** argv, Args& a) {
       Tick t = v ? std::strtoull(v, &end, 10) : 0;
       if (!v || end == v || *end != '\0' || t == 0) return false;
       a.exec.heartbeat.timeout = t;
+    } else if (arg == "--phi-threshold") {
+      const char* v = next();
+      char* end = nullptr;
+      double f = v ? std::strtod(v, &end) : 0.0;
+      if (!v || end == v || *end != '\0' || f <= 0.0) return false;
+      a.exec.phi.threshold = f;
+    } else if (arg == "--phi-interval") {
+      const char* v = next();
+      char* end = nullptr;
+      Tick t = v ? std::strtoull(v, &end, 10) : 0;
+      if (!v || end == v || *end != '\0' || t == 0) return false;  // 0 would re-arm same-tick
+      a.exec.phi.interval = t;
     } else if (arg == "--join-attempts") {
       const char* v = next();
       char* end = nullptr;
@@ -182,8 +201,10 @@ bool parse_args(int argc, char** argv, Args& a) {
 
 std::vector<Profile> profiles_of(const std::string& name) {
   if (name == "all") {
+    // kLossy appended LAST: "--profile all" output for the pre-existing
+    // profiles stays a byte-identical prefix across this addition.
     return {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
-            Profile::kBurstCrash};
+            Profile::kBurstCrash, Profile::kLossy};
   }
   Profile p;
   parse_profile(name, p);
