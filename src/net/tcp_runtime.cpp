@@ -1,16 +1,17 @@
 #include "net/tcp_runtime.hpp"
 
 #include <arpa/inet.h>
+#include <errno.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -23,13 +24,16 @@
 
 namespace gmpx::net {
 
-namespace {
-
-Tick now_us() {
-  using namespace std::chrono;
-  return static_cast<Tick>(
-      duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count());
+Tick monotonic_now_us() {
+  // CLOCK_MONOTONIC is machine-wide on Linux: every process reads the same
+  // clock, so an absolute epoch can be shared across an orchestrator and
+  // the node processes it forks (TcpOptions::epoch_us).
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<Tick>(ts.tv_sec) * 1'000'000 + static_cast<Tick>(ts.tv_nsec) / 1000;
 }
+
+namespace {
 
 void close_quietly(int& fd) {
   if (fd >= 0) {
@@ -78,10 +82,21 @@ struct TcpRuntime::Impl final : Context {
   int listen_fd = -1;
   int wake_pipe[2] = {-1, -1};
 
-  // Outgoing connection per peer; -1 = not connected.
-  std::map<ProcessId, int> out_fd;
-  std::map<ProcessId, int> connect_failures;
-  std::map<ProcessId, std::deque<std::vector<uint8_t>>> pending_out;
+  // Outgoing side, one state per peer.  The socket is non-blocking once
+  // established: frames queue in `outbox` and drain opportunistically plus
+  // on POLLOUT, so a peer that stops reading (SIGSTOPped, wedged) can never
+  // block the loop thread — its frames pile up here until the kernel buffer
+  // reopens or the connection dies.
+  struct PeerState {
+    int fd = -1;
+    std::deque<std::vector<uint8_t>> outbox;
+    size_t front_off = 0;  ///< bytes of outbox.front() already on the wire
+    int failures = 0;      ///< consecutive failed connects this episode
+    bool retry_armed = false;
+  };
+  std::map<ProcessId, PeerState> out;
+  uint64_t jitter_state = 0;
+
   // Inbound connections (peer discovered from frame headers).
   struct Inbound {
     int fd;
@@ -107,14 +122,25 @@ struct TcpRuntime::Impl final : Context {
   std::mutex post_mu;
   std::vector<std::function<void()>> posted;
 
+  uint64_t next_jitter() {
+    uint64_t z = (jitter_state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
   // ---- Context ----
   ProcessId self() const override { return self_id; }
-  Tick now() const override { return now_us() - epoch; }
+  Tick now() const override {
+    Tick t = monotonic_now_us();
+    return t > epoch ? t - epoch : 0;
+  }
 
   void send(Packet p) override {
     if (has_quit.load()) return;
     p.from = self_id;
     if (p.to == self_id) return;
+    if (!peers.count(p.to)) return;
     auto frame = encode_frame(p);
     enqueue(p.to, std::move(frame));
   }
@@ -136,39 +162,56 @@ struct TcpRuntime::Impl final : Context {
   // ---- networking ----
 
   void enqueue(ProcessId to, std::vector<uint8_t> frame) {
-    auto it = out_fd.find(to);
-    if (it == out_fd.end() || it->second < 0) {
-      if (!try_connect(to)) {
-        // Not reachable yet: hold and retry (start-up race); give up after
-        // the retry budget — the peer is treated as crashed.
-        if (connect_failures[to] <= opts.connect_attempts) {
-          pending_out[to].push_back(std::move(frame));
-          schedule_retry(to);
-        }
-        return;
+    PeerState& ps = out[to];
+    ps.outbox.push_back(std::move(frame));
+    if (ps.fd >= 0) {
+      flush(to, ps);
+      return;
+    }
+    if (ps.retry_armed) return;  // reconnect already scheduled
+    if (try_connect(to, ps)) {
+      flush(to, ps);
+    } else {
+      ps.failures = 1;
+      if (ps.failures <= opts.connect_attempts) {
+        arm_retry(to);
+      } else {
+        drop_outbox(ps);  // peer presumed crashed; drop (quit_p rule)
       }
     }
-    write_all(to, frame);
   }
 
-  void schedule_retry(ProcessId to) {
-    set_timer(opts.connect_retry_ms * 1000, [this, to] {
-      if (has_quit.load()) return;
-      if (out_fd.count(to) && out_fd[to] >= 0) return;  // already connected
-      if (try_connect(to)) {
-        auto q = std::move(pending_out[to]);
-        pending_out.erase(to);
-        for (auto& f : q) write_all(to, f);
-      } else if (connect_failures[to] <= opts.connect_attempts &&
-                 !pending_out[to].empty()) {
-        schedule_retry(to);
+  /// Backoff delay for the k-th consecutive failure: capped exponential
+  /// plus up to half again of seeded jitter.
+  Tick backoff_ms(int failures) {
+    int k = failures > 0 ? failures - 1 : 0;
+    Tick delay = opts.backoff_base_ms << std::min(k, 12);
+    if (delay > opts.backoff_cap_ms) delay = opts.backoff_cap_ms;
+    if (delay == 0) delay = 1;
+    return delay + next_jitter() % (delay / 2 + 1);
+  }
+
+  void arm_retry(ProcessId to) {
+    PeerState& ps = out[to];
+    ps.retry_armed = true;
+    set_timer(backoff_ms(ps.failures) * 1000, [this, to] {
+      PeerState& p = out[to];
+      p.retry_armed = false;
+      if (has_quit.load() || p.fd >= 0) return;
+      if (try_connect(to, p)) {
+        flush(to, p);
+        return;
+      }
+      ++p.failures;
+      if (p.failures <= opts.connect_attempts && !p.outbox.empty()) {
+        arm_retry(to);
       } else {
-        pending_out.erase(to);  // peer presumed crashed; drop (quit_p rule)
+        drop_outbox(p);  // peer presumed crashed; drop (quit_p rule)
       }
     });
   }
 
-  bool try_connect(ProcessId to) {
+  bool try_connect(ProcessId to, PeerState& ps) {
     auto it = peers.find(to);
     if (it == peers.end()) return false;
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -179,33 +222,61 @@ struct TcpRuntime::Impl final : Context {
     ::inet_pton(AF_INET, it->second.host.c_str(), &addr.sin_addr);
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
       ::close(fd);
-      ++connect_failures[to];
       return false;
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    out_fd[to] = fd;
-    connect_failures[to] = 0;
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+    ps.fd = fd;
+    ps.failures = 0;
     return true;
   }
 
-  void write_all(ProcessId to, const std::vector<uint8_t>& frame) {
-    int fd = out_fd[to];
-    size_t off = 0;
-    while (off < frame.size()) {
-      ssize_t n = ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
-      if (n <= 0) {
-        // Peer gone: quit_p semantics — the message vanishes.
-        close_quietly(out_fd[to]);
-        return;
+  void drop_outbox(PeerState& ps) {
+    ps.outbox.clear();
+    ps.front_off = 0;
+  }
+
+  /// The established connection died (RST, EOF, write error).  A partially
+  /// sent frame cannot resume on a new connection — the receiver parses
+  /// from a frame boundary — so it is lost in flight (quit_p semantics for
+  /// a peer that really crashed; one lost frame for one that restarted).
+  /// Remaining whole frames are kept and the reconnect backoff starts.
+  void peer_lost(ProcessId to, PeerState& ps) {
+    close_quietly(ps.fd);
+    if (ps.front_off > 0 && !ps.outbox.empty()) {
+      ps.outbox.pop_front();
+      ps.front_off = 0;
+    }
+    ps.failures = 0;
+    if (!ps.outbox.empty() && !ps.retry_armed && !has_quit.load()) arm_retry(to);
+  }
+
+  void flush(ProcessId to, PeerState& ps) {
+    while (ps.fd >= 0 && !ps.outbox.empty()) {
+      const std::vector<uint8_t>& f = ps.outbox.front();
+      ssize_t n = ::send(ps.fd, f.data() + ps.front_off, f.size() - ps.front_off,
+                         MSG_NOSIGNAL);
+      if (n > 0) {
+        ps.front_off += static_cast<size_t>(n);
+        if (ps.front_off == f.size()) {
+          ps.outbox.pop_front();
+          ps.front_off = 0;
+        }
+        continue;
       }
-      off += static_cast<size_t>(n);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // wait for POLLOUT
+      peer_lost(to, ps);
+      return;
     }
   }
 
   void loop() {
     actor->on_start(*this);
     std::vector<uint8_t> scratch(64 * 1024);
+    std::vector<pollfd> fds;
+    std::vector<ProcessId> out_ids;
     while (running.load()) {
       // Drain posted work.
       std::vector<std::function<void()>> work;
@@ -225,11 +296,23 @@ struct TcpRuntime::Impl final : Context {
       }
       if (!running.load()) break;
 
-      // Poll: listen + wake + inbound.
-      std::vector<pollfd> fds;
+      // Poll: listen + wake + inbound + outgoing.  Outgoing fds are watched
+      // for POLLIN too: peers never speak on our outgoing connection, so
+      // readability there means EOF/RST — a dead or restarted peer
+      // (half-open detection), triggering the reconnect path.
+      fds.clear();
+      out_ids.clear();
       fds.push_back({listen_fd, POLLIN, 0});
       fds.push_back({wake_pipe[0], POLLIN, 0});
       for (auto& in : inbound) fds.push_back({in.fd, POLLIN, 0});
+      const size_t out_base = fds.size();
+      for (auto& [pid, ps] : out) {
+        if (ps.fd < 0) continue;
+        short ev = POLLIN;
+        if (!ps.outbox.empty()) ev = POLLIN | POLLOUT;
+        fds.push_back({ps.fd, ev, 0});
+        out_ids.push_back(pid);
+      }
       int timeout_ms = 20;
       if (!timers.empty()) {
         Tick due = timers.top().when;
@@ -237,7 +320,11 @@ struct TcpRuntime::Impl final : Context {
         timeout_ms = due > nw ? static_cast<int>((due - nw) / 1000 + 1) : 0;
         if (timeout_ms > 20) timeout_ms = 20;
       }
-      ::poll(fds.data(), fds.size(), timeout_ms);
+      int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
 
       if (fds[0].revents & POLLIN) {
         int fd = ::accept(listen_fd, nullptr, nullptr);
@@ -253,12 +340,12 @@ struct TcpRuntime::Impl final : Context {
         while (::read(wake_pipe[0], c, sizeof c) > 0) {
         }
       }
-      for (size_t i = 0; i + 2 < fds.size() + 0; ++i) {
+      for (size_t i = 0; i + 2 < out_base; ++i) {
         size_t fdi = i + 2;
-        if (fdi >= fds.size()) break;
         if (!(fds[fdi].revents & (POLLIN | POLLHUP | POLLERR))) continue;
         Inbound& in = inbound[i];
         ssize_t n = ::recv(in.fd, scratch.data(), scratch.size(), 0);
+        if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) continue;
         if (n <= 0) {
           close_quietly(in.fd);
           continue;
@@ -274,13 +361,32 @@ struct TcpRuntime::Impl final : Context {
           close_quietly(in.fd);
         }
       }
+      for (size_t i = 0; i < out_ids.size(); ++i) {
+        pollfd& pf = fds[out_base + i];
+        PeerState& ps = out[out_ids[i]];
+        if (ps.fd != pf.fd || ps.fd < 0) continue;  // replaced meanwhile
+        if (pf.revents & (POLLERR | POLLHUP)) {
+          peer_lost(out_ids[i], ps);
+          continue;
+        }
+        if (pf.revents & POLLIN) {
+          ssize_t n = ::recv(ps.fd, scratch.data(), scratch.size(), 0);
+          if (n == 0 ||
+              (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK)) {
+            peer_lost(out_ids[i], ps);
+            continue;
+          }
+          // n > 0: protocol peers never talk back on this socket; discard.
+        }
+        if (pf.revents & POLLOUT) flush(out_ids[i], ps);
+      }
       // Compact closed inbound fds.
       inbound.erase(std::remove_if(inbound.begin(), inbound.end(),
                                    [](const Inbound& in) { return in.fd < 0; }),
                     inbound.end());
     }
     // Shutdown: close everything.
-    for (auto& [pid, fd] : out_fd) close_quietly(fd);
+    for (auto& [pid, ps] : out) close_quietly(ps.fd);
     for (auto& in : inbound) close_quietly(in.fd);
   }
 };
@@ -293,13 +399,15 @@ TcpRuntime::TcpRuntime(ProcessId self, std::map<ProcessId, PeerAddress> peers, A
   impl_->actor = actor;
   impl_->rec = recorder;
   impl_->opts = opts;
+  impl_->jitter_state =
+      opts.jitter_seed ? opts.jitter_seed : 0x9E3779B9u + uint64_t{self} * 2654435761u;
 }
 
 TcpRuntime::~TcpRuntime() { stop(); }
 
-void TcpRuntime::start() {
+bool TcpRuntime::start() {
   Impl& im = *impl_;
-  im.epoch = now_us();
+  im.epoch = im.opts.epoch_us ? im.opts.epoch_us : monotonic_now_us();
   im.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   int one = 1;
   ::setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -311,7 +419,8 @@ void TcpRuntime::start() {
       ::listen(im.listen_fd, 64) != 0) {
     GMPX_LOG_ERROR() << "p" << self_ << " cannot bind/listen on port "
                      << im.peers.at(self_).port;
-    return;
+    close_quietly(im.listen_fd);
+    return false;
   }
   ::fcntl(im.listen_fd, F_SETFL, O_NONBLOCK);
   if (::pipe(im.wake_pipe) == 0) {
@@ -319,6 +428,7 @@ void TcpRuntime::start() {
   }
   im.running.store(true);
   im.loop_thread = std::thread([this] { impl_->loop(); });
+  return true;
 }
 
 void TcpRuntime::stop() {
@@ -343,6 +453,10 @@ void TcpRuntime::post(std::function<void()> fn) {
     char c = 1;
     (void)!::write(impl_->wake_pipe[1], &c, 1);
   }
+}
+
+void TcpRuntime::post(std::function<void(Context&)> fn) {
+  post([impl = impl_.get(), fn = std::move(fn)] { fn(*impl); });
 }
 
 bool TcpRuntime::stopped() const {

@@ -30,6 +30,11 @@
 
 namespace gmpx::net {
 
+/// Microseconds on the machine-wide monotonic clock (CLOCK_MONOTONIC);
+/// comparable across processes on one host, so an orchestrator can hand
+/// every node it forks the same absolute TcpOptions::epoch_us.
+Tick monotonic_now_us();
+
 /// Where to reach a peer.
 struct PeerAddress {
   std::string host = "127.0.0.1";
@@ -42,10 +47,21 @@ std::vector<uint8_t> encode_frame(const Packet& p);
 /// it from `buf` and returns true.  Throws CodecError on a corrupt header.
 bool decode_frame(std::vector<uint8_t>& buf, Packet& out);
 
-/// Connection retry budget (start-up races): attempts * interval.
+/// Connection (re)establishment policy.  Retries use capped exponential
+/// backoff with seeded jitter: delay_k = min(cap, base << k) plus up to half
+/// that again of jitter, drawn from a per-runtime splitmix64 stream — so a
+/// herd of endpoints chasing one restarting peer spreads out, yet any fixed
+/// seed replays the exact retry cadence (net_test pins this).
 struct TcpOptions {
-  int connect_attempts = 40;
-  Tick connect_retry_ms = 50;
+  int connect_attempts = 40;     ///< retry budget per disconnection episode
+  Tick backoff_base_ms = 5;      ///< first retry delay
+  Tick backoff_cap_ms = 200;     ///< exponential growth ceiling
+  uint64_t jitter_seed = 0;      ///< 0 = derive from the process id
+  /// Clock epoch for Context::now(), in microseconds on the machine-wide
+  /// monotonic clock (CLOCK_MONOTONIC).  0 = stamp at start().  The real
+  /// executor hands every node process the same absolute epoch so their
+  /// tick clocks agree; before the epoch, now() reads 0.
+  Tick epoch_us = 0;
 };
 
 /// One protocol endpoint on a real network.
@@ -61,8 +77,10 @@ class TcpRuntime {
   TcpRuntime& operator=(const TcpRuntime&) = delete;
 
   /// Bind + listen on the self address, start the loop thread, and deliver
-  /// on_start to the actor on that thread.
-  void start();
+  /// on_start to the actor on that thread.  Returns false (and starts
+  /// nothing) when the port cannot be bound — the caller must surface that
+  /// loudly; a silently deaf endpoint is indistinguishable from a crash.
+  bool start();
 
   /// Stop the loop and join the thread.  Idempotent.  Called automatically
   /// by the destructor and by Context::quit().
@@ -71,6 +89,10 @@ class TcpRuntime {
   /// Run `fn` on the loop thread (thread-safe; used by tests/examples to
   /// poke the actor, e.g. injecting suspicions).
   void post(std::function<void()> fn);
+
+  /// Like post(), but hands `fn` the runtime's Context so posted work can
+  /// call actor entry points that need one (suspect, leave).
+  void post(std::function<void(Context&)> fn);
 
   /// True once the endpoint has quit or been stopped.
   bool stopped() const;

@@ -1,0 +1,671 @@
+#include "realexec/executor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "gmp/node.hpp"
+#include "net/tcp_runtime.hpp"
+#include "realexec/proxy.hpp"
+#include "scenario/verdict.hpp"
+#include "trace/stream.hpp"
+
+namespace gmpx::realexec {
+
+namespace {
+
+std::string join_ids(const std::vector<ProcessId>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+/// One scheduled orchestrator-side action, in firing order.
+struct Action {
+  enum Kind { kKill, kSuspect, kLeave, kStop, kCont };
+  Tick at = 0;
+  size_t seq = 0;  ///< schedule order tiebreak
+  Kind kind = kKill;
+  ProcessId target = kNilId;
+  ProcessId observer = kNilId;
+};
+
+struct NodeProc {
+  ProcessId id = kNilId;
+  bool is_joiner = false;
+  std::vector<ProcessId> contacts;
+  Tick join_at = 0;
+  uint16_t node_port = 0;
+  uint16_t proxy_port = 0;
+
+  pid_t pid = -1;
+  int cmd_fd = -1;  ///< orchestrator -> node control lines
+  int ev_fd = -1;   ///< node -> orchestrator event stream
+  std::string buf;  ///< partial line accumulator
+  std::vector<trace::Event> events;  ///< stream arrival order
+  std::vector<std::string> status_lines;
+  bool eos = false;
+  std::string eos_reason;
+  bool aborted_join = false;
+  bool killed = false;  ///< scheduled crash (SIGKILL) — tail loss expected
+  bool termed = false;
+  bool stream_closed = false;
+  bool reaped = false;
+};
+
+void reap(NodeProc& n) {
+  if (n.pid < 0 || n.reaped) return;
+  int st = 0;
+  if (::waitpid(n.pid, &st, WNOHANG) == n.pid) n.reaped = true;
+}
+
+/// Drain whatever the node has streamed; returns false once the pipe hit
+/// EOF (stream finished).  Lines:
+///   ev <tick> ...            one trace event (trace/stream.hpp codec)
+///   status <tok> <text>      reply to a "status <tok>" control command
+///   eos <reason> aborted=<b> flush marker: no event was lost before this
+bool drain_stream(NodeProc& n) {
+  if (n.stream_closed || n.ev_fd < 0) return false;
+  char buf[4096];
+  for (;;) {
+    ssize_t r = ::read(n.ev_fd, buf, sizeof buf);
+    if (r > 0) {
+      n.buf.append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    n.stream_closed = true;  // EOF or hard error: the node is gone
+    break;
+  }
+  size_t start = 0;
+  for (;;) {
+    size_t nl = n.buf.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = n.buf.substr(start, nl - start);
+    start = nl + 1;
+    if (line.rfind("ev ", 0) == 0) {
+      trace::Event e;
+      if (decode_event_line(line, e)) n.events.push_back(std::move(e));
+    } else if (line.rfind("status ", 0) == 0) {
+      n.status_lines.push_back(line.substr(7));
+    } else if (line.rfind("eos", 0) == 0) {
+      n.eos = true;
+      size_t sp = line.find(' ');
+      size_t sp2 = sp == std::string::npos ? sp : line.find(' ', sp + 1);
+      if (sp != std::string::npos)
+        n.eos_reason = line.substr(sp + 1, sp2 == std::string::npos ? sp2 : sp2 - sp - 1);
+      if (line.find("aborted=1") != std::string::npos) n.aborted_join = true;
+    }
+  }
+  n.buf.erase(0, start);
+  return !n.stream_closed;
+}
+
+void send_cmd(NodeProc& n, const std::string& line) {
+  if (n.cmd_fd < 0) return;
+  std::string msg = line + "\n";
+  // Best effort: a dead reader raises EPIPE (SIGPIPE ignored below) and the
+  // command is moot anyway.
+  [[maybe_unused]] ssize_t r = ::write(n.cmd_fd, msg.data(), msg.size());
+}
+
+bool safety_violated(const trace::CheckResult& c) {
+  for (const std::string& clause : c.clauses()) {
+    if (clause != "GMP-5") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string default_node_bin() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "./gmpx_node";
+  buf[n] = '\0';
+  std::string path(buf);
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "./gmpx_node";
+  return path.substr(0, slash) + "/gmpx_node";
+}
+
+std::string TcpExecResult::message() const {
+  std::ostringstream os;
+  if (infra_failure) os << "infrastructure failure\n";
+  if (!quiesced) {
+    os << "run did not quiesce within the wall budget";
+    if (!diagnostic.empty()) os << " (" << diagnostic << ")";
+    os << "\n";
+  } else if (!diagnostic.empty()) {
+    os << diagnostic << "\n";
+  }
+  os << check.message();
+  return os.str();
+}
+
+TcpExecResult execute_tcp(const scenario::Schedule& s, const TcpExecOptions& opts) {
+  // A SIGTERMed/killed child makes pipe writes fail with EPIPE; the default
+  // SIGPIPE disposition would kill the orchestrator instead.
+  static const int sigpipe_ignored = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return 0;
+  }();
+  (void)sigpipe_ignored;
+
+  TcpExecResult r;
+  const std::string bin = opts.node_bin.empty() ? default_node_bin() : opts.node_bin;
+  if (::access(bin.c_str(), X_OK) != 0) {
+    r.infra_failure = true;
+    r.diagnostic = "node binary not executable: " + bin;
+    return r;
+  }
+
+  // ---- roster ----
+  std::vector<NodeProc> nodes;
+  std::vector<ProcessId> initial;
+  for (ProcessId p = 0; p < s.n; ++p) {
+    initial.push_back(p);
+    NodeProc n;
+    n.id = p;
+    nodes.push_back(std::move(n));
+  }
+  std::vector<ProcessId> joiners;
+  for (const scenario::ScheduleEvent& e : s.events) {
+    if (e.type != scenario::EventType::kJoin) continue;
+    NodeProc n;
+    n.id = e.target;
+    n.is_joiner = true;
+    n.contacts = e.group;
+    n.join_at = e.at;
+    nodes.push_back(std::move(n));
+    joiners.push_back(e.target);
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].node_port = static_cast<uint16_t>(opts.base_port + 2 * i);
+    nodes[i].proxy_port = static_cast<uint16_t>(opts.base_port + 2 * i + 1);
+  }
+  auto node_of = [&nodes](ProcessId p) -> NodeProc* {
+    for (NodeProc& n : nodes) {
+      if (n.id == p) return &n;
+    }
+    return nullptr;
+  };
+
+  // ---- orchestrator actions ----
+  std::vector<Action> actions;
+  Tick last_effect = 0;
+  {
+    size_t seq = 0;
+    for (const scenario::ScheduleEvent& e : s.events) {
+      Tick span_end = e.at + e.duration;
+      if (span_end > last_effect) last_effect = span_end;
+      switch (e.type) {
+        case scenario::EventType::kCrash:
+          actions.push_back({e.at, seq++, Action::kKill, e.target, kNilId});
+          break;
+        case scenario::EventType::kSuspect:
+          actions.push_back({e.at, seq++, Action::kSuspect, e.target, e.observer});
+          break;
+        case scenario::EventType::kLeave:
+          actions.push_back({e.at, seq++, Action::kLeave, e.target, kNilId});
+          break;
+        default:
+          break;  // network events live in the proxies; joins in the roster
+      }
+    }
+    for (const TcpExecOptions::PauseSpan& p : opts.pauses) {
+      actions.push_back({p.at, seq++, Action::kStop, p.target, kNilId});
+      actions.push_back({p.at + p.duration, seq++, Action::kCont, p.target, kNilId});
+      if (p.at + p.duration > last_effect) last_effect = p.at + p.duration;
+    }
+    std::sort(actions.begin(), actions.end(), [](const Action& a, const Action& b) {
+      return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+    });
+  }
+
+  // ---- fault plan + settle window (sim's detection_settle, scaled) ----
+  FaultPlan plan = compile_plan(s);
+  Tick worst_delay = 16;  // sim baseline DelayModel ceiling
+  for (const FaultPlan::Storm& st : plan.storms) {
+    if (st.max_delay > worst_delay) worst_delay = st.max_delay;
+  }
+  for (const FaultPlan::Faults& f : plan.faults) {
+    if (f.reorder > 0) {
+      worst_delay += f.reorder_slack + 1;
+      break;
+    }
+  }
+  const Tick settle_ticks = opts.heartbeat.timeout + 2 * opts.heartbeat.interval +
+                            worst_delay + 400;
+  const Tick settle_us = settle_ticks * opts.tick_us;
+
+  // ---- proxies ----
+  const Tick epoch = net::monotonic_now_us() + 300'000;  // spawn/bind grace
+  std::vector<std::unique_ptr<DelayProxy>> proxies;
+  try {
+    for (NodeProc& n : nodes) {
+      ProxyOptions po;
+      po.target = n.id;
+      po.listen_port = n.proxy_port;
+      po.node_port = n.node_port;
+      po.epoch_us = epoch;
+      po.tick_us = opts.tick_us;
+      po.seed = s.seed * 0x9E3779B97F4A7C15ull + n.id + 1;
+      po.plan = plan;
+      proxies.push_back(std::make_unique<DelayProxy>(std::move(po)));
+      proxies.back()->start();
+    }
+  } catch (const std::exception& ex) {
+    r.infra_failure = true;
+    r.diagnostic = ex.what();
+    return r;
+  }
+
+  // ---- spawn one gmpx_node per member ----
+  const size_t join_attempts =
+      opts.join_max_attempts ? opts.join_max_attempts : gmp::kDefaultJoinMaxAttempts;
+  for (NodeProc& n : nodes) {
+    std::vector<std::string> args;
+    args.push_back(bin);
+    args.push_back("--self");
+    args.push_back(std::to_string(n.id));
+    args.push_back("--bind-port");
+    args.push_back(std::to_string(n.node_port));
+    args.push_back("--epoch-us");
+    args.push_back(std::to_string(epoch));
+    args.push_back("--tick-us");
+    args.push_back(std::to_string(opts.tick_us));
+    args.push_back("--hb-interval");
+    args.push_back(std::to_string(opts.heartbeat.interval));
+    args.push_back("--hb-timeout");
+    args.push_back(std::to_string(opts.heartbeat.timeout));
+    args.push_back("--require-majority");
+    args.push_back(opts.require_majority ? "1" : "0");
+    args.push_back("--join-attempts");
+    args.push_back(std::to_string(join_attempts));
+    for (const NodeProc& peer : nodes) {
+      if (peer.id == n.id) continue;
+      args.push_back("--peer");
+      args.push_back(std::to_string(peer.id) + ":127.0.0.1:" +
+                     std::to_string(peer.proxy_port));
+    }
+    if (n.is_joiner) {
+      args.push_back("--joiner");
+      args.push_back("--contacts");
+      args.push_back(join_ids(n.contacts));
+      args.push_back("--join-delay");
+      args.push_back(std::to_string(n.join_at));
+    } else {
+      args.push_back("--initial");
+      args.push_back(join_ids(initial));
+    }
+
+    int cmd[2], ev[2];
+    if (::pipe2(cmd, O_CLOEXEC) < 0 || ::pipe2(ev, O_CLOEXEC) < 0) {
+      r.infra_failure = true;
+      r.diagnostic = "pipe2 failed";
+      break;
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      r.infra_failure = true;
+      r.diagnostic = "fork failed";
+      break;
+    }
+    if (pid == 0) {
+      // Child: control pipe on fd 3, event stream on fd 4 (dup2 clears
+      // CLOEXEC on the target); everything else closes across exec.
+      ::dup2(cmd[0], 3);
+      ::dup2(ev[1], 4);
+      std::vector<char*> argv;
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(bin.c_str(), argv.data());
+      ::_exit(127);
+    }
+    ::close(cmd[0]);
+    ::close(ev[1]);
+    n.pid = pid;
+    n.cmd_fd = cmd[1];
+    n.ev_fd = ev[0];
+    int flags = ::fcntl(n.ev_fd, F_GETFL, 0);
+    ::fcntl(n.ev_fd, F_SETFL, flags | O_NONBLOCK);
+    ++r.nodes_spawned;
+  }
+
+  auto kill_everything = [&nodes] {
+    for (NodeProc& n : nodes) {
+      if (n.pid > 0 && !n.reaped) {
+        ::kill(n.pid, SIGCONT);  // a paused node cannot die of SIGKILL alone
+        ::kill(n.pid, SIGKILL);
+      }
+    }
+    for (NodeProc& n : nodes) {
+      if (n.pid > 0 && !n.reaped) {
+        ::waitpid(n.pid, nullptr, 0);
+        n.reaped = true;
+      }
+    }
+  };
+
+  if (r.infra_failure) {
+    kill_everything();
+    for (auto& px : proxies) px->stop();
+    return r;
+  }
+
+  // ---- run loop: fire actions, drain streams, detect quiescence ----
+  const Tick last_effect_us = epoch + last_effect * opts.tick_us;
+  const Tick wall_deadline = net::monotonic_now_us() + opts.wall_timeout_ms * 1000;
+  bool timed_out = false;
+  size_t next_action = 0;
+  for (;;) {
+    Tick now = net::monotonic_now_us();
+    if (now >= wall_deadline) {
+      timed_out = true;
+      break;
+    }
+    while (next_action < actions.size() &&
+           epoch + actions[next_action].at * opts.tick_us <= now) {
+      Action& a = actions[next_action++];
+      NodeProc* n = node_of(a.target);
+      if (!n || n->pid <= 0) continue;
+      switch (a.kind) {
+        case Action::kKill:
+          n->killed = true;
+          ::kill(n->pid, SIGCONT);
+          ::kill(n->pid, SIGKILL);
+          break;
+        case Action::kSuspect:
+          if (NodeProc* obs = node_of(a.observer)) {
+            send_cmd(*obs, "suspect " + std::to_string(a.target));
+          }
+          break;
+        case Action::kLeave:
+          send_cmd(*n, "leave");
+          break;
+        case Action::kStop:
+          ::kill(n->pid, SIGSTOP);
+          break;
+        case Action::kCont:
+          ::kill(n->pid, SIGCONT);
+          break;
+      }
+    }
+
+    std::vector<pollfd> pfds;
+    std::vector<size_t> owner;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].ev_fd >= 0 && !nodes[i].stream_closed) {
+        pfds.push_back({nodes[i].ev_fd, POLLIN, 0});
+        owner.push_back(i);
+      }
+    }
+    Tick wake = now + 20'000;
+    if (next_action < actions.size()) {
+      Tick at_us = epoch + actions[next_action].at * opts.tick_us;
+      if (at_us < wake) wake = at_us;
+    }
+    int timeout_ms = wake > now ? static_cast<int>((wake - now) / 1000) + 1 : 1;
+    int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc > 0) {
+      for (size_t k = 0; k < pfds.size(); ++k) {
+        if (pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) {
+          drain_stream(nodes[owner[k]]);
+          reap(nodes[owner[k]]);
+        }
+      }
+    }
+
+    // Quiescence: every scheduled effect has passed and no protocol frame
+    // crossed any proxy for a full settle window.
+    now = net::monotonic_now_us();
+    Tick last_protocol = epoch;
+    for (auto& px : proxies) {
+      Tick t = px->last_protocol_activity_us();
+      if (t > last_protocol) last_protocol = t;
+    }
+    Tick quiet_since = std::max(last_effect_us, last_protocol);
+    if (now >= quiet_since + settle_us) break;
+  }
+
+  const Tick end_now = net::monotonic_now_us();
+  r.end_tick = end_now > epoch ? (end_now - epoch) / opts.tick_us : 0;
+  r.quiesced = !timed_out;
+
+  if (timed_out) {
+    // Stuck-run triage: ask every live node for its state, give the replies
+    // a beat to arrive, then fold in each proxy's fault summary.
+    for (NodeProc& n : nodes) {
+      if (n.pid > 0 && !n.killed && !n.stream_closed) send_cmd(n, "status 1");
+    }
+    Tick until = net::monotonic_now_us() + 300'000;
+    while (net::monotonic_now_us() < until) {
+      std::vector<pollfd> pfds;
+      std::vector<size_t> owner;
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].ev_fd >= 0 && !nodes[i].stream_closed) {
+          pfds.push_back({nodes[i].ev_fd, POLLIN, 0});
+          owner.push_back(i);
+        }
+      }
+      if (pfds.empty()) break;
+      if (::poll(pfds.data(), pfds.size(), 50) <= 0) continue;
+      for (size_t k = 0; k < pfds.size(); ++k) {
+        if (pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) drain_stream(nodes[owner[k]]);
+      }
+      bool all = true;
+      for (NodeProc& n : nodes) {
+        if (n.pid > 0 && !n.killed && !n.stream_closed && n.status_lines.empty()) all = false;
+      }
+      if (all) break;
+    }
+    std::ostringstream os;
+    os << "wall timeout after " << opts.wall_timeout_ms << "ms at tick " << r.end_tick;
+    for (NodeProc& n : nodes) {
+      if (n.pid <= 0) continue;
+      os << "; node " << n.id << ": ";
+      if (n.killed) {
+        os << "crashed(scheduled)";
+      } else if (!n.status_lines.empty()) {
+        os << n.status_lines.back();
+      } else {
+        os << "no status reply" << (n.stream_closed ? " (exited)" : " (hung or paused)");
+      }
+    }
+    for (auto& px : proxies) os << "; " << px->summary(r.end_tick);
+    r.diagnostic = os.str();
+  }
+
+  // ---- shutdown: SIGTERM survivors, require their eos flush markers ----
+  for (NodeProc& n : nodes) {
+    if (n.pid > 0 && !n.killed) {
+      ::kill(n.pid, SIGCONT);
+      ::kill(n.pid, SIGTERM);
+      n.termed = true;
+    }
+  }
+  {
+    Tick until = net::monotonic_now_us() + 3'000'000;
+    for (;;) {
+      bool open = false;
+      for (NodeProc& n : nodes) {
+        if (n.ev_fd >= 0 && !n.stream_closed) {
+          drain_stream(n);
+          if (!n.stream_closed) open = true;
+        }
+        reap(n);
+      }
+      if (!open || net::monotonic_now_us() >= until) break;
+      std::vector<pollfd> pfds;
+      for (NodeProc& n : nodes) {
+        if (n.ev_fd >= 0 && !n.stream_closed) pfds.push_back({n.ev_fd, POLLIN, 0});
+      }
+      ::poll(pfds.data(), pfds.size(), 50);
+    }
+  }
+  kill_everything();
+  for (auto& px : proxies) px->stop();
+
+  // The flush contract: a SIGTERMed node streams everything and marks the
+  // end with `eos`; only SIGKILL (a scheduled crash) may lose tail events.
+  for (NodeProc& n : nodes) {
+    if (n.pid <= 0) continue;
+    if (n.killed) continue;
+    if (n.eos && n.eos_reason == "bindfail") {
+      // The node never got a listening socket (port squatted by an
+      // ephemeral connection or a stale process): the run's topology was
+      // wrong from the start — infrastructure, not a protocol verdict.
+      r.infra_failure = true;
+      if (!r.diagnostic.empty()) r.diagnostic += "; ";
+      r.diagnostic += "node " + std::to_string(n.id) + " could not bind its port";
+    } else if (n.eos) {
+      ++r.clean_exits;
+    } else {
+      ++r.missing_eos;
+      r.infra_failure = true;
+      if (!r.diagnostic.empty()) r.diagnostic += "; ";
+      r.diagnostic += "node " + std::to_string(n.id) +
+                      " exited without an eos flush marker (trace tail lost)";
+    }
+    if (n.aborted_join) ++r.aborted_joins;
+  }
+  for (NodeProc& n : nodes) {
+    if (n.cmd_fd >= 0) ::close(n.cmd_fd);
+    if (n.ev_fd >= 0) ::close(n.ev_fd);
+  }
+
+  // ---- merge the streamed traces into one recorder ----
+  struct MergedEvent {
+    Tick tick = 0;
+    ProcessId actor = kNilId;
+    size_t local = 0;  ///< per-node stream order (stable within equal ticks)
+    trace::Event e;
+  };
+  std::vector<MergedEvent> merged;
+  for (NodeProc& n : nodes) {
+    for (size_t i = 0; i < n.events.size(); ++i) {
+      MergedEvent m;
+      m.e = n.events[i];
+      m.e.tick /= opts.tick_us;  // µs -> schedule ticks
+      m.tick = m.e.tick;
+      m.actor = m.e.actor;
+      m.local = i;
+      merged.push_back(std::move(m));
+    }
+  }
+  // A SIGKILLed process cannot record its own quit_p; the orchestrator
+  // supplies it, exactly as the sim world does.
+  for (NodeProc& n : nodes) {
+    if (!n.killed) continue;
+    MergedEvent m;
+    m.e.kind = trace::EventKind::kCrash;
+    m.e.actor = n.id;
+    for (const Action& a : actions) {
+      if (a.kind == Action::kKill && a.target == n.id) m.e.tick = a.at;
+    }
+    m.tick = m.e.tick;
+    m.actor = n.id;
+    m.local = ~size_t{0};  // after the node's own same-tick events
+    merged.push_back(std::move(m));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const MergedEvent& a, const MergedEvent& b) {
+                     if (a.tick != b.tick) return a.tick < b.tick;
+                     if (a.actor != b.actor) return a.actor < b.actor;
+                     return a.local < b.local;
+                   });
+  trace::Recorder rec;
+  rec.set_initial_membership(initial);
+  for (MergedEvent& m : merged) trace::replay_into(rec, m.e);
+
+  // ---- judge with the shared sim/real verdict policy ----
+  std::map<ProcessId, Tick> crashes = rec.crashes();
+  std::set<ProcessId> installed;
+  rec.for_each_event([&installed](const trace::Event& e) {
+    if (e.kind == trace::EventKind::kInstall) installed.insert(e.actor);
+  });
+  scenario::VerdictInputs vin;
+  vin.quiesced = r.quiesced;
+  vin.check_liveness = opts.check_liveness;
+  vin.require_majority = opts.require_majority;
+  vin.schedule_liveness_eligible = scenario::liveness_eligible(s);
+  for (const NodeProc& n : nodes) vin.ids.push_back(n.id);
+  vin.joiners = joiners;
+  vin.crashed = [&crashes](ProcessId p) { return crashes.count(p) > 0; };
+  vin.admitted = [&installed, &initial](ProcessId p) {
+    // Initial members are admitted by construction; a joiner counts as
+    // admitted once it installed any view (its ViewTransfer arrived).
+    if (std::count(initial.begin(), initial.end(), p)) return true;
+    return installed.count(p) > 0;
+  };
+  scenario::Verdict v = scenario::judge_trace(rec, vin);
+  r.liveness_checked = v.liveness_checked;
+  r.check = std::move(v.check);
+  r.final_view_size = rec.frontier_view().members.size();
+  return r;
+}
+
+CrossCheckResult cross_check(const scenario::Schedule& s, const scenario::ExecOptions& sim_opts,
+                             const TcpExecOptions& tcp_opts) {
+  CrossCheckResult cc;
+  cc.sim = scenario::execute(s, sim_opts);
+  cc.tcp = execute_tcp(s, tcp_opts);
+
+  // The divergence contract: timing differs between the deployments, but
+  // clause outcomes must not.
+  //   * infrastructure failures are never verdicts — always a mismatch;
+  //   * quiescence must agree (a TCP run that cannot settle while the sim
+  //     quiesced is a real divergence, and vice versa);
+  //   * safety (GMP-0..4) verdicts must match exactly;
+  //   * GMP-5 is compared only when BOTH deployments asserted it (the
+  //     gating inputs — frontier majority, zombie exemptions — are derived
+  //     from each deployment's own trace and may legitimately differ).
+  std::ostringstream why;
+  bool agree = true;
+  if (cc.tcp.infra_failure) {
+    agree = false;
+    why << "tcp infrastructure failure: " << cc.tcp.diagnostic;
+  } else if (cc.sim.quiesced != cc.tcp.quiesced) {
+    agree = false;
+    why << "quiescence divergence: sim=" << (cc.sim.quiesced ? "yes" : "no")
+        << " tcp=" << (cc.tcp.quiesced ? "yes" : "no");
+    if (!cc.tcp.quiesced) why << " (" << cc.tcp.diagnostic << ")";
+  } else {
+    bool sim_safety = safety_violated(cc.sim.check);
+    bool tcp_safety = safety_violated(cc.tcp.check);
+    if (sim_safety != tcp_safety) {
+      agree = false;
+      why << "safety divergence: sim=" << (sim_safety ? "violated" : "clean")
+          << " tcp=" << (tcp_safety ? "violated" : "clean");
+    }
+    if (cc.sim.liveness_checked && cc.tcp.liveness_checked) {
+      bool sim5 = cc.sim.check.has_clause("GMP-5");
+      bool tcp5 = cc.tcp.check.has_clause("GMP-5");
+      if (sim5 != tcp5) {
+        agree = false;
+        if (why.tellp() > 0) why << "; ";
+        why << "GMP-5 divergence: sim=" << (sim5 ? "violated" : "clean")
+            << " tcp=" << (tcp5 ? "violated" : "clean");
+      }
+    }
+  }
+  cc.agree = agree;
+  cc.reason = why.str();
+  return cc;
+}
+
+}  // namespace gmpx::realexec

@@ -1,0 +1,132 @@
+// Real-deployment executor: replay a scenario::Schedule against a live
+// cluster of OS processes and judge the run with the same trace checker and
+// verdict policy as the simulator.
+//
+// Topology per run (all on 127.0.0.1):
+//
+//   gmpx_node #p  <-- forward conn --  DelayProxy #p  <-- TCP --  peers
+//        |                                  ^
+//        | fd 4: trace event stream         | every peer q sends to p via
+//        | fd 3: control commands           | p's proxy port, so ALL of
+//        v                                  | p's inbound traffic passes
+//   orchestrator (this file) ---------------+ the fault plan
+//
+// Schedule mapping:
+//   * kCrash            -> SIGKILL at the scaled tick; the orchestrator
+//                          appends the quit_p event (a killed process
+//                          cannot record its own crash).
+//   * kSuspect          -> "suspect q" on the observer's control pipe (no
+//                          injected counter-suspicion: heartbeat detectors
+//                          resolve the standoff natively, as in the sim's
+//                          timeout-fd path).
+//   * kLeave            -> "leave" on the target's control pipe.
+//   * kJoin             -> the joiner process is forked at run start with
+//                          its solicit delay; admission runs the real S7
+//                          protocol over TCP.
+//   * network events    -> compiled into each proxy's FaultPlan.
+//
+// Quiescence: past the last scheduled effect AND no protocol frame seen by
+// any proxy for a full detection-settle window (same formula as the sim's
+// run_to_protocol_quiescence, scaled to real time).  A run that exceeds
+// the hard wall timeout is killed and reported unquiesced, with a triage
+// report (per-node status + proxy fault summaries) in `diagnostic`.
+//
+// Shutdown contract (asserted here): SIGTERM makes gmpx_node flush its
+// event stream and write an `eos` marker before exiting; only SIGKILL may
+// lose tail events.  A SIGTERMed node whose stream lacks `eos` is an
+// infrastructure failure, reported in TcpExecResult::missing_eos.
+//
+// Divergence contract vs the sim (tests/README.md "Real-deployment axis"):
+// event *timing* legitimately differs — kernel scheduling, socket latency
+// and heartbeat phase are real here — but clause verdicts must not.
+// cross_check() runs both executors on one schedule and compares verdicts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fd/heartbeat.hpp"
+#include "scenario/executor.hpp"
+#include "scenario/schedule.hpp"
+#include "trace/checker.hpp"
+
+namespace gmpx::realexec {
+
+struct TcpExecOptions {
+  /// Real microseconds per schedule tick.  100 keeps a typical generated
+  /// schedule (~10k ticks of scripted events) around a second of wall time
+  /// while staying far above kernel timer granularity.
+  Tick tick_us = 100;
+  /// First TCP port of the run's window: node p uses base_port + 2*index
+  /// (real bind) and base_port + 2*index + 1 (its proxy).  The default sits
+  /// BELOW the Linux ephemeral range (/proc/sys/net/ipv4/ip_local_port_range,
+  /// typically 32768+): windows inside it race against the runtimes' own
+  /// outgoing connections for local ports, and a squatted port costs a node
+  /// its listener (reported as an infra failure, but avoidable entirely).
+  uint16_t base_port = 25000;
+  /// Path of the node binary; "" = gmpx_node next to the current executable.
+  std::string node_bin;
+  bool check_liveness = true;
+  bool require_majority = true;
+  /// 0 = gmp::kDefaultJoinMaxAttempts (same contract as ExecOptions).
+  size_t join_max_attempts = 0;
+  /// TCP runs are always heartbeat-driven: the oracle detector is a
+  /// simulator artifact (it reads ground truth no real process has).
+  /// Values are in ticks; the node scales by tick_us.
+  fd::HeartbeatOptions heartbeat{};
+  /// Hard wall-clock budget for the whole run, after which every node is
+  /// killed and the run reports quiesced = false with a triage report.
+  uint64_t wall_timeout_ms = 30'000;
+  /// Test hook: SIGSTOP `target` at tick `at`, SIGCONT at `at + duration`.
+  /// A pause longer than the heartbeat timeout must look like a crash to
+  /// the peers (and the paused node must be excluded); a short pause must
+  /// be absorbed.  realexec_test pins both.
+  struct PauseSpan {
+    ProcessId target = kNilId;
+    Tick at = 0;
+    Tick duration = 0;
+  };
+  std::vector<PauseSpan> pauses;
+};
+
+struct TcpExecResult {
+  bool quiesced = false;
+  bool liveness_checked = false;
+  trace::CheckResult check;
+  Tick end_tick = 0;             ///< schedule ticks elapsed at verdict time
+  size_t final_view_size = 0;    ///< |frontier view| of the merged trace
+  size_t nodes_spawned = 0;
+  size_t clean_exits = 0;        ///< SIGTERMed nodes that delivered `eos`
+  size_t missing_eos = 0;        ///< SIGTERMed nodes whose stream lost its tail
+  size_t aborted_joins = 0;      ///< joiners that reported giving up
+  bool infra_failure = false;    ///< spawn/stream plumbing broke (not a GMP verdict)
+  std::string diagnostic;        ///< triage report when unquiesced/infra
+
+  /// Same contract as scenario::ExecResult::ok(), plus stream integrity.
+  bool ok() const { return quiesced && check.ok() && !infra_failure; }
+  std::string message() const;
+};
+
+/// Fork/exec one gmpx_node per member, inject the schedule's faults, merge
+/// the streamed traces, and judge with scenario::judge_trace.
+TcpExecResult execute_tcp(const scenario::Schedule& s, const TcpExecOptions& opts = {});
+
+/// Sim-vs-real verdict comparison for one schedule.  The sim side runs
+/// scenario::execute with `sim_opts` (callers pass fd = kHeartbeat and the
+/// same HeartbeatOptions so both deployments run the same detector).
+struct CrossCheckResult {
+  scenario::ExecResult sim;
+  TcpExecResult tcp;
+  bool agree = false;
+  std::string reason;  ///< empty when agree
+};
+
+CrossCheckResult cross_check(const scenario::Schedule& s, const scenario::ExecOptions& sim_opts,
+                             const TcpExecOptions& tcp_opts);
+
+/// "<directory of /proc/self/exe>/gmpx_node" — tools and tests land in the
+/// same build directory as the node binary.
+std::string default_node_bin();
+
+}  // namespace gmpx::realexec

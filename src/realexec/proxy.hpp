@@ -1,0 +1,137 @@
+// Userspace fault-injection proxy for the real-deployment executor.
+//
+// One DelayProxy fronts one node process.  Every *other* node is configured
+// to reach that node at the proxy's listen port instead of the node's real
+// port, so all inbound traffic funnels through the proxy, which applies the
+// schedule's network faults — partitions (two-way and one-way), delay
+// storms, and background-channel loss/dup/reorder — before forwarding
+// frames to the node over a single local TCP connection.  Outbound traffic
+// leaves the node directly: the cut from A to B is enforced by B's proxy
+// (which knows the frame's sender from the wire header), exactly mirroring
+// the sim, where faults act on the receive path of the channel.
+//
+// Fault semantics mirror sim::SimWorld (src/sim/world.hpp):
+//   * Partitions HOLD matching frames; ANY heal event — an explicit kHeal
+//     or the expiry of ANY bounded partition — releases every held frame
+//     (heal_partition() is global in the sim).  A frame held with no later
+//     heal anywhere in the schedule is dropped: the run ends partitioned
+//     and liveness is not asserted for such schedules anyway.
+//   * Delay storms add a per-frame uniform delay in [min,max] ticks;
+//     overlapping spans resolve latest-start-wins (ties: later-listed).
+//   * Channel faults (loss/dup/reorder, permille) apply ONLY to background
+//     frames (kind < kProtocolKindFloor, i.e. heartbeat pings/acks) — the
+//     paper's channels stay reliable-FIFO for protocol traffic.  A dup's
+//     copy and a reordered frame may trail by up to reorder_slack ticks
+//     and are exempt from the FIFO clamp; everything else is released in
+//     per-sender FIFO order.
+//
+// Divergence contract (tests/README.md): the proxy adds NO artificial base
+// delay outside storms — real kernel/socket latency is the baseline, so
+// event *timing* differs from the sim.  Verdicts must not.
+//
+// Timing: ticks are microsecond-scaled real time.  tick t happens at
+// absolute monotonic time epoch_us + t * tick_us (net::monotonic_now_us).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "scenario/schedule.hpp"
+
+namespace gmpx::realexec {
+
+/// Frame kinds below this are background (heartbeat ping/ack) traffic;
+/// kinds at or above it are protocol messages (fd/heartbeat.hpp pins the
+/// background kinds to 1 and 2, protocol codecs start at 10).
+inline constexpr uint32_t kProtocolKindFloor = 10;
+
+/// The schedule's network faults, compiled to closed tick spans a proxy can
+/// query per frame.  Pure data — shared (by value) across all proxies of a
+/// run, and reused by the orchestrator for triage summaries.
+struct FaultPlan {
+  static constexpr Tick kNever = ~Tick{0};
+
+  struct Cut {
+    Tick start = 0;
+    Tick end = kNever;  ///< first heal-time strictly after start
+    bool oneway = false;
+    std::vector<ProcessId> group;  ///< side A (oneway: the muted senders)
+  };
+  struct Storm {
+    Tick start = 0, end = 0;
+    Tick min_delay = 0, max_delay = 0;
+  };
+  struct Faults {
+    Tick start = 0, end = 0;
+    uint32_t loss = 0, dup = 0, reorder = 0;  ///< permille
+    Tick reorder_slack = 48;                  ///< sim::ChannelFaults default
+  };
+
+  std::vector<Cut> cuts;
+  std::vector<Storm> storms;
+  std::vector<Faults> faults;
+  std::vector<Tick> heal_times;  ///< sorted; every global release point
+
+  /// True when a frame from `from` to `to` is severed at tick `t`.
+  bool blocked(ProcessId from, ProcessId to, Tick t) const;
+  /// First global heal-time strictly after `t` (kNever if none).
+  Tick first_heal_after(Tick t) const;
+  /// Storm delay range in force at `t`; false = baseline (no added delay).
+  bool storm_at(Tick t, Tick& min_delay, Tick& max_delay) const;
+  /// Channel-fault span in force at `t`; nullptr = fault-free.
+  const Faults* faults_at(Tick t) const;
+  /// One-line description of every span covering `t` ("" when quiet) —
+  /// feeds the orchestrator's stuck-run triage report.
+  std::string active_summary(Tick t) const;
+};
+
+/// Compile a schedule's network events into a FaultPlan (tick units are
+/// unchanged — the proxy scales by tick_us at runtime).
+FaultPlan compile_plan(const scenario::Schedule& s);
+
+struct ProxyOptions {
+  ProcessId target = kNilId;   ///< the node this proxy fronts
+  uint16_t listen_port = 0;    ///< where peers connect (the node's public address)
+  std::string node_host = "127.0.0.1";
+  uint16_t node_port = 0;      ///< the node's real bind port
+  Tick epoch_us = 0;           ///< shared run epoch (net::monotonic_now_us)
+  Tick tick_us = 100;          ///< real microseconds per tick
+  uint64_t seed = 1;           ///< loss/dup/reorder + storm-delay RNG
+  FaultPlan plan;
+};
+
+/// One proxy = one background thread owning a listen socket, the inbound
+/// peer connections, the forward connection to the node, and a release
+/// queue of delayed frames.  start()/stop() bracket the thread; stats are
+/// readable from any thread at any time.
+class DelayProxy {
+ public:
+  explicit DelayProxy(ProxyOptions opts);
+  ~DelayProxy();
+
+  DelayProxy(const DelayProxy&) = delete;
+  DelayProxy& operator=(const DelayProxy&) = delete;
+
+  void start();
+  void stop();  ///< idempotent; joins the thread
+
+  /// Absolute monotonic µs of the last *protocol* (non-background) frame
+  /// that arrived from any peer — the orchestrator's quiescence signal.
+  /// 0 until the first protocol frame.
+  Tick last_protocol_activity_us() const;
+  uint64_t frames_forwarded() const;
+  uint64_t frames_dropped() const;  ///< loss rolls + never-healed holds + dead node
+
+  /// Triage line for the stuck-run report: forwarded/dropped counts plus
+  /// the plan spans active at tick `t`.
+  std::string summary(Tick t) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gmpx::realexec

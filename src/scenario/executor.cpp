@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "harness/cluster.hpp"
+#include "scenario/verdict.hpp"
 
 namespace gmpx::scenario {
 
@@ -274,79 +275,24 @@ ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOp
   });
   r.trace_hash = h;
 
-  // The paper's GMP-5 precondition: progress is only promised while a
-  // majority of the *current* view survives.  Exclusions (false suspicions,
-  // leaves) shrink the view, so a schedule-level crash budget cannot prove
-  // this — judge the recorded frontier view instead: the highest-version
-  // view ever installed must retain a strict majority of live members.
-  // Frontier view: the highest-version view anyone installed (all installs
-  // of a version agree by GMP-2/3; violations of that are reported anyway).
-  std::vector<ProcessId> frontier = cluster.recorder().frontier_view().members;
-
-  bool majority_survives = true;
-  if (opts.require_majority) {
-    size_t live = 0;
-    for (ProcessId p : frontier) {
-      if (!world.crashed(p)) ++live;
-    }
-    majority_survives = 2 * live > frontier.size();
-  }
-
-  trace::CheckOptions check_opts;
-  check_opts.check_liveness =
-      opts.check_liveness && r.quiesced && majority_survives && liveness_eligible(s);
-  // A joiner that never made it into the group (dead contacts, crashed
-  // mid-join, gave up) is exempt from convergence: the paper only promises
-  // admission is *attempted*, not that it succeeds under faults.
-  for (ProcessId j : joiners) {
-    if (!cluster.node(j).admitted()) check_opts.ignore_for_liveness.push_back(j);
-  }
-  // Zombie exemption.  A process that *falsely* suspects a peer (faulty_p(q)
-  // recorded before q's real crash, or q never crashed) isolates it forever
-  // (S1).  The bilateral rule then excludes the suspector from the group —
-  // but its self-inflicted deafness can keep it from ever learning that, so
-  // it survives with a stale view.  The paper's liveness is conditional on
-  // eventually-accurate detection, so such a process is exempt from GMP-5
-  // convergence — but only when the group really did move on without it
-  // (it is absent from the frontier view).  Frontier members are always
-  // held to convergence, so "the Mgr never told the excludee" bugs remain
-  // visible.  Safety is fully checked for everyone regardless.
-  {
-    // Two passes over the log: collect (first) crash ticks, then flag any
-    // faulty_p(q) recorded before q's real crash.  Flat vectors: a run has
-    // a handful of crashes and suspectors.
-    std::vector<std::pair<ProcessId, Tick>> crash_ticks;
-    cluster.recorder().for_each_event([&](const trace::Event& e) {
-      if (e.kind != trace::EventKind::kCrash) return;
-      for (const auto& [p, t] : crash_ticks) {
-        if (p == e.actor) return;
-      }
-      crash_ticks.emplace_back(e.actor, e.tick);
-    });
-    std::vector<ProcessId> false_suspectors;
-    cluster.recorder().for_each_event([&](const trace::Event& e) {
-      if (e.kind != trace::EventKind::kFaulty) return;
-      Tick crash_at = 0;
-      bool crashed = false;
-      for (const auto& [p, t] : crash_ticks) {
-        if (p == e.target) {
-          crashed = true;
-          crash_at = t;
-          break;
-        }
-      }
-      if (!crashed || e.tick < crash_at) false_suspectors.push_back(e.actor);
-    });
-    for (ProcessId p : cluster.ids()) {
-      if (world.crashed(p) || !cluster.node(p).admitted()) continue;
-      bool in_frontier = std::count(frontier.begin(), frontier.end(), p) > 0;
-      if (!in_frontier && std::count(false_suspectors.begin(), false_suspectors.end(), p)) {
-        check_opts.ignore_for_liveness.push_back(p);
-      }
-    }
-  }
-  r.liveness_checked = check_opts.check_liveness;
-  r.check = cluster.check(check_opts);
+  // Verdict: the gating policy (frontier-majority precondition, unadmitted
+  // joiner + zombie false-suspector exemptions) lives in judge_trace, the
+  // single judge shared with the real-deployment executor — the sim-vs-TCP
+  // cross-check depends on both paths applying the identical policy.
+  VerdictInputs vin;
+  vin.quiesced = r.quiesced;
+  vin.check_liveness = opts.check_liveness;
+  vin.require_majority = opts.require_majority;
+  vin.schedule_liveness_eligible = liveness_eligible(s);
+  vin.ids = cluster.ids();
+  vin.joiners = joiners;
+  vin.crashed = [&world](ProcessId p) { return world.crashed(p); };
+  vin.admitted = [&cluster](ProcessId p) {
+    return cluster.has_node(p) && cluster.node(p).admitted();
+  };
+  Verdict verdict = judge_trace(cluster.recorder(), vin);
+  r.liveness_checked = verdict.liveness_checked;
+  r.check = std::move(verdict.check);
 
   for (ProcessId p : world.alive()) {
     if (cluster.has_node(p) && cluster.node(p).admitted()) {

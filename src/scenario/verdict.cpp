@@ -1,0 +1,86 @@
+#include "scenario/verdict.hpp"
+
+#include <algorithm>
+
+namespace gmpx::scenario {
+
+Verdict judge_trace(const trace::Recorder& rec, const VerdictInputs& in) {
+  Verdict v;
+
+  // The paper's GMP-5 precondition: progress is only promised while a
+  // majority of the *current* view survives.  Exclusions (false suspicions,
+  // leaves) shrink the view, so a schedule-level crash budget cannot prove
+  // this — judge the recorded frontier view instead: the highest-version
+  // view ever installed must retain a strict majority of live members.
+  // Frontier view: the highest-version view anyone installed (all installs
+  // of a version agree by GMP-2/3; violations of that are reported anyway).
+  std::vector<ProcessId> frontier = rec.frontier_view().members;
+
+  bool majority_survives = true;
+  if (in.require_majority) {
+    size_t live = 0;
+    for (ProcessId p : frontier) {
+      if (!in.crashed(p)) ++live;
+    }
+    majority_survives = 2 * live > frontier.size();
+  }
+
+  trace::CheckOptions check_opts;
+  check_opts.check_liveness = in.check_liveness && in.quiesced && majority_survives &&
+                              in.schedule_liveness_eligible;
+  // A joiner that never made it into the group (dead contacts, crashed
+  // mid-join, gave up) is exempt from convergence: the paper only promises
+  // admission is *attempted*, not that it succeeds under faults.
+  for (ProcessId j : in.joiners) {
+    if (!in.admitted(j)) check_opts.ignore_for_liveness.push_back(j);
+  }
+  // Zombie exemption.  A process that *falsely* suspects a peer (faulty_p(q)
+  // recorded before q's real crash, or q never crashed) isolates it forever
+  // (S1).  The bilateral rule then excludes the suspector from the group —
+  // but its self-inflicted deafness can keep it from ever learning that, so
+  // it survives with a stale view.  The paper's liveness is conditional on
+  // eventually-accurate detection, so such a process is exempt from GMP-5
+  // convergence — but only when the group really did move on without it
+  // (it is absent from the frontier view).  Frontier members are always
+  // held to convergence, so "the Mgr never told the excludee" bugs remain
+  // visible.  Safety is fully checked for everyone regardless.
+  {
+    // Two passes over the log: collect (first) crash ticks, then flag any
+    // faulty_p(q) recorded before q's real crash.  Flat vectors: a run has
+    // a handful of crashes and suspectors.
+    std::vector<std::pair<ProcessId, Tick>> crash_ticks;
+    rec.for_each_event([&](const trace::Event& e) {
+      if (e.kind != trace::EventKind::kCrash) return;
+      for (const auto& [p, t] : crash_ticks) {
+        if (p == e.actor) return;
+      }
+      crash_ticks.emplace_back(e.actor, e.tick);
+    });
+    std::vector<ProcessId> false_suspectors;
+    rec.for_each_event([&](const trace::Event& e) {
+      if (e.kind != trace::EventKind::kFaulty) return;
+      Tick crash_at = 0;
+      bool crashed = false;
+      for (const auto& [p, t] : crash_ticks) {
+        if (p == e.target) {
+          crashed = true;
+          crash_at = t;
+          break;
+        }
+      }
+      if (!crashed || e.tick < crash_at) false_suspectors.push_back(e.actor);
+    });
+    for (ProcessId p : in.ids) {
+      if (in.crashed(p) || !in.admitted(p)) continue;
+      bool in_frontier = std::count(frontier.begin(), frontier.end(), p) > 0;
+      if (!in_frontier && std::count(false_suspectors.begin(), false_suspectors.end(), p)) {
+        check_opts.ignore_for_liveness.push_back(p);
+      }
+    }
+  }
+  v.liveness_checked = check_opts.check_liveness;
+  v.check = trace::check_gmp(rec, check_opts);
+  return v;
+}
+
+}  // namespace gmpx::scenario

@@ -1,0 +1,51 @@
+// The run judge: turn a recorded trace plus run-level facts into a GMP
+// verdict.  Split out of the sim executor so the real-deployment executor
+// (src/realexec) applies the *identical* gating policy to traces collected
+// from live OS processes — the sim-vs-TCP cross-check compares verdicts
+// produced by this one function, never by two divergent reimplementations.
+//
+// The policy (developed across PRs 1-6, see executor.cpp history):
+//   * Safety (GMP-0..4) is always checked.
+//   * GMP-5 convergence is asserted only when the run quiesced, the
+//     schedule is liveness-eligible, and a strict majority of the recorded
+//     frontier view survived (the paper's progress precondition).
+//   * A joiner that never got admitted is exempt from convergence — the
+//     paper promises admission is attempted, not that it succeeds.
+//   * A "zombie" false-suspector — a live process whose faulty_p(q) predates
+//     q's real crash (or q never crashed) and that the group moved on
+//     without (absent from the frontier view) — is exempt from convergence:
+//     its S1 self-isolation can keep it from ever learning of its own
+//     exclusion.  Frontier members are always held to convergence.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/checker.hpp"
+
+namespace gmpx::scenario {
+
+/// Run-level facts the trace alone cannot supply.  `crashed`/`admitted`
+/// must answer for every id in `ids` (sim: SimWorld/GmpNode state; real
+/// executor: derived from the merged trace and the nodes' exit reports).
+struct VerdictInputs {
+  bool quiesced = false;
+  bool check_liveness = true;              ///< ExecOptions::check_liveness
+  bool require_majority = true;            ///< S7 final algorithm in force
+  bool schedule_liveness_eligible = true;  ///< liveness_eligible(schedule)
+  std::vector<ProcessId> ids;              ///< every process, run order
+  std::vector<ProcessId> joiners;          ///< subset of ids, schedule order
+  std::function<bool(ProcessId)> crashed;  ///< quit_p happened
+  std::function<bool(ProcessId)> admitted; ///< is/was a group member
+};
+
+struct Verdict {
+  bool liveness_checked = false;  ///< GMP-5 was asserted
+  trace::CheckResult check;
+};
+
+/// Judge the recorded run.  Pure over (rec, in): no simulator types.
+Verdict judge_trace(const trace::Recorder& rec, const VerdictInputs& in);
+
+}  // namespace gmpx::scenario

@@ -21,6 +21,9 @@ void Recorder::reset() {
   len_ = 0;
   next_seq_ = 0;
   initial_.clear();
+  // Registered hooks are per-run state (tests/README.md reset contract):
+  // a pooled reuse must not keep streaming into the previous run's sink.
+  sink_ = nullptr;
 }
 
 Event& Recorder::fill(Tick t, EventKind k, ProcessId actor, ProcessId target,
@@ -37,24 +40,33 @@ Event& Recorder::fill(Tick t, EventKind k, ProcessId actor, ProcessId target,
   return e;
 }
 
+void Recorder::set_sink(std::function<void(const Event&)> sink) {
+  std::lock_guard lock(mu_);
+  sink_ = std::move(sink);
+}
+
 void Recorder::faulty(ProcessId p, ProcessId q, Tick t) {
   std::lock_guard lock(mu_);
-  fill(t, EventKind::kFaulty, p, q, 0);
+  Event& e = fill(t, EventKind::kFaulty, p, q, 0);
+  if (sink_) sink_(e);
 }
 
 void Recorder::operational(ProcessId p, ProcessId q, Tick t) {
   std::lock_guard lock(mu_);
-  fill(t, EventKind::kOperational, p, q, 0);
+  Event& e = fill(t, EventKind::kOperational, p, q, 0);
+  if (sink_) sink_(e);
 }
 
 void Recorder::remove(ProcessId p, ProcessId q, Tick t) {
   std::lock_guard lock(mu_);
-  fill(t, EventKind::kRemove, p, q, 0);
+  Event& e = fill(t, EventKind::kRemove, p, q, 0);
+  if (sink_) sink_(e);
 }
 
 void Recorder::add(ProcessId p, ProcessId q, Tick t) {
   std::lock_guard lock(mu_);
-  fill(t, EventKind::kAdd, p, q, 0);
+  Event& e = fill(t, EventKind::kAdd, p, q, 0);
+  if (sink_) sink_(e);
 }
 
 void Recorder::install(ProcessId p, ViewVersion v, const std::vector<ProcessId>& members,
@@ -63,16 +75,19 @@ void Recorder::install(ProcessId p, ViewVersion v, const std::vector<ProcessId>&
   Event& e = fill(t, EventKind::kInstall, p, kNilId, v);
   e.members.assign(members.begin(), members.end());
   std::sort(e.members.begin(), e.members.end());
+  if (sink_) sink_(e);
 }
 
 void Recorder::crash(ProcessId p, Tick t) {
   std::lock_guard lock(mu_);
-  fill(t, EventKind::kCrash, p, kNilId, 0);
+  Event& e = fill(t, EventKind::kCrash, p, kNilId, 0);
+  if (sink_) sink_(e);
 }
 
 void Recorder::became_mgr(ProcessId p, Tick t) {
   std::lock_guard lock(mu_);
-  fill(t, EventKind::kBecameMgr, p, kNilId, 0);
+  Event& e = fill(t, EventKind::kBecameMgr, p, kNilId, 0);
+  if (sink_) sink_(e);
 }
 
 std::vector<Event> Recorder::events() const {

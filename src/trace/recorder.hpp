@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -69,6 +70,12 @@ class Recorder {
   /// capacity) for reuse.
   void reset();
 
+  /// Streaming sink: invoked with every event right after it is recorded
+  /// (under the log lock — keep it cheap and never call back into the
+  /// recorder).  The real-deployment node binary uses this to stream its
+  /// trace to the orchestrator as it happens; unset by default.
+  void set_sink(std::function<void(const Event&)> sink);
+
   void faulty(ProcessId p, ProcessId q, Tick t);
   void operational(ProcessId p, ProcessId q, Tick t);
   void remove(ProcessId p, ProcessId q, Tick t);
@@ -114,6 +121,7 @@ class Recorder {
   Event& fill(Tick t, EventKind k, ProcessId actor, ProcessId target, ViewVersion v);
 
   mutable std::mutex mu_;
+  std::function<void(const Event&)> sink_;
   std::vector<Event> log_;  ///< slots; only [0, len_) are live
   size_t len_ = 0;
   std::vector<ProcessId> initial_;

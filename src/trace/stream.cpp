@@ -1,0 +1,93 @@
+#include "trace/stream.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gmpx::trace {
+
+std::string encode_event_line(const Event& e) {
+  char buf[128];
+  int n = std::snprintf(buf, sizeof buf, "ev %llu %u %u %u %u",
+                        static_cast<unsigned long long>(e.tick),
+                        static_cast<unsigned>(e.kind), e.actor, e.target, e.version);
+  std::string out(buf, static_cast<size_t>(n));
+  if (e.members.empty()) {
+    out += " -";
+  } else {
+    char sep = ' ';
+    for (ProcessId m : e.members) {
+      out += sep;
+      out += std::to_string(m);
+      sep = ',';
+    }
+  }
+  return out;
+}
+
+bool decode_event_line(const std::string& line, Event& out) {
+  const char* s = line.c_str();
+  if (std::strncmp(s, "ev ", 3) != 0) return false;
+  s += 3;
+  char* end = nullptr;
+  unsigned long long tick = std::strtoull(s, &end, 10);
+  if (end == s) return false;
+  s = end;
+  unsigned long kind = std::strtoul(s, &end, 10);
+  if (end == s || kind > static_cast<unsigned long>(EventKind::kBecameMgr)) return false;
+  s = end;
+  unsigned long actor = std::strtoul(s, &end, 10);
+  if (end == s) return false;
+  s = end;
+  unsigned long target = std::strtoul(s, &end, 10);
+  if (end == s) return false;
+  s = end;
+  unsigned long version = std::strtoul(s, &end, 10);
+  if (end == s) return false;
+  s = end;
+  while (*s == ' ') ++s;
+  out.seq = 0;
+  out.tick = static_cast<Tick>(tick);
+  out.kind = static_cast<EventKind>(kind);
+  out.actor = static_cast<ProcessId>(actor);
+  out.target = static_cast<ProcessId>(target);
+  out.version = static_cast<ViewVersion>(version);
+  out.members.clear();
+  if (*s == '-' || *s == '\0') return true;
+  while (*s != '\0' && *s != '\n') {
+    unsigned long m = std::strtoul(s, &end, 10);
+    if (end == s) return false;
+    out.members.push_back(static_cast<ProcessId>(m));
+    s = end;
+    if (*s == ',') ++s;
+  }
+  return true;
+}
+
+void replay_into(Recorder& rec, const Event& e) {
+  switch (e.kind) {
+    case EventKind::kFaulty:
+      rec.faulty(e.actor, e.target, e.tick);
+      break;
+    case EventKind::kOperational:
+      rec.operational(e.actor, e.target, e.tick);
+      break;
+    case EventKind::kRemove:
+      rec.remove(e.actor, e.target, e.tick);
+      break;
+    case EventKind::kAdd:
+      rec.add(e.actor, e.target, e.tick);
+      break;
+    case EventKind::kInstall:
+      rec.install(e.actor, e.version, e.members, e.tick);
+      break;
+    case EventKind::kCrash:
+      rec.crash(e.actor, e.tick);
+      break;
+    case EventKind::kBecameMgr:
+      rec.became_mgr(e.actor, e.tick);
+      break;
+  }
+}
+
+}  // namespace gmpx::trace

@@ -1,0 +1,34 @@
+// Line-oriented wire form of trace events, for streaming a Recorder's log
+// across a process boundary.
+//
+// The real-deployment executor (src/realexec) forks one OS process per
+// protocol node; each node hooks Recorder::set_sink, encodes every event as
+// one text line, and writes it to a control pipe.  The orchestrator parses
+// the per-node streams, merges them by tick, and replays them into its own
+// Recorder through the typed interface — so the merged trace satisfies the
+// same structural invariants (sorted install members, dense seq in global
+// order) as a natively recorded one, and trace::check_gmp runs unchanged.
+//
+// Format, one event per line:
+//   ev <tick> <kind> <actor> <target> <version> <m0,m1,...|->
+// `kind` is the EventKind integer; `members` is "-" when empty.  seq is
+// deliberately absent: global order is assigned by the ingesting recorder.
+#pragma once
+
+#include <string>
+
+#include "trace/recorder.hpp"
+
+namespace gmpx::trace {
+
+/// One-line wire form of `e` (no trailing newline).
+std::string encode_event_line(const Event& e);
+
+/// Parse a line produced by encode_event_line (trailing newline tolerated).
+/// Returns false on malformed input.  `out.seq` is left 0.
+bool decode_event_line(const std::string& line, Event& out);
+
+/// Append `e` to `rec` through its typed interface; `rec` assigns seq.
+void replay_into(Recorder& rec, const Event& e);
+
+}  // namespace gmpx::trace

@@ -1,0 +1,119 @@
+// Tests for the real-deployment executor (src/realexec): generated
+// schedules replayed against live gmpx_node processes over localhost TCP.
+//
+// These are real multi-process tests — each spawns a cluster, so they are
+// wall-clock bound (a second or two each) and sensitive to extreme machine
+// load the same way any real deployment is.  Port windows start at 23000 —
+// clear of net_test (21000+), the tcp_smoke sweep (25000+), and the Linux
+// ephemeral port range (32768+, where outgoing connections would race the
+// listeners for local ports).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "realexec/executor.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/schedule.hpp"
+
+using namespace gmpx;
+using namespace gmpx::realexec;
+
+namespace {
+
+uint16_t base_port() {
+  static std::atomic<uint16_t> next{23000};
+  return next.fetch_add(64);
+}
+
+TcpExecOptions tcp_opts() {
+  TcpExecOptions o;
+  o.base_port = base_port();
+  return o;
+}
+
+}  // namespace
+
+TEST(RealExec, CleanRunQuiescesAndExitsClean) {
+  scenario::Schedule s;
+  s.n = 3;
+  TcpExecOptions o = tcp_opts();
+  TcpExecResult r = execute_tcp(s, o);
+  EXPECT_TRUE(r.ok()) << r.message() << "\n" << r.diagnostic;
+  EXPECT_TRUE(r.quiesced);
+  EXPECT_EQ(r.nodes_spawned, 3u);
+  // Every node was SIGTERMed (none killed) and every stream must carry its
+  // eos marker — the flush-on-SIGTERM contract.
+  EXPECT_EQ(r.clean_exits, 3u);
+  EXPECT_EQ(r.missing_eos, 0u);
+  EXPECT_EQ(r.final_view_size, 3u);
+}
+
+TEST(RealExec, SigkillCrashIsDetectedAndExcluded) {
+  scenario::Schedule s;
+  s.n = 3;
+  s.events.push_back({scenario::EventType::kCrash, 500, 2, kNilId, {}, 0, 0, 0, 0, 0, 0});
+  TcpExecOptions o = tcp_opts();
+  TcpExecResult r = execute_tcp(s, o);
+  EXPECT_TRUE(r.ok()) << r.message() << "\n" << r.diagnostic;
+  EXPECT_EQ(r.final_view_size, 2u);
+  // The SIGKILLed node cannot flush, and must NOT be counted against the
+  // eos contract; the two SIGTERMed survivors must honour it.
+  EXPECT_EQ(r.clean_exits, 2u);
+  EXPECT_EQ(r.missing_eos, 0u);
+}
+
+TEST(RealExec, ShortPauseIsAbsorbed) {
+  // SIGSTOP shorter than the heartbeat timeout (800 ticks): peers must ride
+  // it out; nobody gets excluded.
+  scenario::Schedule s;
+  s.n = 3;
+  TcpExecOptions o = tcp_opts();
+  o.pauses.push_back({1, 400, 300});
+  TcpExecResult r = execute_tcp(s, o);
+  EXPECT_TRUE(r.ok()) << r.message() << "\n" << r.diagnostic;
+  EXPECT_EQ(r.final_view_size, 3u);
+  EXPECT_EQ(r.clean_exits, 3u);
+}
+
+TEST(RealExec, LongPauseLooksLikeACrash) {
+  // SIGSTOP for 4x the heartbeat timeout: the paused node must be excluded
+  // exactly like a crash.  Once resumed it has missed every heartbeat and
+  // either quits (lost majority) or survives as an excluded zombie — both
+  // are verdict-clean; what is pinned here is that the *group* moved on.
+  scenario::Schedule s;
+  s.n = 4;
+  TcpExecOptions o = tcp_opts();
+  o.pauses.push_back({3, 500, 3200});
+  TcpExecResult r = execute_tcp(s, o);
+  EXPECT_TRUE(r.ok()) << r.message() << "\n" << r.diagnostic;
+  EXPECT_EQ(r.final_view_size, 3u);
+}
+
+TEST(RealExec, JoinAdmitsOverTcp) {
+  scenario::Schedule s;
+  s.n = 3;
+  s.events.push_back({scenario::EventType::kJoin, 600, 100, kNilId, {0}, 0, 0, 0, 0, 0, 0});
+  TcpExecOptions o = tcp_opts();
+  TcpExecResult r = execute_tcp(s, o);
+  EXPECT_TRUE(r.ok()) << r.message() << "\n" << r.diagnostic;
+  EXPECT_EQ(r.nodes_spawned, 4u);
+  EXPECT_EQ(r.final_view_size, 4u);
+  EXPECT_EQ(r.aborted_joins, 0u);
+}
+
+TEST(RealExec, CrossCheckAgreesWithSim) {
+  // One generated mixed-profile schedule, judged by both deployments.  The
+  // divergence contract: timing may differ, verdicts may not.
+  scenario::GeneratorOptions gen;
+  gen.n = 5;
+  gen.profile = scenario::Profile::kMixed;
+  scenario::ExecOptions sim;
+  sim.fd = fd::DetectorKind::kHeartbeat;
+  TcpExecOptions o = tcp_opts();
+  gen = scenario::tuned_for_heartbeat(gen, sim.heartbeat);
+  scenario::Schedule s = scenario::generate(7, gen);
+  CrossCheckResult cc = cross_check(s, sim, o);
+  EXPECT_TRUE(cc.agree) << cc.reason;
+  EXPECT_TRUE(cc.sim.ok()) << cc.sim.message();
+  EXPECT_TRUE(cc.tcp.ok()) << cc.tcp.message() << "\n" << cc.tcp.diagnostic;
+}

@@ -36,6 +36,7 @@
 #include "common/alloc_counter.hpp"  // defines counting operator new/delete
 
 #include "common/codec.hpp"
+#include "realexec/executor.hpp"
 #include "scenario/executor.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/sweep.hpp"
@@ -54,6 +55,8 @@ void usage() {
                "                 [--phi-interval T] [--join-attempts N]\n"
                "                 [--nodes N] [--horizon T] [--max-events K] [--no-liveness]\n"
                "                 [--basic] [--inject-bug] [--out DIR] [--jobs N]\n"
+               "                 [--exec sim|tcp] [--tick-us U] [--base-port P]\n"
+               "                 [--node-bin PATH]\n"
                "                 [--replay FILE [--minimize]] [-v] [--stats]\n"
                "\n"
                "--fd heartbeat runs real ping/timeout detection instead of the scripted\n"
@@ -65,6 +68,12 @@ void usage() {
                "200 reproduces the legacy open-ended retry horizon byte-for-byte).\n"
                "--inject-bug suppresses faulty_p(q) trace records (a deliberate GMP-1\n"
                "violation) to demonstrate the find -> report -> minimize pipeline.\n"
+               "--exec tcp runs every schedule against BOTH the simulator and a live\n"
+               "cluster of gmpx_node OS processes (faults injected by userspace\n"
+               "proxies), and fails on any sim-vs-real verdict disagreement.  The\n"
+               "detector is always heartbeat on the TCP axis (the oracle is a sim\n"
+               "artifact).  --tick-us scales schedule ticks to real microseconds,\n"
+               "--base-port moves the port window, --node-bin points at gmpx_node.\n"
                "--stats prints a per-run allocs=/exec=/skip= line and, per detector,\n"
                "schedules/s, wall-clock, and the fast-forward skip ratio in the final\n"
                "report (telemetry; NOT byte-stable across --jobs values).\n");
@@ -76,6 +85,7 @@ struct Args {
   std::vector<fd::DetectorKind> detectors = {fd::DetectorKind::kOracle};
   GeneratorOptions gen;
   ExecOptions exec;
+  realexec::TcpExecOptions tcp;
   std::string replay_file;
   bool minimize_replay = false;
   std::string out_dir;
@@ -188,6 +198,30 @@ bool parse_args(int argc, char** argv, Args& a) {
       const char* v = next();
       if (!v) return false;
       a.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--exec") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::string(v) == "sim") {
+        a.exec.backend = ExecBackend::kSim;
+      } else if (std::string(v) == "tcp") {
+        a.exec.backend = ExecBackend::kTcp;
+      } else {
+        return false;
+      }
+    } else if (arg == "--tick-us") {
+      const char* v = next();
+      char* end = nullptr;
+      Tick t = v ? std::strtoull(v, &end, 10) : 0;
+      if (!v || end == v || *end != '\0' || t == 0) return false;
+      a.tcp.tick_us = t;
+    } else if (arg == "--base-port") {
+      const char* v = next();
+      if (!v) return false;
+      a.tcp.base_port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--node-bin") {
+      const char* v = next();
+      if (!v) return false;
+      a.tcp.node_bin = v;
     } else if (arg == "-v" || arg == "--verbose") {
       a.verbose = true;
     } else if (arg == "--stats") {
@@ -257,6 +291,23 @@ int main(int argc, char** argv) {
     // A schedule file is self-contained; --fd selects which detector the
     // replay runs under (first listed when several were named).
     a.exec.fd = a.detectors.front();
+    if (a.exec.backend == ExecBackend::kTcp) {
+      // Replay against a live cluster: the detector is always heartbeat on
+      // this axis, and the verdict comes from the merged real trace.
+      realexec::TcpExecOptions topts = a.tcp;
+      topts.check_liveness = a.exec.check_liveness;
+      topts.require_majority = a.exec.require_majority;
+      topts.join_max_attempts = a.exec.join_max_attempts;
+      topts.heartbeat = a.exec.heartbeat;
+      realexec::TcpExecResult res = realexec::execute_tcp(sched, topts);
+      std::printf("replay %s (exec=tcp fd=heartbeat): %s (tick=%lu view=%zu liveness=%s)\n",
+                  a.replay_file.c_str(), res.ok() ? "OK" : "FAIL",
+                  static_cast<unsigned long>(res.end_tick), res.final_view_size,
+                  res.liveness_checked ? "checked" : "skipped");
+      if (res.ok()) return 0;
+      std::printf("%s", res.message().c_str());
+      return 1;
+    }
     ExecResult res = execute(sched, a.exec);
     std::printf("replay %s (fd=%s): %s (tick=%lu msgs=%lu liveness=%s)\n",
                 a.replay_file.c_str(), fd::to_string(a.exec.fd), res.ok() ? "OK" : "FAIL",
@@ -269,6 +320,58 @@ int main(int argc, char** argv) {
       return 1;
     }
     return report_failure(a, sched, res, "replay");
+  }
+
+  if (a.exec.backend == ExecBackend::kTcp) {
+    // The TCP axis: for every (profile, seed) run the schedule against the
+    // simulator AND a live process cluster, and insist the verdicts agree.
+    // Serial on purpose — each run owns the port window and the machine's
+    // real time; the detector is always heartbeat (see usage()).
+    size_t runs = 0, failures = 0;
+    for (Profile p : profiles_of(a.profile)) {
+      for (uint64_t seed = a.seed_lo; seed < a.seed_hi; ++seed) {
+        GeneratorOptions gen = a.gen;
+        gen.profile = p;
+        ExecOptions sim = a.exec;
+        sim.fd = fd::DetectorKind::kHeartbeat;
+        gen = tuned_for_heartbeat(gen, sim.heartbeat);
+        Schedule sched = generate(seed, gen);
+        realexec::TcpExecOptions topts = a.tcp;
+        topts.check_liveness = a.exec.check_liveness;
+        topts.require_majority = a.exec.require_majority;
+        topts.join_max_attempts = a.exec.join_max_attempts;
+        topts.heartbeat = a.exec.heartbeat;
+        // Rotate the port window so a lingering TIME_WAIT from the previous
+        // run can never collide with the next one's listeners.
+        topts.base_port =
+            static_cast<uint16_t>(a.tcp.base_port + (runs % 8) * 64);
+        realexec::CrossCheckResult cc = realexec::cross_check(sched, sim, topts);
+        ++runs;
+        bool ok = cc.agree && cc.sim.ok() && cc.tcp.ok();
+        if (a.verbose || !ok) {
+          std::printf("%s/tcp seed=%lu: %s sim=%s tcp=%s tick=%lu/%lu view=%zu/%zu%s%s\n",
+                      to_string(p), static_cast<unsigned long>(seed), ok ? "ok" : "FAIL",
+                      cc.sim.ok() ? "ok" : "fail", cc.tcp.ok() ? "ok" : "fail",
+                      static_cast<unsigned long>(cc.sim.end_tick),
+                      static_cast<unsigned long>(cc.tcp.end_tick),
+                      cc.sim.final_view_size, cc.tcp.final_view_size,
+                      cc.agree ? "" : " DISAGREE: ", cc.agree ? "" : cc.reason.c_str());
+          std::fflush(stdout);
+        }
+        if (!ok) {
+          ++failures;
+          std::string tag = std::string(to_string(p)) + "-tcp-" + std::to_string(seed);
+          if (!cc.sim.ok()) std::fputs(cc.sim.message().c_str(), stdout);
+          if (!cc.tcp.ok()) std::fputs(cc.tcp.message().c_str(), stdout);
+          std::string text = encode_schedule(sched);
+          std::printf("--- schedule ---\n%s----------------\n", text.c_str());
+          if (!a.out_dir.empty()) write_file(a.out_dir + "/" + tag + ".sched", text);
+        }
+      }
+    }
+    std::printf("gmpx_fuzz: %lu runs, %lu failures (exec=tcp, sim cross-checked)\n",
+                static_cast<unsigned long>(runs), static_cast<unsigned long>(failures));
+    return failures == 0 ? 0 : 1;
   }
 
   SweepOptions sweep;
