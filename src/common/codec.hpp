@@ -59,6 +59,21 @@ inline void recycle_buffer(std::vector<uint8_t>&& buf) {
   pool.push_back(std::move(buf));
 }
 
+/// Pool-backed byte copy of an encoded payload.  Encode-once fan-out: a
+/// broadcast serializes its message one time and ships bit-identical
+/// copies, so the copy is a memcpy into a recycled buffer instead of a
+/// field-by-field re-encode per destination.
+inline std::vector<uint8_t> copy_buffer_pooled(const std::vector<uint8_t>& src) {
+  std::vector<uint8_t> out;
+  auto& pool = detail::BufferPool::instance().free;
+  if (!pool.empty()) {
+    out = std::move(pool.back());
+    pool.pop_back();
+  }
+  out.assign(src.begin(), src.end());
+  return out;
+}
+
 /// Fixed wire layout per element type.  Lists encode as u32 count followed
 /// by `size` bytes per element; WireList decodes elements on access.
 template <typename T>

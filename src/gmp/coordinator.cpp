@@ -37,10 +37,7 @@ void GmpNode::mgr_begin_round(Context& ctx, Op op, ProcessId target, bool explic
     // Phase I: Bcast(Mgr, Memb(Mgr), Invite(op(proc-id))) — the excluded
     // process is invited too; it quits on receipt (Fig 9).
     Invite inv{op, target, round_.installs};
-    for (ProcessId q : view_.members()) {
-      if (q == self_) continue;
-      ctx.send(inv.to_packet(q));
-    }
+    fan_out(ctx, inv, view_.members(), [this](ProcessId q) { return q != self_; });
   }
   // (Compressed rounds were invited by the previous commit's contingency.)
   mgr_check_round(ctx);  // degenerate views complete immediately
@@ -95,11 +92,11 @@ void GmpNode::mgr_commit_round(Context& ctx) {
   }
   c.recovered.assign(recovered_.begin(), recovered_.end());
 
-  for (ProcessId q : view_.members()) {
-    if (q == self_) continue;
-    if (op == Op::kAdd && q == target) continue;  // the joiner is bootstrapped below
-    ctx.send(c.to_packet(q));
-  }
+  fan_out(ctx, c, view_.members(), [&](ProcessId q) {
+    if (q == self_) return false;
+    if (op == Op::kAdd && q == target) return false;  // joiner bootstrapped below
+    return true;
+  });
   if (op == Op::kAdd) {
     ViewTransfer& vt = make_view_transfer();
     vt.next_op = c.next_op;

@@ -471,4 +471,37 @@ struct ReconfigCommitView {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Encode-once fan-out (burst dataplane).
+// ---------------------------------------------------------------------------
+
+/// Broadcast `msg` to every id in `members` that `keep` accepts, in member
+/// order, serializing the payload ONCE.  No to_packet payload depends on
+/// the destination (only the Packet header carries `to`), so every copy
+/// after the first is a pool-backed memcpy of the first encoding —
+/// bit-identical on the wire, and sent in exactly the per-member order
+/// (hence per-send RNG delay-draw order) of the equivalent to_packet loop.
+/// `keep` must be side-effect-free: it runs once per member with no handler
+/// executing in between, exactly like the loop it replaces.
+template <typename Msg, typename Members, typename Keep>
+void fan_out(Context& ctx, const Msg& msg, const Members& members, Keep&& keep) {
+  Packet proto;
+  bool have = false;
+  ProcessId pending = kNilId;
+  for (ProcessId q : members) {
+    if (!keep(q)) continue;
+    if (!have) {
+      proto = msg.to_packet(q);  // the single encode; sent last, to the
+      have = true;               // final kept member
+    } else {
+      ctx.send(Packet{proto.from, pending, proto.kind, copy_buffer_pooled(proto.bytes)});
+    }
+    pending = q;
+  }
+  if (have) {
+    proto.to = pending;
+    ctx.send(std::move(proto));
+  }
+}
+
 }  // namespace gmpx::gmp

@@ -124,10 +124,10 @@ void GmpNode::reconfig_check_phase1(Context& ctx) {
     if (view_.contains(q)) prop.faulty.push_back(q);
   }
   for (ProcessId q : reconf_.phase1_resp) {
-    if (isolated_.count(q)) continue;
-    reconf_.awaiting.insert(q);
-    ctx.send(prop.to_packet(q));
+    if (!isolated_.count(q)) reconf_.awaiting.insert(q);
   }
+  fan_out(ctx, prop, reconf_.phase1_resp,
+          [this](ProcessId q) { return !isolated_.count(q); });
   reconfig_check_phase2(ctx);
 }
 
@@ -172,10 +172,8 @@ void GmpNode::reconfig_check_phase2(Context& ctx) {
   for (ProcessId q : suspected_) {
     if (view_.contains(q)) rc.faulty.push_back(q);
   }
-  for (ProcessId q : reconf_.phase2_resp) {
-    if (isolated_.count(q)) continue;
-    ctx.send(rc.to_packet(q));
-  }
+  fan_out(ctx, rc, reconf_.phase2_resp,
+          [this](ProcessId q) { return !isolated_.count(q); });
 
   // seq(r) <- (seq(r), RL_r); ver(r)++ — already done by apply_op.
   adopt_mgr(ctx, self_);

@@ -32,6 +32,7 @@ harness::ClusterOptions cluster_options(const Schedule& s, const ExecOptions& op
   co.phi = opts.phi;
   co.join_max_attempts = opts.join_max_attempts;
   co.bug_skip_faulty_record = opts.inject_bug_unrecorded_suspicion;
+  co.burst = opts.burst;
   return co;
 }
 
@@ -232,6 +233,8 @@ ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOp
   r.fd_messages = world.meter().detector_total();
   r.skipped_ticks = world.skipped_ticks();
   r.skipped_events = world.skipped_events();
+  r.bursts = world.bursts();
+  r.burst_events = world.burst_events();
   for (ProcessId j : joiners) {
     if (cluster.has_node(j) && cluster.node(j).join_aborted()) ++r.aborted_joins;
   }

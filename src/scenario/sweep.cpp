@@ -1,9 +1,10 @@
 #include "scenario/sweep.hpp"
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <thread>
 
@@ -13,6 +14,41 @@
 namespace gmpx::scenario {
 
 namespace {
+
+/// Single-producer single-consumer ring of completed work-list indices: one
+/// per worker thread, drained by the main thread, which is the sweep's sole
+/// merger.  Replaces the old shared merge mutex — a worker finishing a run
+/// publishes its index with one release store and returns to fuzzing;
+/// canonical-order delivery (the prefix flush) is entirely the consumer's
+/// problem.  Capacity is a power of two so the head/tail counters can run
+/// free and index with a mask; a full ring (merger briefly behind) makes
+/// the producer yield, never drop.
+struct alignas(64) SpscRing {
+  static constexpr size_t kCap = 1024;
+  std::array<size_t, kCap> slots;
+  alignas(64) std::atomic<size_t> head{0};  ///< written by the producer only
+  alignas(64) std::atomic<size_t> tail{0};  ///< written by the consumer only
+
+  /// Producer side.  The release store on `head` publishes both the slot
+  /// value and every preceding write to run_log[i] — the consumer's acquire
+  /// load pairs with it, so the merger always reads a fully-rendered run.
+  bool push(size_t v) {
+    const size_t h = head.load(std::memory_order_relaxed);
+    if (h - tail.load(std::memory_order_acquire) == kCap) return false;
+    slots[h & (kCap - 1)] = v;
+    head.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.
+  bool pop(size_t& v) {
+    const size_t t = tail.load(std::memory_order_relaxed);
+    if (t == head.load(std::memory_order_acquire)) return false;
+    v = slots[t & (kCap - 1)];
+    tail.store(t + 1, std::memory_order_release);
+    return true;
+  }
+};
 
 /// Replay-and-still-fails predicate used for minimization.  A candidate
 /// reproduces the failure when any checked clause is violated (the run not
@@ -94,13 +130,13 @@ SweepResult run_sweep(const SweepOptions& opts) {
 
   // Streaming bookkeeping: the sink sees the completed *prefix* of the work
   // list, so deliveries are in canonical order no matter which worker
-  // finishes which run first.
-  std::mutex flush_mu;
-  std::vector<uint8_t> completed(items.size(), 0);
-  size_t flushed = 0;
+  // finishes which run first.  Parallel sweeps publish completions through
+  // per-worker SPSC rings; the main thread merges (see below).
+  std::unique_ptr<SpscRing[]> rings;
+  if (jobs > 1) rings = std::make_unique<SpscRing[]>(jobs);
 
   std::atomic<size_t> next{0};
-  auto worker = [&] {
+  auto worker = [&](SpscRing* ring) {
     // One pooled cluster per worker thread, reset per run: the steady-state
     // sweep loop reuses every slab/node/monitor instead of rebuilding a
     // deployment per (profile, detector, seed).  Results are byte-identical
@@ -145,25 +181,51 @@ SweepResult run_sweep(const SweepOptions& opts) {
       run.trace_hash = res.trace_hash;
       run.skipped_ticks = res.skipped_ticks;
       run.skipped_events = res.skipped_events;
+      run.bursts = res.bursts;
+      run.burst_events = res.burst_events;
       run.aborted_joins = res.aborted_joins;
       render(run, sched, res, opts, exec);
-      if (opts.on_run) {
-        std::lock_guard lock(flush_mu);
-        completed[i] = 1;
-        while (flushed < items.size() && completed[flushed]) {
-          opts.on_run(result.run_log[flushed]);
-          ++flushed;
-        }
+      if (ring) {
+        // Publish the finished index; the main thread owns ordering.  A
+        // full ring means the merger is momentarily behind — yield, don't
+        // drop (every index must be delivered exactly once).
+        while (!ring->push(i)) std::this_thread::yield();
+      } else if (opts.on_run) {
+        // Single-worker sweep: indices arrive in canonical order already.
+        opts.on_run(run);
       }
     }
   };
 
   if (jobs <= 1) {
-    worker();
+    worker(nullptr);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(jobs);
-    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker, &rings[t]);
+    // The main thread is the merger: drain every worker's ring into the
+    // completed bitmap and flush the canonical prefix through the sink.
+    // This runs even without a sink so producers can never wedge on a ring
+    // nobody empties.
+    std::vector<uint8_t> completed(items.size(), 0);
+    size_t flushed = 0;
+    size_t seen = 0;
+    while (seen < items.size()) {
+      bool drained_any = false;
+      for (unsigned t = 0; t < jobs; ++t) {
+        size_t i;
+        while (rings[t].pop(i)) {
+          completed[i] = 1;
+          ++seen;
+          drained_any = true;
+        }
+      }
+      while (flushed < items.size() && completed[flushed]) {
+        if (opts.on_run) opts.on_run(result.run_log[flushed]);
+        ++flushed;
+      }
+      if (!drained_any) std::this_thread::yield();
+    }
     for (std::thread& t : pool) t.join();
   }
 

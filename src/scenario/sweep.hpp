@@ -36,6 +36,8 @@ struct SweepRun {
   uint64_t trace_hash = 0;       ///< ExecResult::trace_hash of the run
   uint64_t skipped_ticks = 0;    ///< virtual-time ticks fast-forwarded over
   uint64_t skipped_events = 0;   ///< background events elided by skips
+  uint64_t bursts = 0;           ///< same-tick batches the dataplane drained
+  uint64_t burst_events = 0;     ///< events dispatched through those batches
   size_t aborted_joins = 0;      ///< orphaned joiners that gave up
   // Budgeting telemetry (gmpx_fuzz --stats).  NOT deterministic across
   // --jobs values (allocations depend on how warm the worker's pooled
@@ -68,9 +70,11 @@ struct SweepOptions {
   std::function<uint64_t()> alloc_probe;
   /// Streaming sink: invoked for every run in canonical (profile, seed)
   /// order as soon as that run *and all runs before it* have completed, so
-  /// a long sweep shows progress without ever reordering output.  Called
-  /// from whichever worker thread completes the prefix; runs are never
-  /// delivered twice or out of order.
+  /// a long sweep shows progress without ever reordering output.  With
+  /// jobs > 1 every call happens on the main (run_sweep-calling) thread,
+  /// which drains per-worker completion rings and flushes the canonical
+  /// prefix; workers never block on a merge lock.  With jobs <= 1 the sink
+  /// is called inline.  Runs are never delivered twice or out of order.
   std::function<void(const SweepRun&)> on_run;
 };
 

@@ -130,6 +130,54 @@ TEST(Determinism, PooledClusterResetMatchesFreshCluster) {
   }
 }
 
+TEST(Determinism, BurstMatchesSingleStepEveryProfileAndDetector) {
+  // The burst dataplane drains whole same-tick batches (destination-sorted
+  // prefetch, encode-once fan-out) where the legacy loop steps one event at
+  // a time.  The contract is byte-identity: for every profile x detector
+  // cell, the two replay modes must produce the same trace fingerprint,
+  // verdict, telemetry, and tick-for-tick results.  This is the test that
+  // lets the sweep default to burst mode without a determinism caveat.
+  for (fd::DetectorKind detector : {fd::DetectorKind::kOracle, fd::DetectorKind::kHeartbeat,
+                                    fd::DetectorKind::kPhi}) {
+    ExecOptions burst_on;
+    burst_on.fd = detector;
+    ExecOptions burst_off = burst_on;
+    burst_off.burst = false;
+    bool any_burst = false;
+    for (Profile p : {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
+                      Profile::kBurstCrash, Profile::kLossy}) {
+      GeneratorOptions gen;
+      gen.profile = p;
+      if (detector == fd::DetectorKind::kHeartbeat) gen = tuned_for_heartbeat(gen, burst_on.heartbeat);
+      if (detector == fd::DetectorKind::kPhi) gen = tuned_for_phi(gen, burst_on.phi);
+      for (uint64_t seed : {0ull, 7ull, 23ull}) {
+        Schedule s = generate(seed, gen);
+        ExecResult batched = execute(s, burst_on);
+        ExecResult stepped = execute(s, burst_off);
+        SCOPED_TRACE(std::string(to_string(p)) + "/" + fd::to_string(detector) +
+                     " seed=" + std::to_string(seed));
+        expect_same_result(batched, stepped);
+        EXPECT_EQ(batched.fd_messages, stepped.fd_messages);
+        // The toggle is real: legacy mode never reports burst telemetry...
+        EXPECT_EQ(stepped.bursts, 0u);
+        EXPECT_EQ(stepped.burst_events, 0u);
+        if (batched.bursts > 0) any_burst = true;
+      }
+    }
+    if (detector == fd::DetectorKind::kOracle) {
+      // ...and burst mode actually engaged on the oracle axis, whose whole
+      // quiescence loop (run_until_idle) is burst-drained.
+      EXPECT_TRUE(any_burst);
+    } else {
+      // Timeout-detector runs end via run_until_protocol_idle, which steps
+      // per event by contract — a skip firing between same-tick events may
+      // elide trailing background events that a cross-boundary burst would
+      // have dispatched.  Zero bursts on these axes pins that contract.
+      EXPECT_FALSE(any_burst) << fd::to_string(detector);
+    }
+  }
+}
+
 TEST(Determinism, DifferentSeedsDiverge) {
   // Sanity check that the fingerprint has discriminating power: across a
   // seed range at least one pair of traces must differ.
@@ -153,14 +201,29 @@ TEST(Determinism, SweepIdenticalAcrossJobCounts) {
                     fd::DetectorKind::kPhi};
   opts.verbose = true;  // force per-run report lines so output is non-trivial
 
+  // Streaming sink: with jobs > 1 the per-worker SPSC rings feed the main
+  // thread's prefix flush — on_run must still see every run exactly once,
+  // in canonical grid order, for any worker count.
+  std::vector<std::string> streamed_serial, streamed_sharded;
+  auto streaming_sink = [](std::vector<std::string>& into) {
+    return [&into](const SweepRun& run) {
+      into.push_back(std::string(to_string(run.profile)) + "/" +
+                     fd::to_string(run.detector) + "/" + std::to_string(run.seed));
+    };
+  };
+
   opts.jobs = 1;
+  opts.on_run = streaming_sink(streamed_serial);
   SweepResult serial = run_sweep(opts);
-  opts.jobs = 4;
+  opts.jobs = 8;
+  opts.on_run = streaming_sink(streamed_sharded);
   SweepResult sharded = run_sweep(opts);
 
   EXPECT_EQ(serial.runs, sharded.runs);
   EXPECT_EQ(serial.failures, sharded.failures);
   EXPECT_EQ(serial.output, sharded.output);  // byte-identical merged report
+  EXPECT_EQ(streamed_serial.size(), serial.runs);
+  EXPECT_EQ(streamed_serial, streamed_sharded);  // ring merge keeps canonical order
   ASSERT_EQ(serial.run_log.size(), sharded.run_log.size());
   bool heartbeat_ran = false;
   bool phi_ran = false;

@@ -57,7 +57,7 @@ void usage() {
                "                 [--basic] [--inject-bug] [--out DIR] [--jobs N]\n"
                "                 [--exec sim|tcp] [--tick-us U] [--base-port P]\n"
                "                 [--node-bin PATH]\n"
-               "                 [--replay FILE [--minimize]] [-v] [--stats]\n"
+               "                 [--replay FILE [--minimize]] [-v] [--stats] [--no-burst]\n"
                "\n"
                "--fd heartbeat runs real ping/timeout detection instead of the scripted\n"
                "oracle (storm intensities are calibrated so false suspicions fire);\n"
@@ -75,8 +75,12 @@ void usage() {
                "artifact).  --tick-us scales schedule ticks to real microseconds,\n"
                "--base-port moves the port window, --node-bin points at gmpx_node.\n"
                "--stats prints a per-run allocs=/exec=/skip= line and, per detector,\n"
-               "schedules/s, wall-clock, and the fast-forward skip ratio in the final\n"
-               "report (telemetry; NOT byte-stable across --jobs values).\n");
+               "schedules/s, wall-clock, the fast-forward skip ratio, and the burst\n"
+               "dataplane's mean batch size / bursts-per-schedule in the final report\n"
+               "(telemetry; NOT byte-stable across --jobs values).\n"
+               "--no-burst replays through the legacy per-event step loop instead of\n"
+               "the burst dataplane; output is byte-identical either way (CI diffs\n"
+               "the two on every push).\n");
 }
 
 struct Args {
@@ -222,6 +226,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       const char* v = next();
       if (!v) return false;
       a.tcp.node_bin = v;
+    } else if (arg == "--no-burst") {
+      a.exec.burst = false;
     } else if (arg == "-v" || arg == "--verbose") {
       a.verbose = true;
     } else if (arg == "--stats") {
@@ -419,6 +425,7 @@ int main(int argc, char** argv) {
     for (fd::DetectorKind d : sweep.detectors) {
       uint64_t runs = 0, ns = 0, allocs = 0;
       uint64_t skipped_ticks = 0, skipped_events = 0, sim_ticks = 0, aborted = 0;
+      uint64_t bursts = 0, burst_events = 0;
       for (const SweepRun& run : result.run_log) {
         if (run.detector != d) continue;
         ++runs;
@@ -428,20 +435,30 @@ int main(int argc, char** argv) {
         skipped_events += run.skipped_events;
         sim_ticks += run.end_tick;
         aborted += run.aborted_joins;
+        bursts += run.bursts;
+        burst_events += run.burst_events;
       }
       if (runs == 0) continue;
       // skip-ratio = fast-forwarded ticks / total simulated ticks for the
       // axis; CI asserts it stays nonzero on the heartbeat axis so the fast
       // path cannot silently regress to tick-grinding.
+      // Burst telemetry: mean events per drained batch and batches per
+      // schedule.  Only the oracle axis bursts — the timeout-detector
+      // quiescence loop steps per event by contract (skips between
+      // same-tick events), so heartbeat/phi report mean-burst=0.00 by
+      // design, not as a regression.
       std::printf(
           "stats %s: %.1f schedules/s (%lu runs, %.1fms wall, mean allocs=%.1f, "
-          "skip-ratio=%.3f, elided=%lu, aborted-joins=%lu)\n",
+          "skip-ratio=%.3f, elided=%lu, aborted-joins=%lu, mean-burst=%.2f, "
+          "bursts/run=%.1f)\n",
           fd::to_string(d), ns ? 1e9 * static_cast<double>(runs) / ns : 0.0,
           static_cast<unsigned long>(runs), static_cast<double>(ns) / 1e6,
           static_cast<double>(allocs) / static_cast<double>(runs),
           sim_ticks ? static_cast<double>(skipped_ticks) / static_cast<double>(sim_ticks)
                     : 0.0,
-          static_cast<unsigned long>(skipped_events), static_cast<unsigned long>(aborted));
+          static_cast<unsigned long>(skipped_events), static_cast<unsigned long>(aborted),
+          bursts ? static_cast<double>(burst_events) / static_cast<double>(bursts) : 0.0,
+          static_cast<double>(bursts) / static_cast<double>(runs));
     }
   }
   std::printf("gmpx_fuzz: %lu runs, %lu failures\n",

@@ -1,0 +1,126 @@
+// Fixed-seed hot-path driver for profilers (perf record / gprof / callgrind).
+//
+// Runs one (profile, detector, nodes) configuration over a contiguous seed
+// range through the pooled executor — the exact warm loop the sweep and the
+// benchmarks run — with no threads, no output in the loop, and no
+// benchmark-framework overhead, so every sample lands in the code under
+// study.  Build on demand (EXCLUDE_FROM_ALL, like alloc_probe):
+//
+//   cmake --build build --target hotpath_profile
+//
+//   # gprof: configure a tree with -pg, run once, read the flat profile
+//   cmake -B build-pg -S . -DCMAKE_BUILD_TYPE=Release
+//         (plus -DCMAKE_CXX_FLAGS=-pg -DCMAKE_EXE_LINKER_FLAGS=-pg)
+//   cmake --build build-pg --target hotpath_profile
+//   ./build-pg/hotpath_profile --profile mixed --fd oracle --reps 20
+//   gprof build-pg/hotpath_profile gmon.out | head -60
+//
+//   # perf: any Release tree works
+//   perf record -g ./build/hotpath_profile --profile mixed --reps 50
+//   perf report
+//
+// The run prints one summary line (runs, failures, wall time) so a profiling
+// session doubles as a smoke check — a nonzero failure count means the tree
+// under the profiler is broken and the profile is of garbage.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/cluster.hpp"
+#include "scenario/executor.hpp"
+#include "scenario/generator.hpp"
+
+using namespace gmpx;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--profile mixed|churn|partition|burst|lossy]\n"
+               "          [--fd oracle|heartbeat|phi] [--nodes N]\n"
+               "          [--seeds LO:HI] [--reps R]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scenario::Profile profile = scenario::Profile::kMixed;
+  fd::DetectorKind fd = fd::DetectorKind::kOracle;
+  size_t nodes = 5;
+  uint64_t seed_lo = 0, seed_hi = 200;
+  int reps = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--profile") {
+      std::string p = value();
+      if (!scenario::parse_profile(p, profile)) return usage(argv[0]);
+    } else if (arg == "--fd") {
+      std::string d = value();
+      if (d == "oracle") {
+        fd = fd::DetectorKind::kOracle;
+      } else if (d == "heartbeat") {
+        fd = fd::DetectorKind::kHeartbeat;
+      } else if (d == "phi") {
+        fd = fd::DetectorKind::kPhi;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--nodes") {
+      nodes = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seeds") {
+      std::string range = value();
+      auto colon = range.find(':');
+      if (colon == std::string::npos) return usage(argv[0]);
+      seed_lo = std::strtoull(range.substr(0, colon).c_str(), nullptr, 10);
+      seed_hi = std::strtoull(range.substr(colon + 1).c_str(), nullptr, 10);
+    } else if (arg == "--reps") {
+      reps = std::atoi(value());
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (seed_hi <= seed_lo || reps <= 0) return usage(argv[0]);
+
+  scenario::GeneratorOptions gen;
+  gen.n = nodes;
+  gen.profile = profile;
+
+  scenario::ExecOptions exec;
+  exec.fd = fd;
+  // Storm calibration must match the sweep so the profiled distribution is
+  // the shipped one.
+  if (fd == fd::DetectorKind::kHeartbeat) {
+    gen = scenario::tuned_for_heartbeat(gen, exec.heartbeat);
+  } else if (fd == fd::DetectorKind::kPhi) {
+    gen = scenario::tuned_for_phi(gen, exec.phi);
+  }
+
+  harness::Cluster cluster{harness::ClusterOptions{}};  // pooled across every run, like the sweep
+  uint64_t runs = 0, failures = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (uint64_t seed = seed_lo; seed < seed_hi; ++seed) {
+      scenario::Schedule s = scenario::generate(seed, gen);
+      scenario::ExecResult res = scenario::execute(s, exec, cluster);
+      ++runs;
+      if (!res.ok()) ++failures;
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::printf("hotpath_profile: %lu runs, %lu failures, %.1f ms (%.1f schedules/s)\n",
+              static_cast<unsigned long>(runs), static_cast<unsigned long>(failures),
+              ms, runs / (ms / 1000.0));
+  return failures == 0 ? 0 : 1;
+}
