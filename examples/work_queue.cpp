@@ -1,18 +1,22 @@
 // Subdivided computation: the paper's "subdivide a computation" motivation
-// (S1).  The coordinator owns a bag of tasks and assigns them over the
-// group; because every member sees the identical view sequence, ownership
-// of orphaned tasks after a failure is unambiguous — the new view alone
-// tells the coordinator which assignments died with their workers.
+// (S1), driven through the real soak-harness application (app::WorkQueue,
+// the same code the `gmpx_fuzz --soak` oracles judge at scale).
+//
+// Clients submit work items to the group coordinator, the coordinator
+// assigns them round-robin over the view, workers execute and report.  The
+// task table is replicated at every member, so when a worker dies the
+// coordinator reclaims its items off the new view alone — every member
+// sees the identical view sequence (GMP-3), so orphan ownership is
+// unambiguous.  Execution is at-least-once across views; within one view
+// an item has at most one claimant (the soak oracle APP-Q2).
 //
 //   build/examples/example_work_queue
 #include <cstdio>
-#include <deque>
-#include <map>
 #include <memory>
-#include <set>
-#include <string>
 #include <vector>
 
+#include "app/app_trace.hpp"
+#include "app/work_queue.hpp"
 #include "group/process_group.hpp"
 #include "harness/cluster.hpp"
 
@@ -20,118 +24,71 @@ using namespace gmpx;
 
 namespace {
 
-/// The coordinator-side scheduler + worker-side executor in one object.
-class WorkQueueMember {
- public:
-  WorkQueueMember(harness::Cluster* cluster, group::ProcessGroup* g, ProcessId id)
-      : cluster_(cluster), group_(g), id_(id) {
-    group_->on_message([this](ProcessId from, const std::string& m) {
-      if (m.rfind("task:", 0) == 0) {
-        std::printf("  [worker p%u] executing %s\n", id_, m.c_str() + 5);
-        reply(from, "done:" + m.substr(5));
-      } else if (m.rfind("done:", 0) == 0) {
-        on_done(m.substr(5));
-      }
-    });
-    group_->on_view_change([this](const gmp::View& v) { on_view(v); });
-  }
+constexpr size_t kN = 4;
+constexpr size_t kItems = 6;
 
-  /// Seed the coordinator with work and dispatch it.
-  void submit(const std::vector<std::string>& tasks) {
-    for (auto& t : tasks) backlog_.push_back(t);
-    dispatch();
-  }
-
-  size_t completed() const { return completed_.size(); }
-
- private:
-  void on_view(const gmp::View& v) {
-    if (!group_->is_coordinator()) return;
-    // Reclaim assignments owned by processes no longer in the view.
-    for (auto it = assigned_.begin(); it != assigned_.end();) {
-      if (!v.contains(it->second)) {
-        std::printf("  [coord p%u] reclaiming '%s' from failed p%u\n", id_, it->first.c_str(),
-                    it->second);
-        backlog_.push_back(it->first);
-        it = assigned_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    dispatch();
-  }
-
-  void dispatch() {
-    if (!group_->is_coordinator()) return;
-    Context* ctx = cluster_->world().context_of(id_);
-    if (!ctx) return;
-    auto members = group_->view().members();
-    size_t w = 0;
-    while (!backlog_.empty()) {
-      // Round-robin over non-coordinator members.
-      ProcessId target = kNilId;
-      for (size_t tries = 0; tries < members.size(); ++tries) {
-        ProcessId cand = members[w++ % members.size()];
-        if (cand != id_) {
-          target = cand;
-          break;
-        }
-      }
-      if (target == kNilId) break;  // alone: nobody to farm out to
-      std::string task = backlog_.front();
-      backlog_.pop_front();
-      assigned_[task] = target;
-      group_->send(*ctx, target, "task:" + task);
-    }
-  }
-
-  void on_done(const std::string& task) {
-    assigned_.erase(task);
-    completed_.insert(task);
-    std::printf("  [coord p%u] '%s' completed (%zu total)\n", id_, task.c_str(),
-                completed_.size());
-    dispatch();  // keep the pipeline full
-  }
-
-  void reply(ProcessId to, const std::string& m) {
-    if (Context* ctx = cluster_->world().context_of(id_)) group_->send(*ctx, to, m);
-  }
-
-  harness::Cluster* cluster_;
-  group::ProcessGroup* group_;
-  ProcessId id_;
-  std::deque<std::string> backlog_;
-  std::map<std::string, ProcessId> assigned_;
-  std::set<std::string> completed_;
+struct Member {
+  std::unique_ptr<group::ProcessGroup> group;
+  std::unique_ptr<app::WorkQueue> queue;
 };
 
 }  // namespace
 
 int main() {
   harness::ClusterOptions o;
-  o.n = 4;
+  o.n = kN;
   o.seed = 123;
   harness::Cluster c(o);
 
-  std::vector<std::unique_ptr<group::ProcessGroup>> groups;
-  std::vector<std::unique_ptr<WorkQueueMember>> members;
-  for (ProcessId p = 0; p < 4; ++p) {
-    groups.push_back(std::make_unique<group::ProcessGroup>(&c.node(p)));
-    members.push_back(std::make_unique<WorkQueueMember>(&c, groups.back().get(), p));
+  app::AppTrace trace;
+  std::vector<Member> members(kN);
+  for (ProcessId p = 0; p < kN; ++p) {
+    Member& m = members[p];
+    m.group = std::make_unique<group::ProcessGroup>(&c.node(p));
+    m.queue = std::make_unique<app::WorkQueue>(
+        m.group.get(), &trace, [&c, p]() { return c.world().context_of(p); });
+    m.group->on_message([&members, p](ProcessId from, const std::string& payload) {
+      members[p].queue->handle(from, payload);
+    });
+    m.group->on_view_change([&members, p](const gmp::View&) { members[p].queue->on_view(); });
   }
 
   std::printf("work-queue group {0,1,2,3}; p0 coordinates\n\n");
   c.start();
   c.world().at(100, [&] {
-    members[0]->submit({"render-a", "render-b", "render-c", "render-d", "render-e",
-                        "render-f"});
+    for (size_t i = 0; i < kItems; ++i) members[0].queue->client_submit();
+    std::printf("  [p0] accepted %zu work items\n", kItems);
   });
-  // A worker dies mid-computation; its tasks must be reclaimed + re-run.
+  // A worker dies mid-computation; its items must be reclaimed + re-run.
+  std::printf("-- t=110: worker p2 crashes --\n");
   c.crash_at(110, 2);
   c.run_to_quiescence();
 
-  std::printf("\ncompleted tasks (coordinator p0): %zu of 6\n", members[0]->completed());
+  // Narrate the replicated trace: who executed what, and what was
+  // reclaimed from the dead worker.
+  size_t execs = 0, reclaims = 0;
+  for (const app::AppEvent& e : trace.events()) {
+    if (e.kind == app::AppEventKind::kExec) {
+      std::printf("  item %u.%u executed by p%u\n", app::app_id_view(e.id),
+                  app::app_id_seq(e.id), e.actor);
+      ++execs;
+    } else if (e.kind == app::AppEventKind::kReclaim) {
+      std::printf("  item %u.%u reclaimed from departed p%u\n", app::app_id_view(e.id),
+                  app::app_id_seq(e.id), e.peer);
+      ++reclaims;
+    }
+  }
+  std::printf("\nexecutions: %zu (at-least-once: >= %zu), reclaims: %zu\n", execs, kItems,
+              reclaims);
+
+  bool all_done = true;
+  for (ProcessId p = 0; p < kN; ++p) {
+    if (p == 2) continue;  // crashed
+    if (!members[p].queue->all_done()) all_done = false;
+  }
+  std::printf("every survivor sees all %zu items done: %s\n", kItems, all_done ? "yes" : "NO");
+
   auto res = c.check();
   std::printf("membership checker: %s\n", res.ok() ? "ok" : res.message().c_str());
-  return res.ok() && members[0]->completed() == 6 ? 0 : 1;
+  return res.ok() && all_done && execs >= kItems ? 0 : 1;
 }

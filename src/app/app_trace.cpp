@@ -1,0 +1,20 @@
+#include "app/app_trace.hpp"
+
+namespace gmpx::app {
+
+const char* to_string(AppEventKind k) {
+  switch (k) {
+    case AppEventKind::kWriteCommit: return "write-commit";
+    case AppEventKind::kApply: return "apply";
+    case AppEventKind::kRead: return "read";
+    case AppEventKind::kSubmit: return "submit";
+    case AppEventKind::kMirror: return "mirror";
+    case AppEventKind::kAssign: return "assign";
+    case AppEventKind::kReclaim: return "reclaim";
+    case AppEventKind::kExec: return "exec";
+    case AppEventKind::kTaskDone: return "task-done";
+  }
+  return "?";
+}
+
+}  // namespace gmpx::app

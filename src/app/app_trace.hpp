@@ -1,0 +1,88 @@
+// Application-level run trace: the app analogue of trace::Recorder.
+//
+// The soak harness drives real applications (a replicated registry, a
+// replicated work queue) on top of the membership service and judges the
+// run with application-level oracles checked alongside GMP-1..5.  Those
+// oracles need a globally ordered log of what the applications *did*:
+// writes committed and applied, reads served, work items submitted,
+// assigned, executed and completed.  This file is that log.
+//
+// Like the membership recorder, the trace is intentionally dumb: an
+// append-only vector in the simulator's deterministic execution order
+// (a legal linearization of the run's happens-before relation).  The
+// checkers in soak/app_oracle.hpp consume it; the negative-oracle tests
+// hand-construct it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gmpx::app {
+
+/// Kind of one recorded application event.
+enum class AppEventKind : uint8_t {
+  kWriteCommit,  ///< registry primary committed write `id` for `key` in `view`
+  kApply,        ///< replica applied write `id` for `key` (local view `view`)
+  kRead,         ///< replica served a read of `key`: observed write `id`
+                 ///< (0 = never written), client in `peer`, local view `view`
+  kSubmit,       ///< queue coordinator accepted work item `id` in `view`
+  kMirror,       ///< member first learned of work item `id` (replication)
+  kAssign,       ///< coordinator assigned item `id` to worker `peer` in `view`
+  kReclaim,      ///< coordinator reclaimed item `id` from departed `peer`
+  kExec,         ///< worker `actor` executed item `id`
+  kTaskDone,     ///< member learned item `id` completed (coordinator included)
+};
+
+/// Returns "write-commit", "apply", ... (diagnostics and negative tests).
+const char* to_string(AppEventKind k);
+
+/// One recorded application event.  Field use by kind is documented on the
+/// enum; unused fields stay at their defaults.
+struct AppEvent {
+  uint64_t seq = 0;  ///< global order (execution order of the run)
+  Tick tick = 0;
+  AppEventKind kind = AppEventKind::kWriteCommit;
+  ProcessId actor = kNilId;  ///< the process recording the event
+  ProcessId peer = kNilId;   ///< assignment worker / reading client
+  uint64_t id = 0;           ///< write id or work-item id: (view << 32) | seq
+  uint32_t key = 0;          ///< registry key (registry events only)
+  ViewVersion view = 0;      ///< actor's installed view when the event fired
+};
+
+/// Append-only application trace of one run.  Single-threaded (one sim
+/// world per sweep worker); pooled via reset().
+class AppTrace {
+ public:
+  void reset() { events_.clear(); next_seq_ = 0; }
+
+  AppEvent& record(Tick t, AppEventKind k, ProcessId actor) {
+    AppEvent& e = events_.emplace_back();
+    e.seq = next_seq_++;
+    e.tick = t;
+    e.kind = k;
+    e.actor = actor;
+    return e;
+  }
+
+  const std::vector<AppEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<AppEvent> events_;
+  uint64_t next_seq_ = 0;
+};
+
+/// Write/work-item ids embed the view they were created in: the high word
+/// is the creating coordinator's view version, the low word a per-view
+/// sequence number.  GMP-2 (one Mgr per view) then makes ids unique and
+/// totally ordered across failovers — the registry's last-writer-wins
+/// merge and the queue's assignment stamps both lean on this order.
+inline uint64_t make_app_id(ViewVersion view, uint32_t seq) {
+  return (static_cast<uint64_t>(view) << 32) | seq;
+}
+inline ViewVersion app_id_view(uint64_t id) { return static_cast<ViewVersion>(id >> 32); }
+inline uint32_t app_id_seq(uint64_t id) { return static_cast<uint32_t>(id & 0xFFFFFFFFu); }
+
+}  // namespace gmpx::app

@@ -1,0 +1,102 @@
+#include "app/registry.hpp"
+
+#include <cstdlib>
+
+namespace gmpx::app {
+
+namespace {
+
+/// Parse an unsigned decimal starting at `*s`, advancing past it and any
+/// one trailing separator.  Returns false on no digits.
+bool parse_u64(const char*& s, uint64_t& out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s) return false;
+  out = v;
+  s = (*end == ' ' || *end == ':' || *end == ',') ? end + 1 : end;
+  return true;
+}
+
+}  // namespace
+
+bool Registry::client_write(uint32_t key) {
+  Context* ctx = ctx_();
+  if (!ctx || !group_->is_coordinator()) return false;
+  const ViewVersion v = group_->view().version();
+  if (v != wseq_view_) {
+    wseq_view_ = v;
+    wseq_ = 0;
+  }
+  const uint64_t wid = make_app_id(v, ++wseq_);
+  AppEvent& e = trace_->record(ctx->now(), AppEventKind::kWriteCommit, ctx->self());
+  e.id = wid;
+  e.key = key;
+  e.view = v;
+  apply(*ctx, key, wid);
+  group_->broadcast(*ctx, "w " + std::to_string(key) + " " + std::to_string(wid));
+  return true;
+}
+
+uint64_t Registry::client_read(ProcessId client, uint32_t key) {
+  Context* ctx = ctx_();
+  if (!ctx) return 0;
+  auto it = data_.find(key);
+  const uint64_t wid = it == data_.end() ? 0 : it->second;
+  AppEvent& e = trace_->record(ctx->now(), AppEventKind::kRead, ctx->self());
+  e.peer = client;
+  e.id = wid;
+  e.key = key;
+  e.view = group_->view().version();
+  return wid;
+}
+
+void Registry::apply(Context& ctx, uint32_t key, uint64_t wid) {
+  uint64_t& cur = data_[key];
+  if (wid <= cur) return;  // LWW merge: stale/duplicate replication is a no-op
+  cur = wid;
+  AppEvent& e = trace_->record(ctx.now(), AppEventKind::kApply, ctx.self());
+  e.id = wid;
+  e.key = key;
+  e.view = group_->view().version();
+}
+
+bool Registry::handle(ProcessId /*from*/, const std::string& payload) {
+  if (payload.empty()) return false;
+  Context* ctx = ctx_();
+  if (payload[0] == 'w') {
+    if (!ctx) return true;
+    const char* s = payload.c_str() + 1;
+    if (*s == ' ') ++s;
+    uint64_t key = 0, wid = 0;
+    if (parse_u64(s, key) && parse_u64(s, wid)) {
+      apply(*ctx, static_cast<uint32_t>(key), wid);
+    }
+    return true;
+  }
+  if (payload[0] == 'W') {
+    if (!ctx) return true;
+    const char* s = payload.c_str() + 1;
+    if (*s == ' ') ++s;
+    uint64_t key = 0, wid = 0;
+    while (parse_u64(s, key) && parse_u64(s, wid)) {
+      apply(*ctx, static_cast<uint32_t>(key), wid);
+    }
+    return true;
+  }
+  return false;
+}
+
+void Registry::sync_round() {
+  Context* ctx = ctx_();
+  if (!ctx || data_.empty()) return;
+  std::string m = "W";
+  for (const auto& [key, wid] : data_) {
+    m += ' ';
+    m += std::to_string(key);
+    m += ':';
+    m += std::to_string(wid);
+  }
+  group_->broadcast(*ctx, m);
+}
+
+}  // namespace gmpx::app

@@ -1,0 +1,199 @@
+#include "app/work_queue.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace gmpx::app {
+
+namespace {
+
+bool parse_u64(const char*& s, uint64_t& out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s) return false;
+  out = v;
+  s = (*end == ' ' || *end == ':' || *end == ',') ? end + 1 : end;
+  return true;
+}
+
+}  // namespace
+
+uint64_t WorkQueue::next_stamp(ViewVersion v, uint32_t& seq, ViewVersion& seq_view) {
+  if (v != seq_view) {
+    seq_view = v;
+    seq = 0;
+  }
+  return make_app_id(v, ++seq);
+}
+
+bool WorkQueue::client_submit() {
+  Context* ctx = ctx_();
+  if (!ctx || !group_->is_coordinator()) return false;
+  const ViewVersion v = group_->view().version();
+  const uint64_t tid = next_stamp(v, tseq_, tseq_view_);
+  AppEvent& e = trace_->record(ctx->now(), AppEventKind::kSubmit, ctx->self());
+  e.id = tid;
+  e.view = v;
+  TaskRecord& t = tasks_[tid];  // local accept: no kMirror (that's replication)
+  t.state = 1;
+  group_->broadcast(*ctx, "s " + std::to_string(tid));
+  dispatch();
+  return true;
+}
+
+void WorkQueue::merge(Context& ctx, uint64_t tid, uint8_t state, ProcessId worker,
+                      uint64_t astamp) {
+  auto [it, inserted] = tasks_.try_emplace(tid);
+  TaskRecord& t = it->second;
+  if (inserted) {
+    AppEvent& e = trace_->record(ctx.now(), AppEventKind::kMirror, ctx.self());
+    e.id = tid;
+    e.view = group_->view().version();
+  }
+  if (worker != kNilId && astamp > t.astamp) {
+    t.worker = worker;
+    t.astamp = astamp;
+  }
+  if (state > t.state) t.state = state;
+  if (t.state >= 3 && !t.done_recorded) {
+    t.done_recorded = true;
+    AppEvent& e = trace_->record(ctx.now(), AppEventKind::kTaskDone, ctx.self());
+    e.id = tid;
+    e.view = group_->view().version();
+  }
+}
+
+void WorkQueue::maybe_execute(Context& ctx) {
+  const ProcessId self = ctx.self();
+  for (auto& [tid, t] : tasks_) {
+    if (t.state != 2 || t.worker != self || t.executed_here) continue;
+    t.executed_here = true;
+    AppEvent& ex = trace_->record(ctx.now(), AppEventKind::kExec, self);
+    ex.id = tid;
+    ex.view = group_->view().version();
+    t.state = 3;
+    if (!t.done_recorded) {
+      t.done_recorded = true;
+      AppEvent& d = trace_->record(ctx.now(), AppEventKind::kTaskDone, self);
+      d.id = tid;
+      d.view = group_->view().version();
+    }
+    group_->broadcast(ctx, "d " + std::to_string(tid));
+  }
+}
+
+void WorkQueue::dispatch() {
+  Context* ctx = ctx_();
+  if (!ctx || !group_->is_coordinator()) return;
+  const gmp::View& view = group_->view();
+  const ViewVersion v = view.version();
+  std::vector<ProcessId> cand = view.sorted_members();
+  if (cand.size() > 1) {
+    cand.erase(std::remove(cand.begin(), cand.end(), ctx->self()), cand.end());
+  }
+  if (cand.empty()) return;
+  for (auto& [tid, t] : tasks_) {
+    if (t.state == 3) continue;
+    if (t.state == 2) {
+      if (view.contains(t.worker)) continue;  // claim still valid in this view
+      AppEvent& rc = trace_->record(ctx->now(), AppEventKind::kReclaim, ctx->self());
+      rc.id = tid;
+      rc.peer = t.worker;
+      rc.view = v;
+    }
+    const ProcessId w = cand[rr_++ % cand.size()];
+    const uint64_t stamp = next_stamp(v, aseq_, aseq_view_);
+    AppEvent& as = trace_->record(ctx->now(), AppEventKind::kAssign, ctx->self());
+    as.id = tid;
+    as.peer = w;
+    as.view = v;
+    if (t.state < 2) t.state = 2;
+    t.worker = w;
+    t.astamp = stamp;
+    group_->broadcast(*ctx, "a " + std::to_string(tid) + " " + std::to_string(w) + " " +
+                                std::to_string(stamp));
+  }
+  maybe_execute(*ctx);  // degenerate singleton view assigns to self
+}
+
+bool WorkQueue::handle(ProcessId /*from*/, const std::string& payload) {
+  if (payload.empty()) return false;
+  Context* ctx = ctx_();
+  switch (payload[0]) {
+    case 's': {
+      if (!ctx) return true;
+      const char* s = payload.c_str() + 1;
+      uint64_t tid = 0;
+      if (*s == ' ') ++s;
+      if (parse_u64(s, tid)) merge(*ctx, tid, 1, kNilId, 0);
+      return true;
+    }
+    case 'a': {
+      if (!ctx) return true;
+      const char* s = payload.c_str() + 1;
+      if (*s == ' ') ++s;
+      uint64_t tid = 0, worker = 0, stamp = 0;
+      if (parse_u64(s, tid) && parse_u64(s, worker) && parse_u64(s, stamp)) {
+        merge(*ctx, tid, 2, static_cast<ProcessId>(worker), stamp);
+        maybe_execute(*ctx);
+      }
+      return true;
+    }
+    case 'd': {
+      if (!ctx) return true;
+      const char* s = payload.c_str() + 1;
+      uint64_t tid = 0;
+      if (*s == ' ') ++s;
+      if (parse_u64(s, tid)) merge(*ctx, tid, 3, kNilId, 0);
+      return true;
+    }
+    case 'Q': {
+      if (!ctx) return true;
+      const char* s = payload.c_str() + 1;
+      if (*s == ' ') ++s;
+      uint64_t tid = 0, state = 0, worker = 0, stamp = 0;
+      while (parse_u64(s, tid) && parse_u64(s, state) && parse_u64(s, worker) &&
+             parse_u64(s, stamp)) {
+        merge(*ctx, tid, static_cast<uint8_t>(state), static_cast<ProcessId>(worker), stamp);
+      }
+      maybe_execute(*ctx);
+      dispatch();  // the merge may have surfaced unassigned/orphaned items
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void WorkQueue::on_view() { dispatch(); }
+
+void WorkQueue::sync_round() {
+  Context* ctx = ctx_();
+  if (!ctx) return;
+  if (!tasks_.empty()) {
+    std::string m = "Q";
+    for (const auto& [tid, t] : tasks_) {
+      m += ' ';
+      m += std::to_string(tid);
+      m += ':';
+      m += std::to_string(static_cast<uint64_t>(t.state));
+      m += ':';
+      m += std::to_string(t.worker);
+      m += ':';
+      m += std::to_string(t.astamp);
+    }
+    group_->broadcast(*ctx, m);
+  }
+  dispatch();
+  maybe_execute(*ctx);
+}
+
+bool WorkQueue::all_done() const {
+  for (const auto& [tid, t] : tasks_) {
+    if (t.state != 3) return false;
+  }
+  return true;
+}
+
+}  // namespace gmpx::app

@@ -321,6 +321,15 @@ void GmpNode::apply_op(Context& ctx, Op op, ProcessId target) {
       }
       rec_->add(self_, target, ctx.now());
     }
+    if (isolated_.count(target)) {
+      // S3 re-arises: the committed add seats a process we already believe
+      // faulty (it died while its admission was in flight — the belief
+      // predates its membership, so believe_faulty never marked it
+      // suspected).  Faulty beliefs are permanent (S1); start the removal.
+      suspected_.insert(target);
+      reported_.erase(target);
+      if (mgr_ != self_) report_to_mgr(ctx, target);
+    }
   }
   if (rec_) rec_->install(self_, view_.version(), view_.members(), ctx.now());
   if (listener_) listener_->on_view(view_);

@@ -4,6 +4,7 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -156,7 +157,32 @@ std::string TcpExecResult::message() const {
   return os.str();
 }
 
-TcpExecResult execute_tcp(const scenario::Schedule& s, const TcpExecOptions& opts) {
+Tick calibrated_tick_us() {
+  static const Tick cached = [] {
+    // Sample short nanosleeps and measure how far past the deadline the
+    // scheduler wakes us; the tick must dwarf that overshoot or per-tick
+    // deadlines (heartbeat phases, fault-span edges) smear into neighbours.
+    constexpr int kSamples = 50;
+    constexpr uint64_t kReqUs = 50;
+    std::vector<uint64_t> overshoot;
+    overshoot.reserve(kSamples);
+    for (int i = 0; i < kSamples; ++i) {
+      const uint64_t t0 = net::monotonic_now_us();
+      timespec req{0, static_cast<long>(kReqUs * 1000)};
+      ::nanosleep(&req, nullptr);
+      const uint64_t dt = net::monotonic_now_us() - t0;
+      overshoot.push_back(dt > kReqUs ? dt - kReqUs : 0);
+    }
+    std::sort(overshoot.begin(), overshoot.end());
+    const uint64_t p90 = overshoot[(kSamples * 9) / 10];
+    // Upper clamp keeps a ~10k-tick schedule inside the per-run wall
+    // timeout even on a badly jittery host.
+    return static_cast<Tick>(std::clamp<uint64_t>(p90 * 8, 100, 1000));
+  }();
+  return cached;
+}
+
+TcpExecResult execute_tcp(const scenario::Schedule& s, const TcpExecOptions& opts_in) {
   // A SIGTERMed/killed child makes pipe writes fail with EPIPE; the default
   // SIGPIPE disposition would kill the orchestrator instead.
   static const int sigpipe_ignored = [] {
@@ -164,6 +190,9 @@ TcpExecResult execute_tcp(const scenario::Schedule& s, const TcpExecOptions& opt
     return 0;
   }();
   (void)sigpipe_ignored;
+
+  TcpExecOptions opts = opts_in;
+  if (opts.tick_us == 0) opts.tick_us = calibrated_tick_us();
 
   TcpExecResult r;
   const std::string bin = opts.node_bin.empty() ? default_node_bin() : opts.node_bin;
@@ -184,14 +213,19 @@ TcpExecResult execute_tcp(const scenario::Schedule& s, const TcpExecOptions& opt
   }
   std::vector<ProcessId> joiners;
   for (const scenario::ScheduleEvent& e : s.events) {
-    if (e.type != scenario::EventType::kJoin) continue;
+    // A restart's fresh incarnation is just another joiner process: it
+    // spawns at epoch like everyone else and starts soliciting admission at
+    // its join_at tick (by then the crashed predecessor is already SIGKILLed).
+    const bool is_join = e.type == scenario::EventType::kJoin;
+    const bool is_restart = e.type == scenario::EventType::kRestart;
+    if (!is_join && !is_restart) continue;
     NodeProc n;
-    n.id = e.target;
+    n.id = is_join ? e.target : e.observer;
     n.is_joiner = true;
     n.contacts = e.group;
     n.join_at = e.at;
+    joiners.push_back(n.id);
     nodes.push_back(std::move(n));
-    joiners.push_back(e.target);
   }
   for (size_t i = 0; i < nodes.size(); ++i) {
     nodes[i].node_port = static_cast<uint16_t>(opts.base_port + 2 * i);
@@ -623,7 +657,20 @@ CrossCheckResult cross_check(const scenario::Schedule& s, const scenario::ExecOp
                              const TcpExecOptions& tcp_opts) {
   CrossCheckResult cc;
   cc.sim = scenario::execute(s, sim_opts);
-  cc.tcp = execute_tcp(s, tcp_opts);
+
+  // Budget the live run by the virtual horizon the sim actually needed.
+  // With `--tick-us auto` a noisy runner can pick a tick several times the
+  // 100µs default, and a fixed wall budget then truncates runs whose
+  // quiescence legitimately lies tens of seconds out (the common tail: a
+  // joiner grinding its solicit-retry cap against a dead group).  The sim
+  // quiesced at end_tick, so the live run needs ~end_tick * tick_us of
+  // wall time; allow 3× that plus a settle floor, never less than the
+  // configured budget.
+  TcpExecOptions topts = tcp_opts;
+  const Tick tick_us = topts.tick_us ? topts.tick_us : calibrated_tick_us();
+  const uint64_t horizon_ms = cc.sim.end_tick * tick_us / 1000;
+  topts.wall_timeout_ms = std::max<uint64_t>(topts.wall_timeout_ms, horizon_ms * 3 + 10'000);
+  cc.tcp = execute_tcp(s, topts);
 
   // The divergence contract: timing differs between the deployments, but
   // clause outcomes must not.

@@ -56,7 +56,9 @@ namespace gmpx::realexec {
 struct TcpExecOptions {
   /// Real microseconds per schedule tick.  100 keeps a typical generated
   /// schedule (~10k ticks of scripted events) around a second of wall time
-  /// while staying far above kernel timer granularity.
+  /// while staying far above kernel timer granularity.  0 = auto-calibrate
+  /// at run start from the host's measured scheduler jitter (see
+  /// calibrated_tick_us) — the CLI spelling is `--tick-us auto`.
   Tick tick_us = 100;
   /// First TCP port of the run's window: node p uses base_port + 2*index
   /// (real bind) and base_port + 2*index + 1 (its proxy).  The default sits
@@ -128,5 +130,14 @@ CrossCheckResult cross_check(const scenario::Schedule& s, const scenario::ExecOp
 /// "<directory of /proc/self/exe>/gmpx_node" — tools and tests land in the
 /// same build directory as the node binary.
 std::string default_node_bin();
+
+/// Measure the host's sleep-wakeup jitter and derive a tick width that
+/// keeps schedule timing honest on that machine: a tick must comfortably
+/// exceed the scheduler's typical overshoot or heartbeat deadlines smear
+/// across ticks and CI runs flake.  Samples short nanosleeps, takes a
+/// high-percentile overshoot, and returns clamp(8 * p90, 100, 1000) µs.
+/// Measured once per process (cached); execute_tcp calls this when
+/// TcpExecOptions::tick_us == 0.
+Tick calibrated_tick_us();
 
 }  // namespace gmpx::realexec

@@ -149,6 +149,13 @@ ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOp
         cluster.add_joiner(e.target, e.group, e.at);
         joiners.push_back(e.target);
         break;
+      case EventType::kRestart:
+        // A reborn member is a *fresh incarnation* (paper S1: ids are never
+        // reused): the crashed e.target stays dead, and e.observer enters
+        // through the exact admission path a first-time joiner uses.
+        cluster.add_joiner(e.observer, e.group, e.at);
+        joiners.push_back(e.observer);
+        break;
       case EventType::kDelayStorm:
         world.at(e.at, [&world, &model_at, t = e.at] { world.set_delays(model_at(t)); });
         world.at(e.at + e.duration,
@@ -178,9 +185,15 @@ ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOp
     }
   }
 
+  if (opts.on_pre_start) opts.on_pre_start(cluster);
+
   cluster.start();
   ExecResult r;
-  if (timeout_fd) {
+  // One "run until nothing protocol-level is happening" round; re-runnable
+  // so the soak hook can inject app sync/dispatch traffic after quiescence
+  // and settle again.
+  auto quiesce_round = [&]() -> bool {
+    if (timeout_fd) {
     // Real timeout detection: standoffs resolve natively (mutual timeout),
     // so the executor injects nothing.  The queue never drains — ping
     // timers re-arm forever — so quiescence means "no protocol work left
@@ -199,9 +212,9 @@ ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOp
         break;
       }
     }
-    r.quiesced = cluster.run_to_protocol_quiescence(opts.max_sim_events, worst_delay);
-  } else {
-    r.quiesced = cluster.run_to_quiescence(opts.max_sim_events);
+    return cluster.run_to_protocol_quiescence(opts.max_sim_events, worst_delay);
+    }
+    bool quiesced = cluster.run_to_quiescence(opts.max_sim_events);
     // Timeout-detector emulation (oracle only).  The oracle reports *real*
     // crashes, but the protocol's "await (OK(p) or faulty(p))" also relies
     // on detecting non-cooperation: a process that (falsely, possibly via
@@ -210,7 +223,7 @@ ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOp
     // out; in the simulation, quiescence with a live awaited-but-isolating
     // peer *is* that timeout.  Inject the suspicion and resume until no
     // standoff remains.
-    for (int pass = 0; r.quiesced && pass < 64; ++pass) {
+    for (int pass = 0; quiesced && pass < 64; ++pass) {
       std::vector<std::pair<ProcessId, ProcessId>> timeouts;  // (awaiter, peer)
       for (ProcessId p : cluster.ids()) {
         if (world.crashed(p) || !cluster.node(p).admitted()) continue;
@@ -225,8 +238,14 @@ ExecResult execute_on(harness::Cluster& cluster, const Schedule& s, const ExecOp
       for (auto [p, q] : timeouts) {
         if (Context* ctx = world.context_of(p)) cluster.node(p).suspect(*ctx, q);
       }
-      r.quiesced = cluster.run_to_quiescence(opts.max_sim_events);
+      quiesced = cluster.run_to_quiescence(opts.max_sim_events);
     }
+    return quiesced;
+  };
+  r.quiesced = quiesce_round();
+  for (int pass = 0; r.quiesced && opts.on_quiesced && pass < 32; ++pass) {
+    if (!opts.on_quiesced(cluster, pass)) break;
+    r.quiesced = quiesce_round();
   }
   r.end_tick = world.now();
   r.messages = world.meter().protocol_total();

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "fd/detector.hpp"
@@ -62,6 +63,18 @@ struct ExecOptions {
   /// way — the toggle exists so determinism_test and the CI A/B diff can
   /// pin that equivalence (gmpx_fuzz --no-burst).
   bool burst = true;
+  /// Application layering hook (soak mode): called after the fault schedule
+  /// has been scripted onto the cluster — every node, joiners included,
+  /// already exists — and before cluster.start().  The soak runner uses it
+  /// to attach per-node application instances and schedule client ops.
+  /// Unset for plain protocol runs (the default), which stay byte-identical.
+  std::function<void(harness::Cluster&)> on_pre_start;
+  /// Application work hook (soak mode): called each time the run reaches
+  /// quiescence.  Return true to say "I injected more work (app sync/
+  /// dispatch rounds) — run to quiescence again"; false ends the run.  By
+  /// this point every bounded fault span has expired, so app-level repair
+  /// traffic runs on a clean network.  Capped at 32 rounds.
+  std::function<bool(harness::Cluster&, int pass)> on_quiesced;
 };
 
 struct ExecResult {

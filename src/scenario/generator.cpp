@@ -33,26 +33,26 @@ namespace {
 
 /// Per-profile draw weights, indexed by EventType order
 /// {crash, partition, heal(unused: 0), join, leave, suspect, delaystorm,
-/// partition1, faults}.  The two youngest event types sit LAST in the
+/// partition1, faults, restart}.  The youngest event types sit LAST in the
 /// weighted walk with weight 0 for every pre-existing profile: the draw
 /// thresholds — and with them the whole RNG draw sequence — of historical
-/// (profile, seed) pairs stay byte-identical across this addition.
+/// (profile, seed) pairs stay byte-identical across each addition.
 struct Weights {
-  uint64_t crash, partition, join, leave, suspect, storm, oneway, faults;
+  uint64_t crash, partition, join, leave, suspect, storm, oneway, faults, restart;
   uint64_t total() const {
-    return crash + partition + join + leave + suspect + storm + oneway + faults;
+    return crash + partition + join + leave + suspect + storm + oneway + faults + restart;
   }
 };
 
 Weights weights_for(Profile p) {
   switch (p) {
-    case Profile::kChurnHeavy: return {4, 1, 4, 3, 1, 1, 0, 0};
-    case Profile::kPartitionHeavy: return {1, 5, 1, 1, 3, 2, 0, 0};
-    case Profile::kBurstCrash: return {0, 1, 1, 1, 1, 1, 0, 0};
-    case Profile::kLossy: return {2, 0, 1, 1, 1, 1, 2, 4};
+    case Profile::kChurnHeavy: return {4, 1, 4, 3, 1, 1, 0, 0, 0};
+    case Profile::kPartitionHeavy: return {1, 5, 1, 1, 3, 2, 0, 0, 0};
+    case Profile::kBurstCrash: return {0, 1, 1, 1, 1, 1, 0, 0, 0};
+    case Profile::kLossy: return {2, 0, 1, 1, 1, 1, 2, 4, 0};
     case Profile::kMixed: break;
   }
-  return {3, 2, 2, 1, 2, 1, 0, 0};
+  return {3, 2, 2, 1, 2, 1, 0, 0, 0};
 }
 
 }  // namespace
@@ -100,7 +100,8 @@ Schedule generate(uint64_t seed, const GeneratorOptions& opts) {
     }
   }
 
-  const Weights w = weights_for(opts.profile);
+  Weights w = weights_for(opts.profile);
+  w.restart += opts.restart_weight;
   for (size_t i = 0; i < budget; ++i) {
     uint64_t d = rng.below(w.total());
     if (d < w.crash) {
@@ -196,14 +197,46 @@ Schedule generate(uint64_t seed, const GeneratorOptions& opts) {
       s.events.push_back(std::move(e));
       continue;
     }
-    // Background-channel fault span: loss is always meaningful (>= 1%),
-    // dup/reorder may be absent.  Always bounded — the run can only
-    // conclude once every fault span has healed.
-    ScheduleEvent e{EventType::kFaults, tick_in(1, horizon)};
-    e.duration = tick_in(200, std::max<Tick>(opts.storm_duration_cap, 201));
-    e.loss = 10 + static_cast<uint32_t>(rng.below(std::max<uint32_t>(opts.loss_ceiling, 11) - 9));
-    e.dup = static_cast<uint32_t>(rng.below(opts.dup_ceiling + 1));
-    e.reorder = static_cast<uint32_t>(rng.below(opts.reorder_ceiling + 1));
+    d -= w.oneway;
+    if (d < w.faults) {
+      // Background-channel fault span: loss is always meaningful (>= 1%),
+      // dup/reorder may be absent.  Always bounded — the run can only
+      // conclude once every fault span has healed.
+      ScheduleEvent e{EventType::kFaults, tick_in(1, horizon)};
+      e.duration = tick_in(200, std::max<Tick>(opts.storm_duration_cap, 201));
+      e.loss = 10 + static_cast<uint32_t>(rng.below(std::max<uint32_t>(opts.loss_ceiling, 11) - 9));
+      e.dup = static_cast<uint32_t>(rng.below(opts.dup_ceiling + 1));
+      e.reorder = static_cast<uint32_t>(rng.below(opts.reorder_ceiling + 1));
+      s.events.push_back(std::move(e));
+      continue;
+    }
+    // Crash-restart pair: a member dies and its replacement — a *fresh*
+    // incarnation with a never-reused id (paper S1) — re-joins through the
+    // normal admission path.  Consumes crash budget: between death and
+    // re-admission the group really is one member down.
+    if (crashes >= max_crashes || !may_depart()) continue;
+    ProcessId victim = pick_member(true);
+    if (departed.count(victim)) continue;
+    departed.insert(victim);
+    ++crashes;
+    Tick died = tick_in(50, horizon * 2 / 3);
+    s.events.push_back({EventType::kCrash, died, victim});
+    ScheduleEvent e{EventType::kRestart, died + tick_in(200, 1200)};
+    e.target = victim;
+    e.observer = static_cast<ProcessId>(next_join_id++);
+    size_t contacts = 1 + rng.below(2);
+    std::set<ProcessId> cs;
+    for (size_t c = 0; c < contacts; ++c) {
+      ProcessId cand = pick_member(true);
+      if (cand != victim) cs.insert(cand);
+    }
+    if (cs.empty()) {
+      for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+        if (!departed.count(p)) { cs.insert(p); break; }
+      }
+    }
+    if (cs.empty()) continue;  // nobody left to contact; keep the crash
+    e.group.assign(cs.begin(), cs.end());
     s.events.push_back(std::move(e));
   }
 

@@ -57,6 +57,11 @@ struct GeneratorOptions {
   uint32_t loss_ceiling = 150;
   uint32_t dup_ceiling = 200;
   uint32_t reorder_ceiling = 200;
+  /// Extra draw weight for crash-restart pairs (a member dies, a fresh
+  /// incarnation re-joins via normal admission).  Default 0 so the RNG draw
+  /// sequence of every historical (profile, seed) pair stays byte-identical;
+  /// soak mode turns it on to model reboot churn.
+  uint64_t restart_weight = 0;
 };
 
 /// Deterministically generate one schedule from (seed, opts).

@@ -18,6 +18,7 @@ const char* to_string(EventType t) {
     case EventType::kDelayStorm: return "delaystorm";
     case EventType::kPartitionOneway: return "partition1";
     case EventType::kFaults: return "faults";
+    case EventType::kRestart: return "restart";
   }
   return "?";
 }
@@ -83,6 +84,9 @@ std::string encode_schedule(const Schedule& s) {
       case EventType::kFaults:
         w.field(e.duration).field(e.loss).field(e.dup).field(e.reorder);
         break;
+      case EventType::kRestart:
+        w.field(e.target).field(e.observer).ids(e.group);
+        break;
     }
   }
   w.rec("end");
@@ -133,6 +137,11 @@ Schedule decode_schedule(const std::string& text) {
       e.duration = r.num();
       e.min_delay = r.num();
       e.max_delay = r.num();
+    } else if (kw == "restart") {
+      e.type = EventType::kRestart;
+      e.target = static_cast<ProcessId>(r.num());
+      e.observer = static_cast<ProcessId>(r.num());
+      e.group = r.ids();
     } else if (kw == "faults") {
       e.type = EventType::kFaults;
       e.duration = r.num();

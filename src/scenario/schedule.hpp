@@ -38,6 +38,9 @@ enum class EventType : uint8_t {
   kFaults,      ///< background channels drop/dup/reorder frames with the
                 ///< given permille probabilities for `duration` ticks
                 ///< starting at `at`, then revert
+  kRestart,     ///< crashed member `target` reborn at `at` as the fresh
+                ///< incarnation `observer`, re-joining through the normal
+                ///< admission path via contacts `group`
 };
 
 /// Returns the schedule-file keyword ("crash", "partition", ...).
@@ -52,6 +55,8 @@ const char* to_string(EventType t);
 ///   kJoin:              at, target (the joiner's fresh id), group (contacts)
 ///   kDelayStorm:        at, duration, min_delay, max_delay
 ///   kFaults:            at, duration, loss/dup/reorder (permille)
+///   kRestart:           at, target (the crashed old id), observer (the
+///                       fresh incarnation's id), group (contacts)
 struct ScheduleEvent {
   EventType type = EventType::kCrash;
   Tick at = 0;

@@ -10,6 +10,7 @@
 
 #include "harness/cluster.hpp"
 #include "scenario/minimizer.hpp"
+#include "soak/runner.hpp"
 
 namespace gmpx::scenario {
 
@@ -79,6 +80,63 @@ void render(SweepRun& out, const Schedule& sched, const ExecResult& res,
   out.report += failure.report;
   out.schedule_text = std::move(failure.schedule_text);
   out.minimized_text = std::move(failure.minimized_text);
+}
+
+/// Soak-run report: the protocol line plus workload-level figures; on a
+/// failure, both artifacts (schedule + workload) and a *joint*
+/// minimization that shrinks the fault schedule and the client workload
+/// together while the violation persists.
+void render_soak(SweepRun& out, const Schedule& sched, const soak::Workload& w,
+                 const soak::SoakResult& res, const SweepOptions& opts,
+                 const ExecOptions& exec) {
+  if (opts.verbose) {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "%s/%s seed=%lu: %s tick=%lu msgs=%lu view=%zu avail=%.3f ops=%lu "
+                  "rej=%lu sync=%zu%s\n",
+                  to_string(out.profile), fd::to_string(out.detector),
+                  static_cast<unsigned long>(out.seed), res.ok() ? "ok" : "FAIL",
+                  static_cast<unsigned long>(res.exec.end_tick),
+                  static_cast<unsigned long>(res.exec.messages), res.exec.final_view_size,
+                  res.availability, static_cast<unsigned long>(res.ops_attempted),
+                  static_cast<unsigned long>(res.ops_rejected), res.sync_passes,
+                  res.exec.liveness_checked ? "" : " (liveness skipped)");
+    out.report += buf;
+  }
+  if (res.ok()) return;
+
+  out.tag = std::string(to_string(out.profile)) + "-" + fd::to_string(out.detector) + "-" +
+            std::to_string(out.seed);
+  out.report += "FAIL " + out.tag + ": " + summarize(sched) + "\n" + res.message();
+  out.schedule_text = encode_schedule(sched);
+  out.workload_text = soak::encode(w);
+  out.report += "--- schedule ---\n" + out.schedule_text + "--- workload ---\n" +
+                out.workload_text + "----------------\n";
+
+  Schedule min_sched = sched;
+  soak::Workload min_w = w;
+  soak::SoakMinimizeStats stats;
+  const soak::SoakOptions& sopts = opts.soak_opts;
+  soak::minimize_soak(
+      min_sched, min_w,
+      [&exec, &sopts](const Schedule& cs, const soak::Workload& cw) {
+        soak::SoakResult r = soak::run_soak(cs, cw, exec, sopts);
+        // Mirrors the protocol minimizer's policy: a candidate reproduces
+        // the failure when a checked clause (GMP or APP) is violated; mere
+        // non-quiescence only says the budget was too small.
+        return !r.exec.check.ok() || !r.app_check.ok();
+      },
+      2000, &stats);
+  out.minimized_text = encode_schedule(min_sched);
+  out.minimized_workload_text = soak::encode(min_w);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "minimized %zu -> %zu events, %zu -> %zu ops (%zu probes):\n",
+                stats.events_before, stats.events_after, stats.ops_before, stats.ops_after,
+                stats.probes);
+  out.report += buf;
+  out.report += out.minimized_text;
+  out.report += out.minimized_workload_text;
 }
 
 }  // namespace
@@ -158,6 +216,13 @@ SweepResult run_sweep(const SweepOptions& opts) {
       } else if (item.detector == fd::DetectorKind::kPhi) {
         gen = tuned_for_phi(gen, exec.phi);
       }
+      if (opts.soak) {
+        // Soak runs stretch the fault schedule over the workload horizon and
+        // mix restart churn into the generator (a crashed member reborn as a
+        // fresh incarnation re-joining through normal admission).
+        gen.horizon = std::max(gen.horizon, opts.soak_opts.horizon);
+        gen.restart_weight = opts.soak_opts.restart_weight;
+      }
       Schedule sched = generate(item.seed, gen);
       // First run on this worker: build the pooled cluster *before* the
       // telemetry sampling, so --stats never charges one-time construction
@@ -165,26 +230,53 @@ SweepResult run_sweep(const SweepOptions& opts) {
       if (!pooled) pooled.emplace(harness::ClusterOptions{});
       const uint64_t allocs_before = opts.alloc_probe ? opts.alloc_probe() : 0;
       const auto t0 = std::chrono::steady_clock::now();
-      ExecResult res = execute(sched, exec, *pooled);
-      const auto t1 = std::chrono::steady_clock::now();
       SweepRun& run = result.run_log[i];
-      run.allocs = opts.alloc_probe ? opts.alloc_probe() - allocs_before : 0;
-      run.exec_ns = static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
-      run.profile = item.profile;
-      run.detector = item.detector;
-      run.seed = item.seed;
-      run.ok = res.ok();
-      run.end_tick = res.end_tick;
-      run.messages = res.messages;
-      run.fd_messages = res.fd_messages;
-      run.trace_hash = res.trace_hash;
-      run.skipped_ticks = res.skipped_ticks;
-      run.skipped_events = res.skipped_events;
-      run.bursts = res.bursts;
-      run.burst_events = res.burst_events;
-      run.aborted_joins = res.aborted_joins;
-      render(run, sched, res, opts, exec);
+      if (opts.soak) {
+        soak::Workload w = soak::generate_workload(item.seed, opts.soak_opts);
+        soak::SoakResult sres = soak::run_soak(sched, w, exec, opts.soak_opts, *pooled);
+        const auto t1 = std::chrono::steady_clock::now();
+        run.allocs = opts.alloc_probe ? opts.alloc_probe() - allocs_before : 0;
+        run.exec_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+        run.profile = item.profile;
+        run.detector = item.detector;
+        run.seed = item.seed;
+        run.ok = sres.ok();
+        run.end_tick = sres.exec.end_tick;
+        run.messages = sres.exec.messages;
+        run.fd_messages = sres.exec.fd_messages;
+        run.trace_hash = sres.exec.trace_hash;
+        run.skipped_ticks = sres.exec.skipped_ticks;
+        run.skipped_events = sres.exec.skipped_events;
+        run.bursts = sres.exec.bursts;
+        run.burst_events = sres.exec.burst_events;
+        run.aborted_joins = sres.exec.aborted_joins;
+        run.availability = sres.availability;
+        run.ops_attempted = sres.ops_attempted;
+        run.ops_rejected = sres.ops_rejected;
+        run.sync_passes = sres.sync_passes;
+        render_soak(run, sched, w, sres, opts, exec);
+      } else {
+        ExecResult res = execute(sched, exec, *pooled);
+        const auto t1 = std::chrono::steady_clock::now();
+        run.allocs = opts.alloc_probe ? opts.alloc_probe() - allocs_before : 0;
+        run.exec_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+        run.profile = item.profile;
+        run.detector = item.detector;
+        run.seed = item.seed;
+        run.ok = res.ok();
+        run.end_tick = res.end_tick;
+        run.messages = res.messages;
+        run.fd_messages = res.fd_messages;
+        run.trace_hash = res.trace_hash;
+        run.skipped_ticks = res.skipped_ticks;
+        run.skipped_events = res.skipped_events;
+        run.bursts = res.bursts;
+        run.burst_events = res.burst_events;
+        run.aborted_joins = res.aborted_joins;
+        render(run, sched, res, opts, exec);
+      }
       if (ring) {
         // Publish the finished index; the main thread owns ordering.  A
         // full ring means the merger is momentarily behind — yield, don't

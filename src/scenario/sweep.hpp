@@ -21,6 +21,7 @@
 
 #include "scenario/executor.hpp"
 #include "scenario/generator.hpp"
+#include "soak/workload.hpp"
 
 namespace gmpx::scenario {
 
@@ -44,11 +45,18 @@ struct SweepRun {
   // cluster is; timing is wall clock), so it never enters `report`.
   uint64_t allocs = 0;           ///< heap allocations during execute()
   uint64_t exec_ns = 0;          ///< wall-clock execute() duration
+  // Soak mode only (SweepOptions::soak) — workload-level telemetry:
+  double availability = 0.0;     ///< majority-view uptime fraction
+  uint64_t ops_attempted = 0;    ///< client ops fired
+  uint64_t ops_rejected = 0;     ///< ops that found no usable endpoint
+  size_t sync_passes = 0;        ///< post-quiescence anti-entropy rounds
   std::string report;            ///< rendered lines ("" for a quiet pass)
   // Failure artifacts (empty on success):
   std::string tag;               ///< "<profile>-<detector>-<seed>"
   std::string schedule_text;     ///< encoded failing schedule
   std::string minimized_text;    ///< encoded minimal reproducer
+  std::string workload_text;     ///< soak: encoded failing workload
+  std::string minimized_workload_text;  ///< soak: jointly minimized workload
 };
 
 struct SweepOptions {
@@ -61,6 +69,13 @@ struct SweepOptions {
   std::vector<fd::DetectorKind> detectors = {fd::DetectorKind::kOracle};
   GeneratorOptions gen;
   ExecOptions exec;
+  /// Soak mode (gmpx_fuzz --soak): layer a per-seed generated client
+  /// workload over every schedule, judge with the application oracles
+  /// (APP-R1..R4, APP-Q1..Q2) alongside GMP-1..5, and report availability
+  /// per run.  The schedule generator inherits soak.horizon and
+  /// soak.restart_weight so fault churn spreads across the long horizon.
+  bool soak = false;
+  soak::SoakOptions soak_opts;
   unsigned jobs = 1;        ///< worker threads; 0 = hardware concurrency
   bool verbose = false;     ///< emit one report line per run (not only failures)
   /// Per-run telemetry probe: sampled on the worker thread before and after

@@ -1,0 +1,272 @@
+#include "soak/app_oracle.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace gmpx::soak {
+
+namespace {
+
+using app::AppEvent;
+using app::AppEventKind;
+
+std::string id_str(uint64_t id) {
+  std::ostringstream os;
+  os << app::app_id_view(id) << "." << app::app_id_seq(id);
+  return os.str();
+}
+
+/// Non-calm network spans for APP-R4: any scheduled disturbance that can
+/// delay or hold application traffic.  Unbounded cuts run to the next
+/// scheduled heal (the generator always appends one), else forever.
+std::vector<std::pair<Tick, Tick>> busy_spans(const scenario::Schedule& s) {
+  std::vector<std::pair<Tick, Tick>> spans;
+  for (const scenario::ScheduleEvent& e : s.events) {
+    switch (e.type) {
+      case scenario::EventType::kDelayStorm:
+      case scenario::EventType::kFaults:
+        spans.emplace_back(e.at, e.at + e.duration);
+        break;
+      case scenario::EventType::kPartition:
+      case scenario::EventType::kPartitionOneway: {
+        Tick end = e.at + e.duration;
+        if (e.duration == 0) {
+          end = kNeverTick;
+          for (const scenario::ScheduleEvent& h : s.events) {
+            if (h.type == scenario::EventType::kHeal && h.at >= e.at) {
+              end = h.at;
+              break;
+            }
+          }
+        }
+        spans.emplace_back(e.at, end);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return spans;
+}
+
+bool calm(const std::vector<std::pair<Tick, Tick>>& busy, Tick from, Tick to) {
+  for (const auto& [b, e] : busy) {
+    if (b <= to && from <= e) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+trace::CheckResult check_app(const app::AppTrace& app_trace, const trace::Recorder& rec,
+                             const scenario::Schedule& schedule,
+                             const std::vector<ProcessId>& survivors,
+                             const std::vector<ReplicaState>& finals,
+                             const AppCheckOptions& opts) {
+  trace::CheckResult r;
+  const std::vector<AppEvent>& ev = app_trace.events();
+  const std::set<ProcessId> surv(survivors.begin(), survivors.end());
+
+  // ---- APP-R1: single writer per view, ids committed exactly once ----
+  struct Commit {
+    ProcessId actor;
+    Tick tick;
+    uint32_t key;
+  };
+  std::map<uint64_t, Commit> commits;               // wid -> first commit
+  std::map<ViewVersion, ProcessId> view_committer;  // view -> sole writer
+  for (const AppEvent& e : ev) {
+    if (e.kind != AppEventKind::kWriteCommit) continue;
+    auto [it, fresh] = commits.try_emplace(e.id, Commit{e.actor, e.tick, e.key});
+    if (!fresh) {
+      r.violations.push_back("APP-R1: write id " + id_str(e.id) + " committed twice (p" +
+                             std::to_string(it->second.actor) + " then p" +
+                             std::to_string(e.actor) + ")");
+      continue;
+    }
+    if (e.view != app::app_id_view(e.id)) {
+      r.violations.push_back("APP-R1: p" + std::to_string(e.actor) + " committed " +
+                             id_str(e.id) + " while in view " + std::to_string(e.view));
+    }
+    auto [vit, vfresh] = view_committer.try_emplace(e.view, e.actor);
+    if (!vfresh && vit->second != e.actor) {
+      r.violations.push_back("APP-R1: two writers in view " + std::to_string(e.view) + " (p" +
+                             std::to_string(vit->second) + " and p" + std::to_string(e.actor) +
+                             ")");
+    }
+  }
+
+  // ---- APP-R2: no phantom applies/reads, monotone per-replica applies ----
+  std::map<std::pair<ProcessId, uint32_t>, uint64_t> last_applied;
+  for (const AppEvent& e : ev) {
+    if (e.kind == AppEventKind::kApply) {
+      auto it = commits.find(e.id);
+      if (it == commits.end() || it->second.key != e.key) {
+        r.violations.push_back("APP-R2: p" + std::to_string(e.actor) + " applied phantom write " +
+                               id_str(e.id) + " for key " + std::to_string(e.key));
+        continue;
+      }
+      uint64_t& last = last_applied[{e.actor, e.key}];
+      if (e.id <= last) {
+        r.violations.push_back("APP-R2: p" + std::to_string(e.actor) +
+                               " applied non-monotone write " + id_str(e.id) + " after " +
+                               id_str(last) + " for key " + std::to_string(e.key));
+      } else {
+        last = e.id;
+      }
+    } else if (e.kind == AppEventKind::kRead && e.id != 0) {
+      auto it = commits.find(e.id);
+      if (it == commits.end() || it->second.key != e.key) {
+        r.violations.push_back("APP-R2: p" + std::to_string(e.actor) + " read phantom write " +
+                               id_str(e.id) + " for key " + std::to_string(e.key));
+      }
+    }
+  }
+
+  // ---- APP-R4: bounded staleness over calm spans ----
+  {
+    const std::vector<std::pair<Tick, Tick>> busy = busy_spans(schedule);
+    // Install tick of (process, view version); initial members hold the
+    // commonly-known view 0 from tick 0 (never recorded as an install).
+    std::map<std::pair<ProcessId, ViewVersion>, Tick> installs;
+    rec.for_each_event([&](const trace::Event& me) {
+      if (me.kind == trace::EventKind::kInstall) {
+        installs.try_emplace({me.actor, me.version}, me.tick);
+      }
+    });
+    const std::set<ProcessId> initial(rec.initial_membership().begin(),
+                                      rec.initial_membership().end());
+    // Commits bucketed per (key, view) for the expected-visibility scan.
+    std::map<std::pair<uint32_t, ViewVersion>, std::vector<std::pair<Tick, uint64_t>>>
+        by_key_view;
+    for (const auto& [wid, c] : commits) {
+      by_key_view[{c.key, app::app_id_view(wid)}].emplace_back(c.tick, wid);
+    }
+    for (const AppEvent& e : ev) {
+      if (e.kind != AppEventKind::kRead) continue;
+      auto bucket = by_key_view.find({e.key, e.view});
+      if (bucket == by_key_view.end()) continue;
+      Tick install_tick = 0;
+      if (auto it = installs.find({e.actor, e.view}); it != installs.end()) {
+        install_tick = it->second;
+      } else if (!(e.view == 0 && initial.count(e.actor))) {
+        continue;  // reader's install of this view is unknown: don't judge
+      }
+      uint64_t expected = 0;
+      Tick expected_commit = 0;
+      for (const auto& [wt, wid] : bucket->second) {
+        if (std::max(wt, install_tick) + opts.staleness_bound > e.tick) continue;
+        if (!calm(busy, wt, e.tick)) continue;
+        if (wid > expected) {
+          expected = wid;
+          expected_commit = wt;
+        }
+      }
+      if (expected != 0 && e.id < expected) {
+        r.violations.push_back(
+            "APP-R4: p" + std::to_string(e.actor) + " served key " + std::to_string(e.key) +
+            " = " + id_str(e.id) + " at t=" + std::to_string(e.tick) + " but " +
+            id_str(expected) + " committed in the same view at t=" +
+            std::to_string(expected_commit) + " (bound " +
+            std::to_string(opts.staleness_bound) + ")");
+      }
+    }
+  }
+
+  // ---- APP-Q2: single claim per view (and unique submit ids) ----
+  {
+    std::set<uint64_t> submitted_ids;
+    for (const AppEvent& e : ev) {
+      if (e.kind != AppEventKind::kSubmit) continue;
+      if (!submitted_ids.insert(e.id).second) {
+        r.violations.push_back("APP-Q2: work item " + id_str(e.id) + " submitted twice");
+      }
+    }
+    struct Claim {
+      ViewVersion view = 0;
+      ProcessId worker = kNilId;
+      bool live = false;
+    };
+    std::map<uint64_t, Claim> claims;
+    for (const AppEvent& e : ev) {
+      switch (e.kind) {
+        case AppEventKind::kAssign: {
+          Claim& c = claims[e.id];
+          if (c.live && c.view == e.view && c.worker != e.peer) {
+            r.violations.push_back("APP-Q2: work item " + id_str(e.id) +
+                                   " claimed by p" + std::to_string(c.worker) + " and p" +
+                                   std::to_string(e.peer) + " in view " +
+                                   std::to_string(e.view));
+          }
+          c.view = e.view;
+          c.worker = e.peer;
+          c.live = true;
+          break;
+        }
+        case AppEventKind::kReclaim:
+          claims[e.id].live = false;
+          break;
+        case AppEventKind::kTaskDone:
+          claims[e.id].live = false;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // ---- Terminal clauses (gated like GMP-5) ----
+  if (opts.check_terminal) {
+    // APP-Q1: submitted items known to a survivor must have completed.
+    std::set<uint64_t> done;
+    std::set<uint64_t> survivor_knows;
+    std::map<uint64_t, ProcessId> submit_by;
+    for (const AppEvent& e : ev) {
+      const bool queue_kind =
+          e.kind == AppEventKind::kSubmit || e.kind == AppEventKind::kMirror ||
+          e.kind == AppEventKind::kAssign || e.kind == AppEventKind::kExec ||
+          e.kind == AppEventKind::kTaskDone;
+      if (!queue_kind) continue;
+      if (e.kind == AppEventKind::kSubmit) submit_by.try_emplace(e.id, e.actor);
+      if (e.kind == AppEventKind::kTaskDone) done.insert(e.id);
+      if (surv.count(e.actor)) survivor_knows.insert(e.id);
+    }
+    for (const auto& [tid, by] : submit_by) {
+      if (!survivor_knows.count(tid)) continue;  // died with its holders: resubmit territory
+      if (!done.count(tid)) {
+        r.violations.push_back("APP-Q1: work item " + id_str(tid) + " (submitted by p" +
+                               std::to_string(by) + ") known to a survivor but never done");
+      }
+    }
+    for (const ReplicaState& f : finals) {
+      for (const auto& [tid, state] : f.queue) {
+        if (state != 3) {
+          r.violations.push_back("APP-Q1: work item " + id_str(tid) + " stuck in state " +
+                                 std::to_string(state) + " at survivor p" +
+                                 std::to_string(f.id));
+        }
+      }
+    }
+
+    // APP-R3: surviving replicas converged (registry and queue alike).
+    for (size_t i = 1; i < finals.size(); ++i) {
+      const ReplicaState& a = finals[0];
+      const ReplicaState& b = finals[i];
+      if (a.registry != b.registry) {
+        r.violations.push_back("APP-R3: registry divergence between survivors p" +
+                               std::to_string(a.id) + " and p" + std::to_string(b.id));
+      }
+      if (a.queue != b.queue) {
+        r.violations.push_back("APP-R3: work-queue divergence between survivors p" +
+                               std::to_string(a.id) + " and p" + std::to_string(b.id));
+      }
+    }
+  }
+
+  return r;
+}
+
+}  // namespace gmpx::soak

@@ -1,0 +1,111 @@
+#include "soak/availability.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gmpx::soak {
+
+namespace {
+
+struct ViewSnap {
+  std::vector<ProcessId> members;  ///< sorted (recorder canonical form)
+  bool seen = false;
+};
+
+struct State {
+  std::set<ProcessId> crashed;
+  std::map<ProcessId, ViewSnap> latest_view;
+  ProcessId mgr = kNilId;  ///< actor of the most recent kBecameMgr
+};
+
+bool majority_live(const std::vector<ProcessId>& members, const State& st,
+                   bool require_majority) {
+  size_t live = 0;
+  for (ProcessId m : members) {
+    if (!st.crashed.count(m)) ++live;
+  }
+  if (!require_majority) return live >= 1;
+  return 2 * live > members.size();
+}
+
+const std::vector<ProcessId>& view_of(const State& st, ProcessId p,
+                                      const std::vector<ProcessId>& initial) {
+  auto it = st.latest_view.find(p);
+  if (it != st.latest_view.end() && it->second.seen) return it->second.members;
+  return initial;  // nothing installed yet: the commonly-known Memb^0
+}
+
+bool available(const State& st, bool has_mgr_events, const std::vector<ProcessId>& initial,
+               bool require_majority) {
+  if (has_mgr_events) {
+    if (st.mgr == kNilId || st.crashed.count(st.mgr)) return false;
+    const std::vector<ProcessId>& v = view_of(st, st.mgr, initial);
+    if (std::find(v.begin(), v.end(), st.mgr) == v.end()) return false;
+    return majority_live(v, st, require_majority);
+  }
+  // Coordinator-less trace: any live process that is the most senior
+  // member of its own latest view, with that view majority-live, counts.
+  for (const auto& [p, snap] : st.latest_view) {
+    if (st.crashed.count(p)) continue;
+    const std::vector<ProcessId>& v = snap.seen ? snap.members : initial;
+    if (!v.empty() && v.front() == p && majority_live(v, st, require_majority)) return true;
+  }
+  // Processes that never installed anything still hold Memb^0.
+  for (ProcessId p : initial) {
+    if (st.crashed.count(p)) continue;
+    if (st.latest_view.count(p)) continue;  // judged above
+    if (!initial.empty() && initial.front() == p &&
+        majority_live(initial, st, require_majority)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double availability_from_trace(const trace::Recorder& rec, Tick end_tick,
+                               bool require_majority) {
+  if (end_tick == 0) return 1.0;
+  const std::vector<ProcessId>& initial = rec.initial_membership();
+
+  bool has_mgr_events = false;
+  rec.for_each_event([&](const trace::Event& e) {
+    if (e.kind == trace::EventKind::kBecameMgr) has_mgr_events = true;
+  });
+
+  State st;
+  Tick prev = 0;
+  Tick up = 0;
+  bool cur = available(st, has_mgr_events, initial, require_majority);
+  rec.for_each_event([&](const trace::Event& e) {
+    if (e.tick > prev) {
+      const Tick until = std::min(e.tick, end_tick);
+      if (cur && until > prev) up += until - prev;
+      prev = std::min(e.tick, end_tick);
+    }
+    switch (e.kind) {
+      case trace::EventKind::kCrash:
+        st.crashed.insert(e.actor);
+        break;
+      case trace::EventKind::kInstall: {
+        ViewSnap& snap = st.latest_view[e.actor];
+        snap.members = e.members;  // already sorted
+        snap.seen = true;
+        break;
+      }
+      case trace::EventKind::kBecameMgr:
+        st.mgr = e.actor;
+        break;
+      default:
+        break;
+    }
+    cur = available(st, has_mgr_events, initial, require_majority);
+  });
+  if (cur && end_tick > prev) up += end_tick - prev;
+  return static_cast<double>(up) / static_cast<double>(end_tick);
+}
+
+}  // namespace gmpx::soak

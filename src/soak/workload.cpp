@@ -1,0 +1,112 @@
+#include "soak/workload.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace gmpx::soak {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kWrite: return "write";
+    case OpKind::kRead: return "read";
+    case OpKind::kTask: return "task";
+  }
+  return "?";
+}
+
+Workload generate_workload(uint64_t seed, const SoakOptions& opts) {
+  // Domain-separated from the schedule generator: the same seed names one
+  // (schedule, workload) pair with independent draw streams.
+  Rng rng(seed ^ 0x50A4C10AD5ull);
+  Workload w;
+  const Tick horizon = std::max<Tick>(opts.horizon, 1000);
+  const uint64_t total =
+      std::max<uint64_t>(1, uint64_t{opts.write_weight} + opts.read_weight + opts.task_weight);
+  const size_t clients = std::max<size_t>(opts.clients, 1);
+  const uint32_t keys = std::max<uint32_t>(opts.key_space, 1);
+  w.ops.reserve(opts.ops);
+  for (size_t i = 0; i < opts.ops; ++i) {
+    WorkloadOp op;
+    op.at = rng.range(100, horizon * 9 / 10);
+    op.client = static_cast<uint32_t>(rng.below(clients));
+    const uint64_t d = rng.below(total);
+    if (d < opts.write_weight) {
+      op.kind = OpKind::kWrite;
+      op.key = static_cast<uint32_t>(rng.below(keys));
+    } else if (d < opts.write_weight + opts.read_weight) {
+      op.kind = OpKind::kRead;
+      op.key = static_cast<uint32_t>(rng.below(keys));
+      op.pick = static_cast<uint32_t>(rng.below(64));
+    } else {
+      op.kind = OpKind::kTask;
+    }
+    w.ops.push_back(op);
+  }
+  std::stable_sort(w.ops.begin(), w.ops.end(),
+                   [](const WorkloadOp& a, const WorkloadOp& b) { return a.at < b.at; });
+  return w;
+}
+
+std::string encode(const Workload& w) {
+  std::ostringstream os;
+  os << "gmpx-soak v1 ops=" << w.ops.size() << "\n";
+  for (const WorkloadOp& op : w.ops) {
+    switch (op.kind) {
+      case OpKind::kWrite:
+        os << "w " << op.at << " " << op.client << " " << op.key << "\n";
+        break;
+      case OpKind::kRead:
+        os << "r " << op.at << " " << op.client << " " << op.key << " " << op.pick << "\n";
+        break;
+      case OpKind::kTask:
+        os << "t " << op.at << " " << op.client << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+bool decode(const std::string& text, Workload& out) {
+  out.ops.clear();
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("gmpx-soak v1", 0) != 0) return false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    WorkloadOp op;
+    char kind = 0;
+    unsigned long long at = 0, client = 0, key = 0, pick = 0;
+    const int got =
+        std::sscanf(line.c_str(), "%c %llu %llu %llu %llu", &kind, &at, &client, &key, &pick);
+    if (got < 3) return false;
+    op.at = at;
+    op.client = static_cast<uint32_t>(client);
+    switch (kind) {
+      case 'w':
+        if (got < 4) return false;
+        op.kind = OpKind::kWrite;
+        op.key = static_cast<uint32_t>(key);
+        break;
+      case 'r':
+        if (got < 5) return false;
+        op.kind = OpKind::kRead;
+        op.key = static_cast<uint32_t>(key);
+        op.pick = static_cast<uint32_t>(pick);
+        break;
+      case 't':
+        op.kind = OpKind::kTask;
+        break;
+      default:
+        return false;
+    }
+    out.ops.push_back(op);
+  }
+  return true;
+}
+
+}  // namespace gmpx::soak

@@ -1,0 +1,79 @@
+// Soak workload: generated client traffic layered over a fault schedule.
+//
+// A workload is the application-level half of a soak run: a deterministic,
+// seeded stream of client operations (registry writes, registry reads,
+// work-item submissions) scheduled at virtual ticks across a week-long
+// horizon.  The fault schedule (scenario::generate) supplies the other
+// half — crashes, restarts, partitions, storms — and the pair replays
+// byte-reproducibly: same (seed, options) in, same run out.
+//
+// Like schedules, workloads have a text codec so a failing soak run can be
+// archived, replayed and minimized from its artifacts alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gmpx::soak {
+
+/// Tuning for soak mode (workload shape + oracle bounds + runner limits).
+struct SoakOptions {
+  /// Virtual-time horizon client ops are spread over.  The default is
+  /// multi-day at the sim's tick granularity; `gmpx_fuzz --soak-horizon`
+  /// raises it to week-long (the skip engine makes the idle spans free).
+  Tick horizon = 2'000'000;
+  /// Distinct logical clients issuing ops.
+  size_t clients = 4;
+  /// Total client operations across the run.
+  size_t ops = 256;
+  /// Op mix draw weights (write : read : work-item submit).
+  uint32_t write_weight = 3;
+  uint32_t read_weight = 5;
+  uint32_t task_weight = 2;
+  /// Registry key space (small on purpose: collisions exercise LWW).
+  uint32_t key_space = 32;
+  /// APP-R4 bound: ticks a committed write may take to become visible at a
+  /// same-view replica over a calm network.  Must exceed the worst base
+  /// channel delay (16) plus the FIFO congestion allowance.
+  Tick staleness_bound = 64;
+  /// Post-quiescence anti-entropy rounds before declaring non-convergence.
+  int sync_pass_cap = 8;
+  /// Extra generator weight for crash-restart pairs in soak schedules.
+  uint64_t restart_weight = 2;
+};
+
+/// One client operation.
+enum class OpKind : uint8_t {
+  kWrite,  ///< registry write (routed to the coordinator)
+  kRead,   ///< registry read (served by the replica `pick` selects)
+  kTask,   ///< work-item submission (routed to the coordinator)
+};
+
+const char* to_string(OpKind k);
+
+struct WorkloadOp {
+  Tick at = 0;
+  uint32_t client = 0;
+  OpKind kind = OpKind::kWrite;
+  uint32_t key = 0;   ///< registry ops
+  uint32_t pick = 0;  ///< read replica selector (mod live members at fire time)
+};
+
+struct Workload {
+  std::vector<WorkloadOp> ops;  ///< sorted by `at`
+};
+
+/// Deterministic workload for (seed, opts).  Ops land in [100, 9/10 of the
+/// horizon] so the tail of the run is fault- and traffic-free (the sync
+/// rounds then converge survivors on a calm network).
+Workload generate_workload(uint64_t seed, const SoakOptions& opts);
+
+/// Text codec (the workload analogue of scenario::encode/decode): archive,
+/// replay and minimizer artifacts.
+std::string encode(const Workload& w);
+bool decode(const std::string& text, Workload& out);
+
+}  // namespace gmpx::soak

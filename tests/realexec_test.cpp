@@ -101,6 +101,22 @@ TEST(RealExec, JoinAdmitsOverTcp) {
   EXPECT_EQ(r.aborted_joins, 0u);
 }
 
+TEST(RealExec, RestartRebornOverTcp) {
+  // Crash-restart churn on a real deployment: p2 is SIGKILLed, and its
+  // replacement — the fresh incarnation p100 (paper S1: ids never reused)
+  // — is forked later and admitted through the normal S7 path over TCP.
+  scenario::Schedule s;
+  s.n = 3;
+  s.events.push_back({scenario::EventType::kCrash, 500, 2, kNilId, {}, 0, 0, 0, 0, 0, 0});
+  s.events.push_back({scenario::EventType::kRestart, 2500, 2, 100, {0}, 0, 0, 0, 0, 0, 0});
+  TcpExecOptions o = tcp_opts();
+  TcpExecResult r = execute_tcp(s, o);
+  EXPECT_TRUE(r.ok()) << r.message() << "\n" << r.diagnostic;
+  EXPECT_EQ(r.nodes_spawned, 4u);
+  EXPECT_EQ(r.final_view_size, 3u) << "expected {0, 1, 100}";
+  EXPECT_EQ(r.aborted_joins, 0u);
+}
+
 TEST(RealExec, CrossCheckAgreesWithSim) {
   // One generated mixed-profile schedule, judged by both deployments.  The
   // divergence contract: timing may differ, verdicts may not.

@@ -1,0 +1,299 @@
+// Soak harness unit coverage: restart scheduling (codec + sim admission),
+// workload generation/codec determinism, the availability metric, clean
+// short-horizon soak runs across all three detectors, and the joint
+// schedule+workload minimizer.  The long-horizon sweep lives in the
+// soak_smoke ctest entry; these tests pin the pieces in isolation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario/executor.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/schedule.hpp"
+#include "soak/availability.hpp"
+#include "soak/runner.hpp"
+#include "soak/workload.hpp"
+#include "trace/recorder.hpp"
+
+using namespace gmpx;
+using scenario::EventType;
+using scenario::Schedule;
+using scenario::ScheduleEvent;
+using soak::SoakOptions;
+using soak::SoakResult;
+using soak::Workload;
+
+namespace {
+
+/// Crash p2 at 500, reborn at `restart_at` as fresh incarnation p100
+/// soliciting through {0, 1} — the canonical reboot-churn shape.
+Schedule crash_restart_schedule(Tick restart_at = 2000) {
+  Schedule s;
+  s.n = 5;
+  s.seed = 7;
+  ScheduleEvent crash;
+  crash.type = EventType::kCrash;
+  crash.at = 500;
+  crash.target = 2;
+  s.events.push_back(crash);
+  ScheduleEvent restart;
+  restart.type = EventType::kRestart;
+  restart.at = restart_at;
+  restart.target = 2;     // the dead incarnation
+  restart.observer = 100; // the fresh one (paper S1: ids never reused)
+  restart.group = {0, 1};
+  s.events.push_back(restart);
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Restart: codec and sim admission
+// ---------------------------------------------------------------------------
+
+TEST(Soak, RestartScheduleCodecRoundtrip) {
+  const Schedule s = crash_restart_schedule();
+  const Schedule back = scenario::decode_schedule(scenario::encode_schedule(s));
+  EXPECT_EQ(back, s);
+}
+
+TEST(Soak, RestartAdmissionOracle) {
+  scenario::ExecOptions opts;
+  const scenario::ExecResult r = scenario::execute(crash_restart_schedule(), opts);
+  EXPECT_TRUE(r.ok()) << r.message();
+  EXPECT_EQ(r.aborted_joins, 0u);
+  // {0, 1, 3, 4} plus the reborn incarnation 100.
+  EXPECT_EQ(r.final_view_size, 5u);
+}
+
+TEST(Soak, RestartAdmissionHeartbeat) {
+  scenario::ExecOptions opts;
+  opts.fd = fd::DetectorKind::kHeartbeat;
+  const scenario::ExecResult r = scenario::execute(crash_restart_schedule(4000), opts);
+  EXPECT_TRUE(r.ok()) << r.message();
+  EXPECT_EQ(r.aborted_joins, 0u);
+  EXPECT_EQ(r.final_view_size, 5u);
+}
+
+TEST(Soak, GeneratorEmitsRestartPairs) {
+  scenario::GeneratorOptions gen;
+  gen.restart_weight = 50;  // drown the other draws
+  gen.max_events = 12;
+  bool saw_restart = false;
+  for (uint64_t seed = 0; seed < 20 && !saw_restart; ++seed) {
+    for (const ScheduleEvent& e : scenario::generate(seed, gen).events) {
+      if (e.type != EventType::kRestart) continue;
+      saw_restart = true;
+      EXPECT_GE(e.observer, 100u) << "restart incarnations must use fresh join ids";
+      EXPECT_NE(e.observer, e.target);
+    }
+  }
+  EXPECT_TRUE(saw_restart);
+}
+
+TEST(Soak, RestartWeightZeroKeepsHistoricalDraws) {
+  // restart_weight defaults to 0 precisely so every historical (profile,
+  // seed) schedule is byte-identical to what pre-soak builds generated.
+  scenario::GeneratorOptions gen;
+  const std::string base = scenario::encode_schedule(scenario::generate(42, gen));
+  scenario::GeneratorOptions again;
+  again.restart_weight = 0;
+  EXPECT_EQ(scenario::encode_schedule(scenario::generate(42, again)), base);
+}
+
+// ---------------------------------------------------------------------------
+// Workload generation and codec
+// ---------------------------------------------------------------------------
+
+TEST(Soak, WorkloadGenerationIsDeterministic) {
+  SoakOptions opts;
+  opts.ops = 128;
+  const std::string a = soak::encode(soak::generate_workload(5, opts));
+  const std::string b = soak::encode(soak::generate_workload(5, opts));
+  EXPECT_EQ(a, b);
+  const std::string c = soak::encode(soak::generate_workload(6, opts));
+  EXPECT_NE(a, c);
+}
+
+TEST(Soak, WorkloadRespectsOptions) {
+  SoakOptions opts;
+  opts.ops = 64;
+  opts.clients = 3;
+  opts.key_space = 8;
+  opts.horizon = 50'000;
+  const Workload w = soak::generate_workload(1, opts);
+  ASSERT_EQ(w.ops.size(), 64u);
+  Tick prev = 0;
+  for (const soak::WorkloadOp& op : w.ops) {
+    EXPECT_GE(op.at, prev) << "ops must be sorted by tick";
+    prev = op.at;
+    EXPECT_LT(op.client, 3u);
+    EXPECT_LT(op.key, 8u);
+    EXPECT_LE(op.at, opts.horizon);
+  }
+}
+
+TEST(Soak, WorkloadCodecRoundtrip) {
+  SoakOptions opts;
+  opts.ops = 48;
+  const Workload w = soak::generate_workload(9, opts);
+  const std::string text = soak::encode(w);
+  Workload back;
+  ASSERT_TRUE(soak::decode(text, back));
+  EXPECT_EQ(soak::encode(back), text);
+  EXPECT_EQ(back.ops.size(), w.ops.size());
+}
+
+TEST(Soak, WorkloadDecodeRejectsGarbage) {
+  Workload out;
+  EXPECT_FALSE(soak::decode("not a workload", out));
+}
+
+// ---------------------------------------------------------------------------
+// Availability metric
+// ---------------------------------------------------------------------------
+
+TEST(Soak, AvailabilityOfHandBuiltFailover) {
+  // Mgr p0 reigns [0, 500), crashes, p1 takes over at 600: the metric must
+  // report exactly (500 + 400) / 1000.
+  trace::Recorder rec;
+  rec.set_initial_membership({0, 1, 2});
+  rec.became_mgr(0, 0);
+  rec.crash(0, 500);
+  rec.became_mgr(1, 600);
+  EXPECT_DOUBLE_EQ(soak::availability_from_trace(rec, 1000), 0.9);
+}
+
+TEST(Soak, AvailabilityCoordinatorlessFallback) {
+  // No kBecameMgr anywhere (baseline-shaped trace): the structural rule
+  // applies — available while the most senior live member holds a
+  // majority-live view.
+  trace::Recorder rec;
+  rec.set_initial_membership({0, 1, 2});
+  EXPECT_DOUBLE_EQ(soak::availability_from_trace(rec, 1000), 1.0);
+  rec.crash(0, 250);  // p1 is senior in its view only after installing one
+  rec.crash(1, 250);  // ... and now the majority is gone regardless
+  EXPECT_DOUBLE_EQ(soak::availability_from_trace(rec, 1000), 0.25);
+}
+
+TEST(Soak, SoakRunFullyAvailableWithoutFaults) {
+  Schedule s;
+  s.n = 5;
+  s.seed = 3;
+  SoakOptions sopts;
+  sopts.horizon = 40'000;
+  sopts.ops = 64;
+  scenario::ExecOptions exec;
+  const SoakResult r = soak::run_soak(s, soak::generate_workload(3, sopts), exec, sopts);
+  EXPECT_TRUE(r.ok()) << r.message();
+  EXPECT_DOUBLE_EQ(r.availability, 1.0);
+  EXPECT_EQ(r.ops_rejected, 0u);
+  EXPECT_EQ(r.ops_attempted, 64u);
+}
+
+TEST(Soak, MgrCrashOpensAvailabilityGap) {
+  Schedule s;
+  s.n = 5;
+  s.seed = 3;
+  ScheduleEvent crash;
+  crash.type = EventType::kCrash;
+  crash.at = 10'000;
+  crash.target = 0;  // the reigning Mgr (most senior member)
+  s.events.push_back(crash);
+  SoakOptions sopts;
+  sopts.horizon = 40'000;
+  sopts.ops = 64;
+  scenario::ExecOptions exec;
+  const SoakResult r = soak::run_soak(s, soak::generate_workload(3, sopts), exec, sopts);
+  EXPECT_TRUE(r.ok()) << r.message();
+  EXPECT_LT(r.availability, 1.0);
+  EXPECT_GT(r.availability, 0.5);  // failover is quick, not half the run
+}
+
+// ---------------------------------------------------------------------------
+// Clean soak runs across the detector axes
+// ---------------------------------------------------------------------------
+
+TEST(Soak, CleanRunsAcrossDetectors) {
+  SoakOptions sopts;
+  sopts.horizon = 60'000;
+  sopts.ops = 64;
+  for (fd::DetectorKind kind :
+       {fd::DetectorKind::kOracle, fd::DetectorKind::kHeartbeat, fd::DetectorKind::kPhi}) {
+    scenario::ExecOptions exec;
+    exec.fd = kind;
+    scenario::GeneratorOptions gen;
+    gen.horizon = sopts.horizon;
+    gen.restart_weight = sopts.restart_weight;
+    if (kind == fd::DetectorKind::kHeartbeat) gen = tuned_for_heartbeat(gen, exec.heartbeat);
+    if (kind == fd::DetectorKind::kPhi) gen = tuned_for_phi(gen, exec.phi);
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      const Schedule s = scenario::generate(seed, gen);
+      const Workload w = soak::generate_workload(seed, sopts);
+      const SoakResult r = soak::run_soak(s, w, exec, sopts);
+      EXPECT_TRUE(r.ok()) << "fd=" << static_cast<int>(kind) << " seed=" << seed << "\n"
+                          << r.message();
+    }
+  }
+}
+
+TEST(Soak, SoakRunsAreReproducible) {
+  SoakOptions sopts;
+  sopts.horizon = 60'000;
+  sopts.ops = 64;
+  scenario::GeneratorOptions gen;
+  gen.horizon = sopts.horizon;
+  gen.restart_weight = sopts.restart_weight;
+  const Schedule s = scenario::generate(11, gen);
+  const Workload w = soak::generate_workload(11, sopts);
+  scenario::ExecOptions exec;
+  const SoakResult a = soak::run_soak(s, w, exec, sopts);
+  const SoakResult b = soak::run_soak(s, w, exec, sopts);
+  EXPECT_EQ(a.exec.trace_hash, b.exec.trace_hash);
+  EXPECT_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.ops_rejected, b.ops_rejected);
+  EXPECT_EQ(a.sync_passes, b.sync_passes);
+}
+
+// ---------------------------------------------------------------------------
+// Joint schedule + workload minimization
+// ---------------------------------------------------------------------------
+
+TEST(Soak, MinimizeSoakShrinksBothSides) {
+  // Synthetic failure predicate (no simulator in the loop): the "bug"
+  // reproduces iff the schedule still has a crash AND the workload still
+  // has an op on key 7.  The minimizer must strip everything else.
+  scenario::GeneratorOptions gen;
+  gen.max_events = 8;
+  Schedule s = scenario::generate(4, gen);
+  ScheduleEvent crash;
+  crash.type = EventType::kCrash;
+  crash.at = 100;
+  crash.target = 1;
+  s.events.push_back(crash);
+  SoakOptions sopts;
+  sopts.ops = 32;
+  sopts.key_space = 16;
+  Workload w = soak::generate_workload(4, sopts);
+  w.ops[10].key = 7;
+  const auto fails = [](const Schedule& cs, const Workload& cw) {
+    bool has_crash = false;
+    for (const ScheduleEvent& e : cs.events) {
+      if (e.type == EventType::kCrash) has_crash = true;
+    }
+    bool has_key7 = false;
+    for (const soak::WorkloadOp& op : cw.ops) {
+      if (op.key == 7) has_key7 = true;
+    }
+    return has_crash && has_key7;
+  };
+  ASSERT_TRUE(fails(s, w));
+  soak::SoakMinimizeStats stats;
+  soak::minimize_soak(s, w, fails, 2000, &stats);
+  EXPECT_TRUE(fails(s, w));
+  EXPECT_EQ(stats.ops_after, 1u) << "workload should shrink to the single key-7 op";
+  EXPECT_LE(stats.events_after, 2u);
+  EXPECT_GT(stats.probes, 0u);
+}

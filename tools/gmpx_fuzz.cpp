@@ -40,6 +40,7 @@
 #include "scenario/executor.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/sweep.hpp"
+#include "soak/workload.hpp"
 
 using namespace gmpx;
 using namespace gmpx::scenario;
@@ -49,13 +50,16 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: gmpx_fuzz [--seeds LO:HI]\n"
-               "                 [--profile mixed|churn|partition|burst|lossy|all]\n"
+               "                 [--profile mixed|churn|partition|burst|lossy|all\n"
+               "                  (or comma list)]\n"
                "                 [--fd oracle|heartbeat|phi|all (or comma list)]\n"
                "                 [--hb-interval T] [--hb-timeout T] [--phi-threshold F]\n"
                "                 [--phi-interval T] [--join-attempts N]\n"
                "                 [--nodes N] [--horizon T] [--max-events K] [--no-liveness]\n"
                "                 [--basic] [--inject-bug] [--out DIR] [--jobs N]\n"
-               "                 [--exec sim|tcp] [--tick-us U] [--base-port P]\n"
+               "                 [--soak] [--soak-horizon T] [--soak-clients N]\n"
+               "                 [--soak-ops N] [--soak-mix W:R:T]\n"
+               "                 [--exec sim|tcp] [--tick-us U|auto] [--base-port P]\n"
                "                 [--node-bin PATH]\n"
                "                 [--replay FILE [--minimize]] [-v] [--stats] [--no-burst]\n"
                "\n"
@@ -80,7 +84,21 @@ void usage() {
                "(telemetry; NOT byte-stable across --jobs values).\n"
                "--no-burst replays through the legacy per-event step loop instead of\n"
                "the burst dataplane; output is byte-identical either way (CI diffs\n"
-               "the two on every push).\n");
+               "the two on every push).\n"
+               "--soak layers a per-seed generated client workload (registry\n"
+               "reads/writes + work-queue items, primary-routed) over every fault\n"
+               "schedule, mixes restart churn into the generator, and judges each run\n"
+               "with the application oracles (APP-R1..R4, APP-Q1..Q2) alongside\n"
+               "GMP-1..5, reporting a per-run availability figure (fraction of\n"
+               "virtual time a majority view could serve).  --soak-horizon stretches\n"
+               "the virtual horizon (default 2,000,000 ticks ~ a week at 300ms/tick),\n"
+               "--soak-clients / --soak-ops size the workload, --soak-mix sets the\n"
+               "write:read:task weighting.  A soak failure reproduces from its seed\n"
+               "alone (the workload regenerates deterministically) and minimizes\n"
+               "jointly: the fault schedule and the client workload shrink together.\n"
+               "Soak is a sim-only mode (--exec tcp rejects it).\n"
+               "--tick-us auto calibrates the real-time tick from the host's measured\n"
+               "scheduler jitter at startup instead of using the fixed default.\n");
 }
 
 struct Args {
@@ -96,7 +114,32 @@ struct Args {
   bool verbose = false;
   bool stats = false;
   unsigned jobs = 1;
+  bool soak = false;
+  soak::SoakOptions soak_opts;
 };
+
+/// Parse "mixed", "all", or a comma-separated profile list.
+bool parse_profiles(const std::string& spec, std::vector<Profile>& out) {
+  out.clear();
+  if (spec == "all") {
+    // kLossy appended LAST: "--profile all" output for the pre-existing
+    // profiles stays a byte-identical prefix across this addition.
+    out = {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
+           Profile::kBurstCrash, Profile::kLossy};
+    return true;
+  }
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string name = spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    Profile p;
+    if (!parse_profile(name, p)) return false;
+    out.push_back(p);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out.empty();
+}
 
 /// Parse "oracle", "heartbeat", "all", or a comma-separated list.
 bool parse_detectors(const std::string& spec, std::vector<fd::DetectorKind>& out) {
@@ -135,8 +178,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       const char* v = next();
       if (!v) return false;
       a.profile = v;
-      Profile p;
-      if (a.profile != "all" && !parse_profile(a.profile, p)) return false;
+      std::vector<Profile> ps;
+      if (!parse_profiles(a.profile, ps)) return false;
     } else if (arg == "--fd") {
       const char* v = next();
       if (!v || !parse_detectors(v, a.detectors)) return false;
@@ -214,10 +257,15 @@ bool parse_args(int argc, char** argv, Args& a) {
       }
     } else if (arg == "--tick-us") {
       const char* v = next();
-      char* end = nullptr;
-      Tick t = v ? std::strtoull(v, &end, 10) : 0;
-      if (!v || end == v || *end != '\0' || t == 0) return false;
-      a.tcp.tick_us = t;
+      if (!v) return false;
+      if (std::string(v) == "auto") {
+        a.tcp.tick_us = 0;  // 0 = calibrate from measured scheduler jitter
+      } else {
+        char* end = nullptr;
+        Tick t = std::strtoull(v, &end, 10);
+        if (end == v || *end != '\0' || t == 0) return false;
+        a.tcp.tick_us = t;
+      }
     } else if (arg == "--base-port") {
       const char* v = next();
       if (!v) return false;
@@ -228,6 +276,37 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.tcp.node_bin = v;
     } else if (arg == "--no-burst") {
       a.exec.burst = false;
+    } else if (arg == "--soak") {
+      a.soak = true;
+    } else if (arg == "--soak-horizon") {
+      const char* v = next();
+      char* end = nullptr;
+      Tick t = v ? std::strtoull(v, &end, 10) : 0;
+      if (!v || end == v || *end != '\0' || t == 0) return false;
+      a.soak_opts.horizon = t;
+    } else if (arg == "--soak-clients") {
+      const char* v = next();
+      char* end = nullptr;
+      unsigned long n = v ? std::strtoul(v, &end, 10) : 0;
+      if (!v || end == v || *end != '\0' || n == 0) return false;
+      a.soak_opts.clients = n;
+    } else if (arg == "--soak-ops") {
+      const char* v = next();
+      char* end = nullptr;
+      unsigned long n = v ? std::strtoul(v, &end, 10) : 0;
+      if (!v || end == v || *end != '\0') return false;
+      a.soak_opts.ops = n;
+    } else if (arg == "--soak-mix") {
+      const char* v = next();
+      if (!v) return false;
+      unsigned w = 0, r = 0, t = 0;
+      char trail = '\0';
+      if (std::sscanf(v, "%u:%u:%u%c", &w, &r, &t, &trail) != 3 || w + r + t == 0) {
+        return false;
+      }
+      a.soak_opts.write_weight = w;
+      a.soak_opts.read_weight = r;
+      a.soak_opts.task_weight = t;
     } else if (arg == "-v" || arg == "--verbose") {
       a.verbose = true;
     } else if (arg == "--stats") {
@@ -240,15 +319,9 @@ bool parse_args(int argc, char** argv, Args& a) {
 }
 
 std::vector<Profile> profiles_of(const std::string& name) {
-  if (name == "all") {
-    // kLossy appended LAST: "--profile all" output for the pre-existing
-    // profiles stays a byte-identical prefix across this addition.
-    return {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
-            Profile::kBurstCrash, Profile::kLossy};
-  }
-  Profile p;
-  parse_profile(name, p);
-  return {p};
+  std::vector<Profile> out;
+  parse_profiles(name, out);  // validated during parse_args
+  return out;
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -328,6 +401,12 @@ int main(int argc, char** argv) {
     return report_failure(a, sched, res, "replay");
   }
 
+  if (a.soak && a.exec.backend == ExecBackend::kTcp) {
+    std::fprintf(stderr, "--soak is a sim-only mode (the application host lives in the "
+                         "simulated world); drop --exec tcp\n");
+    return 2;
+  }
+
   if (a.exec.backend == ExecBackend::kTcp) {
     // The TCP axis: for every (profile, seed) run the schedule against the
     // simulator AND a live process cluster, and insist the verdicts agree.
@@ -387,6 +466,8 @@ int main(int argc, char** argv) {
   sweep.detectors = a.detectors;
   sweep.gen = a.gen;
   sweep.exec = a.exec;
+  sweep.soak = a.soak;
+  sweep.soak_opts = a.soak_opts;
   sweep.jobs = a.jobs;
   sweep.verbose = a.verbose;
   if (a.stats) {
@@ -402,18 +483,24 @@ int main(int argc, char** argv) {
   sweep.on_run = [&a](const SweepRun& run) {
     std::fputs(run.report.c_str(), stdout);
     if (a.stats) {
-      std::printf("stats %s/%s seed=%lu allocs=%lu exec=%.3fms skip=%lu/%lu\n",
+      std::printf("stats %s/%s seed=%lu allocs=%lu exec=%.3fms skip=%lu/%lu",
                   to_string(run.profile), fd::to_string(run.detector),
                   static_cast<unsigned long>(run.seed),
                   static_cast<unsigned long>(run.allocs),
                   static_cast<double>(run.exec_ns) / 1e6,
                   static_cast<unsigned long>(run.skipped_ticks),
                   static_cast<unsigned long>(run.skipped_events));
+      if (a.soak) std::printf(" avail=%.3f", run.availability);
+      std::printf("\n");
     }
     std::fflush(stdout);
     if (!run.ok && !a.out_dir.empty()) {
       write_file(a.out_dir + "/" + run.tag + ".sched", run.schedule_text);
       write_file(a.out_dir + "/" + run.tag + ".min.sched", run.minimized_text);
+      if (a.soak) {
+        write_file(a.out_dir + "/" + run.tag + ".work", run.workload_text);
+        write_file(a.out_dir + "/" + run.tag + ".min.work", run.minimized_workload_text);
+      }
     }
   };
   SweepResult result = run_sweep(sweep);
@@ -460,6 +547,21 @@ int main(int argc, char** argv) {
           bursts ? static_cast<double>(burst_events) / static_cast<double>(bursts) : 0.0,
           static_cast<double>(bursts) / static_cast<double>(runs));
     }
+  }
+  if (a.soak && result.runs > 0) {
+    double avail_sum = 0.0;
+    uint64_t ops = 0, rej = 0;
+    for (const SweepRun& run : result.run_log) {
+      avail_sum += run.availability;
+      ops += run.ops_attempted;
+      rej += run.ops_rejected;
+    }
+    std::printf("gmpx_fuzz: %lu soak runs, %lu failures, mean-avail=%.4f ops=%lu rej=%lu\n",
+                static_cast<unsigned long>(result.runs),
+                static_cast<unsigned long>(result.failures),
+                avail_sum / static_cast<double>(result.runs),
+                static_cast<unsigned long>(ops), static_cast<unsigned long>(rej));
+    return result.failures == 0 ? 0 : 1;
   }
   std::printf("gmpx_fuzz: %lu runs, %lu failures\n",
               static_cast<unsigned long>(result.runs),
