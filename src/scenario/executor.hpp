@@ -8,15 +8,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "fd/detector.hpp"
+#include "harness/cluster.hpp"
 #include "scenario/schedule.hpp"
 #include "trace/checker.hpp"
-
-namespace gmpx::harness {
-class Cluster;
-}
 
 namespace gmpx::scenario {
 
@@ -114,6 +112,50 @@ struct ExecResult {
   bool ok() const { return quiesced && check.ok(); }
   /// Failure report for logs: violations or the non-quiescence note.
   std::string message() const;
+};
+
+/// The cluster configuration execute() derives from (s, opts) — exposed so
+/// pooled callers (the GroupMux slot pool) can reset() a slot for a
+/// StagedRun themselves.
+harness::ClusterOptions cluster_options_for(const Schedule& s, const ExecOptions& opts);
+
+/// Incremental form of execute(): the same scripting, quiescence endgame
+/// and verdict, split into explicit phases so a multiplexer can advance
+/// many runs concurrently in bounded event slices.  execute() is exactly
+/// `install(); advance(opts.max_sim_events);` — one schedule still means
+/// one behaviour, whatever the slicing (the run loops are resumable, so
+/// the event sequence is independent of where the pauses fall).
+class StagedRun {
+ public:
+  /// `cluster`, `s` and `opts` must outlive this object: scripted events
+  /// capture them by reference (the mux keeps all three in the group slot).
+  /// The cluster must already be configured for (s, opts) — fresh-built or
+  /// reset() with cluster_options_for().
+  StagedRun(harness::Cluster& cluster, const Schedule& s, const ExecOptions& opts);
+  ~StagedRun();
+  StagedRun(StagedRun&&) noexcept;
+  StagedRun& operator=(StagedRun&&) noexcept;
+
+  /// Script the schedule onto the cluster, run on_pre_start, start the
+  /// deployment.  Called implicitly by the first advance() if omitted.
+  void install();
+
+  /// Run one bounded slice (at most `max_events` sim events).  Returns true
+  /// once the run has concluded — the slice reached quiescence (endgame and
+  /// verdict run inside that call), or the accumulated slice budget reached
+  /// opts.max_sim_events without quiescing (concluded as budget-exhausted,
+  /// same as execute()).  With max_events >= opts.max_sim_events the first
+  /// call always concludes.
+  bool advance(uint64_t max_events);
+
+  bool done() const;
+  /// The verdicted result; valid once done().
+  const ExecResult& result() const;
+  ExecResult take_result();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Replay `s` on a fresh cluster and check the trace.

@@ -15,6 +15,7 @@ const char* to_string(Profile p) {
     case Profile::kPartitionHeavy: return "partition";
     case Profile::kBurstCrash: return "burst";
     case Profile::kLossy: return "lossy";
+    case Profile::kGroupMux: return "groupmux";
   }
   return "?";
 }
@@ -25,6 +26,7 @@ bool parse_profile(const std::string& name, Profile& out) {
   else if (name == "partition") out = Profile::kPartitionHeavy;
   else if (name == "burst") out = Profile::kBurstCrash;
   else if (name == "lossy") out = Profile::kLossy;
+  else if (name == "groupmux") out = Profile::kGroupMux;
   else return false;
   return true;
 }
@@ -50,6 +52,9 @@ Weights weights_for(Profile p) {
     case Profile::kPartitionHeavy: return {1, 5, 1, 1, 3, 2, 0, 0, 0};
     case Profile::kBurstCrash: return {0, 1, 1, 1, 1, 1, 0, 0, 0};
     case Profile::kLossy: return {2, 0, 1, 1, 1, 1, 2, 4, 0};
+    // kGroupMux never reaches generate() (the mux substitutes a base
+    // profile per group); fall through to the mixed weights defensively.
+    case Profile::kGroupMux:
     case Profile::kMixed: break;
   }
   return {3, 2, 2, 1, 2, 1, 0, 0, 0};

@@ -30,9 +30,17 @@ enum class Profile : uint8_t {
   kPartitionHeavy,  ///< repeated cuts/heals + false suspicions
   kBurstCrash,      ///< near-simultaneous multi-crash bursts
   kLossy,           ///< lossy/dup/reordering channels + one-way partitions
+  /// Group-churn meta-profile: the sweep routes it to mux::run_mux, which
+  /// multiplexes many pooled deployments (each drawing one of the five
+  /// profiles above) with create/retire churn.  Appended LAST so the enum
+  /// values — and with them every historical (profile, seed) pair — stay
+  /// byte-identical.  generate() itself never draws from it (the mux
+  /// overrides the per-group profile before calling generate()).
+  kGroupMux,
 };
 
-/// Returns "mixed" / "churn" / "partition" / "burst" / "lossy".
+/// Returns "mixed" / "churn" / "partition" / "burst" / "lossy" /
+/// "groupmux".
 const char* to_string(Profile p);
 
 /// Parse a profile name (as printed by to_string); false on unknown.

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "harness/cluster.hpp"
+#include "mux/group_mux.hpp"
 #include "scenario/minimizer.hpp"
 #include "soak/runner.hpp"
 
@@ -139,6 +140,38 @@ void render_soak(SweepRun& out, const Schedule& sched, const soak::Workload& w,
   out.report += out.minimized_workload_text;
 }
 
+/// Groupmux-run report: mux-plan aggregates, every field deterministic
+/// (occupancy and groups/s are --stats-only, with the other wall-clock
+/// figures).  On failure the first failing group's full report — verdict,
+/// encoded schedule, encoded workload — is appended; the repro path is the
+/// single-group replay of that (profile, seed) pair, so no joint
+/// minimization runs here.
+void render_mux(SweepRun& out, const mux::MuxResult& res, const SweepOptions& opts) {
+  if (opts.verbose) {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "%s/%s seed=%lu: %s groups=%lu retired=%lu quiesced=%lu tick=%lu "
+                  "msgs=%lu skip=%lu ops=%lu rej=%lu avail=%.3f\n",
+                  to_string(out.profile), fd::to_string(out.detector),
+                  static_cast<unsigned long>(out.seed), res.ok() ? "ok" : "FAIL",
+                  static_cast<unsigned long>(res.groups),
+                  static_cast<unsigned long>(res.retired),
+                  static_cast<unsigned long>(res.quiesced),
+                  static_cast<unsigned long>(res.sim_ticks),
+                  static_cast<unsigned long>(res.messages),
+                  static_cast<unsigned long>(res.skipped_ticks),
+                  static_cast<unsigned long>(res.ops_attempted),
+                  static_cast<unsigned long>(res.ops_rejected), res.mean_availability());
+    out.report += buf;
+  }
+  if (res.ok()) return;
+  out.tag = std::string(to_string(out.profile)) + "-" + fd::to_string(out.detector) + "-" +
+            std::to_string(out.seed);
+  out.report += "FAIL " + out.tag + ": " + std::to_string(res.failures) + "/" +
+                std::to_string(res.groups) + " groups failed; first: " + res.first_failure;
+  if (!out.report.empty() && out.report.back() != '\n') out.report += '\n';
+}
+
 }  // namespace
 
 FailureReport render_failure(const Schedule& sched, const ExecResult& res,
@@ -204,6 +237,54 @@ SweepResult run_sweep(const SweepOptions& opts) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= items.size()) return;
       const Item& item = items[i];
+      if (item.profile == Profile::kGroupMux) {
+        // One grid item is one whole mux plan, run to completion on this
+        // worker: groups never interact, so the mux result is a pure
+        // function of (seed, options) and the canonical merge gives --jobs
+        // byte-identity exactly as for single-group runs.
+        mux::MuxOptions m = opts.mux;
+        m.gen = opts.gen;  // untuned: the mux storm-tunes per group/detector
+        m.exec = opts.exec;
+        m.exec.fd = item.detector;
+        if (opts.soak) m.sopts = opts.soak_opts;
+        const uint64_t allocs_before = opts.alloc_probe ? opts.alloc_probe() : 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        const mux::MuxResult mres = mux::run_mux(item.seed, m);
+        const auto t1 = std::chrono::steady_clock::now();
+        SweepRun& run = result.run_log[i];
+        run.allocs = opts.alloc_probe ? opts.alloc_probe() - allocs_before : 0;
+        run.exec_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+        run.profile = item.profile;
+        run.detector = item.detector;
+        run.seed = item.seed;
+        run.ok = mres.ok();
+        // Summed per-group end ticks, not the plan horizon: this feeds the
+        // --stats skip-ratio denominator, which compares fast-forwarded
+        // ticks against total simulated time.
+        run.end_tick = mres.sim_ticks;
+        run.messages = mres.messages;
+        run.fd_messages = mres.fd_messages;
+        run.trace_hash = mres.trace_hash;
+        run.skipped_ticks = mres.skipped_ticks;
+        run.skipped_events = mres.skipped_events;
+        run.aborted_joins = mres.aborted_joins;
+        run.availability = mres.mean_availability();
+        run.ops_attempted = mres.ops_attempted;
+        run.ops_rejected = mres.ops_rejected;
+        run.sync_passes = static_cast<size_t>(mres.sync_passes);
+        run.groups = mres.groups;
+        run.groups_failed = mres.failures;
+        run.peak_resident = mres.peak_resident;
+        run.occupancy = mres.occupancy;
+        render_mux(run, mres, opts);
+        if (ring) {
+          while (!ring->push(i)) std::this_thread::yield();
+        } else if (opts.on_run) {
+          opts.on_run(run);
+        }
+        continue;
+      }
       GeneratorOptions gen = opts.gen;
       gen.profile = item.profile;
       ExecOptions exec = opts.exec;

@@ -19,13 +19,16 @@
 #include <string>
 #include <vector>
 
+#include "mux/group_mux.hpp"
 #include "scenario/executor.hpp"
 #include "scenario/generator.hpp"
 #include "soak/workload.hpp"
 
 namespace gmpx::scenario {
 
-/// Outcome of one (profile, detector, seed) run.
+/// Outcome of one (profile, detector, seed) run.  For the `groupmux`
+/// profile one "run" is a whole mux plan — many pooled deployments churned
+/// through one process — and the per-group figures are aggregated here.
 struct SweepRun {
   Profile profile = Profile::kMixed;
   fd::DetectorKind detector = fd::DetectorKind::kOracle;
@@ -50,6 +53,13 @@ struct SweepRun {
   uint64_t ops_attempted = 0;    ///< client ops fired
   uint64_t ops_rejected = 0;     ///< ops that found no usable endpoint
   size_t sync_passes = 0;        ///< post-quiescence anti-entropy rounds
+  // Groupmux profile only — mux-plan aggregates:
+  uint64_t groups = 0;           ///< deployments the plan created
+  uint64_t groups_failed = 0;    ///< groups with a dirty verdict
+  size_t peak_resident = 0;      ///< max concurrently-live deployments
+  /// Mean slot-pool occupancy over the plan horizon.  Deterministic, but
+  /// reported through --stats with the wall-clock figures (engine load).
+  double occupancy = 0.0;
   std::string report;            ///< rendered lines ("" for a quiet pass)
   // Failure artifacts (empty on success):
   std::string tag;               ///< "<profile>-<detector>-<seed>"
@@ -76,6 +86,14 @@ struct SweepOptions {
   /// soak.restart_weight so fault churn spreads across the long horizon.
   bool soak = false;
   soak::SoakOptions soak_opts;
+  /// Groupmux profile shape (gmpx_fuzz --mux): plan size, churn window,
+  /// session fan-in, slice budget.  The per-run gen/exec/detector come from
+  /// the grid item like every other profile — the gen/exec/sopts members
+  /// inside this struct are overwritten per run, so only the mux-specific
+  /// knobs matter here.  The `groupmux` profile never rides in "all"
+  /// (explicit opt-in only): one mux run is ~a dozen soak runs, and
+  /// pre-existing sweep output must stay byte-identical.
+  mux::MuxOptions mux;
   unsigned jobs = 1;        ///< worker threads; 0 = hardware concurrency
   bool verbose = false;     ///< emit one report line per run (not only failures)
   /// Per-run telemetry probe: sampled on the worker thread before and after

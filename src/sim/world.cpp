@@ -102,7 +102,7 @@ void SimWorld::reset(uint64_t seed, DelayModel delays) {
   dim_ = 0;
   channel_front_flat_.clear();
   blocked_flat_.clear();
-  channel_front_.clear();
+  channel_front_tiled_.clear();
   // Keep the held-traffic map and its deques: partitions on the same dense
   // channels recur across runs, and a deque reallocates its block map even
   // when constructed empty.  The key set is bounded by the channel count.
@@ -110,7 +110,7 @@ void SimWorld::reset(uint64_t seed, DelayModel delays) {
     for (Packet& p : q) recycle_buffer(std::move(p.bytes));
     q.clear();
   }
-  blocked_pairs_.clear();
+  blocked_tiled_.clear();
   bg_lo_ = 1;
   bg_hi_ = 0;
   bg_sink_ = nullptr;
@@ -198,16 +198,15 @@ void SimWorld::start() {
   if (dim_ > 0) {
     channel_front_flat_.assign(dim_ * dim_, 0);
     blocked_flat_.assign(dim_ * dim_, 0);
-    // Partitions declared before start() migrate into the matrix.
-    for (auto it = blocked_pairs_.begin(); it != blocked_pairs_.end();) {
-      ProcessId f = static_cast<ProcessId>(*it >> 32);
-      ProcessId t = static_cast<ProcessId>(*it);
-      if (f < dim_ && t < dim_) {
-        blocked_flat_[f * dim_ + t] = 1;
-        it = blocked_pairs_.erase(it);
-      } else {
-        ++it;
-      }
+    // Partitions declared before start() migrate into the matrix; cuts on
+    // out-of-range ids stay in the tiled overlay.
+    if (blocked_tiled_.any_tile()) {
+      blocked_tiled_.for_each_cell([&](uint32_t f, uint32_t t, uint8_t& cut) {
+        if (cut && f < dim_ && t < dim_) {
+          blocked_flat_[f * dim_ + t] = 1;
+          cut = 0;
+        }
+      });
     }
   }
   // Deterministic start order: ascending id (the table is id-indexed).
@@ -277,7 +276,7 @@ void SimWorld::block_channel(ProcessId x, ProcessId y) {
   if (dim_ > 0 && x < dim_ && y < dim_) {
     blocked_flat_[x * dim_ + y] = 1;
   } else {
-    blocked_pairs_.insert(channel_key(x, y));
+    blocked_tiled_.at(x, y) = 1;
   }
 }
 
@@ -296,7 +295,7 @@ void SimWorld::partition_oneway(const std::vector<ProcessId>& a,
 }
 
 void SimWorld::heal_partition() {
-  blocked_pairs_.clear();
+  blocked_tiled_.clear();
   std::fill(blocked_flat_.begin(), blocked_flat_.end(), 0);
   // Release held traffic channel by channel in (from, to) order, preserving
   // FIFO within each channel.  Held packets were metered when first sent,
@@ -319,12 +318,12 @@ void SimWorld::heal_partition() {
 
 bool SimWorld::blocked(ProcessId a, ProcessId b) const {
   if (dim_ > 0 && a < dim_ && b < dim_) return blocked_flat_[a * dim_ + b] != 0;
-  return blocked_pairs_.count(channel_key(a, b)) > 0;
+  return blocked_tiled_.get(a, b) != 0;
 }
 
 Tick& SimWorld::channel_front(ProcessId from, ProcessId to) {
   if (dim_ > 0 && from < dim_ && to < dim_) return channel_front_flat_[from * dim_ + to];
-  return channel_front_[channel_key(from, to)];
+  return channel_front_tiled_.at(from, to);
 }
 
 void SimWorld::push_event(Tick time, EventKind kind, uint32_t a, uint64_t gen) {

@@ -62,10 +62,10 @@
 #include <queue>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/runtime.hpp"
+#include "common/tiled.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -404,6 +404,19 @@ class SimWorld {
   /// Current simulated time.
   Tick now() const { return now_; }
 
+  /// Earliest queued event time (kNeverTick when nothing is queued).  The
+  /// GroupMux cohort scheduler orders runnable groups by this without
+  /// popping anything.
+  Tick next_event_time() const { return queue_.empty() ? kNeverTick : queue_.front().time; }
+
+  /// Queued foreground work remains (deliveries of protocol kinds, scripts,
+  /// crashes, armed non-background timers).  False means only detector
+  /// upkeep is left — a dormancy candidate for multiplexed groups.
+  bool foreground_pending() const { return fg_pending_ != 0; }
+
+  /// Total queued events (foreground + background + stale timer entries).
+  size_t queued_events() const { return queue_.size(); }
+
   /// Current latency model.
   const DelayModel& delays() const { return delays_; }
 
@@ -550,20 +563,21 @@ class SimWorld {
 
   // Channel state.  start() sizes dim_ x dim_ flat matrices over the dense
   // id range so the per-send FIFO/partition lookups are array indexing with
-  // no hashing and no per-channel node allocation; out-of-range ids (never
-  // produced by the harness, but allowed by the API) fall back to the hash
-  // containers.
+  // no hashing and no per-channel node allocation; out-of-range ids (n > 512
+  // worlds, sparse joiner ids) fall back to tiled layouts — lazily allocated
+  // 64x64 tiles with the same shift/mask access pattern as the flat path,
+  // pooled across clear() like every other slab (common/tiled.hpp).
   size_t dim_ = 0;
   std::vector<Tick> channel_front_flat_;   // dim_ * dim_, 0 = untouched
   std::vector<uint8_t> blocked_flat_;      // dim_ * dim_ adjacency bytes
   // FIFO enforcement: last scheduled delivery time per ordered channel.
-  std::unordered_map<uint64_t, Tick> channel_front_;
+  common::TiledGrid<Tick> channel_front_tiled_;
   // Held (partitioned) traffic per ordered channel.  Entries persist (with
   // cleared deques) across heal and reset: deque block maps are the one
   // container that allocates even when empty, so they are recycled.
   std::unordered_map<uint64_t, std::deque<Packet>> held_;
   std::vector<uint64_t> heal_keys_;  ///< scratch: sorted non-empty channels
-  std::unordered_set<uint64_t> blocked_pairs_;
+  common::TiledGrid<uint8_t> blocked_tiled_;  // partition cuts beyond dim_
   // Background (detector) packet-kind range; empty [1, 0] by default.
   uint32_t bg_lo_ = 1, bg_hi_ = 0;
   // Fast-path delivery sink for slab-free background packets.

@@ -11,199 +11,11 @@
 #include "harness/cluster.hpp"
 #include "scenario/minimizer.hpp"
 #include "soak/availability.hpp"
+#include "soak/host.hpp"
 
 namespace gmpx::soak {
 
 namespace {
-
-/// Per-run application host: owns one (ProcessGroup, Registry, WorkQueue)
-/// triple per member plus the shared app trace, routes client ops, and
-/// drives the post-quiescence anti-entropy rounds.
-class SoakHost {
- public:
-  SoakHost(const Workload& w, const SoakOptions& opts) : w_(w), opts_(opts) {}
-
-  void attach(harness::Cluster& c) {
-    cluster_ = &c;
-    for (ProcessId id : c.ids()) make_node(id);
-    for (size_t i = 0; i < w_.ops.size(); ++i) {
-      c.world().at(w_.ops[i].at, [this, i] { run_op(w_.ops[i]); });
-    }
-  }
-
-  bool on_quiesced(harness::Cluster& c, int pass) {
-    (void)c;
-    // Detector-timeout emulation, mirroring the executor's awaiting/isolated
-    // policy for the oracle axis: a dead process (crashed out of band, quit,
-    // or a joiner that aborted right as its admission committed) can linger
-    // as a view member forever, holding its assigned work — the scripted
-    // oracle only fires on real crash events.  With real clocks a timeout
-    // detector would report it; at quiescence, inject that suspicion and let
-    // the membership protocol exclude it (the view change re-dispatches).
-    if (const std::vector<ProcessId> frontier = survivors(); !frontier.empty()) {
-      const ProcessId obs = frontier.front();
-      Context* ctx = cluster_->world().context_of(obs);
-      bool injected = false;
-      for (ProcessId m : cluster_->node(obs).view().members()) {
-        if (ctx && !cluster_->world().context_of(m)) {
-          cluster_->node(obs).suspect(*ctx, m);
-          injected = true;
-        }
-      }
-      if (injected) return true;  // re-quiesce; exclusion triggers reclaim
-    }
-    if (converged()) {
-      converged_ = true;
-      return false;
-    }
-    if (pass >= opts_.sync_pass_cap) return false;  // APP-R3/Q1 will say why
-    ++sync_passes_;
-    for (ProcessId id : sorted_ids()) {
-      if (!serving(id)) continue;
-      PerNode& pn = nodes_.at(id);
-      pn.registry->sync_round();
-      pn.queue->sync_round();
-    }
-    return true;
-  }
-
-  /// The oracle's survivor set, ascending: live admitted members holding
-  /// the frontier (most advanced) view.  View-synchronous convergence is
-  /// only promised within the final view — a falsely-excluded member that
-  /// never learned of its exclusion is still running, but it is outside
-  /// the group and owed nothing (it fail-stops on first contact).
-  std::vector<ProcessId> survivors() const {
-    ViewVersion frontier = 0;
-    for (ProcessId id : sorted_ids()) {
-      if (serving(id)) {
-        frontier = std::max(frontier, cluster_->node(id).view().version());
-      }
-    }
-    std::vector<ProcessId> out;
-    for (ProcessId id : sorted_ids()) {
-      if (serving(id) && cluster_->node(id).view().version() == frontier) out.push_back(id);
-    }
-    return out;
-  }
-
-  std::vector<ReplicaState> final_states() const {
-    std::vector<ReplicaState> out;
-    for (ProcessId id : survivors()) {
-      const PerNode& pn = nodes_.at(id);
-      ReplicaState st;
-      st.id = id;
-      st.registry.assign(pn.registry->data().begin(), pn.registry->data().end());
-      for (const auto& [tid, t] : pn.queue->tasks()) st.queue.emplace_back(tid, t.state);
-      out.push_back(std::move(st));
-    }
-    return out;
-  }
-
-  const app::AppTrace& trace() const { return trace_; }
-  uint64_t attempted() const { return attempted_; }
-  uint64_t rejected() const { return rejected_; }
-  size_t sync_passes() const { return sync_passes_; }
-  bool converged_flag() const { return converged_; }
-
- private:
-  struct PerNode {
-    std::unique_ptr<group::ProcessGroup> group;
-    std::unique_ptr<app::Registry> registry;
-    std::unique_ptr<app::WorkQueue> queue;
-  };
-
-  void make_node(ProcessId id) {
-    PerNode& pn = nodes_[id];
-    pn.group = std::make_unique<group::ProcessGroup>(&cluster_->node(id));
-    auto ctx = [this, id]() { return cluster_->world().context_of(id); };
-    pn.registry = std::make_unique<app::Registry>(pn.group.get(), &trace_, ctx);
-    pn.queue = std::make_unique<app::WorkQueue>(pn.group.get(), &trace_, ctx);
-    pn.group->on_message([this, id](ProcessId from, const std::string& m) {
-      PerNode& p = nodes_.at(id);
-      if (!p.registry->handle(from, m)) p.queue->handle(from, m);
-    });
-    pn.group->on_view_change([this, id](const gmp::View&) { nodes_.at(id).queue->on_view(); });
-  }
-
-  /// A member that can currently serve client traffic.
-  bool serving(ProcessId id) const {
-    if (!nodes_.count(id)) return false;
-    if (!cluster_->has_node(id)) return false;
-    if (!cluster_->world().context_of(id)) return false;  // crashed
-    const gmp::GmpNode& n = cluster_->node(id);
-    return n.admitted() && !n.has_quit();
-  }
-
-  std::vector<ProcessId> sorted_ids() const {
-    std::vector<ProcessId> ids(cluster_->ids().begin(), cluster_->ids().end());
-    std::sort(ids.begin(), ids.end());
-    return ids;
-  }
-
-  void run_op(const WorkloadOp& op) {
-    ++attempted_;
-    switch (op.kind) {
-      case OpKind::kWrite:
-      case OpKind::kTask: {
-        // Primary-routed: clients reach whichever member claims the
-        // coordinator role; with none live (failover window) the op is
-        // rejected — that is the availability metric's denominator talking.
-        for (ProcessId id : sorted_ids()) {
-          if (!serving(id)) continue;
-          PerNode& pn = nodes_.at(id);
-          if (!pn.group->is_coordinator()) continue;
-          const bool served = op.kind == OpKind::kWrite ? pn.registry->client_write(op.key)
-                                                        : pn.queue->client_submit();
-          if (served) return;
-        }
-        ++rejected_;
-        return;
-      }
-      case OpKind::kRead: {
-        std::vector<ProcessId> live;
-        for (ProcessId id : sorted_ids()) {
-          if (serving(id)) live.push_back(id);
-        }
-        if (live.empty()) {
-          ++rejected_;
-          return;
-        }
-        const ProcessId replica = live[op.pick % live.size()];
-        nodes_.at(replica).registry->client_read(op.client, op.key);
-        return;
-      }
-    }
-  }
-
-  /// Survivors hold identical registry and queue state with no open work.
-  bool converged() const {
-    const std::vector<ProcessId> s = survivors();
-    if (s.empty()) return true;
-    const PerNode& first = nodes_.at(s[0]);
-    for (ProcessId id : s) {
-      const PerNode& pn = nodes_.at(id);
-      if (!pn.queue->all_done()) return false;
-      if (pn.registry->data() != first.registry->data()) return false;
-      if (pn.queue->tasks().size() != first.queue->tasks().size()) return false;
-      auto a = pn.queue->tasks().begin();
-      auto b = first.queue->tasks().begin();
-      for (; a != pn.queue->tasks().end(); ++a, ++b) {
-        if (a->first != b->first || a->second.state != b->second.state) return false;
-      }
-    }
-    return true;
-  }
-
-  const Workload& w_;
-  const SoakOptions& opts_;
-  harness::Cluster* cluster_ = nullptr;
-  app::AppTrace trace_;
-  std::map<ProcessId, PerNode> nodes_;
-  uint64_t attempted_ = 0;
-  uint64_t rejected_ = 0;
-  size_t sync_passes_ = 0;
-  bool converged_ = false;
-};
 
 SoakResult run_on(const scenario::Schedule& s, const Workload& w,
                   const scenario::ExecOptions& exec_opts, const SoakOptions& sopts,

@@ -21,6 +21,7 @@
 // simulated world per run; output and exit status are identical for every N
 // (see scenario/sweep.hpp).
 // Exit status: 0 = all runs clean, 1 = violations found, 2 = usage error.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,8 +51,9 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: gmpx_fuzz [--seeds LO:HI]\n"
-               "                 [--profile mixed|churn|partition|burst|lossy|all\n"
-               "                  (or comma list)]\n"
+               "                 [--profile mixed|churn|partition|burst|lossy|groupmux|all\n"
+               "                  (or comma list; \"all\" = the five single-group\n"
+               "                  profiles — groupmux is explicit opt-in)]\n"
                "                 [--fd oracle|heartbeat|phi|all (or comma list)]\n"
                "                 [--hb-interval T] [--hb-timeout T] [--phi-threshold F]\n"
                "                 [--phi-interval T] [--join-attempts N]\n"
@@ -59,6 +61,9 @@ void usage() {
                "                 [--basic] [--inject-bug] [--out DIR] [--jobs N]\n"
                "                 [--soak] [--soak-horizon T] [--soak-clients N]\n"
                "                 [--soak-ops N] [--soak-mix W:R:T]\n"
+               "                 [--mux] [--mux-groups N] [--mux-sessions N]\n"
+               "                 [--mux-slice K] [--mux-spawn-span T]\n"
+               "                 [--mux-lifetime LO:HI] [--mux-no-sessions]\n"
                "                 [--exec sim|tcp] [--tick-us U|auto] [--base-port P]\n"
                "                 [--node-bin PATH]\n"
                "                 [--replay FILE [--minimize]] [-v] [--stats] [--no-burst]\n"
@@ -97,6 +102,17 @@ void usage() {
                "alone (the workload regenerates deterministically) and minimizes\n"
                "jointly: the fault schedule and the client workload shrink together.\n"
                "Soak is a sim-only mode (--exec tcp rejects it).\n"
+               "--mux is shorthand for --profile groupmux: every seed names a whole\n"
+               "group-churn plan — --mux-groups pooled deployments created and retired\n"
+               "over a --mux-spawn-span window with lifetimes in --mux-lifetime,\n"
+               "each drawing one of the five single-group profiles, multiplexed\n"
+               "through one process over a shared slot pool (slices of --mux-slice\n"
+               "events per turn) with per-group client sessions folded onto\n"
+               "--mux-sessions global session ids (--mux-no-sessions disables the\n"
+               "app layer).  Every group is judged like a single-group soak run;\n"
+               "artifacts for the first failing group land in the report.  groupmux\n"
+               "is sim-only and never part of \"all\" (one mux run costs ~a dozen\n"
+               "soak runs, and pre-existing sweep output stays byte-identical).\n"
                "--tick-us auto calibrates the real-time tick from the host's measured\n"
                "scheduler jitter at startup instead of using the fixed default.\n");
 }
@@ -116,6 +132,7 @@ struct Args {
   unsigned jobs = 1;
   bool soak = false;
   soak::SoakOptions soak_opts;
+  mux::MuxOptions mux;
 };
 
 /// Parse "mixed", "all", or a comma-separated profile list.
@@ -124,6 +141,9 @@ bool parse_profiles(const std::string& spec, std::vector<Profile>& out) {
   if (spec == "all") {
     // kLossy appended LAST: "--profile all" output for the pre-existing
     // profiles stays a byte-identical prefix across this addition.
+    // groupmux is deliberately NOT in "all": one mux run multiplexes a
+    // dozen-odd soak-sized deployments, and "all" output must stay
+    // byte-identical across releases — request it explicitly (--mux).
     out = {Profile::kMixed, Profile::kChurnHeavy, Profile::kPartitionHeavy,
            Profile::kBurstCrash, Profile::kLossy};
     return true;
@@ -307,6 +327,45 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.soak_opts.write_weight = w;
       a.soak_opts.read_weight = r;
       a.soak_opts.task_weight = t;
+    } else if (arg == "--mux") {
+      a.profile = "groupmux";
+    } else if (arg == "--mux-groups") {
+      const char* v = next();
+      char* end = nullptr;
+      unsigned long n = v ? std::strtoul(v, &end, 10) : 0;
+      if (!v || end == v || *end != '\0' || n == 0) return false;
+      a.mux.groups = n;
+    } else if (arg == "--mux-sessions") {
+      const char* v = next();
+      char* end = nullptr;
+      unsigned long n = v ? std::strtoul(v, &end, 10) : 0;
+      if (!v || end == v || *end != '\0' || n == 0) return false;
+      a.mux.sessions = n;
+    } else if (arg == "--mux-slice") {
+      const char* v = next();
+      char* end = nullptr;
+      unsigned long long n = v ? std::strtoull(v, &end, 10) : 0;
+      if (!v || end == v || *end != '\0' || n == 0) return false;
+      a.mux.slice_events = n;
+    } else if (arg == "--mux-spawn-span") {
+      const char* v = next();
+      char* end = nullptr;
+      Tick t = v ? std::strtoull(v, &end, 10) : 0;
+      if (!v || end == v || *end != '\0') return false;
+      a.mux.spawn_span = t;
+    } else if (arg == "--mux-lifetime") {
+      const char* v = next();
+      if (!v) return false;
+      char* colon = nullptr;
+      Tick lo = std::strtoull(v, &colon, 10);
+      if (colon == v || *colon != ':') return false;
+      char* end = nullptr;
+      Tick hi = std::strtoull(colon + 1, &end, 10);
+      if (end == colon + 1 || *end != '\0' || hi < lo || lo == 0) return false;
+      a.mux.min_lifetime = lo;
+      a.mux.max_lifetime = hi;
+    } else if (arg == "--mux-no-sessions") {
+      a.mux.with_sessions = false;
     } else if (arg == "-v" || arg == "--verbose") {
       a.verbose = true;
     } else if (arg == "--stats") {
@@ -407,6 +466,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  {
+    const std::vector<Profile> ps = profiles_of(a.profile);
+    const bool has_mux =
+        std::find(ps.begin(), ps.end(), Profile::kGroupMux) != ps.end();
+    if (has_mux && a.exec.backend == ExecBackend::kTcp) {
+      std::fprintf(stderr, "groupmux is a sim-only profile (the mux multiplexes simulated "
+                           "worlds); drop --exec tcp\n");
+      return 2;
+    }
+  }
+
   if (a.exec.backend == ExecBackend::kTcp) {
     // The TCP axis: for every (profile, seed) run the schedule against the
     // simulator AND a live process cluster, and insist the verdicts agree.
@@ -468,6 +538,7 @@ int main(int argc, char** argv) {
   sweep.exec = a.exec;
   sweep.soak = a.soak;
   sweep.soak_opts = a.soak_opts;
+  sweep.mux = a.mux;
   sweep.jobs = a.jobs;
   sweep.verbose = a.verbose;
   if (a.stats) {
@@ -491,10 +562,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long>(run.skipped_ticks),
                   static_cast<unsigned long>(run.skipped_events));
       if (a.soak) std::printf(" avail=%.3f", run.availability);
+      // Mux occupancy is deterministic, but it describes engine load (like
+      // allocs=, it belongs to the telemetry line, not the report).
+      if (run.groups) {
+        std::printf(" groups=%lu resident=%zu occ=%.3f",
+                    static_cast<unsigned long>(run.groups), run.peak_resident,
+                    run.occupancy);
+      }
       std::printf("\n");
     }
     std::fflush(stdout);
-    if (!run.ok && !a.out_dir.empty()) {
+    if (!run.ok && !a.out_dir.empty() && !run.schedule_text.empty()) {
       write_file(a.out_dir + "/" + run.tag + ".sched", run.schedule_text);
       write_file(a.out_dir + "/" + run.tag + ".min.sched", run.minimized_text);
       if (a.soak) {
@@ -513,6 +591,8 @@ int main(int argc, char** argv) {
       uint64_t runs = 0, ns = 0, allocs = 0;
       uint64_t skipped_ticks = 0, skipped_events = 0, sim_ticks = 0, aborted = 0;
       uint64_t bursts = 0, burst_events = 0;
+      uint64_t mux_runs = 0, mux_groups = 0;
+      double occupancy_sum = 0.0;
       for (const SweepRun& run : result.run_log) {
         if (run.detector != d) continue;
         ++runs;
@@ -524,6 +604,11 @@ int main(int argc, char** argv) {
         aborted += run.aborted_joins;
         bursts += run.bursts;
         burst_events += run.burst_events;
+        if (run.groups) {
+          ++mux_runs;
+          mux_groups += run.groups;
+          occupancy_sum += run.occupancy;
+        }
       }
       if (runs == 0) continue;
       // skip-ratio = fast-forwarded ticks / total simulated ticks for the
@@ -537,7 +622,7 @@ int main(int argc, char** argv) {
       std::printf(
           "stats %s: %.1f schedules/s (%lu runs, %.1fms wall, mean allocs=%.1f, "
           "skip-ratio=%.3f, elided=%lu, aborted-joins=%lu, mean-burst=%.2f, "
-          "bursts/run=%.1f)\n",
+          "bursts/run=%.1f)",
           fd::to_string(d), ns ? 1e9 * static_cast<double>(runs) / ns : 0.0,
           static_cast<unsigned long>(runs), static_cast<double>(ns) / 1e6,
           static_cast<double>(allocs) / static_cast<double>(runs),
@@ -546,6 +631,18 @@ int main(int argc, char** argv) {
           static_cast<unsigned long>(skipped_events), static_cast<unsigned long>(aborted),
           bursts ? static_cast<double>(burst_events) / static_cast<double>(bursts) : 0.0,
           static_cast<double>(bursts) / static_cast<double>(runs));
+      if (mux_runs) {
+        // Mux throughput: whole pooled deployments concluded per second of
+        // summed run_mux() wall time, plus mean slot-pool occupancy.  Like
+        // everything on stats lines, groups/s is wall clock (NOT jobs-
+        // stable); occupancy is deterministic but lives here because it
+        // describes engine load, not run behaviour.
+        std::printf(" (mux: %.1f groups/s over %lu plans, mean occupancy=%.3f)",
+                    ns ? 1e9 * static_cast<double>(mux_groups) / ns : 0.0,
+                    static_cast<unsigned long>(mux_runs),
+                    occupancy_sum / static_cast<double>(mux_runs));
+      }
+      std::printf("\n");
     }
   }
   if (a.soak && result.runs > 0) {
